@@ -1,0 +1,1 @@
+bench/harness.ml: Baselines Checker Correctness Datagen Driver Engine Eval Graph List Med Mediator Predicate Relalg Scenario Sim Source_db Sources Squirrel Vdp Workload

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bag Bechamel Benchmark Delta Hashtbl Instance List Measure Predicate Printf Rel_delta Relalg Schema Staged String Tables Test Time Toolkit Tuple Value

@@ -1,0 +1,1 @@
+bench/tables.ml: Float List Printf String

@@ -1,0 +1,191 @@
+(* Shared experiment harness: build a scenario environment, run mixed
+   update/query load against a mediator (or the query-shipper
+   baseline), collect cost counters and the correctness report. *)
+
+open Relalg
+open Vdp
+open Sim
+open Sources
+open Squirrel
+open Correctness
+open Workload
+
+type load = {
+  l_updates_per_rel : int;
+  l_update_interval : float;
+  l_queries : int;
+  l_query_interval : float;
+  l_delete_fraction : float;
+}
+
+let default_load =
+  {
+    l_updates_per_rel = 10;
+    l_update_interval = 0.3;
+    l_queries = 10;
+    l_query_interval = 0.5;
+    l_delete_fraction = 0.25;
+  }
+
+type outcome = {
+  r_polls : int;
+  r_polled_tuples : int;
+  r_atoms : int;
+  r_ops_update : int;
+  r_ops_query : int;
+  r_bytes : int;
+  r_store_hits : int;
+  r_key_based : int;
+  r_temps : int;
+  r_update_txs : int;
+  r_queries : int;
+  r_messages : int;
+  r_consistent : bool;
+  r_violations : int;
+  r_max_staleness : (string * float) list;
+}
+
+let spawn_updates env ~rng ~load ~rels ~specs =
+  List.iter
+    (fun (src_name, rel) ->
+      if load.l_updates_per_rel > 0 then
+        Driver.update_process ~rng ~src:(Scenario.source env src_name)
+          {
+            Driver.u_relation = rel;
+            u_interval = load.l_update_interval;
+            u_count = load.l_updates_per_rel;
+            u_delete_fraction = load.l_delete_fraction;
+            u_specs = specs rel;
+          })
+    rels
+
+(* run a Squirrel mediator under the load and report *)
+let run_squirrel ?(config = Med.default_config) ?(seed = 42) ?extra ~make_env
+    ~rels ~specs ~annotation_of ~query_sets ~query_node ~load () =
+  let env = make_env seed in
+  let med =
+    Scenario.mediator env ~annotation:(annotation_of env.Scenario.vdp) ~config
+      ()
+  in
+  Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
+  Engine.run env.Scenario.engine ~until:1.0;
+  let init_stats = Mediator.stats med in
+  let polls0 = init_stats.Med.polls in
+  let polled0 = init_stats.Med.polled_tuples in
+  let rng = Datagen.state (seed * 17 + 3) in
+  spawn_updates env ~rng ~load ~rels ~specs;
+  (match extra with Some f -> f env | None -> ());
+  let _records =
+    if load.l_queries > 0 then
+      Driver.query_process ~rng ~med
+        {
+          Driver.q_node = query_node;
+          q_interval = load.l_query_interval;
+          q_count = load.l_queries;
+          q_attr_sets = query_sets;
+        }
+    else ref []
+  in
+  Scenario.run_to_quiescence env med;
+  let s = Mediator.stats med in
+  let report =
+    Checker.check ~vdp:env.Scenario.vdp ~sources:env.Scenario.sources
+      ~events:(Mediator.events med) ()
+  in
+  {
+    r_polls = s.Med.polls - polls0;
+    r_polled_tuples = s.Med.polled_tuples - polled0;
+    r_atoms = s.Med.propagated_atoms;
+    r_ops_update = s.Med.ops_update;
+    r_ops_query = s.Med.ops_query;
+    r_bytes = Mediator.store_bytes med;
+    r_store_hits = s.Med.queries_from_store;
+    r_key_based = s.Med.key_based_constructions;
+    r_temps = s.Med.temps_built;
+    r_update_txs = s.Med.update_txs;
+    r_queries = s.Med.query_txs;
+    r_messages = s.Med.messages_received;
+    r_consistent = Checker.consistent report;
+    r_violations = List.length report.Checker.violations;
+    r_max_staleness = report.Checker.max_staleness;
+  }
+
+(* run the pure query-shipping baseline under the same load *)
+let run_shipper ?(seed = 42) ~make_env ~rels ~specs ~query_attrs ~query_node
+    ~load () =
+  let env = make_env seed in
+  let shipper =
+    Baselines.Query_shipper.create ~engine:env.Scenario.engine
+      ~vdp:env.Scenario.vdp ~sources:env.Scenario.sources ()
+  in
+  Baselines.Query_shipper.connect shipper ();
+  let rng = Datagen.state (seed * 17 + 3) in
+  spawn_updates env ~rng ~load ~rels ~specs;
+  Engine.spawn env.Scenario.engine (fun () ->
+      for _ = 1 to load.l_queries do
+        Engine.sleep env.Scenario.engine load.l_query_interval;
+        ignore
+          (Baselines.Query_shipper.query shipper ~node:query_node
+             ~attrs:query_attrs ())
+      done);
+  let horizon =
+    (load.l_update_interval *. float_of_int load.l_updates_per_rel)
+    +. (load.l_query_interval *. float_of_int load.l_queries)
+    +. 20.0
+  in
+  Engine.run env.Scenario.engine ~until:horizon;
+  let s = Baselines.Query_shipper.stats shipper in
+  {
+    r_polls = s.Baselines.Query_shipper.sq_polls;
+    r_polled_tuples = s.Baselines.Query_shipper.sq_tuples_fetched;
+    r_atoms = 0;
+    r_ops_update = 0;
+    r_ops_query = s.Baselines.Query_shipper.sq_ops;
+    r_bytes = 0;
+    r_store_hits = 0;
+    r_key_based = 0;
+    r_temps = 0;
+    r_update_txs = 0;
+    r_queries = s.Baselines.Query_shipper.sq_queries;
+    r_messages = 0;
+    r_consistent = true;
+    r_violations = 0;
+    r_max_staleness = [];
+  }
+
+(* a single composite cost figure for rankings: local ops plus a
+   charge per poll round-trip, per tuple shipped, and per update
+   announcement received — the three remote-interaction costs the
+   paper's informal comparisons weigh against each other *)
+let total_cost o =
+  float_of_int (o.r_ops_update + o.r_ops_query)
+  +. (100.0 *. float_of_int o.r_polls)
+  +. (5.0 *. float_of_int o.r_polled_tuples)
+  +. (50.0 *. float_of_int o.r_messages)
+
+let fig1_rels = [ ("db1", "R"); ("db2", "S") ]
+let ex51_rels = [ ("dbA", "A"); ("dbB", "B"); ("dbC", "C"); ("dbD", "D") ]
+
+let fig1 ~annotation_of ?config ?seed ?(load = default_load)
+    ?(query_sets = [ ([ "r1"; "s1" ], Predicate.True) ]) () =
+  run_squirrel ?config ?seed
+    ~make_env:(fun seed -> Scenario.make_fig1 ~seed ())
+    ~rels:fig1_rels ~specs:Scenario.fig1_update_specs ~annotation_of
+    ~query_sets ~query_node:"T" ~load ()
+
+let ex51 ~annotation_of ?config ?seed ?(load = default_load)
+    ?(query_sets = [ ([ "a1"; "b1" ], Predicate.True) ]) ?(query_node = "G") ()
+    =
+  run_squirrel ?config ?seed
+    ~make_env:(fun seed -> Scenario.make_ex51 ~seed ())
+    ~rels:ex51_rels ~specs:Scenario.ex51_update_specs ~annotation_of
+    ~query_sets ~query_node ~load ()
+
+let recompute env node =
+  let env_fn leaf =
+    match Graph.node_opt env.Scenario.vdp leaf with
+    | Some { Graph.kind = Graph.Leaf { source }; _ } ->
+      Some (Source_db.current (Scenario.source env source) leaf)
+    | Some _ | None -> None
+  in
+  Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)

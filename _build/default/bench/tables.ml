@@ -1,0 +1,44 @@
+(* Minimal fixed-width table rendering for experiment output. *)
+
+type cell = S of string | I of int | F of float | B of bool
+
+let cell_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f ->
+    if Float.abs f >= 1000.0 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.3f" f
+  | B b -> if b then "yes" else "no"
+
+let print ~title ~header rows =
+  Printf.printf "\n-- %s --\n" title;
+  let rows = List.map (List.map cell_to_string) rows in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell ->
+            let cur = try List.nth acc i with _ -> 0 in
+            max cur (String.length cell))
+          row)
+      (List.map String.length header)
+      rows
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let print_row cells =
+    print_string "  ";
+    List.iteri
+      (fun i c -> Printf.printf "%s  " (pad c (List.nth widths i)))
+      cells;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let note fmt = Printf.printf fmt
+
+let section title =
+  Printf.printf "\n======================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "======================================================\n%!"

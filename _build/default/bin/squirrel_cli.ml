@@ -1,0 +1,480 @@
+(* Command-line driver for the Squirrel reproduction.
+
+   Subcommands:
+     describe   print the generated mediator (VDP, annotation,
+                rulebase, contributor kinds) for a named scenario
+     advise     run the Sec. 5.3 annotation advisor with given rates
+     simulate   run a scenario under load and print stats + the
+                consistency/freshness report
+     scenarios  list available scenarios
+
+   Examples:
+     squirrel describe fig1 --annotation ex23
+     squirrel advise ex51 --hot-source dbB
+     squirrel simulate fig1 --annotation ex22 --updates 50 --queries 20 *)
+
+open Cmdliner
+open Sim
+open Squirrel
+open Workload
+
+(* --- scenario registry ------------------------------------------------- *)
+
+type scenario_spec = {
+  sc_name : string;
+  sc_doc : string;
+  sc_make : int -> Scenario.env;
+  sc_annotations : (string * (Vdp.Graph.t -> Vdp.Annotation.t)) list;
+  sc_update_rels : (string * string) list; (* source, relation *)
+  sc_specs : string -> Datagen.column_spec list;
+  sc_query_node : string;
+}
+
+let scenarios =
+  [
+    {
+      sc_name = "fig1";
+      sc_doc = "Figure 1: T over R and S (Examples 2.1-2.3)";
+      sc_make = (fun seed -> Scenario.make_fig1 ~seed ());
+      sc_annotations =
+        [
+          ("ex21", Scenario.ann_ex21);
+          ("ex22", Scenario.ann_ex22);
+          ("ex23", Scenario.ann_ex23);
+          ("virtual", Baselines.Annotations.virtual_all);
+          ("warehouse", Baselines.Annotations.warehouse);
+        ];
+      sc_update_rels = [ ("db1", "R"); ("db2", "S") ];
+      sc_specs = Scenario.fig1_update_specs;
+      sc_query_node = "T";
+    };
+    {
+      sc_name = "retail";
+      sc_doc = "Retail: union of regional orders joined with customers";
+      sc_make = (fun seed -> Scenario.make_retail ~seed ());
+      sc_annotations =
+        [
+          ("hybrid", Scenario.ann_retail_hybrid);
+          ("materialized", Baselines.Annotations.materialize_all);
+          ("virtual", Baselines.Annotations.virtual_all);
+          ("warehouse", Baselines.Annotations.warehouse);
+        ];
+      sc_update_rels =
+        [ ("dbEast", "OrdersE"); ("dbWest", "OrdersW"); ("dbCust", "Cust") ];
+      sc_specs = Scenario.retail_update_specs;
+      sc_query_node = "Premium";
+    };
+    {
+      sc_name = "federated";
+      sc_doc = "Federated retail: west region aligned by attribute renaming";
+      sc_make = (fun seed -> Scenario.make_federated ~seed ());
+      sc_annotations =
+        [
+          ("materialized", Baselines.Annotations.materialize_all);
+          ("virtual", Baselines.Annotations.virtual_all);
+          ("warehouse", Baselines.Annotations.warehouse);
+        ];
+      sc_update_rels = [ ("dbEast", "OrdersE"); ("dbWest", "OrdersW") ];
+      sc_specs = Scenario.federated_update_specs;
+      sc_query_node = "AllOrders";
+    };
+    {
+      sc_name = "ex51";
+      sc_doc = "Example 5.1 / Figure 4: exports E and G over A,B,C,D";
+      sc_make = (fun seed -> Scenario.make_ex51 ~seed ());
+      sc_annotations =
+        [
+          ("paper", Scenario.ann_ex51);
+          ("materialized", Baselines.Annotations.materialize_all);
+          ("virtual", Baselines.Annotations.virtual_all);
+          ("warehouse", Baselines.Annotations.warehouse);
+        ];
+      sc_update_rels =
+        [ ("dbA", "A"); ("dbB", "B"); ("dbC", "C"); ("dbD", "D") ];
+      sc_specs = Scenario.ex51_update_specs;
+      sc_query_node = "G";
+    };
+  ]
+
+let find_scenario name =
+  match List.find_opt (fun s -> String.equal s.sc_name name) scenarios with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (`Msg
+         (Printf.sprintf "unknown scenario %S (try: %s)" name
+            (String.concat ", " (List.map (fun s -> s.sc_name) scenarios))))
+
+let find_annotation spec name =
+  match List.assoc_opt name spec.sc_annotations with
+  | Some a -> Ok a
+  | None ->
+    Error
+      (`Msg
+         (Printf.sprintf "unknown annotation %S for %s (try: %s)" name
+            spec.sc_name
+            (String.concat ", " (List.map fst spec.sc_annotations))))
+
+(* --- arguments ---------------------------------------------------------- *)
+
+let scenario_arg =
+  let doc = "Scenario to operate on (see $(b,scenarios))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+
+let annotation_arg default =
+  let doc = "Annotation variant." in
+  Arg.(value & opt string default & info [ "annotation"; "a" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (runs are fully deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let setup_verbose verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Med.log_src (Some Logs.Debug)
+  end
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ]
+        ~doc:"Trace mediator internals (transactions, rules, polling, ECA).")
+
+(* --- describe ----------------------------------------------------------- *)
+
+let describe_cmd =
+  let run scenario annotation seed =
+    match find_scenario scenario with
+    | Error e -> Error e
+    | Ok spec -> (
+      match find_annotation spec annotation with
+      | Error e -> Error e
+      | Ok ann_of ->
+        let env = spec.sc_make seed in
+        let med =
+          Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp) ()
+        in
+        print_endline (Mediator.describe med);
+        Ok ())
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ scenario_arg
+        $ annotation_arg "ex21"
+        $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "describe" ~doc:"Print the generated mediator specification")
+    term
+
+(* --- advise ------------------------------------------------------------- *)
+
+let advise_cmd =
+  let run scenario hot_source hot_rate access_threshold seed =
+    match find_scenario scenario with
+    | Error e -> Error e
+    | Ok spec ->
+      let env = spec.sc_make seed in
+      let profile =
+        {
+          (Vdp.Cost.uniform_profile ()) with
+          Vdp.Cost.update_rate =
+            (fun rel ->
+              (* rate keyed by leaf relation; mark the hot source's
+                 relations *)
+              let hot =
+                List.exists
+                  (fun (src, r) ->
+                    String.equal src hot_source && String.equal r rel)
+                  spec.sc_update_rels
+              in
+              if hot then hot_rate else 1.0);
+        }
+      in
+      let config =
+        { Vdp.Advisor.default_config with access_threshold }
+      in
+      let ann, reasons =
+        Vdp.Advisor.advise ~config env.Scenario.vdp profile
+      in
+      print_endline "-- advisor reasoning --";
+      List.iter (fun r -> Printf.printf "  %s\n" r) reasons;
+      print_endline "-- advised annotation --";
+      print_endline (Vdp.Annotation.to_string ann);
+      Ok ()
+  in
+  let hot_source =
+    Arg.(
+      value & opt string ""
+      & info [ "hot-source" ] ~docv:"SOURCE"
+          ~doc:"Source whose relations update frequently.")
+  in
+  let hot_rate =
+    Arg.(
+      value & opt float 50.0
+      & info [ "hot-rate" ] ~docv:"RATE" ~doc:"Update rate of the hot source.")
+  in
+  let access_threshold =
+    Arg.(
+      value & opt float 0.25
+      & info [ "access-threshold" ] ~docv:"F"
+          ~doc:"Materialize export attributes accessed at least this often.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ scenario_arg $ hot_source $ hot_rate $ access_threshold
+       $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "advise" ~doc:"Run the Sec. 5.3 annotation advisor")
+    term
+
+(* --- simulate ------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run scenario annotation updates queries seed eca verbose =
+    setup_verbose verbose;
+    match find_scenario scenario with
+    | Error e -> Error e
+    | Ok spec -> (
+      match find_annotation spec annotation with
+      | Error e -> Error e
+      | Ok ann_of ->
+        let env = spec.sc_make seed in
+        let config = { Med.default_config with Med.eca_enabled = eca } in
+        let med =
+          Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp) ~config ()
+        in
+        Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
+        Engine.run env.Scenario.engine ~until:1.0;
+        let rng = Datagen.state (seed * 31) in
+        List.iter
+          (fun (src_name, rel) ->
+            Driver.update_process ~rng ~src:(Scenario.source env src_name)
+              {
+                Driver.u_relation = rel;
+                u_interval = 0.3;
+                u_count = updates;
+                u_delete_fraction = 0.25;
+                u_specs = spec.sc_specs rel;
+              })
+          spec.sc_update_rels;
+        let node = spec.sc_query_node in
+        let schema = (Vdp.Graph.node env.Scenario.vdp node).Vdp.Graph.schema in
+        let _ =
+          Driver.query_process ~rng ~med
+            {
+              Driver.q_node = node;
+              q_interval = 0.5;
+              q_count = queries;
+              q_attr_sets = [ (Relalg.Schema.attrs schema, Relalg.Predicate.True) ];
+            }
+        in
+        Scenario.run_to_quiescence env med;
+        let s = Mediator.stats med in
+        Printf.printf "-- stats --\n";
+        Printf.printf "update txs        %d\n" s.Med.update_txs;
+        Printf.printf "query txs         %d\n" s.Med.query_txs;
+        Printf.printf "  from store      %d\n" s.Med.queries_from_store;
+        Printf.printf "  key-based       %d\n" s.Med.key_based_constructions;
+        Printf.printf "polls             %d\n" s.Med.polls;
+        Printf.printf "tuples polled     %d\n" s.Med.polled_tuples;
+        Printf.printf "atoms propagated  %d\n" s.Med.propagated_atoms;
+        Printf.printf "temp relations    %d\n" s.Med.temps_built;
+        Printf.printf "ops (update)      %d\n" s.Med.ops_update;
+        Printf.printf "ops (query)       %d\n" s.Med.ops_query;
+        Printf.printf "store bytes       %d\n" (Mediator.store_bytes med);
+        let report =
+          Correctness.Checker.check ~vdp:env.Scenario.vdp
+            ~sources:env.Scenario.sources ~events:(Mediator.events med) ()
+        in
+        Printf.printf "-- correctness --\n";
+        Printf.printf "queries checked   %d\n"
+          report.Correctness.Checker.checked_queries;
+        Printf.printf "verdict           %s\n"
+          (if Correctness.Checker.consistent report then "CONSISTENT"
+           else "INCONSISTENT");
+        List.iter
+          (fun v ->
+            Printf.printf "violation: %s\n" v.Correctness.Checker.v_detail)
+          report.Correctness.Checker.violations;
+        List.iter
+          (fun (src, st) -> Printf.printf "staleness %-6s  %.3f\n" src st)
+          report.Correctness.Checker.max_staleness;
+        Ok ())
+  in
+  let updates =
+    Arg.(
+      value & opt int 20
+      & info [ "updates"; "u" ] ~docv:"N" ~doc:"Commits per source relation.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 10
+      & info [ "queries"; "q" ] ~docv:"N" ~doc:"Queries against the main export.")
+  in
+  let eca =
+    Arg.(
+      value & opt bool true
+      & info [ "eca" ] ~docv:"BOOL"
+          ~doc:"Enable Eager Compensation (disable to reproduce the anomaly).")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ scenario_arg
+        $ annotation_arg "ex21"
+        $ updates $ queries $ seed_arg $ eca $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a scenario under load; print stats and correctness report")
+    term
+
+(* --- query ---------------------------------------------------------------- *)
+
+let query_cmd =
+  let run scenario annotation node attrs where updates seed verbose =
+    setup_verbose verbose;
+    match find_scenario scenario with
+    | Error e -> Error e
+    | Ok spec -> (
+      match find_annotation spec annotation with
+      | Error e -> Error e
+      | Ok ann_of -> (
+        try
+          let cond =
+            match where with
+            | "" -> Relalg.Predicate.True
+            | src -> Relalg.Parser.predicate src
+          in
+          let attrs =
+            match attrs with "" -> None | src -> Some (Relalg.Parser.attrs src)
+          in
+          let env = spec.sc_make seed in
+          let med =
+            Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp) ()
+          in
+          Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
+          Engine.run env.Scenario.engine ~until:1.0;
+          if updates > 0 then begin
+            let rng = Datagen.state (seed * 31) in
+            List.iter
+              (fun (src_name, rel) ->
+                Driver.update_process ~rng ~src:(Scenario.source env src_name)
+                  {
+                    Driver.u_relation = rel;
+                    u_interval = 0.3;
+                    u_count = updates;
+                    u_delete_fraction = 0.25;
+                    u_specs = spec.sc_specs rel;
+                  })
+              spec.sc_update_rels;
+            Scenario.run_to_quiescence env med
+          end;
+          let answer = ref None in
+          Engine.spawn env.Scenario.engine (fun () ->
+              answer := Some (Mediator.query med ~node ?attrs ~cond ()));
+          Engine.run env.Scenario.engine
+            ~until:(Engine.now env.Scenario.engine +. 60.0);
+          match !answer with
+          | Some bag ->
+            Format.printf "%a@." Relalg.Bag.pp bag;
+            Printf.printf "(%d tuples; polls %d, key-based %d, from store %d)\n"
+              (Relalg.Bag.cardinal bag)
+              (Mediator.stats med).Med.polls
+              (Mediator.stats med).Med.key_based_constructions
+              (Mediator.stats med).Med.queries_from_store;
+            Ok ()
+          | None -> Error (`Msg "query did not complete")
+        with
+        | Relalg.Parser.Parse_error msg -> Error (`Msg msg)
+        | Med.Mediator_error msg -> Error (`Msg msg)))
+  in
+  let node =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"EXPORT" ~doc:"Export relation to query.")
+  in
+  let attrs =
+    Arg.(
+      value & opt string ""
+      & info [ "attrs" ] ~docv:"LIST"
+          ~doc:"Comma-separated projection (default: all attributes).")
+  in
+  let where =
+    Arg.(
+      value & opt string ""
+      & info [ "where" ] ~docv:"PRED"
+          ~doc:"Selection condition, e.g. 'r3 < 100 and s1 = 7'.")
+  in
+  let updates =
+    Arg.(
+      value & opt int 0
+      & info [ "updates"; "u" ] ~docv:"N"
+          ~doc:"Apply this many commits per relation before querying.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ scenario_arg
+        $ annotation_arg "ex21"
+        $ node $ attrs $ where $ updates $ seed_arg $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Pose one query (with parsed projection/condition) and print the              answer")
+    term
+
+(* --- dot -------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run scenario annotation seed =
+    match find_scenario scenario with
+    | Error e -> Error e
+    | Ok spec -> (
+      match find_annotation spec annotation with
+      | Error e -> Error e
+      | Ok ann_of ->
+        let env = spec.sc_make seed in
+        let annotation = ann_of env.Scenario.vdp in
+        print_string (Vdp.Dot.render ~annotation env.Scenario.vdp);
+        Ok ())
+  in
+  let term =
+    Term.(
+      term_result (const run $ scenario_arg $ annotation_arg "ex21" $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Emit the annotated VDP as Graphviz (the paper's Figures 1/4)")
+    term
+
+(* --- scenarios ------------------------------------------------------------ *)
+
+let scenarios_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-8s %s\n         annotations: %s\n" s.sc_name s.sc_doc
+          (String.concat ", " (List.map fst s.sc_annotations)))
+      scenarios;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "scenarios" ~doc:"List available scenarios")
+    Term.(term_result (const run $ const ()))
+
+let () =
+  let info =
+    Cmd.info "squirrel" ~version:"1.0.0"
+      ~doc:
+        "Squirrel integration mediators: hybrid materialized/virtual data \
+         integration (Hull & Zhou, SIGMOD 1996)"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ describe_cmd; advise_cmd; simulate_cmd; query_cmd; dot_cmd; scenarios_cmd ]))

@@ -1,0 +1,1 @@
+examples/hybrid_views.ml: Bag Correctness Datagen Driver Engine Med Mediator Predicate Printf Relalg Scenario Sim Source_db Sources Squirrel Tuple Value Vdp Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bag Correctness Driver Engine List Med Mediator Printf Relalg Scenario Sim Source_db Sources Squirrel Tuple Value Workload

@@ -1,0 +1,1 @@
+examples/two_exports.ml: Advisor Annotation Bag Correctness Cost Datagen Driver Engine Format Graph List Med Mediator Printf Relalg Scenario Sim Squirrel Vdp Workload

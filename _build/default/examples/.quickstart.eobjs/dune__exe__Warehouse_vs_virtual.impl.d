@@ -1,0 +1,1 @@
+examples/warehouse_vs_virtual.ml: Annotations Baselines Datagen Driver Engine List Med Mediator Printf Query_shipper Relalg Scenario Sim Squirrel Workload

@@ -1,0 +1,1 @@
+examples/warehouse_vs_virtual.mli:

@@ -1,0 +1,1 @@
+lib/baselines/annotations.ml: Annotation Graph List Relalg Vdp

@@ -1,0 +1,1 @@
+lib/baselines/annotations.mli: Annotation Graph Vdp

@@ -1,0 +1,1 @@
+lib/baselines/query_shipper.ml: Bag Engine Eval Expr Graph Hashtbl List Message Option Predicate Printf Relalg Schema Sim Source_db Sources Vdp

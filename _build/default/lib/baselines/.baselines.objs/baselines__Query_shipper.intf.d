@@ -1,0 +1,1 @@
+lib/baselines/query_shipper.mli: Bag Engine Graph Predicate Relalg Sim Source_db Sources Vdp

@@ -1,0 +1,1 @@
+lib/core/iup.ml: Delta Derived_from Engine Eval Expr Graph Hashtbl Inc_eval List Med Multi_delta Predicate Rel_delta Relalg Schema Sim Storage String Table Vap Vdp

@@ -1,0 +1,1 @@
+lib/core/med.ml: Annotation Bag Delta Engine Format Graph Hashtbl List Logs Message Multi_delta Option Predicate Rel_delta Relalg Schema Sim Source_db Sources Storage Store String Table Vdp

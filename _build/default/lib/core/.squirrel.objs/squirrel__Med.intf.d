@@ -1,0 +1,1 @@
+lib/core/med.mli: Annotation Bag Delta Engine Format Graph Hashtbl Logs Message Multi_delta Predicate Rel_delta Relalg Sim Source_db Sources Storage Store Vdp

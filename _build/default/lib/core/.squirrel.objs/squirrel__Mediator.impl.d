@@ -1,0 +1,1 @@
+lib/core/mediator.ml: Annotation Bag Engine Eval Expr Format Graph Hashtbl Iup List Med Message Predicate Qp Relalg Rules Schema Sim Source_db Sources Storage Store String Table Vdp

@@ -1,0 +1,1 @@
+lib/core/mediator.mli: Annotation Bag Delta Engine Graph Med Multi_delta Predicate Relalg Sim Source_db Sources Vdp

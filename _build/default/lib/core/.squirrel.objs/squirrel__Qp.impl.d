@@ -1,0 +1,1 @@
+lib/core/qp.ml: Bag Derived_from Engine Eval Expr Graph List Med Option Predicate Relalg Schema Sim Storage String Table Vap Vdp

@@ -1,0 +1,1 @@
+lib/core/qp.mli: Bag Med Predicate Relalg

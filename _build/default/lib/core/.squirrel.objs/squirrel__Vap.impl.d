@@ -1,0 +1,1 @@
+lib/core/vap.ml: Bag Delta Derived_from Eval Expr Graph Hashtbl List Med Message Option Predicate Rel_delta Relalg Source_db Sources String Vdp

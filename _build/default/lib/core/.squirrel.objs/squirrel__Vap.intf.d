@@ -1,0 +1,1 @@
+lib/core/vap.mli: Bag Med Predicate Relalg

@@ -1,0 +1,215 @@
+open Relalg
+open Delta
+open Vdp
+open Sim
+open Storage
+
+(* nodes whose delta must be computed: materialized themselves, or
+   feeding a relevant parent *)
+let relevant_nodes (t : Med.t) =
+  let relevant = Hashtbl.create 16 in
+  let topo = Graph.topo_order t.Med.vdp in
+  List.iter
+    (fun node ->
+      let self = Med.mat_attrs t node <> [] in
+      let feeds_relevant =
+        List.exists (Hashtbl.mem relevant) (Graph.parents t.Med.vdp node)
+      in
+      if self || feeds_relevant then Hashtbl.replace relevant node ())
+    (List.rev topo);
+  List.filter (Hashtbl.mem relevant) topo
+
+let is_leaf_parent (t : Med.t) node =
+  List.exists (Graph.is_leaf t.Med.vdp) (Graph.children t.Med.vdp node)
+
+(* filter the leaf-level delta through a leaf-parent's definition *)
+let leaf_parent_delta (t : Med.t) node (delta : Multi_delta.t) =
+  let leaf =
+    match Graph.children t.Med.vdp node with [ l ] -> l | _ -> assert false
+  in
+  match Multi_delta.find delta leaf with
+  | None -> None
+  | Some d ->
+    let rec filter expr d =
+      match expr with
+      | Expr.Base _ -> d
+      | Expr.Select (p, e) -> Rel_delta.select p (filter e d)
+      | Expr.Project (a, e) -> Rel_delta.project a (filter e d)
+      | Expr.Rename (m, e) -> Rel_delta.rename m (filter e d)
+      | Expr.Join _ | Expr.Union _ | Expr.Diff _ -> assert false
+    in
+    let filtered = filter (Graph.def t.Med.vdp node) d in
+    if Rel_delta.is_empty filtered then None else Some filtered
+
+let update_transaction (t : Med.t) =
+  Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
+      let entries = Med.take_queue t in
+      if entries = [] then false
+      else begin
+        let ops_before = Eval.tuple_ops () in
+        (* (1) smash the whole queue into one delta *)
+        let delta =
+          List.fold_left
+            (fun acc e -> Multi_delta.smash acc e.Med.q_delta)
+            Multi_delta.empty entries
+        in
+        t.Med.pending <- delta;
+        Med.Log.debug (fun m ->
+            m "update tx @%g: %d queue entries, %d atoms"
+              (Engine.now t.Med.engine) (List.length entries)
+              (Multi_delta.atom_count delta));
+        (* filter through leaf-parents *)
+        let lp_deltas =
+          List.filter_map
+            (fun n ->
+              let name = n.Graph.name in
+              match leaf_parent_delta t name delta with
+              | Some d -> Some (name, d)
+              | None -> None)
+            (Graph.leaf_parents t.Med.vdp)
+        in
+        (* affected set: upward closure of changed leaf-parents *)
+        let affected = Hashtbl.create 16 in
+        let rec mark node =
+          if not (Hashtbl.mem affected node) then begin
+            Hashtbl.add affected node ();
+            List.iter mark (Graph.parents t.Med.vdp node)
+          end
+        in
+        List.iter (fun (n, _) -> mark n) lp_deltas;
+        let relevant = relevant_nodes t in
+        let process =
+          List.filter
+            (fun n -> Hashtbl.mem affected n && not (is_leaf_parent t n))
+            relevant
+        in
+        (* (2) IUP Preparation: find the children whose values the
+           fired rules will read, and among those the ones not covered
+           by materialized data *)
+        let changed name = Hashtbl.mem affected name in
+        let requests =
+          List.concat_map
+            (fun node ->
+              let needs =
+                Inc_eval.value_bases ~changed (Graph.def t.Med.vdp node)
+              in
+              let b_of = Derived_from.needed_attrs_of_children t.Med.vdp node in
+              List.filter_map
+                (fun child ->
+                  match List.assoc_opt child b_of with
+                  | None -> None
+                  | Some b ->
+                    if Graph.is_leaf t.Med.vdp child then None
+                    else if Med.is_covered t ~node:child ~attrs:b then None
+                    else
+                      Some
+                        {
+                          Vap.r_node = child;
+                          r_attrs = b;
+                          r_cond = Predicate.True;
+                        })
+                needs)
+            process
+        in
+        (* (3) populate temporaries at the pre-update state *)
+        if requests <> [] then
+          Med.Log.debug (fun m ->
+              m "IUP preparation: temporaries needed for %s"
+                (String.concat ", "
+                   (List.map (fun r -> r.Vap.r_node) requests)));
+        let vap_result =
+          if requests = [] then { Vap.temps = []; polled_versions = [] }
+          else Vap.build t ~kind:`Update requests
+        in
+        let env name =
+          match List.assoc_opt name vap_result.Vap.temps with
+          | Some b -> Some b
+          | None -> Med.store_env t name
+        in
+        (* (4) kernel pass: upward traversal in topological order.
+           Deltas are computed everywhere against PRE-update values
+           (the telescoped rules account for simultaneity internally),
+           so table applications are deferred until the pass is done. *)
+        let deltas_tbl : (string, Rel_delta.t) Hashtbl.t = Hashtbl.create 16 in
+        let to_apply = ref [] in
+        let stage node d =
+          match Med.node_table t node with
+          | Some table ->
+            to_apply :=
+              (table, Rel_delta.project (Med.mat_attrs t node) d) :: !to_apply
+          | None -> ()
+        in
+        List.iter
+          (fun (n, d) ->
+            Hashtbl.replace deltas_tbl n d;
+            stage n d)
+          lp_deltas;
+        List.iter
+          (fun node ->
+            if not (is_leaf_parent t node) then begin
+              let child_deltas =
+                List.filter_map
+                  (fun c ->
+                    match Hashtbl.find_opt deltas_tbl c with
+                    | Some d -> Some (c, d)
+                    | None -> None)
+                  (Graph.children t.Med.vdp node)
+              in
+              if child_deltas <> [] then begin
+                let schema = (Graph.node t.Med.vdp node).Graph.schema in
+                let def =
+                  Derived_from.restrict_def t.Med.vdp ~node
+                    ~attrs:(Schema.attrs schema) ~cond:Predicate.True
+                in
+                let d =
+                  Inc_eval.delta_of_expr ~env
+                    ~deltas:(fun c -> List.assoc_opt c child_deltas)
+                    def
+                in
+                if not (Rel_delta.is_empty d) then begin
+                  Med.Log.debug (fun m ->
+                      m "  Δ(%s): %d atoms" node (Rel_delta.atom_count d));
+                  Hashtbl.replace deltas_tbl node d;
+                  t.Med.stats.Med.propagated_atoms <-
+                    t.Med.stats.Med.propagated_atoms + Rel_delta.atom_count d;
+                  stage node d
+                end
+              end
+            end)
+          process;
+        List.iter (fun (table, d) -> Table.apply_delta table d) !to_apply;
+        (* bookkeeping: advance ref' per source (Sec. 6.1) *)
+        List.iter
+          (fun e ->
+            let current = Med.reflected_version t e.Med.q_source in
+            if e.Med.q_version > current.Med.r_version then
+              Med.set_reflected t e.Med.q_source
+                {
+                  Med.r_version = e.Med.q_version;
+                  r_commit_time = e.Med.q_commit_time;
+                  r_send_time = e.Med.q_send_time;
+                })
+          entries;
+        t.Med.pending <- Multi_delta.empty;
+        t.Med.stats.Med.update_txs <- t.Med.stats.Med.update_txs + 1;
+        Med.charge_ops t `Update (Eval.tuple_ops () - ops_before);
+        Med.log_event t
+          (Med.Update_tx
+             {
+               ut_time = Engine.now t.Med.engine;
+               ut_reflect =
+                 List.map
+                   (fun s -> (s, (Med.reflected_version t s).Med.r_version))
+                   (Graph.sources t.Med.vdp);
+               ut_atoms = Multi_delta.atom_count delta;
+             });
+        true
+      end)
+
+let start_flusher (t : Med.t) =
+  let rec loop () =
+    Engine.sleep t.Med.engine t.Med.config.Med.flush_interval;
+    ignore (update_transaction t);
+    loop ()
+  in
+  Engine.spawn t.Med.engine loop

@@ -1,0 +1,39 @@
+(** The Incremental Update Processor (Sec. 6.4).
+
+    Each update transaction:
+
+    {ol
+    {- {b flushes the queue}: smashes every queued announcement into a
+       single multi-relation delta Δ (the paper's [empty_queue(tᵘ)]
+       moment) and filters it through the leaf-parents' select/project
+       definitions;}
+    {- {b IUP Preparation}: simulates the kernel pass to find which
+       nodes will be affected, and which children's relations the
+       propagation rules will read at attributes that are not
+       materialized — those become VAP requests;}
+    {- {b populates temporaries} through the VAP, at the pre-update
+       state [ref'(tᵘ_{i-1})] (Eager Compensation inverts both the
+       queue and the in-flight Δ);}
+    {- {b kernel pass}: one upward topological traversal; each node's
+       Δ repository accumulates contributions from all its children
+       before the node is processed (Example 6.1's cross terms are
+       handled exactly), then the materialized projection of the delta
+       is applied to the node's table.}}
+
+    Only {e relevant} nodes — those with materialized attributes or
+    with a relevant ancestor that needs their delta — are processed;
+    purely virtual subgraphs that feed nothing materialized cost
+    nothing on update. *)
+
+val update_transaction : Med.t -> bool
+(** Run one update transaction (no-op returning [false] when the
+    queue is empty). Must run inside a simulation process; takes the
+    mediator mutex. *)
+
+val start_flusher : Med.t -> unit
+(** Spawn the periodic process that runs an update transaction every
+    [flush_interval] (the paper's policy of how often the mediator
+    empties its incremental update queue). *)
+
+val relevant_nodes : Med.t -> string list
+(** Nodes whose deltas the IUP must compute (exposed for tests). *)

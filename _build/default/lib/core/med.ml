@@ -1,0 +1,257 @@
+open Relalg
+open Delta
+open Vdp
+open Sim
+open Sources
+open Storage
+
+type config = {
+  flush_interval : float;
+  op_time : float;
+  eca_enabled : bool;
+  key_based_enabled : bool;
+}
+
+let default_config =
+  {
+    flush_interval = 1.0;
+    op_time = 0.0001;
+    eca_enabled = true;
+    key_based_enabled = true;
+  }
+
+type queue_entry = {
+  q_source : string;
+  q_version : int;
+  q_commit_time : float;
+  q_send_time : float;
+  q_recv_time : float;
+  q_delta : Multi_delta.t;
+}
+
+type reflected = { r_version : int; r_commit_time : float; r_send_time : float }
+
+type contributor_kind =
+  | Materialized_contributor
+  | Hybrid_contributor
+  | Virtual_contributor
+
+type reflect_entry = Version of int | Current
+
+type event =
+  | Update_tx of {
+      ut_time : float;
+      ut_reflect : (string * int) list;
+      ut_atoms : int;
+    }
+  | Query_tx of {
+      qt_time : float;
+      qt_node : string;
+      qt_attrs : string list;
+      qt_cond : Predicate.t;
+      qt_answer : Bag.t;
+      qt_reflect : (string * reflect_entry) list;
+    }
+
+type stats = {
+  mutable update_txs : int;
+  mutable query_txs : int;
+  mutable queries_from_store : int;
+  mutable polls : int;
+  mutable polled_tuples : int;
+  mutable propagated_atoms : int;
+  mutable temps_built : int;
+  mutable key_based_constructions : int;
+  mutable ops_update : int;
+  mutable ops_query : int;
+  mutable messages_received : int;
+  mutable atoms_received : int;
+}
+
+let fresh_stats () =
+  {
+    update_txs = 0;
+    query_txs = 0;
+    queries_from_store = 0;
+    polls = 0;
+    polled_tuples = 0;
+    propagated_atoms = 0;
+    temps_built = 0;
+    key_based_constructions = 0;
+    ops_update = 0;
+    ops_query = 0;
+    messages_received = 0;
+    atoms_received = 0;
+  }
+
+type t = {
+  engine : Engine.t;
+  vdp : Graph.t;
+  ann : Annotation.t;
+  store : Store.t;
+  mutex : Engine.Mutex.t;
+  config : config;
+  source_tbl : (string, Source_db.t) Hashtbl.t;
+  mutable queue : queue_entry list;
+  mutable reflected : (string * reflected) list;
+  mutable pending : Multi_delta.t;
+  stats : stats;
+  mutable log : event list;
+  mutable initialized : bool;
+}
+
+let log_src = Logs.Src.create "squirrel.mediator" ~doc:"Squirrel mediator internals"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+exception Mediator_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Mediator_error s)) fmt
+
+let mat_attrs t node = Annotation.materialized_attrs t.ann node
+
+let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
+  let source_tbl = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace source_tbl (Source_db.name s) s) sources;
+  (* every VDP source must be present and agree on leaf schemas *)
+  List.iter
+    (fun src_name ->
+      match Hashtbl.find_opt source_tbl src_name with
+      | None -> err "VDP references source %S but none was supplied" src_name
+      | Some src ->
+        List.iter
+          (fun leaf ->
+            let declared = (Graph.node vdp leaf).Graph.schema in
+            let actual =
+              try Source_db.schema src leaf
+              with Source_db.Source_error msg -> err "%s" msg
+            in
+            if not (Schema.equal declared actual) then
+              err "leaf %S: VDP schema %s disagrees with source schema %s"
+                leaf
+                (Schema.to_string declared)
+                (Schema.to_string actual))
+          (Graph.leaves_of_source vdp src_name))
+    (Graph.sources vdp);
+  let store = Store.create () in
+  List.iter
+    (fun node ->
+      let name = node.Graph.name in
+      match node.Graph.kind with
+      | Graph.Leaf _ -> ()
+      | Graph.Derived _ ->
+        let mat = Annotation.materialized_attrs annotation name in
+        if mat <> [] then
+          ignore
+            (Store.create_table store ~name
+               (Schema.project node.Graph.schema mat)))
+    (Graph.nodes vdp);
+  let reflected =
+    List.map
+      (fun s -> (s, { r_version = 0; r_commit_time = 0.0; r_send_time = 0.0 }))
+      (Graph.sources vdp)
+  in
+  {
+    engine;
+    vdp;
+    ann = annotation;
+    store;
+    mutex = Engine.Mutex.create ();
+    config;
+    source_tbl;
+    queue = [];
+    reflected;
+    pending = Multi_delta.empty;
+    stats = fresh_stats ();
+    log = [];
+    initialized = false;
+  }
+
+let source t name =
+  match Hashtbl.find_opt t.source_tbl name with
+  | Some s -> s
+  | None -> err "no source %S" name
+
+let is_covered t ~node ~attrs =
+  let mat = mat_attrs t node in
+  List.for_all (fun a -> List.mem a mat) attrs
+
+let node_table t node = Store.table_opt t.store node
+
+let store_env t name = Option.map Table.contents (Store.table_opt t.store name)
+
+let contributor_kind t src_name =
+  let leaves = Graph.leaves_of_source t.vdp src_name in
+  let nodes =
+    List.sort_uniq String.compare
+      (List.concat_map (fun l -> Graph.ancestors t.vdp l) leaves)
+  in
+  let any_mat =
+    List.exists (fun n -> mat_attrs t n <> []) nodes
+  in
+  let any_virt =
+    List.exists (fun n -> Annotation.virtual_attrs t.ann n <> []) nodes
+  in
+  match (any_mat, any_virt) with
+  | true, true -> Hybrid_contributor
+  | true, false -> Materialized_contributor
+  | false, _ -> Virtual_contributor
+
+let reflected_version t src_name =
+  match List.assoc_opt src_name t.reflected with
+  | Some r -> r
+  | None -> err "source %S is not tracked" src_name
+
+let set_reflected t src_name r =
+  t.reflected <- (src_name, r) :: List.remove_assoc src_name t.reflected
+
+let enqueue t (u : Message.update) =
+  t.stats.messages_received <- t.stats.messages_received + 1;
+  t.stats.atoms_received <-
+    t.stats.atoms_received + Multi_delta.atom_count u.Message.delta;
+  let entry =
+    {
+      q_source = u.Message.source;
+      q_version = u.Message.version;
+      q_commit_time = u.Message.commit_time;
+      q_send_time = u.Message.send_time;
+      q_recv_time = Engine.now t.engine;
+      q_delta = u.Message.delta;
+    }
+  in
+  t.queue <- t.queue @ [ entry ]
+
+let take_queue t =
+  let entries = t.queue in
+  t.queue <- [];
+  (* guard against messages that predate the initialization snapshot *)
+  List.filter
+    (fun e -> e.q_version > (reflected_version t e.q_source).r_version)
+    entries
+
+let unseen_delta t ~source ~leaf =
+  let schema = (Graph.node t.vdp leaf).Graph.schema in
+  let from_pending =
+    match Multi_delta.find t.pending leaf with
+    | Some d -> d
+    | None -> Rel_delta.empty schema
+  in
+  let reflected = (reflected_version t source).r_version in
+  List.fold_left
+    (fun acc e ->
+      if String.equal e.q_source source && e.q_version > reflected then
+        match Multi_delta.find e.q_delta leaf with
+        | Some d -> Rel_delta.smash acc d
+        | None -> acc
+      else acc)
+    from_pending t.queue
+
+let log_event t e = t.log <- e :: t.log
+let events t = List.rev t.log
+
+let charge_ops t kind ops =
+  (match kind with
+  | `Update -> t.stats.ops_update <- t.stats.ops_update + ops
+  | `Query -> t.stats.ops_query <- t.stats.ops_query + ops);
+  if t.config.op_time > 0.0 && ops > 0 then
+    Engine.sleep t.engine (float_of_int ops *. t.config.op_time)

@@ -1,0 +1,168 @@
+(** Shared state of a Squirrel integration mediator (Sec. 4).
+
+    A mediator owns: the annotated VDP, the local store (materialized
+    portions of VDP nodes + ΔR repositories), the incremental update
+    queue, per-source reflection bookkeeping (the [ref'] function of
+    Sec. 6.1 in executable form), a transaction log for the
+    correctness checker, and counters. The processors ({!Vap}, {!Iup},
+    {!Qp}) operate over this state; user code goes through
+    {!Mediator}. *)
+
+open Relalg
+open Delta
+open Vdp
+open Sim
+open Storage
+open Sources
+
+type config = {
+  flush_interval : float;
+      (** period of the update-queue flusher (the paper's
+          [u_hold_delay] policy knob) *)
+  op_time : float;
+      (** simulated time charged per tuple operation of mediator
+          compute ([u_proc]/[q_proc] of the mediator) *)
+  eca_enabled : bool;
+      (** Eager-Compensation on polled answers; disabling it is the
+          E6 ablation and breaks consistency *)
+  key_based_enabled : bool;
+      (** Example 2.3's key-based construction of temporaries *)
+}
+
+val default_config : config
+
+type queue_entry = {
+  q_source : string;
+  q_version : int;
+  q_commit_time : float;
+  q_send_time : float;
+  q_recv_time : float;
+  q_delta : Multi_delta.t;  (** over the source's (leaf) relations *)
+}
+
+type reflected = {
+  r_version : int;
+  r_commit_time : float;
+  r_send_time : float;
+}
+
+type contributor_kind =
+  | Materialized_contributor
+  | Hybrid_contributor
+  | Virtual_contributor
+
+type reflect_entry =
+  | Version of int  (** the view reflects this source version *)
+  | Current  (** source not involved: reflects its current state *)
+
+type event =
+  | Update_tx of {
+      ut_time : float;
+      ut_reflect : (string * int) list;
+      ut_atoms : int;
+    }
+  | Query_tx of {
+      qt_time : float;
+      qt_node : string;
+      qt_attrs : string list;
+      qt_cond : Predicate.t;
+      qt_answer : Bag.t;
+      qt_reflect : (string * reflect_entry) list;
+    }
+
+type stats = {
+  mutable update_txs : int;
+  mutable query_txs : int;
+  mutable queries_from_store : int;  (** answered without any polling *)
+  mutable polls : int;
+  mutable polled_tuples : int;
+  mutable propagated_atoms : int;
+  mutable temps_built : int;
+  mutable key_based_constructions : int;
+  mutable ops_update : int;
+  mutable ops_query : int;
+  mutable messages_received : int;
+  mutable atoms_received : int;
+      (** total update atoms arriving in announcements *)
+}
+
+type t = {
+  engine : Engine.t;
+  vdp : Graph.t;
+  ann : Annotation.t;
+  store : Store.t;
+  mutex : Engine.Mutex.t;
+  config : config;
+  source_tbl : (string, Source_db.t) Hashtbl.t;
+  mutable queue : queue_entry list;  (** arrival order *)
+  mutable reflected : (string * reflected) list;
+  mutable pending : Multi_delta.t;
+      (** during an update transaction: the delta taken from the queue
+          but not yet applied — ECA must compensate polled answers by
+          its inverse too (Sec. 6.4 phase (b)) *)
+  stats : stats;
+  mutable log : event list;  (** newest first *)
+  mutable initialized : bool;
+}
+
+val log_src : Logs.src
+(** Attach a [Logs] reporter and set this source to [Debug] to trace
+    update/query transactions, rule firing, polling, and compensation. *)
+
+module Log : Logs.LOG
+
+exception Mediator_error of string
+
+val err : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val create :
+  engine:Engine.t ->
+  vdp:Graph.t ->
+  annotation:Annotation.t ->
+  ?config:config ->
+  sources:Source_db.t list ->
+  unit ->
+  t
+(** Builds the local store: one table per node with at least one
+    materialized attribute, holding the projection of the node's
+    relation onto its materialized attributes.
+    @raise Mediator_error when a VDP source has no matching
+    [Source_db], or a leaf's schema disagrees with the source's. *)
+
+val source : t -> string -> Source_db.t
+val mat_attrs : t -> string -> string list
+val is_covered : t -> node:string -> attrs:string list -> bool
+(** All the attributes are materialized on the node. *)
+
+val node_table : t -> string -> Storage.Table.t option
+val store_env : t -> string -> Bag.t option
+(** Materialized portions, as an evaluation environment. *)
+
+val contributor_kind : t -> string -> contributor_kind
+(** Classification of Sec. 4, derived from the annotation: which
+    portions (materialized/virtual) the source's leaves feed. *)
+
+val reflected_version : t -> string -> reflected
+
+val set_reflected : t -> string -> reflected -> unit
+
+val enqueue : t -> Message.update -> unit
+val take_queue : t -> queue_entry list
+
+val unseen_delta : t -> source:string -> leaf:string -> Rel_delta.t
+(** The smash of all updates from [source] to [leaf] that the
+    mediator has received (or taken) but whose effect is not yet in
+    the materialized data: [pending] followed by the queue entries
+    newer than the reflected version. The ECA compensation is the
+    inverse of this. *)
+
+val log_event : t -> event -> unit
+val events : t -> event list
+(** Chronological. *)
+
+val charge_ops : t -> [ `Update | `Query ] -> int -> unit
+(** Account tuple operations to a transaction class and advance the
+    simulated clock by [op_time] per operation (must run in a
+    process). *)
+
+val fresh_stats : unit -> stats

@@ -1,0 +1,201 @@
+open Relalg
+open Vdp
+open Sim
+open Sources
+open Storage
+
+type t = Med.t
+
+type delays = { comm_delay : float; q_proc_delay : float }
+
+let default_delays = { comm_delay = 0.05; q_proc_delay = 0.01 }
+
+let create = Med.create
+
+let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
+  let handler (msg : Message.t) =
+    match msg with
+    | Message.Update u -> Med.enqueue t u
+    | Message.Answer (ivar, a) -> Engine.Ivar.fill t.Med.engine ivar a
+  in
+  List.iter
+    (fun src_name ->
+      let d = delays src_name in
+      Source_db.connect (Med.source t src_name) ~comm_delay:d.comm_delay
+        ~q_proc_delay:d.q_proc_delay handler)
+    (Graph.sources t.Med.vdp);
+  Iup.start_flusher t
+
+let initialize (t : Med.t) =
+  if t.Med.initialized then Med.err "mediator already initialized";
+  Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
+      (* poll every source for the full contents of its leaves, one
+         source transaction each *)
+      let leaf_values : (string, Bag.t) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun src_name ->
+          let src = Med.source t src_name in
+          let leaves = Graph.leaves_of_source t.Med.vdp src_name in
+          if leaves <> [] then begin
+            let queries = List.map (fun l -> (l, Expr.base l)) leaves in
+            let answer = Source_db.poll src queries in
+            t.Med.stats.Med.polls <- t.Med.stats.Med.polls + 1;
+            List.iter
+              (fun (l, b) -> Hashtbl.replace leaf_values l b)
+              answer.Message.results;
+            Med.set_reflected t src_name
+              {
+                Med.r_version = answer.Message.answer_version;
+                r_commit_time = answer.Message.state_time;
+                r_send_time = answer.Message.state_time;
+              }
+          end)
+        (Graph.sources t.Med.vdp);
+      (* drop queued announcements already covered by the snapshot *)
+      t.Med.queue <-
+        List.filter
+          (fun e ->
+            e.Med.q_version
+            > (Med.reflected_version t e.Med.q_source).Med.r_version)
+          t.Med.queue;
+      (* populate bottom-up *)
+      let values : (string, Bag.t) Hashtbl.t = Hashtbl.create 16 in
+      let env name =
+        match Hashtbl.find_opt values name with
+        | Some b -> Some b
+        | None -> Hashtbl.find_opt leaf_values name
+      in
+      List.iter
+        (fun node ->
+          let value = Eval.eval ~env (Graph.def t.Med.vdp node) in
+          Hashtbl.replace values node value;
+          match Med.node_table t node with
+          | Some table ->
+            Table.load table (Bag.project (Med.mat_attrs t node) value)
+          | None -> ())
+        (Graph.topo_order t.Med.vdp);
+      t.Med.initialized <- true;
+      Med.log_event t
+        (Med.Update_tx
+           {
+             ut_time = Engine.now t.Med.engine;
+             ut_reflect =
+               List.map
+                 (fun s -> (s, (Med.reflected_version t s).Med.r_version))
+                 (Graph.sources t.Med.vdp);
+             ut_atoms = 0;
+           }))
+
+(* selection conditions inside a leaf-parent's definition *)
+(* conditions in the leaf (source) namespace: conditions above a
+   renaming are rewritten through its inverse *)
+let rec def_conditions = function
+  | Expr.Base _ -> []
+  | Expr.Select (p, e) -> p :: def_conditions e
+  | Expr.Project (_, e) -> def_conditions e
+  | Expr.Rename (mapping, e) ->
+    let inverse = List.map (fun (a, b) -> (b, a)) mapping in
+    let rec rename_term t =
+      match t with
+      | Predicate.Attr a ->
+        Predicate.Attr
+          (match List.assoc_opt a inverse with Some o -> o | None -> a)
+      | Predicate.Const _ -> t
+      | Predicate.Neg x -> Predicate.Neg (rename_term x)
+      | Predicate.Add (x, y) -> Predicate.Add (rename_term x, rename_term y)
+      | Predicate.Sub (x, y) -> Predicate.Sub (rename_term x, rename_term y)
+      | Predicate.Mul (x, y) -> Predicate.Mul (rename_term x, rename_term y)
+      | Predicate.Div (x, y) -> Predicate.Div (rename_term x, rename_term y)
+    in
+    let rec rename_pred p =
+      match p with
+      | Predicate.True | Predicate.False -> p
+      | Predicate.Cmp (op, a, b) ->
+        Predicate.Cmp (op, rename_term a, rename_term b)
+      | Predicate.And (a, b) -> Predicate.And (rename_pred a, rename_pred b)
+      | Predicate.Or (a, b) -> Predicate.Or (rename_pred a, rename_pred b)
+      | Predicate.Not a -> Predicate.Not (rename_pred a)
+    in
+    List.map rename_pred (def_conditions e)
+  | Expr.Join _ | Expr.Union _ | Expr.Diff _ -> []
+
+(* translate an attribute of the leaf-parent's (renamed) namespace
+   back to the source relation's namespace, composing the inverses of
+   every renaming in the definition, outermost first *)
+let rec to_source_attr def a =
+  match def with
+  | Expr.Base _ -> a
+  | Expr.Select (_, e) | Expr.Project (_, e) -> to_source_attr e a
+  | Expr.Rename (mapping, e) ->
+    let inverse = List.map (fun (o, n) -> (n, o)) mapping in
+    let a' = match List.assoc_opt a inverse with Some o -> o | None -> a in
+    to_source_attr e a'
+  | Expr.Join _ | Expr.Union _ | Expr.Diff _ -> a
+
+let enable_source_filtering (t : Med.t) =
+  List.iter
+    (fun leaf_node ->
+      let leaf = leaf_node.Graph.name in
+      let src = Med.source t (Graph.source_of_leaf t.Med.vdp leaf) in
+      match Graph.parents t.Med.vdp leaf with
+      | [] -> ()
+      | lps ->
+        let per_lp =
+          List.map
+            (fun lp ->
+              let def = Graph.def t.Med.vdp lp in
+              let cond =
+                Predicate.simplify (Predicate.conj (def_conditions def))
+              in
+              (* the node's attributes live in the renamed namespace;
+                 the source filter needs its own names *)
+              let node_attrs =
+                List.map (to_source_attr def)
+                  (Schema.attrs (Graph.node t.Med.vdp lp).Graph.schema)
+              in
+              (node_attrs @ Predicate.attrs cond, cond))
+            lps
+        in
+        let attrs =
+          List.sort_uniq String.compare (List.concat_map fst per_lp)
+        in
+        let cond =
+          Predicate.simplify (Predicate.disj (List.map snd per_lp))
+        in
+        Source_db.set_filter src ~relation:leaf ~attrs ~cond)
+    (Graph.leaves t.Med.vdp)
+
+let query = Qp.query
+let query_many = Qp.query_many
+let process_updates = Iup.update_transaction
+
+let commit_at_source (t : Med.t) ~source delta =
+  Source_db.commit (Med.source t source) delta
+
+let vdp (t : Med.t) = t.Med.vdp
+let annotation (t : Med.t) = t.Med.ann
+let events = Med.events
+let stats (t : Med.t) = t.Med.stats
+let contributor_kind = Med.contributor_kind
+
+let reflected_version (t : Med.t) src =
+  (Med.reflected_version t src).Med.r_version
+
+let store_bytes (t : Med.t) = Store.total_bytes t.Med.store
+let queue_length (t : Med.t) = List.length t.Med.queue
+
+let describe (t : Med.t) =
+  let kind_str src =
+    match Med.contributor_kind t src with
+    | Med.Materialized_contributor -> "materialized-contributor"
+    | Med.Hybrid_contributor -> "hybrid-contributor"
+    | Med.Virtual_contributor -> "virtual-contributor"
+  in
+  Format.asprintf
+    "@[<v>== VDP ==@,%a@,== Annotation ==@,%a@,== Rulebase ==@,%s@,== Sources \
+     ==@,%a@]"
+    Graph.pp t.Med.vdp Annotation.pp t.Med.ann
+    (Rules.describe t.Med.vdp)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt src ->
+         Format.fprintf fmt "%s: %s" src (kind_str src)))
+    (Graph.sources t.Med.vdp)

@@ -1,0 +1,106 @@
+(** Squirrel integration mediators: the public face of the library.
+
+    A mediator supports an integrated relational view over multiple
+    autonomous source databases, with every view relation fully
+    materialized, fully virtual, or hybrid, per its VDP annotation
+    (Sec. 4). Build one with {!create} (or generate VDP + annotation
+    from view definitions with {!Vdp.Builder} and {!Vdp.Advisor}),
+    [connect] it to its sources, [initialize] it, and run the
+    simulation: updates committed at the sources flow in through the
+    update queue and the IUP; queries are served by the QP.
+
+    {[
+      let vdp = (* Vdp.Builder *) ... in
+      let med =
+        Mediator.create ~engine ~vdp
+          ~annotation:(Vdp.Annotation.fully_materialized vdp)
+          ~sources:[ db1; db2 ] ()
+      in
+      Mediator.connect med ~delays:(fun _ -> Mediator.default_delays);
+      Engine.spawn engine (fun () ->
+          Mediator.initialize med;
+          let answer = Mediator.query med ~node:"T" () in
+          ...)
+    ]} *)
+
+open Relalg
+open Delta
+open Vdp
+open Sim
+open Sources
+
+type t = Med.t
+
+type delays = { comm_delay : float; q_proc_delay : float }
+
+val default_delays : delays
+
+val create :
+  engine:Engine.t ->
+  vdp:Graph.t ->
+  annotation:Annotation.t ->
+  ?config:Med.config ->
+  sources:Source_db.t list ->
+  unit ->
+  t
+(** See {!Med.create}. *)
+
+val connect : t -> ?delays:(string -> delays) -> unit -> unit
+(** Wire every source's FIFO channel to this mediator's update queue
+    and answer dispatch, with per-source network/processing delays.
+    Also starts the periodic update-queue flusher. *)
+
+val initialize : t -> unit
+(** [t_view_init]: poll every source once (a single source transaction
+    each), populate all materialized tables bottom-up, and record the
+    initial reflect vector. Must run inside a simulation process.
+    Stale announcements that raced with the snapshot are discarded by
+    version guards. *)
+
+val query :
+  t -> node:string -> ?attrs:string list -> ?cond:Predicate.t -> unit -> Bag.t
+(** One query transaction against an export relation (see {!Qp}). *)
+
+val query_many :
+  t ->
+  (string * string list option * Predicate.t) list ->
+  (string * Bag.t) list
+(** One query transaction spanning several exports: all answers
+    correspond to a single view state (one reflect vector); each
+    source is polled at most once for the whole transaction. See
+    {!Qp.query_many}. *)
+
+val enable_source_filtering : t -> unit
+(** Install the Sec. 6.2 optimization of "filtering the incremental
+    updates at the source databases": each source ships, per relation,
+    only the atoms that can pass some leaf-parent's selection,
+    projected onto the union of the leaf-parents' attribute needs
+    (plus the selection attributes, so the mediator's own filters
+    still evaluate). Purely a traffic optimization — propagation,
+    ECA and the correctness properties are unchanged. *)
+
+val process_updates : t -> bool
+(** Run an update transaction now (see {!Iup}); [false] if the queue
+    was empty. *)
+
+val commit_at_source : t -> source:string -> Multi_delta.t -> unit
+(** Convenience: commit a transaction at a source database (goes
+    through the source, not around it). *)
+
+(** {1 Introspection} *)
+
+val vdp : t -> Graph.t
+val annotation : t -> Annotation.t
+val events : t -> Med.event list
+val stats : t -> Med.stats
+val contributor_kind : t -> string -> Med.contributor_kind
+val reflected_version : t -> string -> int
+val store_bytes : t -> int
+(** Space held by materialized tables (the space side of Sec. 5.3's
+    trade-off). *)
+
+val queue_length : t -> int
+
+val describe : t -> string
+(** Multi-line description: VDP, annotation, rulebase, contributor
+    kinds — the "mediator specification" a Squirrel user would review. *)

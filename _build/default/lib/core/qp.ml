@@ -1,0 +1,229 @@
+open Relalg
+open Vdp
+open Sim
+open Storage
+
+let reflect_vector (t : Med.t) ~polled =
+  List.map
+    (fun src ->
+      match Med.contributor_kind t src with
+      | Med.Virtual_contributor -> (
+        match List.assoc_opt src polled with
+        | Some v -> (src, Med.Version v)
+        | None -> (src, Med.Current))
+      | Med.Materialized_contributor | Med.Hybrid_contributor ->
+        (src, Med.Version (Med.reflected_version t src).Med.r_version))
+    (Graph.sources t.Med.vdp)
+
+let dedup attrs = List.sort_uniq String.compare attrs
+
+let key_based_plan (t : Med.t) ~node ~needed =
+  if not t.Med.config.Med.key_based_enabled then None
+  else
+    let mat = Med.mat_attrs t node in
+    let virtual_needed = List.filter (fun a -> not (List.mem a mat)) needed in
+    if virtual_needed = [] then None
+    else
+      match (Graph.node t.Med.vdp node).Graph.kind with
+      | Graph.Leaf _ -> None
+      | Graph.Derived def when not (Expr.is_spj def) -> None
+      | Graph.Derived _ ->
+        List.find_map
+          (fun child ->
+            let cs = (Graph.node t.Med.vdp child).Graph.schema in
+            let key = Schema.key cs in
+            if
+              key <> []
+              && List.for_all (fun k -> List.mem k mat) key
+              && List.for_all (fun a -> Schema.mem cs a) virtual_needed
+            then Some (child, key)
+            else None)
+          (Graph.children t.Med.vdp node)
+
+let validate_request (t : Med.t) node attrs cond =
+  let n = Graph.node t.Med.vdp node in
+  if not n.Graph.export then Med.err "%S is not an export relation" node;
+  let schema = n.Graph.schema in
+  let attrs = match attrs with Some a -> a | None -> Schema.attrs schema in
+  List.iter
+    (fun a ->
+      if not (Schema.mem schema a) then
+        Med.err "export %S has no attribute %S" node a)
+    (attrs @ Predicate.attrs cond);
+  attrs
+
+let query_many (t : Med.t) requests =
+  let requests =
+    List.map
+      (fun (node, attrs, cond) -> (node, validate_request t node attrs cond, cond))
+      requests
+  in
+  Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
+      let ops_before = Eval.tuple_ops () in
+      Med.Log.debug (fun m ->
+          m "multi-query tx @%g over %s"
+            (Engine.now t.Med.engine)
+            (String.concat ", " (List.map (fun (n, _, _) -> n) requests)));
+      (* split into store-covered requests and VAP requests; the VAP
+         gets the whole set at once, so phase 1 merges overlapping
+         needs and each source is polled at most once for the entire
+         transaction (Sec. 6.3's single-transaction packaging) *)
+      let vap_requests =
+        List.filter_map
+          (fun (node, attrs, cond) ->
+            let needed =
+              List.sort_uniq String.compare (attrs @ Predicate.attrs cond)
+            in
+            if Med.is_covered t ~node ~attrs:needed then None
+            else Some { Vap.r_node = node; r_attrs = needed; r_cond = cond })
+          requests
+      in
+      let vap_result =
+        if vap_requests = [] then { Vap.temps = []; polled_versions = [] }
+        else Vap.build t ~kind:`Query vap_requests
+      in
+      let answers =
+        List.map
+          (fun (node, attrs, cond) ->
+            let value =
+              match List.assoc_opt node vap_result.Vap.temps with
+              | Some temp -> temp
+              | None -> (
+                t.Med.stats.Med.queries_from_store <-
+                  t.Med.stats.Med.queries_from_store + 1;
+                match Med.node_table t node with
+                | Some table -> Table.contents table
+                | None ->
+                  Med.err "export %S neither materialized nor built" node)
+            in
+            (node, Bag.project attrs (Bag.select cond value)))
+          requests
+      in
+      (* one transaction: every answer shares one reflect vector and
+         one commit instant *)
+      let reflect = reflect_vector t ~polled:vap_result.Vap.polled_versions in
+      let time = Engine.now t.Med.engine in
+      t.Med.stats.Med.query_txs <- t.Med.stats.Med.query_txs + 1;
+      Med.charge_ops t `Query (Eval.tuple_ops () - ops_before);
+      List.iter2
+        (fun (node, attrs, cond) (_, answer) ->
+          Med.log_event t
+            (Med.Query_tx
+               {
+                 qt_time = time;
+                 qt_node = node;
+                 qt_attrs = attrs;
+                 qt_cond = cond;
+                 qt_answer = answer;
+                 qt_reflect = reflect;
+               }))
+        requests answers;
+      answers)
+
+let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
+  let n = Graph.node t.Med.vdp node in
+  if not n.Graph.export then Med.err "%S is not an export relation" node;
+  let schema = n.Graph.schema in
+  let attrs = match attrs with Some a -> a | None -> Schema.attrs schema in
+  List.iter
+    (fun a ->
+      if not (Schema.mem schema a) then
+        Med.err "export %S has no attribute %S" node a)
+    (attrs @ Predicate.attrs cond);
+  Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
+      let ops_before = Eval.tuple_ops () in
+      let needed = dedup (attrs @ Predicate.attrs cond) in
+      let finish answer polled =
+        t.Med.stats.Med.query_txs <- t.Med.stats.Med.query_txs + 1;
+        Med.charge_ops t `Query (Eval.tuple_ops () - ops_before);
+        Med.log_event t
+          (Med.Query_tx
+             {
+               qt_time = Engine.now t.Med.engine;
+               qt_node = node;
+               qt_attrs = attrs;
+               qt_cond = cond;
+               qt_answer = answer;
+               qt_reflect = reflect_vector t ~polled;
+             });
+        answer
+      in
+      Med.Log.debug (fun m ->
+          m "query tx @%g: π(%s) σ(%s) %s"
+            (Engine.now t.Med.engine)
+            (String.concat "," attrs)
+            (Predicate.to_string cond)
+            node);
+      if Med.is_covered t ~node ~attrs:needed then begin
+        let table = Option.get (Med.node_table t node) in
+        t.Med.stats.Med.queries_from_store <-
+          t.Med.stats.Med.queries_from_store + 1;
+        Eval.charge_tuple_ops (Table.support_cardinal table);
+        finish (Bag.project attrs (Bag.select cond (Table.contents table))) []
+      end
+      else begin
+        (* how many children would the general construction touch at
+           virtual attributes? *)
+        let general_uncovered =
+          List.length
+            (List.filter
+               (fun (child, b, _) ->
+                 (not (Graph.is_leaf t.Med.vdp child))
+                 && not (Med.is_covered t ~node:child ~attrs:b))
+               (Derived_from.derived_from t.Med.vdp ~node ~attrs:needed ~cond))
+        in
+        match key_based_plan t ~node ~needed with
+        | Some (child, key) when general_uncovered > 1 || general_uncovered = 0
+          -> begin
+          (* Example 2.3: fetch virtual attributes through the
+             materialized key from a single child *)
+          let mat = Med.mat_attrs t node in
+          let virtual_needed =
+            List.filter (fun a -> not (List.mem a mat)) needed
+          in
+          let cs = (Graph.node t.Med.vdp child).Graph.schema in
+          let c_needed =
+            dedup
+              (key @ virtual_needed
+              @ List.filter (fun a -> Schema.mem cs a) (Predicate.attrs cond))
+          in
+          let c_cond = Predicate.restrict_to cond (Schema.attrs cs) in
+          let c_part, polled =
+            if Med.is_covered t ~node:child ~attrs:c_needed then begin
+              let table = Option.get (Med.node_table t child) in
+              ( Bag.project c_needed (Bag.select c_cond (Table.contents table)),
+                [] )
+            end
+            else begin
+              let res =
+                Vap.build t ~kind:`Query
+                  [ { Vap.r_node = child; r_attrs = c_needed; r_cond = c_cond } ]
+              in
+              (List.assoc child res.Vap.temps, res.Vap.polled_versions)
+            end
+          in
+          let own_attrs =
+            dedup (key @ List.filter (fun a -> List.mem a mat) needed)
+          in
+          let own_cond = Predicate.restrict_to cond mat in
+          let own =
+            match Med.node_table t node with
+            | Some table ->
+              Bag.project own_attrs (Bag.select own_cond (Table.contents table))
+            | None -> Med.err "key-based plan on unmaterialized node %S" node
+          in
+          let joined = Bag.join own c_part in
+          t.Med.stats.Med.key_based_constructions <-
+            t.Med.stats.Med.key_based_constructions + 1;
+          finish (Bag.project attrs (Bag.select cond joined)) polled
+        end
+        | Some _ | None ->
+          let res =
+            Vap.build t ~kind:`Query
+              [ { Vap.r_node = node; r_attrs = needed; r_cond = cond } ]
+          in
+          let temp = List.assoc node res.Vap.temps in
+          finish
+            (Bag.project attrs (Bag.select cond temp))
+            res.Vap.polled_versions
+      end)

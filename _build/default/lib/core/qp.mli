@@ -1,0 +1,48 @@
+(** The Query Processor (Sec. 4, Sec. 6.3, Example 2.3).
+
+    Queries take the form [π_attrs σ_cond E] for an export relation
+    [E] — the same shape the VAP consumes. The QP:
+
+    {ul
+    {- answers from the local store alone when every attribute touched
+       (projected or tested) is materialized;}
+    {- otherwise tries the {e key-based construction} of Example 2.3:
+       if the virtual attributes are functionally determined by a
+       materialized key that is the key of a single child, the answer
+       is assembled by joining the export's materialized portion with
+       (a projection of) that one child — touching fewer relations
+       (and fewer sources) than the general construction;}
+    {- otherwise hands the VAP a request for a general temporary.}}
+
+    Every query is one serialized query transaction; the answer and
+    the reflect vector (which source versions it corresponds to) are
+    logged for the Sec. 3 correctness checker. *)
+
+open Relalg
+
+val query :
+  Med.t -> node:string -> ?attrs:string list -> ?cond:Predicate.t -> unit -> Bag.t
+(** Defaults: all attributes, no condition. Must run inside a
+    simulation process.
+    @raise Med.Mediator_error for a non-export node or unknown
+    attributes. *)
+
+val query_many :
+  Med.t ->
+  (string * string list option * Predicate.t) list ->
+  (string * Bag.t) list
+(** One query transaction over several exports at once: [(node,
+    attrs, cond)] triples ([None] = all attributes). The whole request
+    set goes through a single VAP run, so overlapping needs merge in
+    phase 1 and each source is polled at most once for the entire
+    transaction; all answers share a single reflect vector — they
+    correspond to {e one} state of the integrated view. *)
+
+val key_based_plan :
+  Med.t ->
+  node:string ->
+  needed:string list ->
+  (string * string list) option
+(** The key-based construction the QP would use for the given needed
+    attributes: [(child, key)] — exposed for tests and the E3
+    experiment. *)

@@ -1,0 +1,190 @@
+open Relalg
+open Delta
+open Vdp
+open Sources
+
+type request = { r_node : string; r_attrs : string list; r_cond : Predicate.t }
+
+type result = {
+  temps : (string * Bag.t) list;
+  polled_versions : (string * int) list;
+}
+
+(* a request's attrs always cover its condition's attributes *)
+let normalize r =
+  let extra =
+    List.filter (fun a -> not (List.mem a r.r_attrs)) (Predicate.attrs r.r_cond)
+  in
+  { r with r_attrs = r.r_attrs @ extra }
+
+let merge_into table r =
+  let r = normalize r in
+  match Hashtbl.find_opt table r.r_node with
+  | None -> Hashtbl.replace table r.r_node (r.r_attrs, r.r_cond)
+  | Some (attrs, cond) ->
+    let attrs =
+      attrs @ List.filter (fun a -> not (List.mem a attrs)) r.r_attrs
+    in
+    let cond =
+      if Predicate.equal cond r.r_cond then cond
+      else Predicate.simplify (Predicate.Or (cond, r.r_cond))
+    in
+    Hashtbl.replace table r.r_node (attrs, cond)
+
+let closure (t : Med.t) requests =
+  let table : (string, string list * Predicate.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun r ->
+      if Graph.is_leaf t.Med.vdp r.r_node then
+        Med.err "VAP request for leaf %S" r.r_node;
+      merge_into table r)
+    requests;
+  (* parents before children, so requests propagate downward once *)
+  let order = List.rev (Graph.topo_order t.Med.vdp) in
+  List.iter
+    (fun node ->
+      match Hashtbl.find_opt table node with
+      | None -> ()
+      | Some (attrs, cond) ->
+        List.iter
+          (fun (child, b, g) ->
+            if not (Graph.is_leaf t.Med.vdp child) then
+              if not (Med.is_covered t ~node:child ~attrs:b) then
+                merge_into table { r_node = child; r_attrs = b; r_cond = g })
+          (Derived_from.derived_from t.Med.vdp ~node ~attrs ~cond))
+    order;
+  List.filter_map
+    (fun node ->
+      match Hashtbl.find_opt table node with
+      | Some (attrs, cond) ->
+        Some { r_node = node; r_attrs = attrs; r_cond = cond }
+      | None -> None)
+    order
+
+(* push a leaf-level delta through a leaf-parent's select/project
+   definition (deltas commute with select and project, Sec. 6.2) *)
+let rec filter_delta expr d =
+  match expr with
+  | Expr.Base _ -> d
+  | Expr.Select (p, e) -> Rel_delta.select p (filter_delta e d)
+  | Expr.Project (a, e) -> Rel_delta.project a (filter_delta e d)
+  | Expr.Rename (m, e) -> Rel_delta.rename m (filter_delta e d)
+  | Expr.Join _ | Expr.Union _ | Expr.Diff _ ->
+    assert false (* leaf-parent defs are select/project/rename chains *)
+
+let build (t : Med.t) ~kind:_ requests =
+  let reqs = closure t requests in
+  let is_leaf_parent node =
+    List.exists (Graph.is_leaf t.Med.vdp) (Graph.children t.Med.vdp node)
+  in
+  let lp_reqs, inner_reqs = List.partition (fun r -> is_leaf_parent r.r_node) reqs in
+  let temps : (string, Bag.t) Hashtbl.t = Hashtbl.create 8 in
+  let polled_versions = ref [] in
+  (* group leaf-parent requests by source; one poll per source *)
+  let by_source = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      let leaf =
+        match Graph.children t.Med.vdp r.r_node with
+        | [ l ] -> l
+        | _ -> assert false
+      in
+      let src = Graph.source_of_leaf t.Med.vdp leaf in
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt by_source src)
+      in
+      Hashtbl.replace by_source src ((r, leaf) :: existing))
+    lp_reqs;
+  Hashtbl.iter
+    (fun src_name pairs ->
+      let src = Med.source t src_name in
+      let queries =
+        List.map
+          (fun (r, _leaf) ->
+            let def = Graph.def t.Med.vdp r.r_node in
+            let with_sel =
+              if Predicate.equal r.r_cond Predicate.True then def
+              else Expr.select r.r_cond def
+            in
+            (r.r_node, Expr.project r.r_attrs with_sel))
+          pairs
+      in
+      Med.Log.debug (fun m ->
+          m "VAP polls %s for %s" src_name
+            (String.concat ", " (List.map fst queries)));
+      let answer = Source_db.poll src queries in
+      t.Med.stats.Med.polls <- t.Med.stats.Med.polls + 1;
+      t.Med.stats.Med.polled_tuples <-
+        t.Med.stats.Med.polled_tuples
+        + List.fold_left
+            (fun acc (_, b) -> acc + Bag.cardinal b)
+            0 answer.Message.results;
+      let contributor = Med.contributor_kind t src_name in
+      (match contributor with
+      | Med.Virtual_contributor ->
+        polled_versions :=
+          (src_name, answer.Message.answer_version) :: !polled_versions
+      | Med.Materialized_contributor | Med.Hybrid_contributor -> ());
+      List.iter
+        (fun (r, leaf) ->
+          let polled = List.assoc r.r_node answer.Message.results in
+          let value =
+            if
+              contributor <> Med.Virtual_contributor
+              && t.Med.config.Med.eca_enabled
+            then begin
+              (* Eager Compensation: roll the polled answer back to the
+                 reflected state *)
+              let unseen = Med.unseen_delta t ~source:src_name ~leaf in
+              Med.Log.debug (fun m ->
+                  m "ECA compensation for %s/%s: %d unseen atoms" src_name
+                    leaf (Rel_delta.atom_count unseen));
+              let comp = Rel_delta.inverse unseen in
+              let through_def =
+                filter_delta (Graph.def t.Med.vdp r.r_node) comp
+              in
+              let through_req =
+                Rel_delta.project r.r_attrs
+                  (if Predicate.equal r.r_cond Predicate.True then through_def
+                   else Rel_delta.select r.r_cond through_def)
+              in
+              Rel_delta.apply polled through_req
+            end
+            else polled
+          in
+          Hashtbl.replace temps r.r_node value)
+        pairs)
+    by_source;
+  (* inner temporaries bottom-up *)
+  let inner_in_topo =
+    List.filter
+      (fun node -> List.exists (fun r -> String.equal r.r_node node) inner_reqs)
+      (Graph.topo_order t.Med.vdp)
+  in
+  List.iter
+    (fun node ->
+      let r = List.find (fun r -> String.equal r.r_node node) inner_reqs in
+      let env name =
+        match Hashtbl.find_opt temps name with
+        | Some b -> Some b
+        | None -> Med.store_env t name
+      in
+      let def =
+        Derived_from.restrict_def t.Med.vdp ~node ~attrs:r.r_attrs
+          ~cond:r.r_cond
+      in
+      let with_sel =
+        if Predicate.equal r.r_cond Predicate.True then def
+        else Expr.select r.r_cond def
+      in
+      let value = Eval.eval ~env (Expr.project r.r_attrs with_sel) in
+      Hashtbl.replace temps node value)
+    inner_in_topo;
+  t.Med.stats.Med.temps_built <-
+    t.Med.stats.Med.temps_built + Hashtbl.length temps;
+  {
+    temps = Hashtbl.fold (fun k v acc -> (k, v) :: acc) temps [];
+    polled_versions = !polled_versions;
+  }

@@ -1,0 +1,43 @@
+(** The Virtual Attribute Processor (Sec. 6.3).
+
+    Given requests [(node, attrs, cond)] for (projections of) virtual
+    or hybrid relations, the VAP materializes temporary relations
+    holding their value {e at the state the mediator's materialized
+    data reflects}:
+
+    {ol
+    {- {b Phase 1} closes the request set under [derived_from],
+       merging requests that hit the same node (paper: [(B ∪ A',
+       f ∨ g)]), walking the VDP parents-before-children;}
+    {- {b Phase 2} constructs the temporaries bottom-up. Leaf-parents
+       are populated by polling their source — all queries against one
+       source packaged into a single source transaction — and, for
+       hybrid-contributor sources, rolled back by the Eager
+       Compensation step: the inverse smash of every update from that
+       source that the mediator has received but not yet applied
+       (update-queue entries plus, during an update transaction, the
+       delta being processed).}}
+
+    The returned temporaries are full substitutes for their nodes'
+    relations restricted to the requested attributes, all consistent
+    with [ref'(t_u)] — the reflected source versions. *)
+
+open Relalg
+
+type request = { r_node : string; r_attrs : string list; r_cond : Predicate.t }
+
+type result = {
+  temps : (string * Bag.t) list;
+      (** per node: the temporary relation [π_B σ_g node] *)
+  polled_versions : (string * int) list;
+      (** versions served by virtual-contributor sources in this run —
+          needed for the query transaction's reflect vector *)
+}
+
+val build : Med.t -> kind:[ `Query | `Update ] -> request list -> result
+(** Must run inside a simulation process (polls block).
+    @raise Med.Mediator_error on a request for a leaf or unknown node. *)
+
+val closure : Med.t -> request list -> request list
+(** Phase 1 alone (exposed for tests): the full set of temporaries
+    that would be constructed, in parents-before-children order. *)

@@ -1,0 +1,1 @@
+lib/correctness/checker.ml: Bag Eval Float Format Graph Hashtbl List Med Printf Relalg Source_db Sources Squirrel Vdp

@@ -1,0 +1,1 @@
+lib/correctness/checker.mli: Bag Graph Med Relalg Source_db Sources Squirrel Vdp

@@ -1,0 +1,257 @@
+open Relalg
+open Vdp
+open Sources
+open Squirrel
+
+type violation = {
+  v_time : float;
+  v_kind : [ `Validity | `Chronology | `Order | `Freshness of string * float ];
+  v_detail : string;
+}
+
+type report = {
+  checked_queries : int;
+  violations : violation list;
+  max_staleness : (string * float) list;
+}
+
+let consistent r =
+  List.for_all
+    (fun v -> match v.v_kind with `Freshness _ -> true | _ -> false)
+    r.violations
+
+type delay_profile = {
+  ann_delay : string -> float;
+  comm_delay : string -> float;
+  q_proc_delay : string -> float;
+  u_hold_delay : float;
+  u_proc_delay : float;
+  q_proc_delay_med : float;
+}
+
+let theorem_7_2_bound ~vdp ~contributor profile src =
+  let sources = Graph.sources vdp in
+  let polling_term =
+    List.fold_left
+      (fun acc k -> acc +. profile.q_proc_delay k +. profile.comm_delay k)
+      0.0 sources
+  in
+  match contributor src with
+  | Med.Materialized_contributor | Med.Hybrid_contributor ->
+    profile.ann_delay src +. profile.comm_delay src +. profile.u_hold_delay
+    +. profile.u_proc_delay +. polling_term
+  | Med.Virtual_contributor -> polling_term +. profile.q_proc_delay_med
+
+(* --- history access --------------------------------------------------- *)
+
+let source_table sources =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace tbl (Source_db.name s) s) sources;
+  tbl
+
+let version_at src time =
+  List.fold_left
+    (fun acc (t, v, _) -> if t <= time && v > acc then v else acc)
+    0
+    (Source_db.history src)
+
+(* environment mapping leaf relations to their state under a version
+   assignment *)
+let env_of_assignment ~vdp ~src_tbl assignment leaf =
+  match Graph.node_opt vdp leaf with
+  | Some { Graph.kind = Graph.Leaf { source }; _ } -> (
+    match Hashtbl.find_opt src_tbl source with
+    | None -> None
+    | Some src ->
+      let version =
+        match List.assoc_opt source assignment with
+        | Some v -> v
+        | None -> Source_db.version src
+      in
+      List.assoc_opt leaf (Source_db.state_at_version src version))
+  | Some _ | None -> None
+
+let staleness src version time =
+  match Source_db.next_commit_time_after src version with
+  | Some next when next <= time -> time -. next
+  | Some _ | None -> 0.0
+
+(* --- the self-report validating checker ------------------------------- *)
+
+let check ~vdp ~sources ~events () =
+  let src_tbl = source_table sources in
+  let violations = ref [] in
+  let max_stale : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace max_stale (Source_db.name s) 0.0) sources;
+  let violate time kind detail =
+    violations := { v_time = time; v_kind = kind; v_detail = detail } :: !violations
+  in
+  let prev_vector : (string * int) list ref = ref [] in
+  let checked = ref 0 in
+  let check_monotone time vector =
+    List.iter
+      (fun (src, v) ->
+        match List.assoc_opt src !prev_vector with
+        | Some prev when v < prev ->
+          violate time `Order
+            (Printf.sprintf
+               "reflect(%s) moved backwards: version %d after %d" src v prev)
+        | Some _ | None -> ())
+      vector;
+    prev_vector := vector
+  in
+  List.iter
+    (fun event ->
+      match event with
+      | Med.Update_tx { ut_time; ut_reflect; _ } ->
+        check_monotone ut_time ut_reflect
+      | Med.Query_tx
+          { qt_time; qt_node; qt_attrs; qt_cond; qt_answer; qt_reflect } ->
+        incr checked;
+        let time = qt_time in
+        (* resolve Current entries to the version current at query time *)
+        let resolved =
+          List.map
+            (fun (src_name, entry) ->
+              let src = Hashtbl.find src_tbl src_name in
+              match entry with
+              | Med.Version v -> (src_name, v)
+              | Med.Current -> (src_name, version_at src time))
+            qt_reflect
+        in
+        (* chronology *)
+        List.iter
+          (fun (src_name, v) ->
+            let src = Hashtbl.find src_tbl src_name in
+            let ct = Source_db.commit_time_of_version src v in
+            if ct > time +. 1e-9 then
+              violate time `Chronology
+                (Printf.sprintf
+                   "%s version %d committed at %g, after query time %g"
+                   src_name v ct time))
+          resolved;
+        (* order preservation *)
+        check_monotone time resolved;
+        (* validity *)
+        let env = env_of_assignment ~vdp ~src_tbl resolved in
+        let expected =
+          Bag.project qt_attrs
+            (Bag.select qt_cond
+               (Eval.eval ~env (Graph.expanded_def vdp qt_node)))
+        in
+        if not (Bag.equal expected qt_answer) then
+          violate time `Validity
+            (Format.asprintf
+               "query on %s at %g: answer differs from ν(reflect)@;\
+                expected %a@;got %a"
+               qt_node time Bag.pp expected Bag.pp qt_answer);
+        (* staleness bookkeeping *)
+        List.iter
+          (fun (src_name, v) ->
+            let src = Hashtbl.find src_tbl src_name in
+            let s = staleness src v time in
+            if s > Hashtbl.find max_stale src_name then
+              Hashtbl.replace max_stale src_name s)
+          resolved)
+    events;
+  {
+    checked_queries = !checked;
+    violations = List.rev !violations;
+    max_staleness =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) max_stale []);
+  }
+
+let check_freshness report ~bound =
+  List.filter_map
+    (fun (src, s) ->
+      let b = bound src in
+      if s > b +. 1e-9 then
+        Some
+          {
+            v_time = 0.0;
+            v_kind = `Freshness (src, s);
+            v_detail =
+              Printf.sprintf
+                "source %s: observed staleness %g exceeds bound %g" src s b;
+          }
+      else None)
+    report.max_staleness
+
+(* --- search-based checkers (Remark 3.1) ------------------------------- *)
+
+type observation = { o_time : float; o_export : string; o_state : Bag.t }
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | (src, versions) :: rest ->
+    let tails = cartesian rest in
+    List.concat_map
+      (fun v -> List.map (fun tail -> (src, v) :: tail) tails)
+      versions
+
+let valid_vectors ~vdp ~src_tbl ~chronology obs =
+  let expanded = Graph.expanded_def vdp obs.o_export in
+  let candidates =
+    Hashtbl.fold
+      (fun name src acc ->
+        let versions =
+          List.filter_map
+            (fun (t, v, _) ->
+              if (not chronology) || t <= obs.o_time +. 1e-9 then Some v
+              else None)
+            (Source_db.history src)
+        in
+        (name, versions) :: acc)
+      src_tbl []
+  in
+  List.filter
+    (fun assignment ->
+      let env = env_of_assignment ~vdp ~src_tbl assignment in
+      Bag.equal (Eval.eval ~env expanded) obs.o_state)
+    (cartesian candidates)
+
+let vector_le a b =
+  List.for_all
+    (fun (src, v) ->
+      match List.assoc_opt src b with Some v' -> v <= v' | None -> true)
+    a
+
+let pseudo_consistent ~vdp ~sources observations =
+  let src_tbl = source_table sources in
+  let obs = List.sort (fun a b -> Float.compare a.o_time b.o_time) observations in
+  let vectors =
+    List.map (fun o -> valid_vectors ~vdp ~src_tbl ~chronology:false o) obs
+  in
+  (* every pair t1 <= t2 must admit vectors v1 <= v2 *)
+  let rec pairs = function
+    | [] -> true
+    | v1 :: rest ->
+      List.for_all
+        (fun v2 ->
+          List.exists
+            (fun a -> List.exists (fun b -> vector_le a b) v2)
+            v1)
+        rest
+      && pairs rest
+  in
+  List.for_all (fun v -> v <> []) vectors && pairs vectors
+
+let consistent_assignment ~vdp ~sources observations =
+  let src_tbl = source_table sources in
+  let obs = List.sort (fun a b -> Float.compare a.o_time b.o_time) observations in
+  let vectors =
+    List.map (fun o -> (o, valid_vectors ~vdp ~src_tbl ~chronology:true o)) obs
+  in
+  let rec search prev = function
+    | [] -> Some []
+    | (o, candidates) :: rest ->
+      List.find_map
+        (fun v ->
+          if vector_le prev v then
+            match search v rest with
+            | Some tail -> Some ((o.o_time, v) :: tail)
+            | None -> None
+          else None)
+        candidates
+  in
+  search [] vectors

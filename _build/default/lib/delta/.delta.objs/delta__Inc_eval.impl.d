@@ -1,0 +1,1 @@
+lib/delta/inc_eval.ml: Bag Eval Expr List Rel_delta Relalg String Tuple

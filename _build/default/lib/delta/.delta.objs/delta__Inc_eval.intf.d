@@ -1,0 +1,1 @@
+lib/delta/inc_eval.mli: Bag Expr Rel_delta Relalg

@@ -1,0 +1,1 @@
+lib/delta/multi_delta.ml: Format List Map Rel_delta String

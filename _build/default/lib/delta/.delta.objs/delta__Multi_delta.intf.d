@@ -1,0 +1,1 @@
+lib/delta/multi_delta.mli: Bag Format Rel_delta Relalg

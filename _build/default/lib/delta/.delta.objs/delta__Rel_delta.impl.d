@@ -1,0 +1,1 @@
+lib/delta/rel_delta.ml: Bag Expr Format Int List Predicate Relalg Schema Tuple

@@ -1,0 +1,1 @@
+lib/delta/rel_delta.mli: Bag Format Predicate Relalg Schema Tuple

@@ -1,0 +1,137 @@
+open Relalg
+
+(* Evaluate the pre-update value of a subexpression. In IUP use the
+   expressions are node definitions over stored children, so [Base]
+   lookups dominate and this is cheap. *)
+let eval_old ~env e = Eval.eval ~env e
+
+let schema_of ~env e =
+  Expr.schema_of
+    (fun n ->
+      match env n with
+      | Some bag -> Bag.schema bag
+      | None -> raise (Eval.Unbound_relation n))
+    e
+
+let rec delta_of_expr ~env ~deltas expr =
+  match expr with
+  | Expr.Base name -> (
+    match deltas name with
+    | Some d -> d
+    | None -> (
+      match env name with
+      | Some bag -> Rel_delta.empty (Bag.schema bag)
+      | None -> raise (Eval.Unbound_relation name)))
+  | Expr.Select (p, e) ->
+    let d = delta_of_expr ~env ~deltas e in
+    Eval.charge_tuple_ops (Rel_delta.support_cardinal d);
+    Rel_delta.select p d
+  | Expr.Project (names, e) ->
+    let d = delta_of_expr ~env ~deltas e in
+    Eval.charge_tuple_ops (Rel_delta.support_cardinal d);
+    Rel_delta.project names d
+  | Expr.Rename (mapping, e) ->
+    let d = delta_of_expr ~env ~deltas e in
+    Eval.charge_tuple_ops (Rel_delta.support_cardinal d);
+    Rel_delta.rename mapping d
+  | Expr.Join (a, p, b) ->
+    let da = delta_of_expr ~env ~deltas a in
+    let db = delta_of_expr ~env ~deltas b in
+    (* evaluate only the sides a fired rule actually reads: when one
+       side is unchanged, the other side's old value suffices *)
+    if Rel_delta.is_empty da && Rel_delta.is_empty db then
+      Rel_delta.empty (schema_of ~env expr)
+    else if Rel_delta.is_empty db then begin
+      let old_b = eval_old ~env b in
+      let part = Rel_delta.join_bag ~on:p da old_b in
+      Eval.charge_tuple_ops
+        (Rel_delta.support_cardinal da + Rel_delta.support_cardinal part);
+      part
+    end
+    else if Rel_delta.is_empty da then begin
+      let old_a = eval_old ~env a in
+      let part = Rel_delta.bag_join ~on:p old_a db in
+      Eval.charge_tuple_ops
+        (Rel_delta.support_cardinal db + Rel_delta.support_cardinal part);
+      part
+    end
+    else begin
+      let old_a = eval_old ~env a and old_b = eval_old ~env b in
+      let new_b = Rel_delta.apply old_b db in
+      (* Example 6.1: ΔA ⋈ B_new covers ΔA ⋈ B and ΔA ⋈ ΔB; A_old ⋈ ΔB
+         covers the rest. *)
+      let part1 = Rel_delta.join_bag ~on:p da new_b in
+      let part2 = Rel_delta.bag_join ~on:p old_a db in
+      Eval.charge_tuple_ops
+        (Rel_delta.support_cardinal da + Rel_delta.support_cardinal db
+        + Rel_delta.support_cardinal part1
+        + Rel_delta.support_cardinal part2);
+      Rel_delta.smash part1 part2
+    end
+  | Expr.Union (a, b) ->
+    let da = delta_of_expr ~env ~deltas a in
+    let db = delta_of_expr ~env ~deltas b in
+    Eval.charge_tuple_ops
+      (Rel_delta.support_cardinal da + Rel_delta.support_cardinal db);
+    Rel_delta.smash da db
+  | Expr.Diff (a, b) ->
+    let da = delta_of_expr ~env ~deltas a in
+    let db = delta_of_expr ~env ~deltas b in
+    if Rel_delta.is_empty da && Rel_delta.is_empty db then
+      Rel_delta.empty (schema_of ~env expr)
+    else begin
+      let old_a = eval_old ~env a and old_b = eval_old ~env b in
+      let schema = Bag.schema old_a in
+      let new_a = Rel_delta.apply old_a da in
+      let new_b = Rel_delta.apply old_b db in
+      (* Only tuples whose bag multiplicity changed in a child can
+         change set membership in the output. *)
+      let candidates =
+        Rel_delta.fold
+          (fun t _ acc -> Tuple.Set.add t acc)
+          da
+          (Rel_delta.fold (fun t _ acc -> Tuple.Set.add t acc) db
+             Tuple.Set.empty)
+      in
+      Eval.charge_tuple_ops (Tuple.Set.cardinal candidates);
+      Tuple.Set.fold
+        (fun t acc ->
+          let before = Bag.mem old_a t && not (Bag.mem old_b t) in
+          let after = Bag.mem new_a t && not (Bag.mem new_b t) in
+          match before, after with
+          | false, true -> Rel_delta.insert acc t
+          | true, false -> Rel_delta.delete acc t
+          | true, true | false, false -> acc)
+        candidates (Rel_delta.empty schema)
+    end
+
+let eval_new ~env ~deltas expr =
+  let old_value = Eval.eval ~env expr in
+  let d = delta_of_expr ~env ~deltas expr in
+  Rel_delta.apply old_value d
+
+let rec affected ~changed = function
+  | Expr.Base n -> changed n
+  | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Rename (_, e) ->
+    affected ~changed e
+  | Expr.Join (a, _, b) | Expr.Union (a, b) | Expr.Diff (a, b) ->
+    affected ~changed a || affected ~changed b
+
+let value_bases ~changed expr =
+  let rec delta_needs = function
+    | Expr.Base _ -> []
+    | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Rename (_, e) ->
+      delta_needs e
+    | Expr.Join (a, _, b) -> (
+      match (affected ~changed a, affected ~changed b) with
+      | false, false -> []
+      | true, false -> delta_needs a @ Expr.base_names b
+      | false, true -> Expr.base_names a @ delta_needs b
+      | true, true -> Expr.base_names a @ Expr.base_names b)
+    | Expr.Union (a, b) -> delta_needs a @ delta_needs b
+    | Expr.Diff (a, b) ->
+      if affected ~changed a || affected ~changed b then
+        Expr.base_names a @ Expr.base_names b
+      else []
+  in
+  List.sort_uniq String.compare (delta_needs expr)

@@ -1,0 +1,43 @@
+(** Incremental (delta) evaluation of algebra expressions.
+
+    Given the pre-update value of every base relation and a delta for
+    some of them, [delta_of_expr] computes the net delta of the whole
+    expression. Join uses the telescoped rule of Example 6.1 —
+    [Δ(A ⋈ B) = ΔA ⋈ apply(B, ΔB)  ⊎  A ⋈ ΔB] — which accounts for the
+    [ΔA ⋈ ΔB] cross term when both children changed in the same update
+    transaction. Difference (set semantics) is maintained by the
+    membership-candidate method: only tuples whose set-membership in a
+    child changed can enter or leave the output, so the work is
+    proportional to the delta, not to the relations.
+
+    This module is the generic engine behind the per-edge propagation
+    rules of Sec. 5.2 (see {!Vdp.Rules} for the edge-rule view). *)
+
+open Relalg
+
+val delta_of_expr :
+  env:(string -> Bag.t option) ->
+  deltas:(string -> Rel_delta.t option) ->
+  Expr.t ->
+  Rel_delta.t
+(** [env] gives the {e pre-update} value of each base relation;
+    [deltas] the net change of each (None = unchanged). The result is
+    the net delta of the expression, satisfying
+    [apply (eval env e) (delta_of_expr e) = eval env' e] where [env']
+    is [env] with the deltas applied.
+    @raise Eval.Unbound_relation if a needed base is missing. *)
+
+val eval_new :
+  env:(string -> Bag.t option) ->
+  deltas:(string -> Rel_delta.t option) ->
+  Expr.t ->
+  Bag.t
+(** Post-update value of the expression (pre-update value plus delta). *)
+
+val value_bases : changed:(string -> bool) -> Expr.t -> string list
+(** The base relations whose {e values} [delta_of_expr] will read,
+    given which bases carry deltas: an unchanged join sibling of a
+    changed side is read; both difference operands are read when
+    either side changes; union reads no values at all. The IUP's
+    preparation phase uses this to request exactly the temporary
+    relations the propagation rules will touch (Sec. 6.4 phase (a)). *)

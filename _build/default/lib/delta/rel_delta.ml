@@ -1,0 +1,132 @@
+open Relalg
+
+type t = { schema : Schema.t; muls : int Tuple.Map.t }
+(* invariant: all stored multiplicities are nonzero *)
+
+exception Delta_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Delta_error s)) fmt
+
+let empty schema = { schema; muls = Tuple.Map.empty }
+let schema d = d.schema
+let is_empty d = Tuple.Map.is_empty d.muls
+
+let add_signed d tuple mult =
+  if mult = 0 then d
+  else
+    let muls =
+      Tuple.Map.update tuple
+        (function
+          | None -> Some mult
+          | Some m -> if m + mult = 0 then None else Some (m + mult))
+        d.muls
+    in
+    { d with muls }
+
+let insert ?(mult = 1) d tuple =
+  if mult <= 0 then err "insert: multiplicity %d must be positive" mult;
+  add_signed d tuple mult
+
+let delete ?(mult = 1) d tuple =
+  if mult <= 0 then err "delete: multiplicity %d must be positive" mult;
+  add_signed d tuple (-mult)
+
+let of_bags ~ins ~del =
+  if not (Schema.union_compatible (Bag.schema ins) (Bag.schema del)) then
+    err "of_bags: incompatible schemas";
+  let d = empty (Bag.schema ins) in
+  let d = Bag.fold (fun t m acc -> add_signed acc t m) ins d in
+  Bag.fold (fun t m acc -> add_signed acc t (-m)) del d
+
+let of_diff ~old_bag ~new_bag =
+  of_bags ~ins:(Bag.monus new_bag old_bag) ~del:(Bag.monus old_bag new_bag)
+
+let insertions d =
+  Tuple.Map.fold
+    (fun t m acc -> if m > 0 then Bag.add ~mult:m acc t else acc)
+    d.muls (Bag.empty d.schema)
+
+let deletions d =
+  Tuple.Map.fold
+    (fun t m acc -> if m < 0 then Bag.add ~mult:(-m) acc t else acc)
+    d.muls (Bag.empty d.schema)
+
+let signed_mult d tuple =
+  match Tuple.Map.find_opt tuple d.muls with Some m -> m | None -> 0
+
+let atom_count d = Tuple.Map.fold (fun _ m acc -> acc + abs m) d.muls 0
+let support_cardinal d = Tuple.Map.cardinal d.muls
+
+let apply ?(strict = false) bag d =
+  Tuple.Map.fold
+    (fun tuple m bag ->
+      if m > 0 then begin
+        if strict && Schema.key (Bag.schema bag) <> [] && Bag.mem bag tuple
+        then err "apply: redundant insertion of %s" (Tuple.to_string tuple);
+        Bag.add ~mult:m bag tuple
+      end
+      else begin
+        if strict && Bag.mult bag tuple < -m then
+          err "apply: redundant deletion of %s (mult %d, deleting %d)"
+            (Tuple.to_string tuple) (Bag.mult bag tuple) (-m);
+        Bag.remove ~mult:(-m) bag tuple
+      end)
+    d.muls bag
+
+let smash d1 d2 =
+  Tuple.Map.fold (fun t m acc -> add_signed acc t m) d2.muls d1
+
+let inverse d = { d with muls = Tuple.Map.map (fun m -> -m) d.muls }
+
+let select p d =
+  { d with muls = Tuple.Map.filter (fun t _ -> Predicate.eval p t) d.muls }
+
+let project names d =
+  let schema = Schema.project d.schema names in
+  Tuple.Map.fold
+    (fun tuple m acc -> add_signed acc (Tuple.project tuple names) m)
+    d.muls (empty schema)
+
+let rename mapping d =
+  let schema =
+    Expr.schema_of
+      (fun _ -> d.schema)
+      (Expr.Rename (mapping, Expr.Base "_"))
+  in
+  let rename_tuple tuple =
+    Tuple.of_list
+      (List.map
+         (fun (a, v) ->
+           match List.assoc_opt a mapping with
+           | Some b -> (b, v)
+           | None -> (a, v))
+         (Tuple.to_list tuple))
+  in
+  Tuple.Map.fold
+    (fun tuple m acc -> add_signed acc (rename_tuple tuple) m)
+    d.muls (empty schema)
+
+let split_join join_fn d =
+  let ins = join_fn (insertions d) in
+  let del = join_fn (deletions d) in
+  of_bags ~ins ~del
+
+let join_bag ?on d bag = split_join (fun side -> Bag.join ?on side bag) d
+let bag_join ?on bag d = split_join (fun side -> Bag.join ?on bag side) d
+
+let fold f d init = Tuple.Map.fold f d.muls init
+
+let equal a b =
+  Schema.union_compatible a.schema b.schema
+  && Tuple.Map.equal Int.equal a.muls b.muls
+
+let pp fmt d =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (t, m) ->
+         Format.fprintf fmt "%s%d*%a" (if m > 0 then "+" else "-") (abs m)
+           Tuple.pp t))
+    (Tuple.Map.bindings d.muls)
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,1 @@
+lib/relalg/bag.ml: Format Hashtbl Int List Predicate Schema String Tuple Value

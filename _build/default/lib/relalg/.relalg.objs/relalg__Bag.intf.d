@@ -1,0 +1,1 @@
+lib/relalg/bag.mli: Format Predicate Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/eval.ml: Bag Expr List Predicate Schema Tuple

@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: Format Hashtbl List Predicate Schema Stdlib String

@@ -1,0 +1,1 @@
+lib/relalg/fd.ml: Expr Format List Predicate Schema Set String

@@ -1,0 +1,1 @@
+lib/relalg/fd.mli: Expr Format Schema

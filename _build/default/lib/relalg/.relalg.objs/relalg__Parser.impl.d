@@ -1,0 +1,1 @@
+lib/relalg/parser.ml: Buffer Expr Format List Predicate Printf String Value

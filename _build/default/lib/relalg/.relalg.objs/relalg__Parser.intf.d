@@ -1,0 +1,1 @@
+lib/relalg/parser.mli: Expr Predicate

@@ -1,0 +1,1 @@
+lib/relalg/predicate.mli: Format Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/tuple.ml: Format Hashtbl List Map Schema Set String Value

@@ -1,0 +1,1 @@
+lib/relalg/value.ml: Bool Float Format Hashtbl Int Printf String

@@ -1,0 +1,195 @@
+type t = { schema : Schema.t; tuples : int Tuple.Map.t }
+
+exception Bag_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Bag_error s)) fmt
+
+let empty schema = { schema; tuples = Tuple.Map.empty }
+let schema b = b.schema
+
+let check_tuple schema tuple =
+  if not (Tuple.matches_schema tuple schema) then
+    err "tuple %s does not match schema %s" (Tuple.to_string tuple)
+      (Schema.to_string schema)
+
+let add ?(mult = 1) b tuple =
+  if mult <= 0 then err "add: multiplicity %d must be positive" mult;
+  check_tuple b.schema tuple;
+  let tuples =
+    Tuple.Map.update tuple
+      (function None -> Some mult | Some m -> Some (m + mult))
+      b.tuples
+  in
+  { b with tuples }
+
+let remove ?(mult = 1) b tuple =
+  if mult <= 0 then err "remove: multiplicity %d must be positive" mult;
+  let tuples =
+    Tuple.Map.update tuple
+      (function
+        | None -> None
+        | Some m -> if m > mult then Some (m - mult) else None)
+      b.tuples
+  in
+  { b with tuples }
+
+let of_tuples schema tuples =
+  List.fold_left (fun b t -> add b t) (empty schema) tuples
+
+let of_rows schema rows =
+  let names = Schema.attrs schema in
+  let to_tuple row =
+    match List.combine names row with
+    | pairs -> Tuple.of_list pairs
+    | exception Invalid_argument _ ->
+      err "of_rows: row arity %d does not match schema arity %d"
+        (List.length row) (List.length names)
+  in
+  of_tuples schema (List.map to_tuple rows)
+
+let mult b tuple =
+  match Tuple.Map.find_opt tuple b.tuples with Some m -> m | None -> 0
+
+let mem b tuple = mult b tuple > 0
+let cardinal b = Tuple.Map.fold (fun _ m acc -> acc + m) b.tuples 0
+let support_cardinal b = Tuple.Map.cardinal b.tuples
+let is_empty b = Tuple.Map.is_empty b.tuples
+let fold f b init = Tuple.Map.fold f b.tuples init
+let iter f b = Tuple.Map.iter f b.tuples
+let to_list b = Tuple.Map.bindings b.tuples
+let support b = List.map fst (Tuple.Map.bindings b.tuples)
+
+let filter pred b =
+  { b with tuples = Tuple.Map.filter (fun t _ -> pred t) b.tuples }
+
+let select p b = filter (Predicate.eval p) b
+
+let map_tuples schema f b =
+  Tuple.Map.fold
+    (fun tuple m acc -> add ~mult:m acc (f tuple))
+    b.tuples (empty schema)
+
+let project names b =
+  let schema = Schema.project b.schema names in
+  map_tuples schema (fun t -> Tuple.project t names) b
+
+let require_compatible op a b =
+  if not (Schema.union_compatible a.schema b.schema) then
+    err "%s: schemas %s and %s are not union-compatible" op
+      (Schema.to_string a.schema)
+      (Schema.to_string b.schema)
+
+let union a b =
+  require_compatible "union" a b;
+  let tuples =
+    Tuple.Map.union (fun _ m1 m2 -> Some (m1 + m2)) a.tuples b.tuples
+  in
+  { a with tuples }
+
+let monus a b =
+  require_compatible "monus" a b;
+  let tuples =
+    Tuple.Map.fold
+      (fun tuple m acc ->
+        Tuple.Map.update tuple
+          (function
+            | None -> None
+            | Some m' -> if m' > m then Some (m' - m) else None)
+          acc)
+      b.tuples a.tuples
+  in
+  { a with tuples }
+
+let to_set b = { b with tuples = Tuple.Map.map (fun _ -> 1) b.tuples }
+let is_set b = Tuple.Map.for_all (fun _ m -> m = 1) b.tuples
+
+let set_diff a b =
+  require_compatible "set_diff" a b;
+  let tuples =
+    Tuple.Map.filter (fun t _ -> not (Tuple.Map.mem t b.tuples)) a.tuples
+  in
+  to_set { a with tuples }
+
+let inter_set a b =
+  require_compatible "inter_set" a b;
+  let tuples = Tuple.Map.filter (fun t _ -> Tuple.Map.mem t b.tuples) a.tuples in
+  to_set { a with tuples }
+
+(* Hash table keyed by join-key value lists, using Value's own
+   equality/hash so that e.g. Int 1 and Float 1. collide as they
+   compare equal. *)
+module Key_table = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+  let hash key = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 key
+end)
+
+(* Hash join: key extractor returns the list of values for the equi
+   attributes of each side; tuples with equal keys are then checked
+   against the residual predicate. *)
+let join ?(on = Predicate.True) a b =
+  let shared =
+    List.filter (fun n -> Schema.mem b.schema n) (Schema.attrs a.schema)
+  in
+  let extra_pairs =
+    List.filter_map
+      (fun (x, y) ->
+        if Schema.mem a.schema x && Schema.mem b.schema y then Some (x, y)
+        else if Schema.mem a.schema y && Schema.mem b.schema x then Some (y, x)
+        else None)
+      (Predicate.equi_pairs on)
+  in
+  let left_keys = shared @ List.map fst extra_pairs in
+  let right_keys = shared @ List.map snd extra_pairs in
+  let out_schema = Schema.join a.schema b.schema in
+  let result = ref (empty out_schema) in
+  let combine ta ma tb mb =
+    match Tuple.concat ta tb with
+    | None -> ()
+    | Some merged ->
+      if Predicate.eval on merged then
+        result := add ~mult:(ma * mb) !result merged
+  in
+  if left_keys = [] then
+    (* pure theta join: nested loops *)
+    iter (fun ta ma -> iter (fun tb mb -> combine ta ma tb mb) b) a
+  else begin
+    let index = Key_table.create (max 16 (support_cardinal b)) in
+    iter
+      (fun tb mb ->
+        let key = List.map (Tuple.get tb) right_keys in
+        Key_table.add index key (tb, mb))
+      b;
+    iter
+      (fun ta ma ->
+        let key = List.map (Tuple.get ta) left_keys in
+        List.iter
+          (fun (tb, mb) -> combine ta ma tb mb)
+          (Key_table.find_all index key))
+      a
+  end;
+  !result
+
+let product a b =
+  let overlap =
+    List.filter (fun n -> Schema.mem b.schema n) (Schema.attrs a.schema)
+  in
+  if overlap <> [] then
+    err "product: overlapping attributes %s" (String.concat ", " overlap);
+  join a b
+
+let equal a b =
+  Schema.union_compatible a.schema b.schema
+  && Tuple.Map.equal Int.equal a.tuples b.tuples
+
+let equal_as_sets a b = equal (to_set a) (to_set b)
+
+let pp fmt b =
+  Format.fprintf fmt "@[<v>%a:@,%a@]" Schema.pp b.schema
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt (t, m) ->
+         if m = 1 then Tuple.pp fmt t
+         else Format.fprintf fmt "%a x%d" Tuple.pp t m))
+    (to_list b)
+
+let to_string b = Format.asprintf "%a" pp b

@@ -1,0 +1,92 @@
+(** Relations with bag (multiset) semantics.
+
+    The paper's view-definition language has set semantics, but
+    relations stored inside a mediator are bags whenever the view
+    involves projection or union (Sec. 5): multiplicities are exactly
+    what makes projections incrementally maintainable. Relations of
+    "set nodes" (difference) are the set-images of bags.
+
+    A bag is a schema plus a multiplicity map; all stored
+    multiplicities are strictly positive. *)
+
+type t
+
+exception Bag_error of string
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+
+val of_tuples : Schema.t -> Tuple.t list -> t
+(** @raise Bag_error if a tuple does not match the schema. *)
+
+val of_rows : Schema.t -> Value.t list list -> t
+(** Rows given positionally in schema attribute order. *)
+
+val add : ?mult:int -> t -> Tuple.t -> t
+(** [add ~mult b t] inserts [mult] (default 1) copies.
+    @raise Bag_error if [mult <= 0] or the tuple is ill-typed. *)
+
+val remove : ?mult:int -> t -> Tuple.t -> t
+(** Monus removal: removes up to [mult] copies, never below zero. *)
+
+val mult : t -> Tuple.t -> int
+val mem : t -> Tuple.t -> bool
+
+val cardinal : t -> int
+(** Total multiplicity. *)
+
+val support_cardinal : t -> int
+(** Number of distinct tuples. *)
+
+val is_empty : t -> bool
+
+val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> int -> unit) -> t -> unit
+val to_list : t -> (Tuple.t * int) list
+val support : t -> Tuple.t list
+
+(** {1 Algebra operations} *)
+
+val select : Predicate.t -> t -> t
+
+val project : string list -> t -> t
+(** Bag projection: multiplicities of coinciding images add up. *)
+
+val union : t -> t -> t
+(** Additive (bag) union [⊎]. @raise Bag_error unless union-compatible. *)
+
+val monus : t -> t -> t
+(** Bag difference [∸]: multiplicities subtract, clamped at zero. *)
+
+val set_diff : t -> t -> t
+(** Set difference of the set-images, result a set (multiplicities 1). *)
+
+val inter_set : t -> t -> t
+(** Set intersection of the set-images. *)
+
+val join : ?on:Predicate.t -> t -> t -> t
+(** Natural join on shared attribute names combined with the optional
+    theta condition [on]. Uses a hash join on shared attributes and on
+    equi-pairs of [on] when available, falling back to nested loops.
+    Result multiplicity is the product of input multiplicities. *)
+
+val product : t -> t -> t
+(** Cartesian product. @raise Bag_error if attribute names overlap. *)
+
+val to_set : t -> t
+(** Duplicate elimination (all multiplicities become 1). *)
+
+val is_set : t -> bool
+
+val equal : t -> t -> bool
+(** Bag equality: same schema attributes and same multiplicity map. *)
+
+val equal_as_sets : t -> t -> bool
+
+val map_tuples : Schema.t -> (Tuple.t -> Tuple.t) -> t -> t
+(** Re-map every tuple (multiplicities of coinciding images add up). *)
+
+val filter : (Tuple.t -> bool) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

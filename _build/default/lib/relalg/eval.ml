@@ -1,0 +1,67 @@
+exception Unbound_relation of string
+
+let ops_counter = ref 0
+
+let tuple_ops () = !ops_counter
+let reset_tuple_ops () = ops_counter := 0
+let charge_tuple_ops n = ops_counter := !ops_counter + n
+
+let rename_tuple mapping tuple =
+  Tuple.of_list
+    (List.map
+       (fun (a, v) ->
+         match List.assoc_opt a mapping with
+         | Some b -> (b, v)
+         | None -> (a, v))
+       (Tuple.to_list tuple))
+
+let rec eval ~env expr =
+  match expr with
+  | Expr.Base name -> (
+    match env name with
+    | Some bag -> bag
+    | None -> raise (Unbound_relation name))
+  | Expr.Select (p, e) ->
+    let bag = eval ~env e in
+    charge_tuple_ops (Bag.support_cardinal bag);
+    Bag.select p bag
+  | Expr.Project (names, e) ->
+    let bag = eval ~env e in
+    charge_tuple_ops (Bag.support_cardinal bag);
+    Bag.project names bag
+  | Expr.Rename (mapping, e) ->
+    let bag = eval ~env e in
+    charge_tuple_ops (Bag.support_cardinal bag);
+    let schema =
+      Expr.schema_of (fun _ -> Bag.schema bag) (Expr.Rename (mapping, Expr.Base "_"))
+    in
+    Bag.map_tuples schema (rename_tuple mapping) bag
+  | Expr.Join (a, p, b) ->
+    let ba = eval ~env a and bb = eval ~env b in
+    let result = Bag.join ~on:p ba bb in
+    (* hash join: linear in inputs plus output; theta-only joins are
+       charged quadratically by [Bag.join] going through every pair,
+       approximated here by the product bound *)
+    let shared =
+      List.exists (fun n -> Schema.mem (Bag.schema bb) n)
+        (Schema.attrs (Bag.schema ba))
+    in
+    let cost =
+      if shared || Predicate.equi_pairs p <> [] then
+        Bag.support_cardinal ba + Bag.support_cardinal bb
+        + Bag.support_cardinal result
+      else Bag.support_cardinal ba * Bag.support_cardinal bb
+    in
+    charge_tuple_ops cost;
+    result
+  | Expr.Union (a, b) ->
+    let ba = eval ~env a and bb = eval ~env b in
+    charge_tuple_ops (Bag.support_cardinal ba + Bag.support_cardinal bb);
+    Bag.union ba bb
+  | Expr.Diff (a, b) ->
+    let ba = eval ~env a and bb = eval ~env b in
+    charge_tuple_ops (Bag.support_cardinal ba + Bag.support_cardinal bb);
+    Bag.set_diff ba bb
+
+let eval_assoc bindings expr =
+  eval ~env:(fun name -> List.assoc_opt name bindings) expr

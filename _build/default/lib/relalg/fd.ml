@@ -1,0 +1,86 @@
+module Sset = Set.Make (String)
+
+type fd = { lhs : string list; rhs : string list }
+
+type t = fd list
+
+let norm_fd { lhs; rhs } =
+  {
+    lhs = Sset.elements (Sset.of_list lhs);
+    rhs = Sset.elements (Sset.of_list rhs);
+  }
+
+let make fds = List.map norm_fd fds
+let fds t = t
+let add t fd = norm_fd fd :: t
+
+let of_key schema =
+  match Schema.key schema with
+  | [] -> []
+  | key -> [ norm_fd { lhs = key; rhs = Schema.attrs schema } ]
+
+let closure t attrs =
+  let rec fixpoint acc =
+    let acc' =
+      List.fold_left
+        (fun acc { lhs; rhs } ->
+          if List.for_all (fun a -> Sset.mem a acc) lhs then
+            List.fold_left (fun acc a -> Sset.add a acc) acc rhs
+          else acc)
+        acc t
+    in
+    if Sset.equal acc acc' then acc else fixpoint acc'
+  in
+  Sset.elements (fixpoint (Sset.of_list attrs))
+
+let implies t { lhs; rhs } =
+  let cl = Sset.of_list (closure t lhs) in
+  List.for_all (fun a -> Sset.mem a cl) rhs
+
+let determines t xs a = implies t { lhs = xs; rhs = [ a ] }
+
+let is_key_for t candidate attrs = implies t { lhs = candidate; rhs = attrs }
+
+let union a b = a @ b
+
+let project t names =
+  let allowed = Sset.of_list names in
+  List.filter_map
+    (fun { lhs; rhs = _ } ->
+      if List.for_all (fun a -> Sset.mem a allowed) lhs then
+        let cl =
+          List.filter (fun a -> Sset.mem a allowed) (closure t lhs)
+        in
+        let rhs = List.filter (fun a -> not (List.mem a lhs)) cl in
+        if rhs = [] then None else Some { lhs; rhs }
+      else None)
+    t
+
+let rec derive env = function
+  | Expr.Base n -> env n
+  | Expr.Select (_, e) -> derive env e
+  | Expr.Project (names, e) -> project (derive env e) names
+  | Expr.Rename (mapping, e) ->
+    let renamed a =
+      match List.assoc_opt a mapping with Some b -> b | None -> a
+    in
+    List.map
+      (fun { lhs; rhs } ->
+        { lhs = List.map renamed lhs; rhs = List.map renamed rhs })
+      (derive env e)
+  | Expr.Join (a, p, b) ->
+    let fds = union (derive env a) (derive env b) in
+    (* each equi-join pair x = y adds x -> y and y -> x *)
+    List.fold_left
+      (fun fds (x, y) ->
+        add (add fds { lhs = [ x ]; rhs = [ y ] }) { lhs = [ y ]; rhs = [ x ] })
+      fds (Predicate.equi_pairs p)
+  | Expr.Union _ -> []
+  | Expr.Diff (a, _) -> derive env a
+
+let pp fmt t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space
+    (fun fmt { lhs; rhs } ->
+      Format.fprintf fmt "%s -> %s" (String.concat "," lhs)
+        (String.concat "," rhs))
+    fmt t

@@ -1,0 +1,49 @@
+(** Functional dependencies and key reasoning.
+
+    Example 2.3's key-based construction of temporary relations rests
+    on FD inference: from [R' : r1 -> r3] (r1 is the key of R') and
+    [π(r1,r3) T ⊆ π(r1,r3) R'] the mediator infers [T : r1 -> r3] and
+    can fetch the virtual attribute r3 through the materialized key.
+    This module provides the FD machinery: closure, implication, and
+    conservative propagation of FDs through algebra expressions. *)
+
+type fd = { lhs : string list; rhs : string list }
+
+type t
+(** A set of functional dependencies over an attribute universe. *)
+
+val make : fd list -> t
+val fds : t -> fd list
+val add : t -> fd -> t
+val of_key : Schema.t -> t
+(** The FDs declared by a schema's primary key: key -> all attributes. *)
+
+val closure : t -> string list -> string list
+(** Attribute-set closure X+ under the FDs, sorted. *)
+
+val implies : t -> fd -> bool
+(** [implies fds f] is true when f follows from [fds] (via closure). *)
+
+val determines : t -> string list -> string -> bool
+(** [determines fds xs a]: does [xs -> a] hold? *)
+
+val is_key_for : t -> string list -> string list -> bool
+(** [is_key_for fds candidate attrs]: does [candidate] determine every
+    attribute in [attrs]? *)
+
+val union : t -> t -> t
+
+val project : t -> string list -> t
+(** FDs entailed on a subset of attributes (computed via closures of
+    subsets of the projection — exponential in principle, bounded here
+    by only considering LHSs of existing FDs restricted to the
+    projection; conservative: may miss derivable FDs, never invents). *)
+
+val derive : (string -> t) -> Expr.t -> t
+(** Conservative FD propagation through an expression, given FDs of
+    each base relation. Select preserves FDs; project restricts them;
+    join takes the union (plus equality-induced FDs from equi-join
+    pairs); union of bags yields no FDs; difference keeps the left
+    side's FDs. *)
+
+val pp : Format.formatter -> t -> unit

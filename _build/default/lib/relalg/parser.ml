@@ -1,0 +1,340 @@
+exception Parse_error of string
+
+let err pos fmt =
+  Format.kasprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "at offset %d: %s" pos s)))
+    fmt
+
+(* --- lexer ------------------------------------------------------------- *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Top of string (* = <> < <= > >= + - * / *)
+  | Tkw of string (* select project join on union minus and or not true false *)
+
+let keywords =
+  [ "select"; "project"; "rename"; "to"; "join"; "on"; "union"; "minus";
+    "and"; "or"; "not"; "true"; "false" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit pos tok = tokens := (pos, tok) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let start = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      let lower = String.lowercase_ascii word in
+      if List.mem lower keywords then emit start (Tkw lower)
+      else emit start (Tident word)
+    end
+    else if is_digit c then begin
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        emit start (Tfloat (float_of_string (String.sub src start (!i - start))))
+      end
+      else emit start (Tint (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 8 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\'' then closed := true
+        else Buffer.add_char buf src.[!i];
+        incr i
+      done;
+      if not !closed then err start "unterminated string literal";
+      emit start (Tstring (Buffer.contents buf))
+    end
+    else
+      match c with
+      | '(' -> emit start Tlparen; incr i
+      | ')' -> emit start Trparen; incr i
+      | ',' -> emit start Tcomma; incr i
+      | '=' -> emit start (Top "="); incr i
+      | '<' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin
+          emit start (Top "<=");
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i + 1] = '>' then begin
+          emit start (Top "<>");
+          i := !i + 2
+        end
+        else begin
+          emit start (Top "<");
+          incr i
+        end
+      | '>' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin
+          emit start (Top ">=");
+          i := !i + 2
+        end
+        else begin
+          emit start (Top ">");
+          incr i
+        end
+      | '+' | '-' | '*' | '/' -> emit start (Top (String.make 1 c)); incr i
+      | '!' when !i + 1 < n && src.[!i + 1] = '=' ->
+        emit start (Top "<>");
+        i := !i + 2
+      | _ -> err start "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+(* --- parser state ------------------------------------------------------ *)
+
+type state = { mutable toks : (int * token) list; src_len : int }
+
+let peek st = match st.toks with [] -> None | (_, t) :: _ -> Some t
+let pos st = match st.toks with [] -> st.src_len | (p, _) :: _ -> p
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  match st.toks with
+  | (_, t) :: rest when t = tok -> st.toks <- rest
+  | _ -> err (pos st) "expected %s" what
+
+let eat_kw st kw =
+  match peek st with
+  | Some (Tkw k) when String.equal k kw ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st what =
+  match st.toks with
+  | (_, Tident name) :: rest ->
+    st.toks <- rest;
+    name
+  | _ -> err (pos st) "expected %s" what
+
+(* --- arithmetic terms --------------------------------------------------- *)
+
+let rec parse_term st =
+  let lhs = parse_factor st in
+  parse_term_rest st lhs
+
+and parse_term_rest st lhs =
+  match peek st with
+  | Some (Top "+") ->
+    advance st;
+    parse_term_rest st (Predicate.Add (lhs, parse_factor st))
+  | Some (Top "-") ->
+    advance st;
+    parse_term_rest st (Predicate.Sub (lhs, parse_factor st))
+  | _ -> lhs
+
+and parse_factor st =
+  let lhs = parse_atom st in
+  parse_factor_rest st lhs
+
+and parse_factor_rest st lhs =
+  match peek st with
+  | Some (Top "*") ->
+    advance st;
+    parse_factor_rest st (Predicate.Mul (lhs, parse_atom st))
+  | Some (Top "/") ->
+    advance st;
+    parse_factor_rest st (Predicate.Div (lhs, parse_atom st))
+  | _ -> lhs
+
+and parse_atom st =
+  match peek st with
+  | Some (Tint i) ->
+    advance st;
+    Predicate.Const (Value.Int i)
+  | Some (Tfloat f) ->
+    advance st;
+    Predicate.Const (Value.Float f)
+  | Some (Tstring s) ->
+    advance st;
+    Predicate.Const (Value.Str s)
+  | Some (Tident name) ->
+    advance st;
+    Predicate.Attr name
+  | Some (Top "-") ->
+    advance st;
+    Predicate.Neg (parse_atom st)
+  | Some Tlparen ->
+    advance st;
+    let t = parse_term st in
+    expect st Trparen "')'";
+    t
+  | _ -> err (pos st) "expected a value, attribute, or '('"
+
+(* --- predicates --------------------------------------------------------- *)
+
+let cmp_of = function
+  | "=" -> Predicate.Eq
+  | "<>" -> Predicate.Ne
+  | "<" -> Predicate.Lt
+  | "<=" -> Predicate.Le
+  | ">" -> Predicate.Gt
+  | ">=" -> Predicate.Ge
+  | op -> invalid_arg op
+
+let rec parse_pred st =
+  let lhs = parse_conj st in
+  if eat_kw st "or" then Predicate.Or (lhs, parse_pred st) else lhs
+
+and parse_conj st =
+  let lhs = parse_unit st in
+  if eat_kw st "and" then Predicate.And (lhs, parse_conj st) else lhs
+
+and parse_unit st =
+  if eat_kw st "not" then Predicate.Not (parse_unit st)
+  else if eat_kw st "true" then Predicate.True
+  else if eat_kw st "false" then Predicate.False
+  else
+    match peek st with
+    | Some Tlparen ->
+      (* could be a parenthesized predicate or a parenthesized
+         arithmetic term starting a comparison: try predicate first,
+         fall back to comparison *)
+      let saved = st.toks in
+      (try
+         advance st;
+         let p = parse_pred st in
+         expect st Trparen "')'";
+         (* if a comparison operator follows, the parens were
+            arithmetic after all *)
+         match peek st with
+         | Some (Top ("=" | "<>" | "<" | "<=" | ">" | ">=")) ->
+           st.toks <- saved;
+           parse_comparison st
+         | _ -> p
+       with Parse_error _ ->
+         st.toks <- saved;
+         parse_comparison st)
+    | _ -> parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_term st in
+  match peek st with
+  | Some (Top (("=" | "<>" | "<" | "<=" | ">" | ">=") as op)) ->
+    advance st;
+    let rhs = parse_term st in
+    Predicate.Cmp (cmp_of op, lhs, rhs)
+  | _ -> err (pos st) "expected a comparison operator"
+
+(* --- algebra expressions ------------------------------------------------ *)
+
+let parse_attr_list st =
+  let first = ident st "an attribute name" in
+  let rec rest acc =
+    match peek st with
+    | Some Tcomma ->
+      advance st;
+      rest (ident st "an attribute name" :: acc)
+    | _ -> List.rev acc
+  in
+  rest [ first ]
+
+let rec parse_expr st =
+  let lhs = parse_joinexpr st in
+  if eat_kw st "union" then Expr.Union (lhs, parse_expr st)
+  else if eat_kw st "minus" then Expr.Diff (lhs, parse_expr st)
+  else lhs
+
+and parse_joinexpr st =
+  let lhs = parse_primary st in
+  parse_join_rest st lhs
+
+and parse_join_rest st lhs =
+  if eat_kw st "join" then begin
+    let cond =
+      if eat_kw st "on" then parse_pred st else Predicate.True
+    in
+    let rhs = parse_primary st in
+    parse_join_rest st (Expr.Join (lhs, cond, rhs))
+  end
+  else lhs
+
+and parse_primary st =
+  match peek st with
+  | Some (Tident name) ->
+    advance st;
+    Expr.Base name
+  | Some Tlparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Trparen "')'";
+    e
+  | Some (Tkw "select") ->
+    advance st;
+    let p = parse_pred st in
+    expect st Tlparen "'(' after the selection condition";
+    let e = parse_expr st in
+    expect st Trparen "')'";
+    Expr.Select (p, e)
+  | Some (Tkw "project") ->
+    advance st;
+    let names = parse_attr_list st in
+    expect st Tlparen "'(' after the projection list";
+    let e = parse_expr st in
+    expect st Trparen "')'";
+    Expr.Project (names, e)
+  | Some (Tkw "rename") ->
+    advance st;
+    let one () =
+      let old_name = ident st "an attribute name" in
+      (match peek st with
+      | Some (Tkw "to") -> advance st
+      | _ -> err (pos st) "expected 'to'");
+      let new_name = ident st "an attribute name" in
+      (old_name, new_name)
+    in
+    let first = one () in
+    let rec rest acc =
+      match peek st with
+      | Some Tcomma ->
+        advance st;
+        rest (one () :: acc)
+      | _ -> List.rev acc
+    in
+    let mapping = rest [ first ] in
+    expect st Tlparen "'(' after the renaming list";
+    let e = parse_expr st in
+    expect st Trparen "')'";
+    Expr.Rename (mapping, e)
+  | _ -> err (pos st) "expected a relation, '(', 'select', or 'project'"
+
+(* --- entry points -------------------------------------------------------- *)
+
+let with_state src f =
+  let st = { toks = tokenize src; src_len = String.length src } in
+  let result = f st in
+  (match st.toks with
+  | [] -> ()
+  | (p, _) :: _ -> err p "trailing input");
+  result
+
+let expr src = with_state src parse_expr
+let predicate src = with_state src parse_pred
+let attrs src = with_state src parse_attr_list

@@ -1,0 +1,46 @@
+(** Concrete syntax for algebra expressions and selection conditions.
+
+    A small textual form of the view-definition language, used by the
+    CLI and handy in tests:
+
+    {v
+    project r1, r3, s1, s2 (
+      select r4 = 100 and r3 < 200 (R)
+      join on r2 = s1
+      select s3 < 50 (S)
+    )
+    v}
+
+    Grammar (informally):
+    {v
+    expr     ::= joinexpr (("union" | "minus") joinexpr)*
+    joinexpr ::= primary ("join" ["on" pred] primary)*
+    primary  ::= IDENT
+               | "(" expr ")"
+               | "select" pred "(" expr ")"
+               | "project" IDENT ("," IDENT)* "(" expr ")"
+    pred     ::= conj ("or" conj)*
+    conj     ::= unit ("and" unit)*
+    unit     ::= "not" unit | "true" | "false"
+               | term ("=" | "<>" | "<" | "<=" | ">" | ">=") term
+               | "(" pred ")"
+    term     ::= factor (("+" | "-") factor)*
+    factor   ::= atom (("*" | "/") atom)*
+    atom     ::= INT | FLOAT | 'STRING' | IDENT | "-" atom | "(" term ")"
+    v}
+
+    Keywords are case-insensitive; identifiers are
+    [[A-Za-z_][A-Za-z0-9_']*] (primes allowed, so VDP node names like
+    [R'] parse). *)
+
+exception Parse_error of string
+(** Carries a message with the offending position. *)
+
+val expr : string -> Expr.t
+(** Parse a full algebra expression. @raise Parse_error. *)
+
+val predicate : string -> Predicate.t
+(** Parse a selection condition. @raise Parse_error. *)
+
+val attrs : string -> string list
+(** Parse a comma-separated attribute list. @raise Parse_error. *)

@@ -1,0 +1,154 @@
+type term =
+  | Const of Value.t
+  | Attr of string
+  | Neg of term
+  | Add of term * term
+  | Sub of term * term
+  | Mul of term * term
+  | Div of term * term
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * term * term
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let attr name = Attr name
+let int i = Const (Value.Int i)
+let str s = Const (Value.Str s)
+let flt f = Const (Value.Float f)
+
+let eq a b = Cmp (Eq, a, b)
+let ne a b = Cmp (Ne, a, b)
+let lt a b = Cmp (Lt, a, b)
+let le a b = Cmp (Le, a, b)
+let gt a b = Cmp (Gt, a, b)
+let ge a b = Cmp (Ge, a, b)
+
+let conj = function
+  | [] -> True
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let disj = function
+  | [] -> False
+  | p :: ps -> List.fold_left (fun acc q -> Or (acc, q)) p ps
+
+let eq_attrs a b = Cmp (Eq, Attr a, Attr b)
+
+let rec eval_term term tuple =
+  match term with
+  | Const v -> v
+  | Attr a -> Tuple.get tuple a
+  | Neg t -> Value.neg (eval_term t tuple)
+  | Add (a, b) -> Value.add (eval_term a tuple) (eval_term b tuple)
+  | Sub (a, b) -> Value.sub (eval_term a tuple) (eval_term b tuple)
+  | Mul (a, b) -> Value.mul (eval_term a tuple) (eval_term b tuple)
+  | Div (a, b) -> Value.div (eval_term a tuple) (eval_term b tuple)
+
+let eval_cmp op a b =
+  match a, b with
+  | Value.Null, _ | _, Value.Null -> false
+  | _ -> (
+    let c = Value.compare a b in
+    match op with
+    | Eq -> c = 0
+    | Ne -> c <> 0
+    | Lt -> c < 0
+    | Le -> c <= 0
+    | Gt -> c > 0
+    | Ge -> c >= 0)
+
+let rec eval p tuple =
+  match p with
+  | True -> true
+  | False -> false
+  | Cmp (op, a, b) -> eval_cmp op (eval_term a tuple) (eval_term b tuple)
+  | And (a, b) -> eval a tuple && eval b tuple
+  | Or (a, b) -> eval a tuple || eval b tuple
+  | Not a -> not (eval a tuple)
+
+module Sset = Set.Make (String)
+
+let rec term_attr_set = function
+  | Const _ -> Sset.empty
+  | Attr a -> Sset.singleton a
+  | Neg t -> term_attr_set t
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+    Sset.union (term_attr_set a) (term_attr_set b)
+
+let rec attr_set = function
+  | True | False -> Sset.empty
+  | Cmp (_, a, b) -> Sset.union (term_attr_set a) (term_attr_set b)
+  | And (a, b) | Or (a, b) -> Sset.union (attr_set a) (attr_set b)
+  | Not a -> attr_set a
+
+let attrs p = Sset.elements (attr_set p)
+let term_attrs t = Sset.elements (term_attr_set t)
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | True -> []
+  | p -> [ p ]
+
+let equi_pairs p =
+  List.filter_map
+    (function Cmp (Eq, Attr a, Attr b) -> Some (a, b) | _ -> None)
+    (conjuncts p)
+
+let rec simplify = function
+  | And (a, b) -> (
+    match simplify a, simplify b with
+    | True, q | q, True -> q
+    | False, _ | _, False -> False
+    | a, b -> And (a, b))
+  | Or (a, b) -> (
+    match simplify a, simplify b with
+    | False, q | q, False -> q
+    | True, _ | _, True -> True
+    | a, b -> Or (a, b))
+  | Not a -> (
+    match simplify a with
+    | True -> False
+    | False -> True
+    | a -> Not a)
+  | p -> p
+
+let restrict_to p names =
+  let allowed = Sset.of_list names in
+  let keep q = Sset.subset (attr_set q) allowed in
+  simplify (conj (List.filter keep (conjuncts p)))
+
+let equal a b = Stdlib.compare a b = 0
+let compare = Stdlib.compare
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_term fmt = function
+  | Const v -> Value.pp fmt v
+  | Attr a -> Format.pp_print_string fmt a
+  | Neg t -> Format.fprintf fmt "-(%a)" pp_term t
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_term a pp_term b
+  | Sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp_term a pp_term b
+  | Mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp_term a pp_term b
+  | Div (a, b) -> Format.fprintf fmt "(%a / %a)" pp_term a pp_term b
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Cmp (op, a, b) ->
+    Format.fprintf fmt "%a %s %a" pp_term a (cmp_to_string op) pp_term b
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "not (%a)" pp a
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,75 @@
+module Smap = Map.Make (String)
+
+type t = Value.t Smap.t
+
+let empty = Smap.empty
+let of_list l = List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty l
+let to_list t = Smap.bindings t
+
+let get t name =
+  match Smap.find_opt name t with
+  | Some v -> v
+  | None -> raise Not_found
+
+let find_opt t name = Smap.find_opt name t
+let mem t name = Smap.mem name t
+let set t name v = Smap.add name v t
+let attrs t = List.map fst (Smap.bindings t)
+let arity t = Smap.cardinal t
+
+let project t names =
+  List.fold_left (fun acc n -> Smap.add n (get t n) acc) Smap.empty names
+
+let agree_on a b names =
+  List.for_all (fun n -> Value.equal (get a n) (get b n)) names
+
+let concat a b =
+  let ok = ref true in
+  let merged =
+    Smap.union
+      (fun _ va vb ->
+        if Value.equal va vb then Some va
+        else begin
+          ok := false;
+          Some va
+        end)
+      a b
+  in
+  if !ok then Some merged else None
+
+let matches_schema t schema =
+  arity t = Schema.arity schema
+  && List.for_all
+       (fun (name, ty) ->
+         match find_opt t name with
+         | None -> false
+         | Some Value.Null -> true
+         | Some v -> Value.ty_of v = Some ty)
+       (Schema.typed_attrs schema)
+
+let compare = Smap.compare Value.compare
+let equal = Smap.equal Value.equal
+
+let hash t =
+  Smap.fold (fun k v acc -> Hashtbl.hash (acc, k, Value.hash v)) t 17
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt (k, v) -> Format.fprintf fmt "%s=%a" k Value.pp v))
+    (Smap.bindings t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,49 @@
+(** Tuples: finite maps from attribute names to values.
+
+    Attribute-based (rather than positional) tuples match the paper's
+    attribute-based relational algebra: projection, natural join and
+    delta filtering all operate by attribute name. *)
+
+type t
+
+val empty : t
+
+val of_list : (string * Value.t) list -> t
+(** Later bindings override earlier ones. *)
+
+val to_list : t -> (string * Value.t) list
+(** Bindings in attribute-name order. *)
+
+val get : t -> string -> Value.t
+(** @raise Not_found if the attribute is absent. *)
+
+val find_opt : t -> string -> Value.t option
+val mem : t -> string -> bool
+val set : t -> string -> Value.t -> t
+val attrs : t -> string list
+val arity : t -> int
+
+val project : t -> string list -> t
+(** Keep only the named attributes. @raise Not_found if one is absent. *)
+
+val agree_on : t -> t -> string list -> bool
+(** [agree_on a b names] is true when [a] and [b] carry equal values for
+    every attribute in [names]. @raise Not_found if absent on either side. *)
+
+val concat : t -> t -> t option
+(** Merge of two tuples, as used by natural join: [None] when the tuples
+    disagree on a shared attribute, otherwise the union of bindings. *)
+
+val matches_schema : t -> Schema.t -> bool
+(** True when the tuple binds exactly the schema's attributes, with
+    values of the declared types ([Null] matches any type). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

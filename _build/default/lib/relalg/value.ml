@@ -1,0 +1,101 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = TBool | TInt | TFloat | TStr
+
+exception Type_error of string
+
+let ty_of = function
+  | Null -> None
+  | Bool _ -> Some TBool
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Str _ -> Some TStr
+
+let tag = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 2 (* numerics share a tag so Int/Float compare numerically *)
+  | Str _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | (Null | Bool _ | Int _ | Float _ | Str _), _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 1 else 2
+  | Int i -> Hashtbl.hash (2, i)
+  | Float f ->
+    (* keep Int/Float hash-compatible when the float is integral *)
+    if Float.is_integer f && Float.abs f < 1e18 then Hashtbl.hash (2, int_of_float f)
+    else Hashtbl.hash (3, f)
+  | Str s -> Hashtbl.hash (4, s)
+
+let type_error op a b =
+  raise
+    (Type_error
+       (Printf.sprintf "%s: non-numeric operands (%s, %s)" op
+          (match a with Null -> "null" | Bool _ -> "bool" | Int _ -> "int"
+                      | Float _ -> "float" | Str _ -> "string")
+          (match b with Null -> "null" | Bool _ -> "bool" | Int _ -> "int"
+                      | Float _ -> "float" | Str _ -> "string")))
+
+let arith name int_op float_op a b =
+  match a, b with
+  | Int x, Int y -> Int (int_op x y)
+  | Float x, Float y -> Float (float_op x y)
+  | Int x, Float y -> Float (float_op (float_of_int x) y)
+  | Float x, Int y -> Float (float_op x (float_of_int y))
+  | _ -> type_error name a b
+
+let add a b = arith "add" ( + ) ( +. ) a b
+let sub a b = arith "sub" ( - ) ( -. ) a b
+let mul a b = arith "mul" ( * ) ( *. ) a b
+let div a b = arith "div" ( / ) ( /. ) a b
+
+let neg = function
+  | Int x -> Int (-x)
+  | Float x -> Float (-.x)
+  | v -> type_error "neg" v v
+
+let lt a b =
+  match a, b with
+  | Null, _ | _, Null -> false
+  | _ -> compare a b < 0
+
+let le a b =
+  match a, b with
+  | Null, _ | _, Null -> false
+  | _ -> compare a b <= 0
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let ty_to_string = function
+  | TBool -> "bool"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TStr -> "string"
+
+let pp_ty fmt ty = Format.pp_print_string fmt (ty_to_string ty)

@@ -1,0 +1,53 @@
+(** Atomic values stored in relations.
+
+    The Squirrel view-definition language is relational; tuples carry
+    typed atomic values. [Null] is included for completeness (it arises
+    when outer data is missing) but the algorithms of the paper never
+    produce it; comparisons involving [Null] are three-valued-collapsed
+    to [false]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+(** Runtime types of values. *)
+type ty = TBool | TInt | TFloat | TStr
+
+val ty_of : t -> ty option
+(** [ty_of v] is the type of [v], or [None] for [Null]. *)
+
+val compare : t -> t -> int
+(** Total order used for deterministic relation storage. Values of
+    distinct types are ordered by type tag; [Int] and [Float] compare
+    numerically against each other. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+exception Type_error of string
+(** Raised by arithmetic on non-numeric operands. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Numeric arithmetic with int/float promotion.
+    @raise Type_error on non-numeric operands.
+    @raise Division_by_zero for integer division by zero. *)
+
+val neg : t -> t
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+(** Comparison following [compare], except any comparison involving
+    [Null] is [false]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val ty_to_string : ty -> string
+val pp_ty : Format.formatter -> ty -> unit

@@ -1,0 +1,27 @@
+type 'a t = {
+  engine : Engine.t;
+  delay : float;
+  handler : 'a -> unit;
+  mutable last_delivery : float;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create engine ~delay handler =
+  if delay < 0.0 then invalid_arg "Channel.create: negative delay";
+  { engine; delay; handler; last_delivery = neg_infinity; sent = 0; delivered = 0 }
+
+let send t msg =
+  t.sent <- t.sent + 1;
+  let arrival =
+    Float.max (Engine.now t.engine +. t.delay) t.last_delivery
+  in
+  t.last_delivery <- arrival;
+  Engine.schedule_at t.engine ~time:arrival (fun () ->
+      t.delivered <- t.delivered + 1;
+      t.handler msg)
+
+let delay t = t.delay
+let sent_count t = t.sent
+let delivered_count t = t.delivered
+let in_flight t = t.sent - t.delivered

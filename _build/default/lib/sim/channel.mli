@@ -1,0 +1,23 @@
+(** Ordered, delayed, reliable message channels.
+
+    Sec. 4's correctness argument assumes "the messages transferred
+    from one source database to the mediator must be in order": a
+    channel delivers messages FIFO, each after (at least) the channel's
+    delay — a later message is never delivered before an earlier one
+    even if delays would allow it. One channel models one direction of
+    one source-to-mediator link. *)
+
+type 'a t
+
+val create : Engine.t -> delay:float -> ('a -> unit) -> 'a t
+(** [create engine ~delay handler]: messages are delivered by invoking
+    [handler] (as a plain event, not a process) after [delay],
+    preserving send order. *)
+
+val send : 'a t -> 'a -> unit
+
+val delay : 'a t -> float
+val sent_count : 'a t -> int
+val delivered_count : 'a t -> int
+
+val in_flight : 'a t -> int

@@ -1,0 +1,144 @@
+exception Blocked_outside_process
+
+module Key = struct
+  type t = float * int
+
+  let compare (t1, s1) (t2, s2) =
+    match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+end
+
+module Queue_map = Map.Make (Key)
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable events : (unit -> unit) Queue_map.t;
+}
+
+let create () = { clock = 0.0; seq = 0; events = Queue_map.empty }
+
+let now t = t.clock
+
+let schedule_at t ~time callback =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %g is before current time %g" time
+         t.clock);
+  t.seq <- t.seq + 1;
+  t.events <- Queue_map.add (time, t.seq) callback t.events
+
+let schedule t ~delay callback =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) callback
+
+let pending t = Queue_map.cardinal t.events
+
+let run ?until t =
+  let continue_run () =
+    match Queue_map.min_binding_opt t.events with
+    | None -> false
+    | Some ((time, _), _) -> (
+      match until with Some u -> time <= u | None -> true)
+  in
+  while continue_run () do
+    let ((time, _) as key), callback = Queue_map.min_binding t.events in
+    t.events <- Queue_map.remove key t.events;
+    t.clock <- time;
+    callback ()
+  done;
+  match until with
+  | Some u when u > t.clock -> t.clock <- u
+  | Some _ | None -> ()
+
+(* --- process layer ---------------------------------------------------- *)
+
+type _ Effect.t +=
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+        (** [Suspend register]: capture the continuation, hand a resume
+            thunk to [register]; the process continues when the thunk
+            is invoked (exactly once). *)
+
+let spawn _t body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                register (fun () -> continue k ()))
+          | _ -> None);
+    }
+
+let suspend register =
+  try Effect.perform (Suspend register)
+  with Effect.Unhandled _ -> raise Blocked_outside_process
+
+let sleep t duration = suspend (fun resume -> schedule t ~delay:duration resume)
+
+module Ivar = struct
+  type 'a state = Empty of (unit -> unit) list | Full of 'a
+
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty [] }
+
+  let is_filled iv = match iv.state with Full _ -> true | Empty _ -> false
+
+  let fill engine iv v =
+    match iv.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+      iv.state <- Full v;
+      List.iter
+        (fun resume -> schedule engine ~delay:0.0 resume)
+        (List.rev waiters)
+
+  let read engine iv =
+    match iv.state with
+    | Full v -> v
+    | Empty _ ->
+      suspend (fun resume ->
+          match iv.state with
+          | Full _ -> schedule engine ~delay:0.0 resume
+          | Empty waiters -> iv.state <- Empty (resume :: waiters));
+      (match iv.state with
+      | Full v -> v
+      | Empty _ -> assert false)
+end
+
+module Mutex = struct
+  type t = { mutable locked : bool; waiters : (unit -> unit) Queue.t }
+
+  let create () = { locked = false; waiters = Queue.create () }
+
+  let lock engine m =
+    if not m.locked then m.locked <- true
+    else begin
+      suspend (fun resume -> Queue.add resume m.waiters);
+      (* woken holding the lock: unlock passes ownership directly *)
+      ignore engine
+    end
+
+  let unlock engine m =
+    if not m.locked then invalid_arg "Mutex.unlock: not locked";
+    match Queue.take_opt m.waiters with
+    | Some resume ->
+      (* keep [locked]; ownership transfers to the next waiter *)
+      schedule engine ~delay:0.0 resume
+    | None -> m.locked <- false
+
+  let with_lock engine m f =
+    lock engine m;
+    match f () with
+    | v ->
+      unlock engine m;
+      v
+    | exception e ->
+      unlock engine m;
+      raise e
+end

@@ -1,0 +1,1 @@
+lib/source/message.ml: Bag Delta Engine Format List Multi_delta Relalg Sim

@@ -1,0 +1,1 @@
+lib/source/message.mli: Bag Delta Engine Format Multi_delta Relalg Sim

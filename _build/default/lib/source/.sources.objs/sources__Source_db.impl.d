@@ -1,0 +1,1 @@
+lib/source/source_db.ml: Bag Channel Delta Engine Eval Format List Message Multi_delta Option Predicate Rel_delta Relalg Schema Sim

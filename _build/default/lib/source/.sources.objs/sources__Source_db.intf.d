@@ -1,0 +1,1 @@
+lib/source/source_db.mli: Bag Delta Engine Expr Message Multi_delta Predicate Relalg Schema Sim

@@ -1,0 +1,29 @@
+open Relalg
+open Delta
+open Sim
+
+type update = {
+  source : string;
+  version : int;
+  commit_time : float;
+  send_time : float;
+  delta : Multi_delta.t;
+}
+
+type answer = {
+  answer_source : string;
+  answer_version : int;
+  state_time : float;
+  results : (string * Bag.t) list;
+}
+
+type t = Update of update | Answer of answer Engine.Ivar.t * answer
+
+let pp fmt = function
+  | Update u ->
+    Format.fprintf fmt "update[%s v%d @%g: %d atoms]" u.source u.version
+      u.send_time
+      (Multi_delta.atom_count u.delta)
+  | Answer (_, a) ->
+    Format.fprintf fmt "answer[%s v%d: %d relations]" a.answer_source
+      a.answer_version (List.length a.results)

@@ -1,0 +1,213 @@
+open Relalg
+open Delta
+open Sim
+
+exception Source_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Source_error s)) fmt
+
+type announce_mode = Immediate | Periodic of float | Never
+
+type link = {
+  channel : Message.t Channel.t;
+  q_proc_delay : float;
+  comm_delay : float;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  schemas : (string * Schema.t) list;
+  mutable tables : (string * Bag.t) list;
+  mutable version : int;
+  mutable history : (float * int * (string * Bag.t) list) list; (* newest first *)
+  announce : announce_mode;
+  mutable pending : Multi_delta.t;
+  mutable pending_version : int; (* version after last staged commit *)
+  mutable pending_commit_time : float;
+  mutable announced_version : int; (* last version covered by a message *)
+  mutable filters : (string * (string list * Predicate.t)) list;
+  mutable link : link option;
+  mutable announcements : int;
+  mutable polls : int;
+}
+
+let create ~engine ~name ~relations ~announce () =
+  let tables = List.map (fun (n, s) -> (n, Bag.empty s)) relations in
+  {
+    engine;
+    name;
+    schemas = relations;
+    tables;
+    version = 0;
+    history = [ (Engine.now engine, 0, tables) ];
+    announce;
+    pending = Multi_delta.empty;
+    pending_version = 0;
+    pending_commit_time = Engine.now engine;
+    announced_version = 0;
+    filters = [];
+    link = None;
+    announcements = 0;
+    polls = 0;
+  }
+
+let name t = t.name
+let engine t = t.engine
+let relation_names t = List.map fst t.schemas
+
+let schema t rel =
+  match List.assoc_opt rel t.schemas with
+  | Some s -> s
+  | None -> err "source %s has no relation %S" t.name rel
+
+let current t rel =
+  match List.assoc_opt rel t.tables with
+  | Some b -> b
+  | None -> err "source %s has no relation %S" t.name rel
+
+let version t = t.version
+
+let set_filter t ~relation ~attrs ~cond =
+  let schema = schema t relation in
+  List.iter
+    (fun a ->
+      if not (Schema.mem schema a) then
+        err "set_filter: %S has no attribute %S" relation a)
+    (attrs @ Predicate.attrs cond);
+  t.filters <- (relation, (attrs, cond)) :: List.remove_assoc relation t.filters
+
+let filter_delta t rel d =
+  match List.assoc_opt rel t.filters with
+  | None -> d
+  | Some (attrs, cond) -> Rel_delta.project attrs (Rel_delta.select cond d)
+
+let flush_announcements t =
+  match t.link with
+  | None -> ()
+  | Some link ->
+    if t.announce <> Never && t.pending_version > t.announced_version then begin
+      Channel.send link.channel
+        (Message.Update
+           {
+             source = t.name;
+             version = t.pending_version;
+             commit_time = t.pending_commit_time;
+             send_time = Engine.now t.engine;
+             delta = t.pending;
+           });
+      t.announcements <- t.announcements + 1;
+      t.announced_version <- t.pending_version;
+      t.pending <- Multi_delta.empty
+    end
+
+let connect t ~comm_delay ~q_proc_delay handler =
+  if Option.is_some t.link then err "source %s already connected" t.name;
+  let channel = Channel.create t.engine ~delay:comm_delay handler in
+  t.link <- Some { channel; q_proc_delay; comm_delay };
+  match t.announce with
+  | Periodic period ->
+    let rec announcer () =
+      Engine.sleep t.engine period;
+      flush_announcements t;
+      announcer ()
+    in
+    Engine.spawn t.engine announcer
+  | Immediate | Never -> ()
+
+let load t rel bag =
+  if t.version <> 0 then err "source %s: load after first commit" t.name;
+  ignore (schema t rel);
+  t.tables <- (rel, bag) :: List.remove_assoc rel t.tables;
+  (* version 0 snapshot reflects the loads *)
+  t.history <- [ (Engine.now t.engine, 0, t.tables) ]
+
+let commit t delta =
+  List.iter
+    (fun rel ->
+      if not (List.mem_assoc rel t.schemas) then
+        err "source %s: delta mentions unknown relation %S" t.name rel)
+    (Multi_delta.relations delta);
+  t.tables <-
+    List.map
+      (fun (rel, bag) ->
+        match Multi_delta.find delta rel with
+        | Some d -> (rel, Rel_delta.apply bag d)
+        | None -> (rel, bag))
+      t.tables;
+  t.version <- t.version + 1;
+  let now = Engine.now t.engine in
+  t.history <- (now, t.version, t.tables) :: t.history;
+  let staged =
+    List.fold_left
+      (fun acc rel ->
+        match Multi_delta.find delta rel with
+        | Some d ->
+          let filtered = filter_delta t rel d in
+          if Rel_delta.is_empty filtered then acc
+          else Multi_delta.add acc rel filtered
+        | None -> acc)
+      Multi_delta.empty
+      (Multi_delta.relations delta)
+  in
+  t.pending <- Multi_delta.smash t.pending staged;
+  t.pending_version <- t.version;
+  t.pending_commit_time <- now;
+  match t.announce with
+  | Immediate -> flush_announcements t
+  | Periodic _ | Never -> ()
+
+let poll t queries =
+  match t.link with
+  | None -> err "source %s: poll before connect" t.name
+  | Some link ->
+    (* request travels to the source, then waits out the source's
+       processing time *)
+    Engine.sleep t.engine link.comm_delay;
+    Engine.sleep t.engine link.q_proc_delay;
+    (* from here to the send the source acts atomically: the flush
+       (ECA precondition — the answer must not reflect updates the
+       mediator cannot see), the evaluation, and the version stamp all
+       observe the same state, and FIFO delivery puts the flushed
+       announcement ahead of the answer *)
+    flush_announcements t;
+    t.polls <- t.polls + 1;
+    let env rel = List.assoc_opt rel t.tables in
+    let results =
+      List.map (fun (label, expr) -> (label, Eval.eval ~env expr)) queries
+    in
+    let answer =
+      {
+        Message.answer_source = t.name;
+        answer_version = t.version;
+        state_time = Engine.now t.engine;
+        results;
+      }
+    in
+    let ivar = Engine.Ivar.create () in
+    Channel.send link.channel (Message.Answer (ivar, answer));
+    Engine.Ivar.read t.engine ivar
+
+let history t = List.rev t.history
+
+let state_at_version t v =
+  match List.find_opt (fun (_, v', _) -> v' = v) t.history with
+  | Some (_, _, state) -> state
+  | None -> err "source %s has no version %d" t.name v
+
+let commit_time_of_version t v =
+  match List.find_opt (fun (_, v', _) -> v' = v) t.history with
+  | Some (time, _, _) -> time
+  | None -> err "source %s has no version %d" t.name v
+
+let next_commit_time_after t v =
+  (* history is newest-first *)
+  let rec scan = function
+    | (time, v', _) :: rest ->
+      if v' = v + 1 then Some time else if v' <= v then None else scan rest
+    | [] -> None
+  in
+  scan t.history
+
+let announcements_sent t = t.announcements
+let polls_served t = t.polls

@@ -1,0 +1,108 @@
+(** Simulated autonomous source databases.
+
+    A source database owns a set of relations, commits transactions
+    against them, and interacts with a mediator in exactly the two
+    ways the paper's algorithms rely on:
+
+    {ul
+    {- {b active announcement} of net update deltas (for
+       materialized- and hybrid-contributors): commits accumulate into
+       a pending net delta which is flushed onto the FIFO channel —
+       immediately, or periodically (the paper's [ann_delay]);}
+    {- {b query answering} (for hybrid- and virtual-contributors):
+       [poll] evaluates a batch of algebra queries against one state
+       of the source (a single source transaction, Sec. 6.3) and
+       returns the answer through the same FIFO channel, after
+       flushing pending announcements so the answer never reflects
+       updates the mediator cannot yet see.}}
+
+    Every commit produces a new {e version}; the full version history
+    (with state snapshots — persistent bags make this cheap) is kept
+    so the correctness checker of Sec. 3 can evaluate what the view
+    {e should} have reflected. *)
+
+open Relalg
+open Delta
+open Sim
+
+type t
+
+type announce_mode =
+  | Immediate  (** flush the net delta at every commit *)
+  | Periodic of float  (** flush every [ann_delay] time units *)
+  | Never  (** virtual contributor: never announces *)
+
+exception Source_error of string
+
+val create :
+  engine:Engine.t ->
+  name:string ->
+  relations:(string * Schema.t) list ->
+  announce:announce_mode ->
+  unit ->
+  t
+
+val connect :
+  t -> comm_delay:float -> q_proc_delay:float -> (Message.t -> unit) -> unit
+(** Attach the mediator end: messages (announcements and answers) are
+    delivered to the handler over a FIFO channel with [comm_delay].
+    [q_proc_delay] is the source's query-processing time. Starts the
+    periodic announcer if the mode is [Periodic]. *)
+
+val name : t -> string
+val engine : t -> Engine.t
+val schema : t -> string -> Schema.t
+val relation_names : t -> string list
+
+val load : t -> string -> Bag.t -> unit
+(** Set a relation's initial (version 0) contents. Only before the
+    first commit. @raise Source_error otherwise. *)
+
+val set_filter :
+  t -> relation:string -> attrs:string list -> cond:Predicate.t -> unit
+(** Install the "filter the incremental updates at the source" 
+    optimization (Sec. 6.2): announcements for the relation carry only
+    the atoms satisfying [cond], projected onto [attrs] (which must
+    cover the attributes of [cond] and of every leaf-parent definition
+    over this relation — {!Squirrel.Mediator} computes this from the
+    VDP). Commits whose announcement filters to nothing still produce
+    a version heartbeat so the mediator's reflect bookkeeping stays
+    exact. Polling is unaffected (polls see full relations).
+    @raise Source_error on unknown relations/attributes. *)
+
+val commit : t -> Multi_delta.t -> unit
+(** Apply a transaction atomically: bump the version, snapshot, and
+    stage the delta for announcement.
+    @raise Source_error on a delta mentioning unknown relations. *)
+
+val current : t -> string -> Bag.t
+val version : t -> int
+
+val flush_announcements : t -> unit
+(** Send the pending net delta now (no-op when nothing is pending or
+    the mode is [Never]). *)
+
+val poll : t -> (string * Expr.t) list -> Message.answer
+(** Evaluate labelled queries against a single state of the source and
+    wait for the answer to travel back. Must be called from a
+    simulation process. Pending announcements are flushed first so the
+    FIFO guarantees the ECA precondition (see {!Message}). *)
+
+(** {1 History access (for the correctness checker)} *)
+
+val history : t -> (float * int * (string * Bag.t) list) list
+(** Chronological [(commit_time, version, state)] list, starting with
+    version 0 at creation time. *)
+
+val state_at_version : t -> int -> (string * Bag.t) list
+(** @raise Source_error for an unknown version. *)
+
+val commit_time_of_version : t -> int -> float
+
+val next_commit_time_after : t -> int -> float option
+(** Time at which version [v] stopped being current, if it has. *)
+
+(** {1 Statistics} *)
+
+val announcements_sent : t -> int
+val polls_served : t -> int

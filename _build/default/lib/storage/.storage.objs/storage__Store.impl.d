@@ -1,0 +1,1 @@
+lib/storage/store.ml: Delta Format Hashtbl List Option Rel_delta String Table

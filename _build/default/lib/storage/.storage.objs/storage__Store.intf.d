@@ -1,0 +1,1 @@
+lib/storage/store.mli: Bag Delta Format Rel_delta Relalg Schema Table

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Bag Delta Eval Format Hashtbl List Predicate Rel_delta Relalg Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/table.mli: Bag Delta Format Rel_delta Relalg Schema Tuple Value

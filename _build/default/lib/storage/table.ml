@@ -1,0 +1,137 @@
+open Relalg
+open Delta
+
+exception Table_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Table_error s)) fmt
+
+module Key_table = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+  let hash key = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 key
+end)
+
+type index = { on : string list; entries : int Tuple.Map.t ref Key_table.t }
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable bag : Bag.t;
+  indexes : index list;
+}
+
+let make_index on = { on; entries = Key_table.create 64 }
+
+let create ?(indexes = []) ~name schema =
+  let key = Schema.key schema in
+  let index_specs =
+    let specs = if key <> [] then key :: indexes else indexes in
+    List.sort_uniq compare specs
+  in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun a ->
+          if not (Schema.mem schema a) then
+            err "index on unknown attribute %S of table %s" a name)
+        spec)
+    index_specs;
+  { name; schema; bag = Bag.empty schema; indexes = List.map make_index index_specs }
+
+let name t = t.name
+let schema t = t.schema
+
+let index_key index tuple = List.map (Tuple.get tuple) index.on
+
+let index_add index tuple mult =
+  let key = index_key index tuple in
+  match Key_table.find_opt index.entries key with
+  | Some cell ->
+    cell :=
+      Tuple.Map.update tuple
+        (function None -> Some mult | Some m -> Some (m + mult))
+        !cell
+  | None ->
+    Key_table.replace index.entries key (ref (Tuple.Map.singleton tuple mult))
+
+let index_remove index tuple mult =
+  let key = index_key index tuple in
+  match Key_table.find_opt index.entries key with
+  | None -> ()
+  | Some cell ->
+    cell :=
+      Tuple.Map.update tuple
+        (function
+          | None -> None
+          | Some m -> if m > mult then Some (m - mult) else None)
+        !cell;
+    if Tuple.Map.is_empty !cell then Key_table.remove index.entries key
+
+let insert ?(mult = 1) t tuple =
+  t.bag <- Bag.add ~mult t.bag tuple;
+  List.iter (fun ix -> index_add ix tuple mult) t.indexes
+
+let delete ?(mult = 1) t tuple =
+  let present = Bag.mult t.bag tuple in
+  if present > 0 then begin
+    let removed = min mult present in
+    t.bag <- Bag.remove ~mult:removed t.bag tuple;
+    List.iter (fun ix -> index_remove ix tuple removed) t.indexes
+  end
+
+let clear t =
+  t.bag <- Bag.empty t.schema;
+  List.iter (fun ix -> Key_table.reset ix.entries) t.indexes
+
+let load t bag =
+  clear t;
+  Bag.iter (fun tuple mult -> insert ~mult t tuple) bag
+
+let contents t = t.bag
+
+let apply_delta t delta =
+  Rel_delta.fold
+    (fun tuple m () ->
+      if m > 0 then insert ~mult:m t tuple else delete ~mult:(-m) t tuple)
+    delta ()
+
+let cardinal t = Bag.cardinal t.bag
+let support_cardinal t = Bag.support_cardinal t.bag
+let mem t tuple = Bag.mem t.bag tuple
+let mult t tuple = Bag.mult t.bag tuple
+
+let has_index_on t attrs = List.exists (fun ix -> ix.on = attrs) t.indexes
+
+let lookup t attrs values =
+  if List.length attrs <> List.length values then
+    err "lookup: %d attributes but %d values" (List.length attrs)
+      (List.length values);
+  List.iter
+    (fun a ->
+      if not (Schema.mem t.schema a) then
+        err "lookup: unknown attribute %S of table %s" a t.name)
+    attrs;
+  match List.find_opt (fun ix -> ix.on = attrs) t.indexes with
+  | Some ix -> (
+    Eval.charge_tuple_ops 1;
+    match Key_table.find_opt ix.entries values with
+    | None -> Bag.empty t.schema
+    | Some cell ->
+      Tuple.Map.fold
+        (fun tuple m acc -> Bag.add ~mult:m acc tuple)
+        !cell (Bag.empty t.schema))
+  | None ->
+    Eval.charge_tuple_ops (Bag.support_cardinal t.bag);
+    let pred =
+      Predicate.conj
+        (List.map2
+           (fun a v -> Predicate.eq (Predicate.attr a) (Predicate.Const v))
+           attrs values)
+    in
+    Bag.select pred t.bag
+
+let bytes_estimate t =
+  Bag.cardinal t.bag * Schema.arity t.schema * 8
+
+let pp fmt t = Format.fprintf fmt "table %s = %a" t.name Bag.pp t.bag

@@ -1,0 +1,56 @@
+(** Mutable stored relations with optional hash indexes.
+
+    A table holds the "current population" repository of a VDP node
+    (the ['R'] repository of Sec. 6.4). Tables are bags; set nodes
+    simply never acquire multiplicities above one. Secondary hash
+    indexes support the key-based lookups of Example 2.3 and give join
+    evaluation its cheap equality probes. *)
+
+open Relalg
+open Delta
+
+type t
+
+exception Table_error of string
+
+val create : ?indexes:string list list -> name:string -> Schema.t -> t
+(** [create ~indexes ~name schema] makes an empty table. Each element
+    of [indexes] is an attribute list to maintain a hash index on; the
+    schema's key (if any) is always indexed. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+
+val insert : ?mult:int -> t -> Tuple.t -> unit
+val delete : ?mult:int -> t -> Tuple.t -> unit
+(** Monus deletion (clamped at zero), keeping indexes in sync. *)
+
+val load : t -> Bag.t -> unit
+(** Replace the whole contents. *)
+
+val clear : t -> unit
+
+val contents : t -> Bag.t
+(** The current population (O(1): tables share the persistent bag). *)
+
+val apply_delta : t -> Rel_delta.t -> unit
+
+val cardinal : t -> int
+val support_cardinal : t -> int
+
+val mem : t -> Tuple.t -> bool
+val mult : t -> Tuple.t -> int
+
+val lookup : t -> string list -> Value.t list -> Bag.t
+(** [lookup t attrs values] returns all tuples with the given values
+    on [attrs], using a hash index when one exists on exactly those
+    attributes (in order), otherwise scanning.
+    @raise Table_error if an attribute is unknown. *)
+
+val has_index_on : t -> string list -> bool
+
+val bytes_estimate : t -> int
+(** Rough space estimate (for the space-vs-performance tables of the
+    Sec. 5.3 experiments): tuples * arity * word size. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/vdp/advisor.ml: Annotation Cost Derived_from Format Graph List Relalg Schema String

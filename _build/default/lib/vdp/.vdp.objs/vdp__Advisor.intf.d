@@ -1,0 +1,1 @@
+lib/vdp/advisor.mli: Annotation Cost Graph

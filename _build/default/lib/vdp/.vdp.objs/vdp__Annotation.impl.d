@@ -1,0 +1,1 @@
+lib/vdp/annotation.ml: Format Graph List Map Relalg Schema String

@@ -1,0 +1,1 @@
+lib/vdp/annotation.mli: Format Graph

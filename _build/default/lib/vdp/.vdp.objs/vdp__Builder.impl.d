@@ -1,0 +1,1 @@
+lib/vdp/builder.ml: Expr Format Graph Hashtbl List Option Predicate Printf Relalg Schema Set String

@@ -1,0 +1,1 @@
+lib/vdp/builder.mli: Expr Graph Relalg Schema

@@ -1,0 +1,1 @@
+lib/vdp/cost.ml: Annotation Expr Float Graph Hashtbl List Predicate Relalg Schema String

@@ -1,0 +1,1 @@
+lib/vdp/cost.mli: Annotation Graph Predicate Relalg

@@ -1,0 +1,1 @@
+lib/vdp/derived_from.ml: Expr Graph List Predicate Relalg Schema Set String

@@ -1,0 +1,1 @@
+lib/vdp/derived_from.mli: Expr Graph Predicate Relalg

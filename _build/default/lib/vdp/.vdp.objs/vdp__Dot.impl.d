@@ -1,0 +1,1 @@
+lib/vdp/dot.ml: Annotation Buffer Graph List Printf Relalg Schema String

@@ -1,0 +1,1 @@
+lib/vdp/dot.mli: Annotation Graph

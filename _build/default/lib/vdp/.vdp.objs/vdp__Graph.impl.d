@@ -1,0 +1,1 @@
+lib/vdp/graph.ml: Expr Format Hashtbl List Map Relalg Schema String

@@ -1,0 +1,1 @@
+lib/vdp/graph.mli: Expr Format Relalg Schema

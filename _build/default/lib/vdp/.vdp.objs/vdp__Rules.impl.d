@@ -1,0 +1,1 @@
+lib/vdp/rules.ml: Delta Expr Format Graph Inc_eval List Relalg String

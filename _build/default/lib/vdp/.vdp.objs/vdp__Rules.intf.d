@@ -1,0 +1,1 @@
+lib/vdp/rules.mli: Bag Delta Graph Rel_delta Relalg

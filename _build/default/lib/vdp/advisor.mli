@@ -1,0 +1,40 @@
+(** Annotation advisor implementing the heuristics of Sec. 5.3.
+
+    The paper gives "general suggestions about the trade-offs of
+    virtual and materialized approaches" rather than precise rules;
+    this advisor turns them into a deterministic procedure:
+
+    {ol
+    {- {b Leaf-parents} (auxiliary copies of remote data): materialize
+       a leaf-parent when the demand from its siblings' updates exceeds
+       its own maintenance traffic (Example 2.2: frequent updates to R
+       with rare updates to S make R' virtual and S' materialized).}
+    {- {b Expensive joins} (no usable equality): materialize at least
+       the key attributes from the underlying relations, so virtual
+       attributes can be fetched efficiently through the key
+       (Example 2.3 / Example 5.1's E).}
+    {- {b Cheap intermediate nodes}: a non-export node whose
+       definition is easy to evaluate from materialized children stays
+       virtual (Example 5.1's F).}
+    {- {b Export attributes}: materialize key attributes, attributes
+       needed by parents' propagation rules, and attributes whose
+       query-access frequency passes a threshold; leave rarely
+       accessed attributes virtual.}}
+
+    Every decision carries a human-readable justification. *)
+
+type config = {
+  access_threshold : float;
+      (** materialize an export attribute accessed by at least this
+          fraction of queries (default 0.25) *)
+  demand_factor : float;
+      (** materialize a leaf-parent when sibling demand >= factor *
+          own update rate (default 1.0) *)
+}
+
+val default_config : config
+
+val advise :
+  ?config:config -> Graph.t -> Cost.profile -> Annotation.t * string list
+(** The advised annotation plus one explanation line per non-default
+    decision. *)

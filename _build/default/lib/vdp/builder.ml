@@ -1,0 +1,328 @@
+open Relalg
+module Sset = Set.Make (String)
+
+exception Builder_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Builder_error s)) fmt
+
+type leaf_parent = {
+  lp_name : string;
+  leaf : string;
+  cond : Predicate.t; (* in the renamed namespace *)
+  renames : (string * string) list list; (* innermost first *)
+  mutable forced_attrs : Sset.t; (* attrs requested by explicit projections *)
+}
+
+type ir_node = { ir_name : string; ir_def : Expr.t; ir_export : bool }
+
+type t = {
+  source_of : string -> string option;
+  schema_of : string -> Schema.t option;
+  mutable leaves : string list; (* source relations used *)
+  mutable leaf_parents : leaf_parent list;
+  mutable ir : ir_node list; (* reverse order of definition *)
+  mutable counter : int;
+}
+
+let create ~source_of ~schema_of () =
+  { source_of; schema_of; leaves = []; leaf_parents = []; ir = []; counter = 0 }
+
+let is_node t name = List.exists (fun n -> String.equal n.ir_name name) t.ir
+
+let is_leaf_parent t name =
+  List.exists (fun lp -> String.equal lp.lp_name name) t.leaf_parents
+
+let is_source t name = Option.is_some (t.source_of name)
+
+let fresh_name t base =
+  t.counter <- t.counter + 1;
+  Printf.sprintf "%s_%d" base t.counter
+
+let leaf_parent_name t leaf =
+  let existing =
+    List.length
+      (List.filter (fun lp -> String.equal lp.leaf leaf) t.leaf_parents)
+  in
+  if existing = 0 then leaf ^ "'" else Printf.sprintf "%s'%d" leaf (existing + 1)
+
+let get_leaf_parent_gen t leaf renames cond =
+  match
+    List.find_opt
+      (fun lp ->
+        String.equal lp.leaf leaf
+        && Predicate.equal lp.cond cond
+        && lp.renames = renames)
+      t.leaf_parents
+  with
+  | Some lp -> lp
+  | None ->
+    if not (List.mem leaf t.leaves) then t.leaves <- leaf :: t.leaves;
+    let lp =
+      {
+        lp_name = leaf_parent_name t leaf;
+        leaf;
+        cond;
+        renames;
+        forced_attrs = Sset.empty;
+      }
+    in
+    t.leaf_parents <- lp :: t.leaf_parents;
+    lp
+
+let get_leaf_parent t leaf cond = get_leaf_parent_gen t leaf [] cond
+
+let get_renamed_leaf_parent t leaf renames cond =
+  get_leaf_parent_gen t leaf renames cond
+
+(* Strip a select/project/rename chain: returns (conditions, outermost
+   projection, renamings innermost-first, core). Conditions written
+   above a renaming are rewritten into the source namespace so the
+   whole chain normalizes to proj . sel . rename(s) . base. *)
+let rec strip_sp conds proj renames = function
+  | Expr.Select (p, e) -> strip_sp (p :: conds) proj renames e
+  | Expr.Project (a, e) ->
+    let proj = match proj with None -> Some a | Some _ -> proj in
+    strip_sp conds proj renames e
+  | Expr.Rename (m, e) -> strip_sp conds proj (m :: renames) e
+  | core -> (List.rev conds, proj, List.rev renames, core)
+
+let is_sp_over_single_name e =
+  match Expr.base_occurrences e with
+  | [ n ] -> Expr.is_select_project_of n e
+  | _ -> false
+
+let rebuild_chain conds proj core =
+  let with_sel = List.fold_left (fun e p -> Expr.select p e) core conds in
+  match proj with None -> with_sel | Some a -> Expr.project a with_sel
+
+(* Lower an expression over source relations / node names into an
+   expression over VDP node names, creating leaf-parents and
+   intermediate nodes as needed. [owner] provides a base name for
+   generated intermediates. *)
+let rec lower t ~owner expr =
+  let conds, proj, renames, core = strip_sp [] None [] expr in
+  match core with
+  | Expr.Base name when renames <> [] ->
+    if not (is_source t name) then
+      err "rename is only supported directly around source relations \
+           (leaf-parent definitions); %S is not a source" name;
+    let lp =
+      get_renamed_leaf_parent t name renames
+        (Predicate.simplify (Predicate.conj conds))
+    in
+    (match proj with
+    | Some attrs ->
+      lp.forced_attrs <- Sset.union lp.forced_attrs (Sset.of_list attrs)
+    | None -> ());
+    rebuild_chain [] proj (Expr.base lp.lp_name)
+  | Expr.Base name ->
+    if is_node t name || is_leaf_parent t name then
+      rebuild_chain conds proj (Expr.base name)
+    else if is_source t name then begin
+      let lp = get_leaf_parent t name (Predicate.simplify (Predicate.conj conds)) in
+      (match proj with
+      | Some attrs -> lp.forced_attrs <- Sset.union lp.forced_attrs (Sset.of_list attrs)
+      | None -> ());
+      rebuild_chain [] proj (Expr.base lp.lp_name)
+    end
+    else err "unknown relation or node %S" name
+  | Expr.Join (a, p, b) ->
+    let la = spj_child t ~owner a in
+    let lb = spj_child t ~owner b in
+    rebuild_chain conds proj (Expr.join ~on:p la lb)
+  | Expr.Union (a, b) ->
+    let la = setop_child t ~owner a in
+    let lb = setop_child t ~owner b in
+    rebuild_chain conds proj (Expr.union la lb)
+  | Expr.Diff (a, b) ->
+    let la = setop_child t ~owner a in
+    let lb = setop_child t ~owner b in
+    rebuild_chain conds proj (Expr.diff la lb)
+  | Expr.Select _ | Expr.Project _ | Expr.Rename _ ->
+    assert false (* stripped *)
+
+(* A child of a join must be SPJ over node names. *)
+and spj_child t ~owner expr =
+  let lowered = lower t ~owner expr in
+  if Expr.is_spj lowered then lowered else nodeify t ~owner lowered
+
+(* A child of a union/difference must be a select/project chain over a
+   single node (restriction (c)). *)
+and setop_child t ~owner expr =
+  let lowered = lower t ~owner expr in
+  if is_sp_over_single_name lowered then lowered
+  else nodeify t ~owner lowered
+
+and nodeify t ~owner lowered =
+  let name = fresh_name t owner in
+  t.ir <- { ir_name = name; ir_def = lowered; ir_export = false } :: t.ir;
+  Expr.base name
+
+let add_named t ~name ~export expr =
+  if is_node t name || is_leaf_parent t name || is_source t name then
+    err "name %S is already in use" name;
+  let def = lower t ~owner:name expr in
+  t.ir <- { ir_name = name; ir_def = def; ir_export = export } :: t.ir
+
+let add_export t ~name expr = add_named t ~name ~export:true expr
+let add_node t ~name expr = add_named t ~name ~export:false expr
+
+(* attributes of [child] that the definition [e] (over node names)
+   needs: condition attributes + attributes surviving to the output *)
+let needed_from ~schema_env e child_attrs =
+  let out_attrs =
+    match Expr.schema_of schema_env e with
+    | s -> Sset.of_list (Schema.attrs s)
+    | exception _ -> Sset.empty
+  in
+  let rec cond_attrs = function
+    | Expr.Base _ -> Sset.empty
+    | Expr.Select (p, e) -> Sset.union (Sset.of_list (Predicate.attrs p)) (cond_attrs e)
+    | Expr.Project (_, e) -> cond_attrs e
+    | Expr.Join (a, p, b) ->
+      Sset.union
+        (Sset.of_list (Predicate.attrs p))
+        (Sset.union (cond_attrs a) (cond_attrs b))
+    | Expr.Rename (_, e) -> cond_attrs e
+    | Expr.Union (a, b) | Expr.Diff (a, b) -> Sset.union (cond_attrs a) (cond_attrs b)
+  in
+  Sset.inter (Sset.of_list child_attrs) (Sset.union out_attrs (cond_attrs e))
+
+let build t =
+  let ir = List.rev t.ir in
+  let leaf_schema leaf =
+    match t.schema_of leaf with
+    | Some s -> s
+    | None -> err "no schema for source relation %S" leaf
+  in
+  (* the leaf schema as seen through the leaf-parent's renamings *)
+  let lp_renamed_schema lp =
+    List.fold_left
+      (fun schema mapping ->
+        try
+          Expr.schema_of
+            (fun _ -> schema)
+            (Expr.Rename (mapping, Expr.Base lp.leaf))
+        with Expr.Expr_error msg ->
+          err "leaf-parent %s: %s" lp.lp_name msg)
+      (leaf_schema lp.leaf) lp.renames
+  in
+  let provisional_env name =
+    match List.find_opt (fun lp -> String.equal lp.lp_name name) t.leaf_parents with
+    | Some lp -> lp_renamed_schema lp
+    | None -> (
+      match t.schema_of name with
+      | Some s -> s
+      | None -> (
+        (* derived IR node: compute lazily below *)
+        err "provisional_env: unresolved %S" name))
+  in
+  (* compute IR node schemas in definition order with full-width
+     leaf-parents, then shrink leaf-parents to what parents need *)
+  let node_schemas : (string, Schema.t) Hashtbl.t = Hashtbl.create 16 in
+  let env name =
+    match Hashtbl.find_opt node_schemas name with
+    | Some s -> s
+    | None -> provisional_env name
+  in
+  List.iter
+    (fun n ->
+      match Expr.schema_of env n.ir_def with
+      | s -> Hashtbl.replace node_schemas n.ir_name s
+      | exception Expr.Expr_error msg ->
+        err "definition of %S is ill-formed: %s" n.ir_name msg)
+    ir;
+  (* accumulate, per leaf-parent, the attributes its parents need *)
+  let lp_needs : (string, Sset.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun lp ->
+          if List.mem lp.lp_name (Expr.base_names n.ir_def) then begin
+            let child_attrs = Schema.attrs (lp_renamed_schema lp) in
+            let needed = needed_from ~schema_env:env n.ir_def child_attrs in
+            let prev =
+              match Hashtbl.find_opt lp_needs lp.lp_name with
+              | Some s -> s
+              | None -> lp.forced_attrs
+            in
+            Hashtbl.replace lp_needs lp.lp_name (Sset.union prev needed)
+          end)
+        t.leaf_parents)
+    ir;
+  let lp_final lp =
+    let full = Schema.attrs (lp_renamed_schema lp) in
+    let acc =
+      match Hashtbl.find_opt lp_needs lp.lp_name with
+      | Some s -> Sset.union s lp.forced_attrs
+      | None -> Sset.of_list full (* unused leaf-parent: keep everything *)
+    in
+    List.filter (fun a -> Sset.mem a acc) full
+  in
+  let leaf_nodes =
+    List.map
+      (fun leaf ->
+        let source =
+          match t.source_of leaf with
+          | Some s -> s
+          | None -> err "no source for relation %S" leaf
+        in
+        {
+          Graph.name = leaf;
+          schema = leaf_schema leaf;
+          kind = Graph.Leaf { source };
+          export = false;
+        })
+      (List.sort_uniq String.compare t.leaves)
+  in
+  let lp_nodes =
+    List.map
+      (fun lp ->
+        let renamed_s = lp_renamed_schema lp in
+        let keep = lp_final lp in
+        let def =
+          let base =
+            List.fold_left
+              (fun e mapping -> Expr.rename mapping e)
+              (Expr.base lp.leaf) lp.renames
+          in
+          let selected =
+            if Predicate.equal lp.cond Predicate.True then base
+            else Expr.select lp.cond base
+          in
+          if List.length keep = List.length (Schema.attrs renamed_s) then
+            selected
+          else Expr.project keep selected
+        in
+        {
+          Graph.name = lp.lp_name;
+          schema = Schema.project renamed_s keep;
+          kind = Graph.Derived def;
+          export = false;
+        })
+      (List.rev t.leaf_parents)
+  in
+  (* final env including shrunk leaf-parents *)
+  let final_env_tbl : (string, Schema.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun n -> Hashtbl.replace final_env_tbl n.Graph.name n.Graph.schema)
+    (leaf_nodes @ lp_nodes);
+  let derived_nodes =
+    List.map
+      (fun n ->
+        let env name =
+          match Hashtbl.find_opt final_env_tbl name with
+          | Some s -> s
+          | None -> err "unresolved name %S in %S" name n.ir_name
+        in
+        let schema = Expr.schema_of env n.ir_def in
+        Hashtbl.replace final_env_tbl n.ir_name schema;
+        {
+          Graph.name = n.ir_name;
+          schema;
+          kind = Graph.Derived n.ir_def;
+          export = n.ir_export;
+        })
+      ir
+  in
+  Graph.make (leaf_nodes @ lp_nodes @ derived_nodes)

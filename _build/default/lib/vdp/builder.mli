@@ -1,0 +1,50 @@
+(** Construction of VDPs from integrated-view specifications.
+
+    This is the planning half of the Squirrel generator ([ZHK95]): the
+    user states export relations as algebra expressions over source
+    relations; the builder decomposes them into a VDP that satisfies
+    the structural restrictions of Def. 5.1:
+
+    {ul
+    {- one leaf node per source relation used;}
+    {- one {e leaf-parent} node per (source relation, selection
+       condition) pair, absorbing the selections written around the
+       relation and projecting exactly the attributes that ancestors
+       need (so Example 2.1's [R'] keeps [r1,r2,r3], dropping the
+       selection attribute [r4]);}
+    {- intermediate nodes generated wherever the restrictions require
+       them (e.g. a join under a difference becomes its own node, like
+       [F] in Example 5.1);}
+    {- a node per export relation.}}
+
+    Expressions may also refer to previously added nodes by name
+    (Example 5.1's [G] refers to [E]), so multiple exports share
+    sub-plans. *)
+
+open Relalg
+
+type t
+
+exception Builder_error of string
+
+val create :
+  source_of:(string -> string option) ->
+  schema_of:(string -> Schema.t option) ->
+  unit ->
+  t
+(** [source_of rel] and [schema_of rel] describe the available source
+    relations (None = unknown name). *)
+
+val add_export : t -> name:string -> Expr.t -> unit
+(** Add an export relation. Names must be fresh.
+    @raise Builder_error on name clashes or unknown relations. *)
+
+val add_node : t -> name:string -> Expr.t -> unit
+(** Add a named non-export node (it must end up with a parent by
+    [build] time, or be promoted to export by Graph validation
+    failure). *)
+
+val build : t -> Graph.t
+(** Assemble and validate. Leaf-parent projections are computed here
+    from the needs of all their parents.
+    @raise Builder_error / Graph.Vdp_error on inconsistencies. *)

@@ -1,0 +1,66 @@
+(** Analytic cost model for annotated VDPs.
+
+    Sec. 5.3 frames the materialized-vs-virtual choice as space vs
+    performance. This model produces the rough estimates that drive
+    the {!Advisor} and the annotation-sweep experiment (E9):
+    cardinality propagation with default selectivities, per-node
+    evaluation cost classes, space, and expected query/update costs
+    under a workload profile. Measured tuple-operation counts from the
+    simulator are the ground truth; this model only needs to rank
+    alternatives the way the paper's informal reasoning does. *)
+
+open Relalg
+
+type profile = {
+  leaf_cardinality : string -> int;  (** estimated rows per leaf *)
+  update_rate : string -> float;
+      (** update transactions per unit time, per leaf *)
+  query_rate : string -> float;  (** queries per unit time, per export *)
+  attr_access : string -> string -> float;
+      (** fraction of queries on a node touching an attribute *)
+  selectivity : Predicate.t -> float;
+      (** estimated selectivity of a condition (use
+          [default_selectivity] when unknown) *)
+}
+
+val default_selectivity : Predicate.t -> float
+(** 0.1 per equality conjunct, 0.33 per inequality, 1.0 for [True]. *)
+
+val uniform_profile :
+  ?cardinality:int ->
+  ?update_rate:float ->
+  ?query_rate:float ->
+  ?attr_access:float ->
+  unit ->
+  profile
+
+val cardinality : Graph.t -> profile -> string -> int
+(** Estimated cardinality of any node. *)
+
+val eval_cost : Graph.t -> profile -> string -> float
+(** Estimated tuple operations to evaluate the node's definition from
+    its children's populations. Non-equi ("expensive") joins cost the
+    product of input cardinalities; equi joins are linear. *)
+
+val is_expensive_join : Graph.t -> string -> bool
+(** True when the node's definition contains a join with neither
+    shared attributes nor equi pairs (Sec. 5.3's "no index can be
+    used" case). *)
+
+type estimate = {
+  space_bytes : int;  (** materialized storage *)
+  update_cost : float;  (** expected maintenance ops per unit time *)
+  query_cost : float;  (** expected query ops per unit time *)
+}
+
+val estimate : Graph.t -> Annotation.t -> profile -> estimate
+(** Expected costs of operating the mediator under the profile with
+    the given annotation: materialized nodes incur maintenance
+    proportional to upstream update rates; virtual data touched by
+    queries (or by maintenance of materialized ancestors) incurs
+    evaluation — plus a polling penalty when the virtual data sits at
+    a leaf-parent. *)
+
+val total : estimate -> float
+(** [update_cost + query_cost] — the performance side of the
+    space/performance trade-off. *)

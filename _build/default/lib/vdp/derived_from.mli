@@ -1,0 +1,48 @@
+(** The [derived_from] function of Sec. 6.3.
+
+    [derived_from vdp ~node ~attrs ~cond] determines, for a request
+    [π_attrs σ_cond node], which projections/selections of the node's
+    children suffice to construct it: a list of triples
+    [(child, B, g)] meaning [π_B σ_g child] is needed.
+
+    For each child [S] of [def(node)]:
+    {ul
+    {- [B = (attrs ∩ attr(S)) ∪ D_S], where [D_S] are the attributes of
+       [S] used in select and join conditions inside the definition
+       (cases (1)–(3) of the paper);}
+    {- when the definition is a difference, [B] additionally includes
+       the definition's output attributes [C] (case (4)): membership of
+       whole tuples matters on both sides of a difference;}
+    {- [g] is [cond] restricted to the conjuncts mentioning only
+       attributes of [S] — a sound (possibly wider) push-down.}}
+
+    Children contributing no attributes are omitted. *)
+
+open Relalg
+
+val derived_from :
+  Graph.t ->
+  node:string ->
+  attrs:string list ->
+  cond:Predicate.t ->
+  (string * string list * Predicate.t) list
+(** @raise Graph.Vdp_error if [node] is a leaf or unknown.
+    @raise Schema.Schema_error if [attrs] is not within the node's
+    schema. *)
+
+val needed_attrs_of_children : Graph.t -> string -> (string * string list) list
+(** For update propagation: the attributes of each child that the
+    node's definition reads (condition attributes plus attributes
+    surviving to the node's schema). Equals
+    [derived_from ~attrs:(all of schema) ~cond:True] without the
+    selection components. *)
+
+val restrict_def :
+  Graph.t -> node:string -> attrs:string list -> cond:Predicate.t -> Expr.t
+(** [def node] with its internal projection lists narrowed to the
+    attributes needed to compute [π_attrs σ_cond node]: the request's
+    attributes, every condition attribute inside the definition, and —
+    for difference definitions — the full output width (set membership
+    is decided on whole tuples). The result evaluates correctly over
+    children restricted to their [derived_from] projections, and is
+    semantically equivalent to [def node] over full children. *)

@@ -1,0 +1,65 @@
+open Relalg
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_label ?annotation vdp name =
+  let node = Graph.node vdp name in
+  let attrs = Schema.attrs node.Graph.schema in
+  let attr_str =
+    match node.Graph.kind with
+    | Graph.Leaf _ -> String.concat ", " attrs
+    | Graph.Derived _ -> (
+      match annotation with
+      | None -> String.concat ", " attrs
+      | Some ann ->
+        String.concat ", "
+          (List.map
+             (fun a ->
+               match Annotation.mark ann ~node:name ~attr:a with
+               | Annotation.M -> a ^ "ᵐ"
+               | Annotation.V -> a ^ "ᵛ")
+             attrs))
+  in
+  Printf.sprintf "%s\\n[%s]" (escape name) (escape attr_str)
+
+let render ?annotation vdp =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph vdp {\n";
+  out "  rankdir=BT;\n";
+  out "  node [fontname=\"Helvetica\"];\n";
+  (* source databases below the dotted line: one cluster per source *)
+  List.iteri
+    (fun i source ->
+      out "  subgraph cluster_src_%d {\n" i;
+      out "    label=\"%s\"; style=dashed;\n" (escape source);
+      List.iter
+        (fun leaf ->
+          out "    \"%s\" [shape=box, label=\"%s\"];\n" (escape leaf)
+            (node_label ?annotation vdp leaf))
+        (Graph.leaves_of_source vdp source);
+      out "  }\n")
+    (Graph.sources vdp);
+  (* mediator nodes *)
+  List.iter
+    (fun node ->
+      let name = node.Graph.name in
+      let shape = if node.Graph.export then "doublecircle" else "ellipse" in
+      out "  \"%s\" [shape=%s, label=\"%s\"];\n" (escape name) shape
+        (node_label ?annotation vdp name))
+    (Graph.non_leaves vdp);
+  (* derivation edges, child -> parent (updates flow upward) *)
+  List.iter
+    (fun (parent, child) ->
+      out "  \"%s\" -> \"%s\";\n" (escape child) (escape parent))
+    (Graph.edges vdp);
+  out "}\n";
+  Buffer.contents buf

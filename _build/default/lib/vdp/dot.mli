@@ -1,0 +1,10 @@
+(** Graphviz rendering of (annotated) VDPs — the pictures of Figures 1
+    and 4.
+
+    Leaves draw as boxes grouped per source database (below the
+    paper's dotted line); export relations as double circles; nodes
+    are labelled with their attribute lists, superscripted m/v when an
+    annotation is supplied. *)
+
+val render : ?annotation:Annotation.t -> Graph.t -> string
+(** A complete [digraph] document; feed to [dot -Tsvg]. *)

@@ -1,0 +1,30 @@
+open Relalg
+open Delta
+
+let fire_node vdp ~env ~node child_deltas =
+  let def = Graph.def vdp node in
+  let deltas name = List.assoc_opt name child_deltas in
+  Inc_eval.delta_of_expr ~env ~deltas def
+
+let fire_edge vdp ~env ~node ~child delta =
+  fire_node vdp ~env ~node [ (child, delta) ]
+
+let describe_edge vdp ~node ~child =
+  let def = Graph.def vdp node in
+  let marked =
+    Expr.rewrite_bases
+      (fun n -> if String.equal n child then Expr.base ("Δ" ^ n) else Expr.base n)
+      def
+  in
+  Format.asprintf "on Δ(%s): Δ(%s) = %a" child node Expr.pp marked
+
+let describe vdp =
+  let lines =
+    List.concat_map
+      (fun node ->
+        List.map
+          (fun child -> describe_edge vdp ~node ~child)
+          (Graph.children vdp node))
+      (Graph.topo_order vdp)
+  in
+  String.concat "\n" lines

@@ -1,0 +1,1 @@
+lib/workload/datagen.ml: Bag List Random Relalg Schema Tuple Value

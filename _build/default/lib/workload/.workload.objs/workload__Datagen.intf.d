@@ -1,0 +1,1 @@
+lib/workload/datagen.mli: Bag Random Relalg Schema Tuple

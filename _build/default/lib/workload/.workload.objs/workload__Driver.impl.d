@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Bag Datagen Delta Engine List Med Mediator Multi_delta Predicate Random Rel_delta Relalg Schema Sim Source_db Sources Squirrel Tuple

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Bag Datagen Delta Mediator Multi_delta Predicate Random Relalg Source_db Sources Squirrel Tuple

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Annotation Bag Builder Datagen Engine Expr Fun Graph List Med Mediator Predicate Relalg Schema Sim Source_db Sources Squirrel String Tuple Value Vdp

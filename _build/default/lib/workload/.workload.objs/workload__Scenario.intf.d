@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Annotation Datagen Engine Graph Med Mediator Relalg Sim Source_db Sources Squirrel Vdp

@@ -1,0 +1,56 @@
+(** Update and query load drivers.
+
+    These spawn simulation processes that commit transactions at
+    source databases and pose queries at a mediator, at configurable
+    rates — the knobs behind the paper's "updates to relation R are
+    frequent, updates to relation S are infrequent" scenarios and the
+    query:update-ratio sweeps of experiment E8. *)
+
+open Relalg
+open Delta
+open Sources
+open Squirrel
+
+type update_load = {
+  u_relation : string;
+  u_interval : float;  (** time between commits *)
+  u_count : int;  (** number of commits to perform *)
+  u_delete_fraction : float;
+      (** probability a commit deletes an existing tuple instead of
+          inserting a fresh one (deletes pick a uniformly random
+          current tuple; a keyed insert replaces any tuple with the
+          same key, modelling an in-place modification) *)
+  u_specs : Datagen.column_spec list;
+}
+
+val update_process :
+  rng:Random.State.t -> src:Source_db.t -> update_load -> unit
+(** Spawn the committing process (first commit after one interval).
+    Key uniqueness is maintained for keyed relations. *)
+
+val single_insert : Source_db.t -> string -> Tuple.t -> Multi_delta.t
+val single_delete : Source_db.t -> string -> Tuple.t -> Multi_delta.t
+(** Convenience constructors for one-atom transactions (the delete
+    includes the key-replacement semantics used by [update_process]). *)
+
+type query_load = {
+  q_node : string;
+  q_interval : float;
+  q_count : int;
+  q_attr_sets : (string list * Predicate.t) list;
+      (** each query picks one (projection, condition) uniformly *)
+}
+
+type query_record = {
+  qr_time : float;
+  qr_attrs : string list;
+  qr_answer : Bag.t;
+}
+
+val query_process :
+  rng:Random.State.t ->
+  med:Mediator.t ->
+  query_load ->
+  query_record list ref
+(** Spawn the querying process; the returned cell accumulates answers
+    (newest first). *)

@@ -1,0 +1,145 @@
+(** Canonical integration environments from the paper, shared by the
+    tests, the examples, and the benchmark harness.
+
+    {b Figure 1 / Examples 2.1–2.3}: two source databases, [db1]
+    holding R(r1,r2,r3,r4) and [db2] holding S(s1,s2,s3), integrated
+    view T = π(σ_{r4=100} R ⋈_{r2=s1} σ_{s3<50} S).
+
+    {b Example 5.1 / Figure 4}: four sources holding A, B, C, D;
+    exports E = π(A ⋈_{a1²+a2<b2²} B) and G = π_{a1,b1}E − F with
+    F = π(C ⋈_{c1=d1} D). *)
+
+open Sim
+open Sources
+open Vdp
+open Squirrel
+
+type env = {
+  engine : Engine.t;
+  sources : Source_db.t list;
+  vdp : Graph.t;
+}
+
+val source : env -> string -> Source_db.t
+(** @raise Not_found on unknown name. *)
+
+(** {1 Figure 1 environment} *)
+
+val fig1_vdp : unit -> Graph.t
+(** Built with {!Vdp.Builder} from the Example 2.1 view definition. *)
+
+val make_fig1 :
+  ?seed:int ->
+  ?r_size:int ->
+  ?s_size:int ->
+  ?announce:Source_db.announce_mode ->
+  unit ->
+  env
+(** Sources [db1]/[db2] loaded with generated data: R keys [0..r_size),
+    [r2] ranging over S's key space, [r4 ∈ {100,200}], [s3 ∈ [0,100)]
+    — so selections and the join are all selective but non-empty. *)
+
+val fig1_update_specs : string -> Datagen.column_spec list
+(** Column generators for update drivers on "R" or "S" (same ranges
+    as the initial data). *)
+
+val ann_ex21 : Graph.t -> Annotation.t
+(** Example 2.1: everything materialized. *)
+
+val ann_ex22 : Graph.t -> Annotation.t
+(** Example 2.2: R′ virtual, S′ and T materialized. *)
+
+val ann_ex23 : Graph.t -> Annotation.t
+(** Example 2.3: T hybrid [r1^m, r3^v, s1^m, s2^v], R′ and S′ virtual. *)
+
+(** {1 Example 5.1 environment} *)
+
+val ex51_vdp : unit -> Graph.t
+
+val make_ex51 :
+  ?seed:int ->
+  ?size:int ->
+  ?announce:Source_db.announce_mode ->
+  unit ->
+  env
+
+val ex51_update_specs : string -> Datagen.column_spec list
+(** Column generators for leaves "A", "B", "C", "D". *)
+
+val ann_ex51 : Graph.t -> Annotation.t
+(** The paper's suggested annotation (Figure 4): B′ and F virtual,
+    E hybrid [a1^m, a2^v, b1^m], everything else materialized. *)
+
+(** {1 Assembly} *)
+
+val mediator :
+  env ->
+  annotation:Annotation.t ->
+  ?config:Med.config ->
+  ?delays:(string -> Mediator.delays) ->
+  unit ->
+  Mediator.t
+(** Create and connect a mediator over the environment's sources (the
+    periodic flusher starts immediately; call [Mediator.initialize]
+    from a process). *)
+
+val run_to_quiescence : env -> Mediator.t -> unit
+(** Drive the simulation until no load remains and the mediator has
+    caught up: runs the engine until only the periodic flusher keeps
+    it alive and the update queue is empty. *)
+
+(** {1 Retail environment (union views)}
+
+    The intro's motivating shape: two regional order databases whose
+    relations are merged by a {e union} node, joined with a customer
+    registry:
+
+    - [AllOrders = π(OrdersE) ∪ π(OrdersW)] (a bag-union export), and
+    - [Premium = π_{cust,region,amt}( σ_{amt ≥ 50} AllOrders ⋈ σ_{status=1} Cust )]
+      (natural join on [cust]).
+
+    This exercises the union propagation rule, restriction (c) node
+    shapes, and natural joins end-to-end. *)
+
+val schema_orders : Relalg.Schema.t
+(** Orders(oid*, cust, amt) — the shared (aligned) order schema. *)
+
+val retail_vdp : unit -> Graph.t
+
+val make_retail :
+  ?seed:int ->
+  ?orders:int ->
+  ?customers:int ->
+  ?announce:Source_db.announce_mode ->
+  unit ->
+  env
+(** Sources [dbEast] (OrdersE), [dbWest] (OrdersW), [dbCust] (Cust);
+    regional order keys are drawn from disjoint ranges. *)
+
+val retail_update_specs : string -> Datagen.column_spec list
+
+val ann_retail_hybrid : Graph.t -> Annotation.t
+(** Premium materialized; AllOrders virtual (it is derivable locally
+    from the materialized regional copies); leaf-parents materialized. *)
+
+(** {1 Federated retail (schema alignment via rename)}
+
+    Like the retail environment, but the west region's orders use
+    different attribute names — OrdersW(wid, client, amount) — aligned
+    by a [rename] in the view definition before the union. Exercises
+    renaming through the whole stack: builder, IUP delta filtering,
+    VAP polling, ECA, and source-side filtering. *)
+
+val schema_orders_west : Relalg.Schema.t
+
+val federated_vdp : unit -> Graph.t
+(** Single export [AllOrders = OrdersE ∪ ρ(OrdersW)]. *)
+
+val make_federated :
+  ?seed:int ->
+  ?orders:int ->
+  ?announce:Source_db.announce_mode ->
+  unit ->
+  env
+
+val federated_update_specs : string -> Datagen.column_spec list

@@ -1,0 +1,1 @@
+test/test_correctness.ml: Alcotest Bag Builder Checker Correctness Delta Engine Expr List Med Multi_delta Predicate Rel_delta Relalg Schema Sim Source_db Sources Squirrel Tuple Value Vdp

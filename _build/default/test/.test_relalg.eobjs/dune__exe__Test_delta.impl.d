@@ -1,0 +1,1 @@
+test/test_delta.ml: Alcotest Bag Delta Eval Expr Inc_eval List Multi_delta Option Predicate QCheck2 Rel_delta Relalg Schema String Tuple Tutil Value

@@ -1,0 +1,1 @@
+test/test_internals.ml: Advisor Alcotest Annotation Channel Cost Engine List Med Mediator Option Predicate Printf Qp Relalg Scenario Sim Squirrel String Vap Vdp Workload

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Eval Expr Parser Predicate Relalg Tutil Value

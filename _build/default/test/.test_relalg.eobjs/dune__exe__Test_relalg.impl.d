@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Bag Eval Expr Fd List Option Predicate QCheck2 Relalg Schema Tuple Tutil Value

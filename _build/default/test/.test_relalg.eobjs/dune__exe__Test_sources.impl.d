@@ -1,0 +1,1 @@
+test/test_sources.ml: Alcotest Bag Delta Engine Expr List Message Multi_delta Predicate Rel_delta Relalg Sim Source_db Sources Tuple Tutil

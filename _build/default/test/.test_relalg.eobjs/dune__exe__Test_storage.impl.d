@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bag Delta Option Rel_delta Relalg Storage Store Table Tuple Tutil Value

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Bag Delta Expr List Predicate QCheck2 QCheck_alcotest Rel_delta Relalg Schema Tuple Value

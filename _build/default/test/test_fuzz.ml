@@ -1,0 +1,174 @@
+(* Annotation-space fuzzing: the paper's framework claims ANY
+   per-attribute materialized/virtual annotation yields a correct
+   mediator. We sample random annotations over the three scenario
+   VDPs, run randomized update/query load (with same-batch cross
+   commits where applicable), and require (a) every logged query to
+   pass the Sec. 3 consistency checker and (b) final answers to equal
+   recomputation over the true source states. *)
+
+open Relalg
+open Vdp
+open Sim
+open Sources
+open Squirrel
+open Correctness
+open Workload
+
+let in_process env f =
+  let cell = ref None in
+  Engine.spawn env.Scenario.engine (fun () -> cell := Some (f ()));
+  let rec go n =
+    match !cell with
+    | Some v -> v
+    | None ->
+      if n > 100_000 then Alcotest.fail "no result";
+      Engine.run env.Scenario.engine
+        ~until:(Engine.now env.Scenario.engine +. 1.0);
+      go (n + 1)
+  in
+  go 0
+
+let recompute env node =
+  let env_fn leaf =
+    match Graph.node_opt env.Scenario.vdp leaf with
+    | Some { Graph.kind = Graph.Leaf { source }; _ } ->
+      Some (Source_db.current (Scenario.source env source) leaf)
+    | Some _ | None -> None
+  in
+  Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)
+
+(* a uniformly random annotation over the VDP's non-leaf attributes *)
+let random_annotation rng vdp =
+  Annotation.of_list vdp
+    (List.map
+       (fun node ->
+         ( node.Graph.name,
+           List.map
+             (fun a ->
+               (a, if Random.State.bool rng then Annotation.M else Annotation.V))
+             (Schema.attrs node.Graph.schema) ))
+       (Graph.non_leaves vdp))
+
+type fuzz_scenario = {
+  f_name : string;
+  f_make : int -> Source_db.announce_mode -> Scenario.env;
+  f_rels : (string * string) list;
+  f_specs : string -> Datagen.column_spec list;
+  f_exports : string list;
+}
+
+let scenarios =
+  [
+    {
+      f_name = "fig1";
+      f_make = (fun seed announce -> Scenario.make_fig1 ~seed ~announce ());
+      f_rels = [ ("db1", "R"); ("db2", "S") ];
+      f_specs = Scenario.fig1_update_specs;
+      f_exports = [ "T" ];
+    };
+    {
+      f_name = "ex51";
+      f_make = (fun seed announce -> Scenario.make_ex51 ~seed ~announce ());
+      f_rels = [ ("dbA", "A"); ("dbB", "B"); ("dbC", "C"); ("dbD", "D") ];
+      f_specs = Scenario.ex51_update_specs;
+      f_exports = [ "E"; "G" ];
+    };
+    {
+      f_name = "retail";
+      f_make = (fun seed announce -> Scenario.make_retail ~seed ~announce ());
+      f_rels = [ ("dbEast", "OrdersE"); ("dbWest", "OrdersW"); ("dbCust", "Cust") ];
+      f_specs = Scenario.retail_update_specs;
+      f_exports = [ "AllOrders"; "Premium" ];
+    };
+    {
+      f_name = "federated";
+      f_make = (fun seed announce -> Scenario.make_federated ~seed ~announce ());
+      f_rels = [ ("dbEast", "OrdersE"); ("dbWest", "OrdersW") ];
+      f_specs = Scenario.federated_update_specs;
+      f_exports = [ "AllOrders" ];
+    };
+  ]
+
+let fuzz_once ?(announce = Source_db.Immediate) sc ~seed ~filtering =
+  let rng = Random.State.make [| seed; 0xF22 |] in
+  let env = sc.f_make seed announce in
+  let annotation = random_annotation rng env.Scenario.vdp in
+  let med = Scenario.mediator env ~annotation () in
+  if filtering then Mediator.enable_source_filtering med;
+  in_process env (fun () -> Mediator.initialize med);
+  let drv_rng = Datagen.state (seed * 7 + 1) in
+  List.iter
+    (fun (src_name, rel) ->
+      Driver.update_process ~rng:drv_rng ~src:(Scenario.source env src_name)
+        {
+          Driver.u_relation = rel;
+          u_interval = 0.17 +. (0.1 *. float_of_int (seed mod 3));
+          u_count = 8;
+          u_delete_fraction = 0.3;
+          u_specs = sc.f_specs rel;
+        })
+    sc.f_rels;
+  (* queries against every export while the churn runs *)
+  List.iter
+    (fun node ->
+      let schema = (Graph.node env.Scenario.vdp node).Graph.schema in
+      ignore
+        (Driver.query_process ~rng:drv_rng ~med
+           {
+             Driver.q_node = node;
+             q_interval = 0.61;
+             q_count = 4;
+             q_attr_sets = [ (Schema.attrs schema, Predicate.True) ];
+           }))
+    sc.f_exports;
+  Scenario.run_to_quiescence env med;
+  (* final answers vs ground truth, fetched in one multi-export
+     transaction *)
+  let answers =
+    in_process env (fun () ->
+        Mediator.query_many med
+          (List.map (fun n -> (n, None, Predicate.True)) sc.f_exports))
+  in
+  List.iter
+    (fun (node, answer) ->
+      if not (Bag.equal answer (recompute env node)) then
+        Alcotest.failf "%s seed %d (%s): final %s diverges from recompute"
+          sc.f_name seed
+          (Annotation.to_string annotation)
+          node)
+    answers;
+  let report =
+    Checker.check ~vdp:env.Scenario.vdp ~sources:env.Scenario.sources
+      ~events:(Mediator.events med) ()
+  in
+  if not (Checker.consistent report) then
+    Alcotest.failf "%s seed %d (%s): %s" sc.f_name seed
+      (Annotation.to_string annotation)
+      (String.concat "; "
+         (List.map (fun v -> v.Checker.v_detail) report.Checker.violations))
+
+let fuzz_case ?announce ?(label = "") sc ~filtering =
+  Alcotest.test_case
+    (Printf.sprintf "%s%s%s" sc.f_name
+       (if filtering then " + filtering" else "")
+       label)
+    `Slow
+    (fun () ->
+      for seed = 1 to 8 do
+        fuzz_once ?announce sc ~seed ~filtering
+      done)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "random annotations",
+        List.map (fun sc -> fuzz_case sc ~filtering:false) scenarios );
+      ( "random annotations + source filtering",
+        List.map (fun sc -> fuzz_case sc ~filtering:true) scenarios );
+      ( "random annotations + periodic announcements",
+        List.map
+          (fun sc ->
+            fuzz_case ~announce:(Source_db.Periodic 0.9) ~label:" (periodic)"
+              sc ~filtering:false)
+          scenarios );
+    ]

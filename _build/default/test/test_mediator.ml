@@ -1,0 +1,948 @@
+(* End-to-end tests of Squirrel mediators: initialization, incremental
+   maintenance (IUP), virtual-data access (VAP + ECA), query processing
+   (QP + key-based construction), and the Sec. 3 correctness notions
+   validated by the independent checker. *)
+
+open Relalg
+open Vdp
+open Sim
+open Sources
+open Squirrel
+open Correctness
+open Workload
+
+(* drive the engine until a cell is filled *)
+let drive env cell =
+  let rec go n =
+    match !cell with
+    | Some v -> v
+    | None ->
+      if n > 100_000 then Alcotest.fail "simulation did not produce a result";
+      Engine.run env.Scenario.engine
+        ~until:(Engine.now env.Scenario.engine +. 1.0);
+      go (n + 1)
+  in
+  go 0
+
+let in_process env f =
+  let cell = ref None in
+  Engine.spawn env.Scenario.engine (fun () -> cell := Some (f ()));
+  drive env cell
+
+(* ground truth: the view recomputed from the sources' current states *)
+let recompute env node =
+  let env_fn leaf =
+    match Graph.node_opt env.Scenario.vdp leaf with
+    | Some { Graph.kind = Graph.Leaf { source }; _ } ->
+      Some (Source_db.current (Scenario.source env source) leaf)
+    | Some _ | None -> None
+  in
+  Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)
+
+let check_consistent ?(expect = true) env med =
+  let report =
+    Checker.check ~vdp:env.Scenario.vdp ~sources:env.Scenario.sources
+      ~events:(Mediator.events med) ()
+  in
+  Alcotest.(check bool)
+    (if expect then "run is consistent" else "run is NOT consistent")
+    expect (Checker.consistent report);
+  report
+
+let setup_fig1 ?config ?delays annotation_of =
+  let env = Scenario.make_fig1 () in
+  let med =
+    Scenario.mediator env ~annotation:(annotation_of env.Scenario.vdp) ?config
+      ?delays ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  (env, med)
+
+(* --- initialization --------------------------------------------------- *)
+
+let test_init_matches_direct () =
+  let env, med = setup_fig1 Scenario.ann_ex21 in
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Tutil.check_bag "initial view = direct evaluation" (recompute env "T") answer;
+  Alcotest.(check bool) "answer non-empty" false (Bag.is_empty answer)
+
+let test_init_reflect_logged () =
+  let env, med = setup_fig1 Scenario.ann_ex21 in
+  ignore env;
+  match Mediator.events med with
+  | Med.Update_tx { ut_reflect; _ } :: _ ->
+    Alcotest.(check (list (pair string int)))
+      "initial reflect vector"
+      [ ("db1", 0); ("db2", 0) ]
+      ut_reflect
+  | _ -> Alcotest.fail "expected initialization event"
+
+(* --- Example 2.1: fully materialized, incremental maintenance ---------- *)
+
+let commit_fresh_r env ~r1 ~r2 ~r3 ~r4 =
+  let db1 = Scenario.source env "db1" in
+  let tuple =
+    Tuple.of_list
+      [
+        ("r1", Value.Int r1);
+        ("r2", Value.Int r2);
+        ("r3", Value.Int r3);
+        ("r4", Value.Int r4);
+      ]
+  in
+  Source_db.commit db1 (Driver.single_insert db1 "R" tuple)
+
+let commit_fresh_s env ~s1 ~s2 ~s3 =
+  let db2 = Scenario.source env "db2" in
+  let tuple =
+    Tuple.of_list
+      [ ("s1", Value.Int s1); ("s2", Value.Int s2); ("s3", Value.Int s3) ]
+  in
+  Source_db.commit db2 (Driver.single_insert db2 "S" tuple)
+
+let test_ex21_incremental () =
+  let env, med = setup_fig1 Scenario.ann_ex21 in
+  (* inserts that pass the selections and join with existing data *)
+  commit_fresh_r env ~r1:5000 ~r2:1 ~r3:7 ~r4:100;
+  (* an insert filtered out by r4 = 100 *)
+  commit_fresh_r env ~r1:5001 ~r2:2 ~r3:8 ~r4:200;
+  commit_fresh_s env ~s1:6000 ~s2:9 ~s3:10;
+  Scenario.run_to_quiescence env med;
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Tutil.check_bag "incrementally maintained = recompute" (recompute env "T")
+    answer;
+  ignore (check_consistent env med)
+
+let test_ex21_no_polling () =
+  (* fully materialized support: after initialization, maintenance
+     never touches the sources (Example 2.1's "without polling") *)
+  let env, med = setup_fig1 Scenario.ann_ex21 in
+  let polls_after_init = (Mediator.stats med).Med.polls in
+  for i = 0 to 20 do
+    commit_fresh_r env ~r1:(7000 + i) ~r2:(i mod 40) ~r3:i ~r4:100
+  done;
+  Scenario.run_to_quiescence env med;
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Tutil.check_bag "maintained correctly" (recompute env "T") answer;
+  Alcotest.(check int)
+    "no polls beyond initialization" polls_after_init
+    (Mediator.stats med).Med.polls;
+  Alcotest.(check bool)
+    "updates were propagated incrementally" true
+    ((Mediator.stats med).Med.propagated_atoms > 0)
+
+let test_ex21_deletions () =
+  let env, med = setup_fig1 Scenario.ann_ex21 in
+  let db1 = Scenario.source env "db1" in
+  (* delete an R row that currently contributes to T *)
+  let contributing =
+    Bag.support
+      (Bag.select Predicate.(eq (attr "r4") (int 100)) (Source_db.current db1 "R"))
+  in
+  (match contributing with
+  | victim :: _ -> Source_db.commit db1 (Driver.single_delete db1 "R" victim)
+  | [] -> Alcotest.fail "expected a contributing row");
+  Scenario.run_to_quiescence env med;
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Tutil.check_bag "deletion propagated" (recompute env "T") answer;
+  ignore (check_consistent env med)
+
+(* --- Example 2.2: virtual auxiliary data ------------------------------- *)
+
+let test_ex22_r_updates_no_polls () =
+  (* rule #1 needs only ΔR' and S': frequent R updates propagate
+     without touching any source *)
+  let env, med = setup_fig1 Scenario.ann_ex22 in
+  let db1 = Scenario.source env "db1" in
+  let polls0 = Source_db.polls_served db1 in
+  for i = 0 to 10 do
+    commit_fresh_r env ~r1:(8000 + i) ~r2:(i mod 40) ~r3:i ~r4:100
+  done;
+  Scenario.run_to_quiescence env med;
+  Alcotest.(check int)
+    "R updates processed without polling db1" polls0
+    (Source_db.polls_served db1);
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Tutil.check_bag "T maintained" (recompute env "T") answer;
+  ignore (check_consistent env med)
+
+let test_ex22_s_update_polls_r () =
+  (* rule #2 needs R', which is virtual: an S update forces a poll of
+     db1 (the paper's "rare case ... the mediator must incur the
+     expense of sending queries to relation R") *)
+  let env, med = setup_fig1 Scenario.ann_ex22 in
+  let db1 = Scenario.source env "db1" in
+  let polls0 = Source_db.polls_served db1 in
+  commit_fresh_s env ~s1:6100 ~s2:3 ~s3:5;
+  Scenario.run_to_quiescence env med;
+  Alcotest.(check bool)
+    "db1 polled to process the S update" true
+    (Source_db.polls_served db1 > polls0);
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Tutil.check_bag "T maintained" (recompute env "T") answer;
+  ignore (check_consistent env med)
+
+let test_eca_compensation_same_batch () =
+  (* R and S inserts that join with each other land in one update
+     transaction; without Eager Compensation the polled R' would
+     already include the R insert and the cross term would be counted
+     twice *)
+  let env, med = setup_fig1 Scenario.ann_ex22 in
+  commit_fresh_r env ~r1:9000 ~r2:777 ~r3:1 ~r4:100;
+  commit_fresh_s env ~s1:777 ~s2:2 ~s3:3;
+  Scenario.run_to_quiescence env med;
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Tutil.check_bag "cross term counted exactly once" (recompute env "T") answer;
+  ignore (check_consistent env med)
+
+let test_eca_ablation_breaks_consistency () =
+  let config = { Med.default_config with Med.eca_enabled = false } in
+  let env, med = setup_fig1 ~config Scenario.ann_ex22 in
+  commit_fresh_r env ~r1:9100 ~r2:778 ~r3:1 ~r4:100;
+  commit_fresh_s env ~s1:778 ~s2:2 ~s3:3;
+  Scenario.run_to_quiescence env med;
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Alcotest.(check bool)
+    "without ECA the answer is wrong" false
+    (Bag.equal (recompute env "T") answer);
+  ignore (check_consistent ~expect:false env med)
+
+(* --- Example 2.3: hybrid export, key-based construction ---------------- *)
+
+let test_ex23_materialized_query_from_store () =
+  let env, med = setup_fig1 Scenario.ann_ex23 in
+  let polls0 = (Mediator.stats med).Med.polls in
+  let answer =
+    in_process env (fun () ->
+        Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+  in
+  Tutil.check_bag "π(r1,s1) answered from the store"
+    (Bag.project [ "r1"; "s1" ] (recompute env "T"))
+    answer;
+  Alcotest.(check int) "no polls" polls0 (Mediator.stats med).Med.polls;
+  Alcotest.(check bool)
+    "counted as store-answered" true
+    ((Mediator.stats med).Med.queries_from_store > 0)
+
+let test_ex23_virtual_attr_key_based () =
+  (* query π_{r3,s1} σ_{r3<100} T: r3 is virtual, determined by the
+     materialized key r1 through R' — only db1 needs polling *)
+  let env, med = setup_fig1 Scenario.ann_ex23 in
+  let db1 = Scenario.source env "db1" in
+  let db2 = Scenario.source env "db2" in
+  let p1 = Source_db.polls_served db1 and p2 = Source_db.polls_served db2 in
+  let cond = Predicate.(lt (attr "r3") (int 100)) in
+  let answer =
+    in_process env (fun () ->
+        Mediator.query med ~node:"T" ~attrs:[ "r3"; "s1" ] ~cond ())
+  in
+  Tutil.check_bag "key-based answer correct"
+    (Bag.project [ "r3"; "s1" ] (Bag.select cond (recompute env "T")))
+    answer;
+  Alcotest.(check bool)
+    "used key-based construction" true
+    ((Mediator.stats med).Med.key_based_constructions > 0);
+  Alcotest.(check bool) "db1 polled" true (Source_db.polls_served db1 > p1);
+  Alcotest.(check int)
+    "db2 NOT polled (S' not needed)" p2
+    (Source_db.polls_served db2);
+  ignore (check_consistent env med)
+
+let test_ex23_key_based_disabled_polls_both () =
+  let config = { Med.default_config with Med.key_based_enabled = false } in
+  let env, med = setup_fig1 ~config Scenario.ann_ex23 in
+  let db2 = Scenario.source env "db2" in
+  let p2 = Source_db.polls_served db2 in
+  let answer =
+    in_process env (fun () ->
+        Mediator.query med ~node:"T" ~attrs:[ "r3"; "s1" ] ())
+  in
+  Tutil.check_bag "general construction also correct"
+    (Bag.project [ "r3"; "s1" ] (recompute env "T"))
+    answer;
+  Alcotest.(check bool)
+    "general construction polls db2 too" true
+    (Source_db.polls_served db2 > p2)
+
+let test_ex23_maintenance_with_updates () =
+  let env, med = setup_fig1 Scenario.ann_ex23 in
+  for i = 0 to 5 do
+    commit_fresh_r env ~r1:(9500 + i) ~r2:(i mod 40) ~r3:(i * 10) ~r4:100;
+    commit_fresh_s env ~s1:(9600 + i) ~s2:i ~s3:(i * 20)
+  done;
+  Scenario.run_to_quiescence env med;
+  let answer =
+    in_process env (fun () -> Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+  in
+  Tutil.check_bag "hybrid T maintained under updates"
+    (Bag.project [ "r1"; "s1" ] (recompute env "T"))
+    answer;
+  ignore (check_consistent env med)
+
+(* --- Example 5.1: two exports, difference, non-equi join --------------- *)
+
+let setup_ex51 () =
+  let env = Scenario.make_ex51 () in
+  let med =
+    Scenario.mediator env
+      ~annotation:(Scenario.ann_ex51 env.Scenario.vdp)
+      ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  (env, med)
+
+let test_ex51_init_and_queries () =
+  let env, med = setup_ex51 () in
+  let g = in_process env (fun () -> Mediator.query med ~node:"G" ()) in
+  Tutil.check_bag "G = πE − F" (recompute env "G") g;
+  let e_mat =
+    in_process env (fun () -> Mediator.query med ~node:"E" ~attrs:[ "a1"; "b1" ] ())
+  in
+  Tutil.check_bag "E's materialized attributes"
+    (Bag.project [ "a1"; "b1" ] (recompute env "E"))
+    e_mat
+
+let test_ex51_maintenance () =
+  let env, med = setup_ex51 () in
+  let rng = Datagen.state 99 in
+  List.iter
+    (fun (src_name, rel) ->
+      let src = Scenario.source env src_name in
+      Driver.update_process ~rng ~src
+        {
+          Driver.u_relation = rel;
+          u_interval = 0.7;
+          u_count = 6;
+          u_delete_fraction = 0.3;
+          u_specs = Scenario.ex51_update_specs rel;
+        })
+    [ ("dbA", "A"); ("dbB", "B"); ("dbC", "C"); ("dbD", "D") ];
+  Scenario.run_to_quiescence env med;
+  let g = in_process env (fun () -> Mediator.query med ~node:"G" ()) in
+  Tutil.check_bag "G maintained through difference node" (recompute env "G") g;
+  let e = in_process env (fun () -> Mediator.query med ~node:"E" ()) in
+  Tutil.check_bag "E (with virtual a2) queried correctly" (recompute env "E") e;
+  ignore (check_consistent env med)
+
+let test_ex51_contributor_kinds () =
+  let env, med = setup_ex51 () in
+  ignore env;
+  (* every source feeds materialized data (E or G); dbB also feeds
+     virtual B' *)
+  Alcotest.(check bool)
+    "dbB is a hybrid contributor" true
+    (Mediator.contributor_kind med "dbB" = Med.Hybrid_contributor);
+  Alcotest.(check bool)
+    "dbA feeds materialized and virtual portions" true
+    (Mediator.contributor_kind med "dbA" <> Med.Virtual_contributor)
+
+(* --- schema alignment via renaming (federated retail) ------------------ *)
+
+(* west's orders use different attribute names; a rename in the view
+   definition aligns them with east's before the union *)
+let make_federated_env () = Scenario.make_federated ()
+
+let test_federated_rename_structure () =
+  let env = make_federated_env () in
+  let lp = Graph.node env.Scenario.vdp "OrdersW'" in
+  Alcotest.(check (list string))
+    "west leaf-parent exposes the aligned schema"
+    [ "oid"; "cust"; "amt" ]
+    (Schema.attrs lp.Graph.schema);
+  Alcotest.(check (list string)) "key renamed too" [ "oid" ]
+    (Schema.key lp.Graph.schema)
+
+let test_federated_rename_end_to_end () =
+  let env = make_federated_env () in
+  let med =
+    Scenario.mediator env
+      ~annotation:(Vdp.Annotation.fully_materialized env.Scenario.vdp)
+      ()
+  in
+  Mediator.enable_source_filtering med;
+  in_process env (fun () -> Mediator.initialize med);
+  let all0 = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  Alcotest.(check int) "both regions aligned" 50 (Bag.cardinal all0);
+  (* updates on both sides, in their native schemas *)
+  let west = Scenario.source env "dbWest" in
+  Source_db.commit west
+    (Driver.single_insert west "OrdersW"
+       (Tuple.of_list
+          [ ("wid", Value.Int 123456); ("client", Value.Int 9); ("amount", Value.Int 77) ]));
+  let east = Scenario.source env "dbEast" in
+  Source_db.commit east
+    (Driver.single_insert east "OrdersE"
+       (Tuple.of_list
+          [ ("oid", Value.Int 999); ("cust", Value.Int 9); ("amt", Value.Int 55) ]));
+  Scenario.run_to_quiescence env med;
+  let all = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  Tutil.check_bag "renamed updates propagate" (recompute env "AllOrders") all;
+  Alcotest.(check bool)
+    "west row visible under aligned names" true
+    (Bag.mem all
+       (Tuple.of_list
+          [ ("oid", Value.Int 123456); ("cust", Value.Int 9); ("amt", Value.Int 77) ]));
+  ignore (check_consistent env med)
+
+let test_federated_rename_virtual () =
+  (* fully virtual: the VAP's poll queries carry the rename to the
+     source, and ECA compensation maps deltas through it *)
+  let env = make_federated_env () in
+  let med =
+    Scenario.mediator env
+      ~annotation:(Vdp.Annotation.fully_virtual env.Scenario.vdp)
+      ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  let west = Scenario.source env "dbWest" in
+  Source_db.commit west
+    (Driver.single_insert west "OrdersW"
+       (Tuple.of_list
+          [ ("wid", Value.Int 123457); ("client", Value.Int 3); ("amount", Value.Int 42) ]));
+  let all = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  Tutil.check_bag "virtual union through rename" (recompute env "AllOrders") all;
+  ignore (check_consistent env med)
+
+(* --- multi-export query transactions ------------------------------------ *)
+
+let test_query_many_single_transaction () =
+  (* E (with virtual a2) and G in ONE transaction: each source polled
+     at most once, both answers from one view state *)
+  let env, med = setup_ex51 () in
+  let polls_before =
+    List.map (fun s -> (Source_db.name s, Source_db.polls_served s))
+      env.Scenario.sources
+  in
+  let answers =
+    in_process env (fun () ->
+        Mediator.query_many med
+          [ ("E", None, Predicate.True); ("G", None, Predicate.True) ])
+  in
+  List.iter
+    (fun (node, answer) ->
+      Tutil.check_bag (node ^ " correct in batch") (recompute env node) answer)
+    answers;
+  List.iter
+    (fun src ->
+      let name = Source_db.name src in
+      let before = List.assoc name polls_before in
+      Alcotest.(check bool)
+        (name ^ " polled at most once")
+        true
+        (Source_db.polls_served src - before <= 1))
+    env.Scenario.sources;
+  (* both logged query transactions share one reflect vector *)
+  (match
+     List.filter_map
+       (function Med.Query_tx { qt_reflect; _ } -> Some qt_reflect | _ -> None)
+       (Mediator.events med)
+   with
+  | [ r1; r2 ] -> Alcotest.(check bool) "shared reflect" true (r1 = r2)
+  | _ -> Alcotest.fail "expected two query events");
+  ignore (check_consistent env med)
+
+let test_query_many_under_churn () =
+  let env, med = setup_ex51 () in
+  let rng = Datagen.state 88 in
+  List.iter
+    (fun (src_name, rel) ->
+      Driver.update_process ~rng ~src:(Scenario.source env src_name)
+        {
+          Driver.u_relation = rel;
+          u_interval = 0.45;
+          u_count = 5;
+          u_delete_fraction = 0.25;
+          u_specs = Scenario.ex51_update_specs rel;
+        })
+    [ ("dbA", "A"); ("dbB", "B"); ("dbC", "C"); ("dbD", "D") ];
+  (* batched queries racing the churn *)
+  Engine.spawn env.Scenario.engine (fun () ->
+      for _ = 1 to 4 do
+        Engine.sleep env.Scenario.engine 0.8;
+        ignore
+          (Mediator.query_many med
+             [
+               ("E", Some [ "a1"; "b1" ], Predicate.True);
+               ("G", None, Predicate.True);
+             ])
+      done);
+  Scenario.run_to_quiescence env med;
+  ignore (check_consistent env med)
+
+(* --- multi-relation sources and multi-relation deltas ------------------ *)
+
+(* one source holding BOTH R and S: a single commit can atomically
+   touch both relations (Sec. 6.2: "a delta can simultaneously contain
+   atoms that refer to more than one relation") *)
+let make_single_source_env () =
+  let engine = Engine.create () in
+  let rng = Datagen.state 61 in
+  let db =
+    Source_db.create ~engine ~name:"db"
+      ~relations:[ ("R", Tutil.schema_r); ("S", Tutil.schema_s) ]
+      ~announce:Source_db.Immediate ()
+  in
+  Source_db.load db "R"
+    (Datagen.bag rng Tutil.schema_r (Scenario.fig1_update_specs "R") ~size:30);
+  Source_db.load db "S"
+    (Datagen.bag rng Tutil.schema_s (Scenario.fig1_update_specs "S") ~size:20);
+  let vdp =
+    let b =
+      Builder.create
+        ~source_of:(function "R" | "S" -> Some "db" | _ -> None)
+        ~schema_of:(function
+          | "R" -> Some Tutil.schema_r
+          | "S" -> Some Tutil.schema_s
+          | _ -> None)
+        ()
+    in
+    Builder.add_export b ~name:"T" Tutil.t_def;
+    Builder.build b
+  in
+  { Scenario.engine; sources = [ db ]; vdp }
+
+let test_multi_relation_atomic_commit () =
+  let env = make_single_source_env () in
+  let med =
+    Scenario.mediator env ~annotation:(Scenario.ann_ex21 env.Scenario.vdp) ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  let db = Scenario.source env "db" in
+  let msgs0 = (Mediator.stats med).Med.messages_received in
+  (* one transaction touching both R and S: a matching pair *)
+  let delta =
+    Delta.Multi_delta.add
+      (Driver.single_insert db "R"
+         (Tuple.of_list
+            [
+              ("r1", Value.Int 7100);
+              ("r2", Value.Int 7200);
+              ("r3", Value.Int 5);
+              ("r4", Value.Int 100);
+            ]))
+      "S"
+      (Delta.Rel_delta.insert
+         (Delta.Rel_delta.empty Tutil.schema_s)
+         (Tuple.of_list
+            [ ("s1", Value.Int 7200); ("s2", Value.Int 6); ("s3", Value.Int 7) ]))
+  in
+  Source_db.commit db delta;
+  Scenario.run_to_quiescence env med;
+  Alcotest.(check int)
+    "one undividable message" 1
+    ((Mediator.stats med).Med.messages_received - msgs0);
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Tutil.check_bag "cross-relation pair joined exactly once"
+    (recompute env "T") answer;
+  Alcotest.(check int)
+    "the new pair reached T" 1
+    (Bag.mult answer
+       (Tuple.of_list
+          [
+            ("r1", Value.Int 7100);
+            ("r3", Value.Int 5);
+            ("s1", Value.Int 7200);
+            ("s2", Value.Int 6);
+          ]));
+  ignore (check_consistent env med)
+
+let test_multi_relation_hybrid_eca () =
+  (* same source, R' virtual: ECA compensation must handle multiple
+     leaves of one source independently *)
+  let env = make_single_source_env () in
+  let med =
+    Scenario.mediator env ~annotation:(Scenario.ann_ex22 env.Scenario.vdp) ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  let db = Scenario.source env "db" in
+  (* S update forces a poll of the same source for R' *)
+  Source_db.commit db
+    (Driver.single_insert db "S"
+       (Tuple.of_list
+          [ ("s1", Value.Int 7300); ("s2", Value.Int 1); ("s3", Value.Int 2) ]));
+  (* plus an R update in the same window *)
+  Source_db.commit db
+    (Driver.single_insert db "R"
+       (Tuple.of_list
+          [
+            ("r1", Value.Int 7301);
+            ("r2", Value.Int 7300);
+            ("r3", Value.Int 3);
+            ("r4", Value.Int 100);
+          ]));
+  Scenario.run_to_quiescence env med;
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Tutil.check_bag "single-source ECA exact" (recompute env "T") answer;
+  ignore (check_consistent env med)
+
+(* --- source-side update filtering (Sec 6.2 optimization) --------------- *)
+
+let test_source_filtering_end_to_end () =
+  let run ~filtering =
+    let env = Scenario.make_fig1 ~seed:44 () in
+    let med =
+      Scenario.mediator env ~annotation:(Scenario.ann_ex21 env.Scenario.vdp) ()
+    in
+    if filtering then Mediator.enable_source_filtering med;
+    in_process env (fun () -> Mediator.initialize med);
+    (* half the R inserts fail r4 = 100 and are irrelevant to the view *)
+    for i = 0 to 19 do
+      commit_fresh_r env ~r1:(6000 + i) ~r2:(i mod 40) ~r3:i
+        ~r4:(if i mod 2 = 0 then 100 else 200)
+    done;
+    Scenario.run_to_quiescence env med;
+    let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+    Tutil.check_bag "maintained correctly" (recompute env "T") answer;
+    ignore (check_consistent env med);
+    (Mediator.stats med).Med.atoms_received
+  in
+  let unfiltered = run ~filtering:false in
+  let filtered = run ~filtering:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer atoms shipped (%d < %d)" filtered unfiltered)
+    true (filtered < unfiltered)
+
+let test_source_filtering_with_eca () =
+  (* filtering composes with virtual auxiliary data: the filtered
+     announcements still cover exactly what ECA must compensate *)
+  let env = Scenario.make_fig1 ~seed:45 () in
+  let med =
+    Scenario.mediator env ~annotation:(Scenario.ann_ex22 env.Scenario.vdp) ()
+  in
+  Mediator.enable_source_filtering med;
+  in_process env (fun () -> Mediator.initialize med);
+  commit_fresh_r env ~r1:9300 ~r2:881 ~r3:1 ~r4:100;
+  commit_fresh_s env ~s1:881 ~s2:2 ~s3:3;
+  (* plus an irrelevant R commit in the same window *)
+  commit_fresh_r env ~r1:9301 ~r2:882 ~r3:1 ~r4:200;
+  Scenario.run_to_quiescence env med;
+  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  Tutil.check_bag "cross term exact under filtering + ECA"
+    (recompute env "T") answer;
+  ignore (check_consistent env med)
+
+(* --- retail scenario: union views -------------------------------------- *)
+
+let setup_retail annotation_of =
+  let env = Scenario.make_retail () in
+  let med =
+    Scenario.mediator env ~annotation:(annotation_of env.Scenario.vdp) ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  (env, med)
+
+let commit_order env ~src_name ~rel ~oid ~cust ~amt =
+  let src = Scenario.source env src_name in
+  let tuple =
+    Tuple.of_list
+      [ ("oid", Value.Int oid); ("cust", Value.Int cust); ("amt", Value.Int amt) ]
+  in
+  Source_db.commit src (Driver.single_insert src rel tuple)
+
+let test_retail_union_structure () =
+  let vdp = Scenario.retail_vdp () in
+  Alcotest.(check (list string))
+    "AllOrders children"
+    [ "OrdersE'"; "OrdersW'" ]
+    (Graph.children vdp "AllOrders");
+  Alcotest.(check bool)
+    "AllOrders is a bag node" false
+    (Graph.is_set_node vdp "AllOrders");
+  Alcotest.(check (list string))
+    "Premium children"
+    [ "AllOrders"; "Cust'" ]
+    (Graph.children vdp "Premium")
+
+let test_retail_init_and_union_query () =
+  let env, med = setup_retail Scenario.ann_retail_hybrid in
+  let all = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  Tutil.check_bag "union export = recompute" (recompute env "AllOrders") all;
+  Alcotest.(check int) "both regions present" 80 (Bag.cardinal all);
+  let premium = in_process env (fun () -> Mediator.query med ~node:"Premium" ()) in
+  Tutil.check_bag "joined export = recompute" (recompute env "Premium") premium
+
+let test_retail_union_maintenance () =
+  let env, med = setup_retail Scenario.ann_retail_hybrid in
+  let polls0 = (Mediator.stats med).Med.polls in
+  (* orders from both regions, plus a customer status flip *)
+  commit_order env ~src_name:"dbEast" ~rel:"OrdersE" ~oid:500 ~cust:1 ~amt:99;
+  commit_order env ~src_name:"dbWest" ~rel:"OrdersW" ~oid:100500 ~cust:1 ~amt:10;
+  let cust_db = Scenario.source env "dbCust" in
+  let flipped =
+    Tuple.of_list
+      [ ("cust", Value.Int 2); ("region", Value.Int 0); ("status", Value.Int 1) ]
+  in
+  Source_db.commit cust_db (Driver.single_insert cust_db "Cust" flipped);
+  Scenario.run_to_quiescence env med;
+  let premium = in_process env (fun () -> Mediator.query med ~node:"Premium" ()) in
+  Tutil.check_bag "Premium maintained through the union"
+    (recompute env "Premium") premium;
+  (* the virtual AllOrders is derivable from materialized regional
+     copies: even the Cust-side rule needs no polling *)
+  Alcotest.(check int)
+    "no polls during maintenance" polls0 (Mediator.stats med).Med.polls;
+  ignore (check_consistent env med)
+
+let test_retail_union_deletion_multiplicity () =
+  (* two identical rows via the two regions: deleting one keeps the
+     other (bag-union semantics through maintenance) *)
+  let env, med = setup_retail Scenario.ann_retail_hybrid in
+  commit_order env ~src_name:"dbEast" ~rel:"OrdersE" ~oid:600 ~cust:3 ~amt:77;
+  commit_order env ~src_name:"dbWest" ~rel:"OrdersW" ~oid:600 ~cust:3 ~amt:77;
+  Scenario.run_to_quiescence env med;
+  let dup = Tuple.of_list
+      [ ("oid", Value.Int 600); ("cust", Value.Int 3); ("amt", Value.Int 77) ]
+  in
+  let all = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  Alcotest.(check int) "multiplicity 2 in the union" 2 (Bag.mult all dup);
+  let east = Scenario.source env "dbEast" in
+  Source_db.commit east (Driver.single_delete east "OrdersE" dup);
+  Scenario.run_to_quiescence env med;
+  let all = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  Alcotest.(check int) "one copy survives" 1 (Bag.mult all dup);
+  Tutil.check_bag "still equals recompute" (recompute env "AllOrders") all;
+  ignore (check_consistent env med)
+
+let test_retail_fully_materialized () =
+  let env, med = setup_retail Vdp.Annotation.fully_materialized in
+  let rng = Datagen.state 123 in
+  List.iter
+    (fun (src_name, rel) ->
+      Driver.update_process ~rng ~src:(Scenario.source env src_name)
+        {
+          Driver.u_relation = rel;
+          u_interval = 0.4;
+          u_count = 8;
+          u_delete_fraction = 0.3;
+          u_specs = Scenario.retail_update_specs rel;
+        })
+    [ ("dbEast", "OrdersE"); ("dbWest", "OrdersW"); ("dbCust", "Cust") ];
+  Scenario.run_to_quiescence env med;
+  List.iter
+    (fun node ->
+      let answer = in_process env (fun () -> Mediator.query med ~node ()) in
+      Tutil.check_bag (node ^ " maintained") (recompute env node) answer)
+    [ "AllOrders"; "Premium" ];
+  ignore (check_consistent env med)
+
+(* --- randomized Theorem 7.1 runs --------------------------------------- *)
+
+let random_run ~seed annotation_of =
+  let env = Scenario.make_fig1 ~seed () in
+  let med =
+    Scenario.mediator env ~annotation:(annotation_of env.Scenario.vdp) ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  let rng = Datagen.state (seed * 13 + 1) in
+  List.iter
+    (fun (src_name, rel, interval) ->
+      let src = Scenario.source env src_name in
+      Driver.update_process ~rng ~src
+        {
+          Driver.u_relation = rel;
+          u_interval = interval;
+          u_count = 10;
+          u_delete_fraction = 0.25;
+          u_specs = Scenario.fig1_update_specs rel;
+        })
+    [ ("db1", "R", 0.31); ("db2", "S", 0.73) ];
+  let _records =
+    Driver.query_process ~rng ~med
+      {
+        Driver.q_node = "T";
+        q_interval = 0.57;
+        q_count = 8;
+        q_attr_sets =
+          [
+            ([ "r1"; "s1" ], Predicate.True);
+            ([ "r1"; "r3"; "s1"; "s2" ], Predicate.True);
+            ([ "r3"; "s1" ], Predicate.(lt (attr "r3") (int 100)));
+          ];
+      }
+  in
+  Scenario.run_to_quiescence env med;
+  let report =
+    Checker.check ~vdp:env.Scenario.vdp ~sources:env.Scenario.sources
+      ~events:(Mediator.events med) ()
+  in
+  (env, med, report)
+
+let test_theorem_7_1_randomized () =
+  List.iter
+    (fun (name, annotation_of) ->
+      List.iter
+        (fun seed ->
+          let _, _, report = random_run ~seed annotation_of in
+          if not (Checker.consistent report) then
+            Alcotest.failf "annotation %s, seed %d: %s" name seed
+              (String.concat "; "
+                 (List.map
+                    (fun v -> v.Checker.v_detail)
+                    report.Checker.violations));
+          Alcotest.(check bool)
+            "some queries were checked" true
+            (report.Checker.checked_queries > 0))
+        [ 1; 2; 3 ])
+    [
+      ("ex21", Scenario.ann_ex21);
+      ("ex22", Scenario.ann_ex22);
+      ("ex23", Scenario.ann_ex23);
+    ]
+
+(* --- Theorem 7.2: freshness -------------------------------------------- *)
+
+let test_theorem_7_2_staleness_bounded () =
+  let comm = 0.05 and qproc = 0.01 and flush = 1.0 in
+  let env = Scenario.make_fig1 ~seed:5 () in
+  let med =
+    Scenario.mediator env
+      ~annotation:(Scenario.ann_ex21 env.Scenario.vdp)
+      ~config:{ Med.default_config with Med.flush_interval = flush; op_time = 0.0 }
+      ~delays:(fun _ -> { Mediator.comm_delay = comm; q_proc_delay = qproc })
+      ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  let rng = Datagen.state 77 in
+  List.iter
+    (fun (src_name, rel) ->
+      Driver.update_process ~rng ~src:(Scenario.source env src_name)
+        {
+          Driver.u_relation = rel;
+          u_interval = 0.4;
+          u_count = 12;
+          u_delete_fraction = 0.2;
+          u_specs = Scenario.fig1_update_specs rel;
+        })
+    [ ("db1", "R"); ("db2", "S") ];
+  let _ =
+    Driver.query_process ~rng ~med
+      {
+        Driver.q_node = "T";
+        q_interval = 0.45;
+        q_count = 12;
+        q_attr_sets = [ ([ "r1"; "s1" ], Predicate.True) ];
+      }
+  in
+  Scenario.run_to_quiescence env med;
+  let report =
+    Checker.check ~vdp:env.Scenario.vdp ~sources:env.Scenario.sources
+      ~events:(Mediator.events med) ()
+  in
+  Alcotest.(check bool) "consistent" true (Checker.consistent report);
+  let profile =
+    {
+      Checker.ann_delay = (fun _ -> 0.0) (* Immediate announcements *);
+      comm_delay = (fun _ -> comm);
+      q_proc_delay = (fun _ -> qproc);
+      u_hold_delay = flush;
+      u_proc_delay = 0.1 (* generous bound; op_time = 0 *);
+      q_proc_delay_med = 0.1;
+    }
+  in
+  let bound =
+    Checker.theorem_7_2_bound ~vdp:env.Scenario.vdp
+      ~contributor:(Mediator.contributor_kind med)
+      profile
+  in
+  Alcotest.(check (list string))
+    "no freshness violations" []
+    (List.map
+       (fun v -> v.Checker.v_detail)
+       (Checker.check_freshness report ~bound))
+
+(* --- determinism --------------------------------------------------------- *)
+
+let test_runs_are_deterministic () =
+  (* two runs from the same seed produce identical transaction logs:
+     same times, same answers, same reflect vectors *)
+  let run () =
+    let _, med, _ = random_run ~seed:4 Scenario.ann_ex23 in
+    Mediator.events med
+  in
+  let summarize events =
+    List.map
+      (function
+        | Med.Update_tx { ut_time; ut_reflect; ut_atoms } ->
+          Printf.sprintf "U %.6f %s %d" ut_time
+            (String.concat ","
+               (List.map (fun (s, v) -> s ^ ":" ^ string_of_int v) ut_reflect))
+            ut_atoms
+        | Med.Query_tx { qt_time; qt_node; qt_answer; _ } ->
+          Printf.sprintf "Q %.6f %s |%d|" qt_time qt_node
+            (Bag.cardinal qt_answer))
+      events
+  in
+  Alcotest.(check (list string))
+    "identical transaction logs" (summarize (run ())) (summarize (run ()))
+
+let () =
+  Alcotest.run "mediator"
+    [
+      ( "initialization",
+        [
+          Alcotest.test_case "matches direct evaluation" `Quick test_init_matches_direct;
+          Alcotest.test_case "reflect vector logged" `Quick test_init_reflect_logged;
+        ] );
+      ( "example 2.1 (fully materialized)",
+        [
+          Alcotest.test_case "incremental maintenance" `Quick test_ex21_incremental;
+          Alcotest.test_case "no polling needed" `Quick test_ex21_no_polling;
+          Alcotest.test_case "deletions propagate" `Quick test_ex21_deletions;
+        ] );
+      ( "example 2.2 (virtual auxiliary)",
+        [
+          Alcotest.test_case "R updates: no polls" `Quick test_ex22_r_updates_no_polls;
+          Alcotest.test_case "S update polls R" `Quick test_ex22_s_update_polls_r;
+          Alcotest.test_case "ECA: same-batch cross term" `Quick test_eca_compensation_same_batch;
+          Alcotest.test_case "ECA ablation breaks consistency" `Quick test_eca_ablation_breaks_consistency;
+        ] );
+      ( "example 2.3 (hybrid view)",
+        [
+          Alcotest.test_case "materialized attrs from store" `Quick test_ex23_materialized_query_from_store;
+          Alcotest.test_case "key-based construction" `Quick test_ex23_virtual_attr_key_based;
+          Alcotest.test_case "general construction fallback" `Quick test_ex23_key_based_disabled_polls_both;
+          Alcotest.test_case "maintenance under updates" `Quick test_ex23_maintenance_with_updates;
+        ] );
+      ( "example 5.1 (difference + non-equi join)",
+        [
+          Alcotest.test_case "initial queries" `Quick test_ex51_init_and_queries;
+          Alcotest.test_case "maintenance" `Quick test_ex51_maintenance;
+          Alcotest.test_case "contributor kinds" `Quick test_ex51_contributor_kinds;
+        ] );
+      ( "schema alignment (rename)",
+        [
+          Alcotest.test_case "leaf-parent schema aligned" `Quick test_federated_rename_structure;
+          Alcotest.test_case "maintenance through rename" `Quick test_federated_rename_end_to_end;
+          Alcotest.test_case "virtual union through rename" `Quick test_federated_rename_virtual;
+        ] );
+      ( "multi-export transactions",
+        [
+          Alcotest.test_case "single transaction" `Quick test_query_many_single_transaction;
+          Alcotest.test_case "under churn" `Quick test_query_many_under_churn;
+        ] );
+      ( "multi-relation sources",
+        [
+          Alcotest.test_case "atomic cross-relation commit" `Quick test_multi_relation_atomic_commit;
+          Alcotest.test_case "hybrid + ECA on one source" `Quick test_multi_relation_hybrid_eca;
+        ] );
+      ( "source filtering",
+        [
+          Alcotest.test_case "end to end" `Quick test_source_filtering_end_to_end;
+          Alcotest.test_case "composes with ECA" `Quick test_source_filtering_with_eca;
+        ] );
+      ( "retail (union views)",
+        [
+          Alcotest.test_case "VDP structure" `Quick test_retail_union_structure;
+          Alcotest.test_case "init & union query" `Quick test_retail_init_and_union_query;
+          Alcotest.test_case "maintenance without polls" `Quick test_retail_union_maintenance;
+          Alcotest.test_case "bag multiplicity across regions" `Quick test_retail_union_deletion_multiplicity;
+          Alcotest.test_case "fully materialized variant" `Quick test_retail_fully_materialized;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "same seed, same log" `Quick test_runs_are_deterministic ] );
+      ( "theorems",
+        [
+          Alcotest.test_case "7.1: consistency (randomized)" `Slow test_theorem_7_1_randomized;
+          Alcotest.test_case "7.2: staleness bounded" `Quick test_theorem_7_2_staleness_bounded;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the textual view-definition syntax. *)
+
+open Relalg
+open Tutil
+
+let check_expr name src expected =
+  Alcotest.(check bool)
+    name true
+    (Expr.equal (Parser.expr src) expected)
+
+let check_pred name src expected =
+  Alcotest.(check bool)
+    name true
+    (Predicate.equal (Parser.predicate src) expected)
+
+let test_base_and_project () =
+  check_expr "bare relation" "R" (Expr.base "R");
+  check_expr "projection" "project a, b (R)"
+    Expr.(project [ "a"; "b" ] (base "R"));
+  check_expr "nested parens" "((R))" (Expr.base "R")
+
+let test_select () =
+  check_pred "equality" "r4 = 100" Predicate.(eq (attr "r4") (int 100));
+  check_expr "selection" "select r4 = 100 (R)"
+    Expr.(select Predicate.(eq (attr "r4") (int 100)) (base "R"))
+
+let test_example_2_1_roundtrip () =
+  let parsed =
+    Parser.expr
+      "project r1, r3, s1, s2 (select r4 = 100 (R) join on r2 = s1 select s3 \
+       < 50 (S))"
+  in
+  Alcotest.(check bool) "matches the Example 2.1 AST" true
+    (Expr.equal parsed t_def);
+  (* and evaluates identically *)
+  let env = function
+    | "R" -> Some sample_r
+    | "S" -> Some sample_s
+    | _ -> None
+  in
+  check_bag "same evaluation" (Eval.eval ~env t_def) (Eval.eval ~env parsed)
+
+let test_union_minus () =
+  check_expr "union" "A union B" Expr.(union (base "A") (base "B"));
+  check_expr "minus" "A minus B" Expr.(diff (base "A") (base "B"));
+  check_expr "setops right-assoc via parens"
+    "(project x (A)) minus (project x (B))"
+    Expr.(diff (project [ "x" ] (base "A")) (project [ "x" ] (base "B")))
+
+let test_join_variants () =
+  check_expr "natural join" "A join B" Expr.(join (base "A") (base "B"));
+  check_expr "chained joins" "A join B join C"
+    Expr.(join (join (base "A") (base "B")) (base "C"));
+  check_expr "theta join with arithmetic"
+    "A join on a1 * a1 + a2 < b2 * b2 B"
+    Expr.(
+      join
+        ~on:
+          Predicate.(
+            lt
+              (Add (Mul (attr "a1", attr "a1"), attr "a2"))
+              (Mul (attr "b2", attr "b2")))
+        (base "A") (base "B"))
+
+let test_predicate_connectives () =
+  check_pred "and/or precedence" "a = 1 and b = 2 or c = 3"
+    Predicate.(
+      Or (And (eq (attr "a") (int 1), eq (attr "b") (int 2)), eq (attr "c") (int 3)));
+  check_pred "not" "not a < 3" Predicate.(Not (lt (attr "a") (int 3)));
+  check_pred "parenthesized predicate" "(a = 1 or b = 2) and c = 3"
+    Predicate.(
+      And (Or (eq (attr "a") (int 1), eq (attr "b") (int 2)), eq (attr "c") (int 3)));
+  check_pred "true/false" "true and not false" Predicate.(And (True, Not False))
+
+let test_literals () =
+  check_pred "float" "x >= 2.5" Predicate.(ge (attr "x") (flt 2.5));
+  check_pred "string" "name = 'alice'" Predicate.(eq (attr "name") (str "alice"));
+  check_pred "negative" "x = -3"
+    Predicate.(eq (attr "x") (Neg (Const (Value.Int 3))));
+  check_pred "not-equal spellings" "x <> 3" Predicate.(ne (attr "x") (int 3));
+  check_pred "!= alias" "x != 3" Predicate.(ne (attr "x") (int 3))
+
+let test_parenthesized_arith_comparison () =
+  (* '(' opening an arithmetic term inside a comparison *)
+  check_pred "arith parens" "(a + b) * 2 < 10"
+    Predicate.(
+      lt (Mul (Add (attr "a", attr "b"), Const (Value.Int 2))) (int 10))
+
+let test_primed_identifiers () =
+  check_expr "VDP node names parse" "R' join S'"
+    Expr.(join (base "R'") (base "S'"))
+
+let test_rename_syntax () =
+  check_expr "rename" "rename wid to oid, client to cust (OrdersW)"
+    Expr.(rename [ ("wid", "oid"); ("client", "cust") ] (base "OrdersW"));
+  check_expr "rename under select"
+    "select oid < 5 (rename wid to oid (W))"
+    Expr.(
+      select Predicate.(lt (attr "oid") (int 5))
+        (rename [ ("wid", "oid") ] (base "W")))
+
+let test_attr_list () =
+  Alcotest.(check (list string))
+    "attrs" [ "r1"; "r3"; "s1" ]
+    (Parser.attrs "r1, r3, s1")
+
+let expect_error name src =
+  Alcotest.test_case name `Quick (fun () ->
+      try
+        ignore (Parser.expr src);
+        Alcotest.fail "expected Parse_error"
+      with Parser.Parse_error _ -> ())
+
+let test_keywords_case_insensitive () =
+  check_expr "upper-case keywords" "SELECT x = 1 (R) UNION S"
+    Expr.(union (select Predicate.(eq (attr "x") (int 1)) (base "R")) (base "S"))
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "base/project" `Quick test_base_and_project;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "Example 2.1 round-trip" `Quick test_example_2_1_roundtrip;
+          Alcotest.test_case "union/minus" `Quick test_union_minus;
+          Alcotest.test_case "join variants" `Quick test_join_variants;
+          Alcotest.test_case "primed identifiers" `Quick test_primed_identifiers;
+          Alcotest.test_case "case-insensitive keywords" `Quick test_keywords_case_insensitive;
+          Alcotest.test_case "rename syntax" `Quick test_rename_syntax;
+        ] );
+      ( "predicates",
+        [
+          Alcotest.test_case "connectives" `Quick test_predicate_connectives;
+          Alcotest.test_case "literals" `Quick test_literals;
+          Alcotest.test_case "parenthesized arithmetic" `Quick test_parenthesized_arith_comparison;
+          Alcotest.test_case "attribute lists" `Quick test_attr_list;
+        ] );
+      ( "errors",
+        [
+          expect_error "unbalanced parens" "select x = 1 (R";
+          expect_error "missing condition" "select (R)";
+          expect_error "trailing input" "R S";
+          expect_error "bad character" "R ? S";
+          expect_error "unterminated string" "select x = 'oops (R)";
+        ] );
+    ]

@@ -1,0 +1,547 @@
+(* Unit tests for the relational-algebra substrate. *)
+
+open Relalg
+open Tutil
+
+(* --- Value --- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int eq" true (Value.equal (v_int 3) (v_int 3));
+  Alcotest.(check bool)
+    "int/float numeric equality" true
+    (Value.equal (v_int 3) (Value.Float 3.0));
+  Alcotest.(check bool) "str lt" true (Value.lt (v_str "a") (v_str "b"));
+  Alcotest.(check bool) "null never lt" false (Value.lt Value.Null (v_int 1));
+  Alcotest.(check int) "ordering across types" (-1)
+    (compare (Value.compare (Value.Bool true) (v_int 0)) 0)
+
+let test_value_arith () =
+  Alcotest.check value "int add" (v_int 7) (Value.add (v_int 3) (v_int 4));
+  Alcotest.check value "promotion"
+    (Value.Float 4.5)
+    (Value.add (v_int 4) (Value.Float 0.5));
+  Alcotest.check value "mul" (v_int 12) (Value.mul (v_int 3) (v_int 4));
+  Alcotest.(check_raises) "string arith" (Value.Type_error
+    "add: non-numeric operands (string, int)") (fun () ->
+      ignore (Value.add (v_str "x") (v_int 1)))
+
+let test_value_hash_consistency () =
+  Alcotest.(check bool)
+    "equal values share hash" true
+    (Value.hash (v_int 5) = Value.hash (Value.Float 5.0))
+
+(* --- Schema --- *)
+
+let test_schema_basic () =
+  Alcotest.(check (list string))
+    "attrs in order"
+    [ "r1"; "r2"; "r3"; "r4" ]
+    (Schema.attrs schema_r);
+  Alcotest.(check (list string)) "key" [ "r1" ] (Schema.key schema_r);
+  Alcotest.(check bool) "mem" true (Schema.mem schema_r "r3");
+  Alcotest.(check bool) "not mem" false (Schema.mem schema_r "zz")
+
+let test_schema_project () =
+  let p = Schema.project schema_r [ "r3"; "r1" ] in
+  Alcotest.(check (list string)) "reordered" [ "r3"; "r1" ] (Schema.attrs p);
+  Alcotest.(check (list string)) "key kept" [ "r1" ] (Schema.key p);
+  let q = Schema.project schema_r [ "r2" ] in
+  Alcotest.(check (list string)) "key dropped" [] (Schema.key q);
+  Alcotest.check_raises "unknown attr"
+    (Schema.Schema_error "project: unknown attribute \"zz\"") (fun () ->
+      ignore (Schema.project schema_r [ "zz" ]))
+
+let test_schema_dup () =
+  Alcotest.check_raises "duplicate attribute"
+    (Schema.Schema_error "duplicate attribute \"a\"") (fun () ->
+      ignore (Schema.make [ ("a", Value.TInt); ("a", Value.TInt) ]))
+
+let test_schema_join () =
+  let j = Schema.join schema_r schema_s in
+  Alcotest.(check (list string))
+    "joined attrs"
+    [ "r1"; "r2"; "r3"; "r4"; "s1"; "s2"; "s3" ]
+    (Schema.attrs j);
+  Alcotest.(check (list string)) "combined key" [ "r1"; "s1" ] (Schema.key j);
+  (* shared attribute with agreeing type merges *)
+  let a = Schema.make [ ("x", Value.TInt); ("y", Value.TInt) ] in
+  let b = Schema.make [ ("y", Value.TInt); ("z", Value.TInt) ] in
+  Alcotest.(check (list string))
+    "shared merged" [ "x"; "y"; "z" ]
+    (Schema.attrs (Schema.join a b));
+  let b_bad = Schema.make [ ("y", Value.TStr) ] in
+  Alcotest.check_raises "type conflict"
+    (Schema.Schema_error "join: attribute \"y\" has conflicting types")
+    (fun () -> ignore (Schema.join a b_bad))
+
+let test_schema_union_compatible () =
+  Alcotest.(check bool)
+    "same schema" true
+    (Schema.union_compatible schema_r schema_r);
+  Alcotest.(check bool)
+    "different" false
+    (Schema.union_compatible schema_r schema_s)
+
+(* --- Tuple --- *)
+
+let test_tuple_basic () =
+  let t = r_tuple 1 10 7 100 in
+  Alcotest.check value "get" (v_int 10) (Tuple.get t "r2");
+  Alcotest.(check (option value)) "find_opt none" None (Tuple.find_opt t "zz");
+  Alcotest.(check int) "arity" 4 (Tuple.arity t);
+  Alcotest.check tuple "project"
+    (Tuple.of_list [ ("r1", v_int 1); ("r3", v_int 7) ])
+    (Tuple.project t [ "r1"; "r3" ])
+
+let test_tuple_concat () =
+  let a = Tuple.of_list [ ("x", v_int 1); ("y", v_int 2) ] in
+  let b = Tuple.of_list [ ("y", v_int 2); ("z", v_int 3) ] in
+  (match Tuple.concat a b with
+  | Some m -> Alcotest.(check int) "merged arity" 3 (Tuple.arity m)
+  | None -> Alcotest.fail "concat should agree");
+  let b_bad = Tuple.of_list [ ("y", v_int 9) ] in
+  Alcotest.(check bool)
+    "disagreement" true
+    (Option.is_none (Tuple.concat a b_bad))
+
+let test_tuple_schema_match () =
+  Alcotest.(check bool)
+    "matches" true
+    (Tuple.matches_schema (r_tuple 1 2 3 4) schema_r);
+  Alcotest.(check bool)
+    "wrong arity" false
+    (Tuple.matches_schema (s_tuple 1 2 3) schema_r);
+  let wrong_ty =
+    Tuple.of_list
+      [ ("r1", v_str "x"); ("r2", v_int 0); ("r3", v_int 0); ("r4", v_int 0) ]
+  in
+  Alcotest.(check bool) "wrong type" false (Tuple.matches_schema wrong_ty schema_r)
+
+(* --- Predicate --- *)
+
+let test_predicate_eval () =
+  let t = r_tuple 1 10 7 100 in
+  Alcotest.(check bool) "eq true" true (Predicate.eval cond_r4 t);
+  Alcotest.(check bool)
+    "arith condition" true
+    Predicate.(eval (lt (Add (attr "r1", attr "r3")) (int 9)) t);
+  Alcotest.(check bool)
+    "nonlinear condition (Example 5.1 style)" true
+    Predicate.(
+      eval (lt (Add (Mul (attr "r1", attr "r1"), attr "r3")) (int 9)) t);
+  Alcotest.(check bool)
+    "and/or/not" true
+    Predicate.(
+      eval (conj [ cond_r4; Not (lt (attr "r2") (int 5)) ]) t)
+
+let test_predicate_attrs () =
+  Alcotest.(check (list string))
+    "attrs" [ "r2"; "s1" ]
+    (Predicate.attrs join_cond);
+  Alcotest.(check (list (pair string string)))
+    "equi pairs"
+    [ ("r2", "s1") ]
+    (Predicate.equi_pairs join_cond)
+
+let test_predicate_restrict () =
+  let p = Predicate.(conj [ cond_r4; lt (attr "s3") (int 50) ]) in
+  let restricted = Predicate.restrict_to p (Schema.attrs schema_r) in
+  Alcotest.(check bool)
+    "restricted keeps r-conjunct" true
+    (Predicate.equal restricted cond_r4)
+
+let test_predicate_simplify () =
+  Alcotest.(check bool)
+    "and true" true
+    Predicate.(equal (simplify (And (True, cond_r4))) cond_r4);
+  Alcotest.(check bool)
+    "or false" true
+    Predicate.(equal (simplify (Or (cond_r4, False))) cond_r4);
+  Alcotest.(check bool)
+    "not not stays" true
+    Predicate.(equal (simplify (Not True)) False)
+
+(* --- Bag --- *)
+
+let test_bag_multiplicity () =
+  let b = Bag.add ~mult:2 (Bag.add sample_r (r_tuple 9 9 9 9)) (r_tuple 9 9 9 9) in
+  Alcotest.(check int) "mult" 3 (Bag.mult b (r_tuple 9 9 9 9));
+  Alcotest.(check int) "cardinal" 7 (Bag.cardinal b);
+  Alcotest.(check int) "support" 5 (Bag.support_cardinal b);
+  let b = Bag.remove ~mult:5 b (r_tuple 9 9 9 9) in
+  Alcotest.(check int) "monus clamps" 0 (Bag.mult b (r_tuple 9 9 9 9))
+
+let test_bag_select_project () =
+  let sel = Bag.select cond_r4 sample_r in
+  Alcotest.(check int) "selected" 3 (Bag.cardinal sel);
+  let proj = Bag.project [ "r2" ] sel in
+  Alcotest.(check int) "projection keeps multiplicity" 3 (Bag.cardinal proj);
+  Alcotest.(check int)
+    "projection merges support" 2
+    (Bag.support_cardinal proj);
+  Alcotest.(check int)
+    "r2=10 has multiplicity 2" 2
+    (Bag.mult proj (Tuple.of_list [ ("r2", v_int 10) ]))
+
+let test_bag_union_monus () =
+  let a = Bag.of_rows schema_s [ [ v_int 1; v_int 2; v_int 3 ] ] in
+  let b = Bag.union a a in
+  Alcotest.(check int) "union doubles" 2 (Bag.mult b (s_tuple 1 2 3));
+  let m = Bag.monus b a in
+  Alcotest.(check int) "monus subtracts" 1 (Bag.mult m (s_tuple 1 2 3))
+
+let test_bag_set_ops () =
+  let a = Bag.of_rows schema_s [ [ v_int 1; v_int 2; v_int 3 ]; [ v_int 4; v_int 5; v_int 6 ] ] in
+  let b = Bag.of_rows schema_s [ [ v_int 1; v_int 2; v_int 3 ] ] in
+  let d = Bag.set_diff a b in
+  Alcotest.(check int) "diff size" 1 (Bag.cardinal d);
+  Alcotest.(check bool) "diff member" true (Bag.mem d (s_tuple 4 5 6));
+  let i = Bag.inter_set a b in
+  Alcotest.(check int) "inter size" 1 (Bag.cardinal i);
+  Alcotest.(check bool) "is_set" true (Bag.is_set d)
+
+let test_bag_join_equi () =
+  let joined =
+    Bag.join ~on:join_cond (Bag.select cond_r4 sample_r)
+      (Bag.select cond_s3 sample_s)
+  in
+  (* r2 values 10,20,10 match s1 values 10,20 *)
+  Alcotest.(check int) "join size" 3 (Bag.cardinal joined);
+  Alcotest.(check (list string))
+    "join schema"
+    [ "r1"; "r2"; "r3"; "r4"; "s1"; "s2"; "s3" ]
+    (Schema.attrs (Bag.schema joined))
+
+let test_bag_join_natural () =
+  (* shared attribute name joins naturally *)
+  let sa = Schema.make [ ("x", Value.TInt); ("y", Value.TInt) ] in
+  let sb = Schema.make [ ("y", Value.TInt); ("z", Value.TInt) ] in
+  let a = Bag.of_rows sa [ [ v_int 1; v_int 2 ]; [ v_int 3; v_int 4 ] ] in
+  let b = Bag.of_rows sb [ [ v_int 2; v_int 9 ] ] in
+  let j = Bag.join a b in
+  Alcotest.(check int) "natural join" 1 (Bag.cardinal j);
+  Alcotest.check tuple "joined tuple"
+    (Tuple.of_list [ ("x", v_int 1); ("y", v_int 2); ("z", v_int 9) ])
+    (List.hd (Bag.support j))
+
+let test_bag_join_theta () =
+  (* pure theta join without equalities: Example 5.1's a1^2 + a2 < b2^2 *)
+  let sa = Schema.make [ ("a1", Value.TInt); ("a2", Value.TInt) ] in
+  let sb = Schema.make [ ("b1", Value.TInt); ("b2", Value.TInt) ] in
+  let a = Bag.of_rows sa [ [ v_int 1; v_int 2 ]; [ v_int 5; v_int 0 ] ] in
+  let b = Bag.of_rows sb [ [ v_int 7; v_int 2 ] ] in
+  let cond =
+    Predicate.(
+      lt
+        (Add (Mul (attr "a1", attr "a1"), attr "a2"))
+        (Mul (attr "b2", attr "b2")))
+  in
+  let j = Bag.join ~on:cond a b in
+  (* 1+2=3 < 4 yes; 25+0 < 4 no *)
+  Alcotest.(check int) "theta join" 1 (Bag.cardinal j)
+
+let test_bag_join_multiplicity () =
+  let sa = Schema.make [ ("x", Value.TInt) ] in
+  let sb = Schema.make [ ("x", Value.TInt) ] in
+  let a = Bag.add ~mult:2 (Bag.empty sa) (Tuple.of_list [ ("x", v_int 1) ]) in
+  let b = Bag.add ~mult:3 (Bag.empty sb) (Tuple.of_list [ ("x", v_int 1) ]) in
+  let j = Bag.join a b in
+  Alcotest.(check int)
+    "multiplicities multiply" 6
+    (Bag.mult j (Tuple.of_list [ ("x", v_int 1) ]))
+
+let test_bag_product_overlap () =
+  Alcotest.check_raises "overlapping product"
+    (Bag.Bag_error "product: overlapping attributes r1, r2, r3, r4")
+    (fun () -> ignore (Bag.product sample_r sample_r))
+
+(* --- Expr / Eval --- *)
+
+let env_rs name =
+  match name with
+  | "R" -> Some sample_r
+  | "S" -> Some sample_s
+  | _ -> None
+
+let test_eval_example_2_1 () =
+  let t = Eval.eval ~env:env_rs t_def in
+  Alcotest.(check int) "T cardinality" 3 (Bag.cardinal t);
+  Alcotest.(check (list string))
+    "T schema"
+    [ "r1"; "r3"; "s1"; "s2" ]
+    (Schema.attrs (Bag.schema t));
+  Alcotest.(check bool)
+    "contains (1,7,10,55)" true
+    (Bag.mem t
+       (Tuple.of_list
+          [ ("r1", v_int 1); ("r3", v_int 7); ("s1", v_int 10); ("s2", v_int 55) ]))
+
+let test_eval_union_diff () =
+  let sch = Schema.make [ ("x", Value.TInt) ] in
+  let mk rows = Bag.of_rows sch (List.map (fun i -> [ v_int i ]) rows) in
+  let env = function
+    | "A" -> Some (mk [ 1; 2; 2 ])
+    | "B" -> Some (mk [ 2; 3 ])
+    | _ -> None
+  in
+  let u = Eval.eval ~env Expr.(union (base "A") (base "B")) in
+  Alcotest.(check int) "bag union keeps dups" 5 (Bag.cardinal u);
+  let d = Eval.eval ~env Expr.(diff (base "A") (base "B")) in
+  Alcotest.(check int) "set difference" 1 (Bag.cardinal d);
+  Alcotest.(check bool) "1 in diff" true (Bag.mem d (Tuple.of_list [ ("x", v_int 1) ]))
+
+let test_eval_unbound () =
+  Alcotest.check_raises "unbound" (Eval.Unbound_relation "Z") (fun () ->
+      ignore (Eval.eval ~env:env_rs (Expr.base "Z")))
+
+let test_expr_schema_errors () =
+  (* union of incompatible schemas *)
+  (try
+     ignore
+       (Expr.schema_of
+          (function "R" -> schema_r | _ -> schema_s)
+          Expr.(union (base "R") (base "S")));
+     Alcotest.fail "expected Expr_error"
+   with Expr.Expr_error _ -> ());
+  (* select on unknown attribute *)
+  try
+    ignore
+      (Expr.schema_of
+         (fun _ -> schema_s)
+         Expr.(select cond_r4 (base "S")));
+    Alcotest.fail "expected Expr_error"
+  with Expr.Expr_error _ -> ()
+
+let test_expr_predicates () =
+  Alcotest.(check bool) "spj" true (Expr.is_spj t_def);
+  Alcotest.(check bool)
+    "sp of single" true
+    (Expr.is_select_project_of "R" Expr.(project [ "r1" ] (select cond_r4 (base "R"))));
+  Alcotest.(check bool)
+    "join not sp" false
+    (Expr.is_select_project_of "R" t_def);
+  Alcotest.(check bool)
+    "setop shape" true
+    Expr.(is_setop_of_sp (diff (project [ "s1" ] (base "A")) (base "B")));
+  Alcotest.(check (list string)) "base names" [ "R"; "S" ] (Expr.base_names t_def)
+
+(* --- Rename --- *)
+
+let test_rename_eval () =
+  let renamed =
+    Eval.eval
+      ~env:(function "S" -> Some sample_s | _ -> None)
+      Expr.(rename [ ("s1", "id"); ("s2", "score") ] (base "S"))
+  in
+  Alcotest.(check (list string))
+    "renamed schema"
+    [ "id"; "score"; "s3" ]
+    (Schema.attrs (Bag.schema renamed));
+  Alcotest.(check (list string)) "key renamed" [ "id" ] (Schema.key (Bag.schema renamed));
+  Alcotest.(check int) "cardinality preserved" (Bag.cardinal sample_s) (Bag.cardinal renamed);
+  Alcotest.(check bool)
+    "values carried over" true
+    (Bag.mem renamed
+       (Tuple.of_list
+          [ ("id", v_int 10); ("score", v_int 55); ("s3", v_int 20) ]))
+
+let test_rename_composes () =
+  (* rename then select in the new namespace *)
+  let e =
+    Expr.(
+      select
+        Predicate.(lt (attr "score") (int 60))
+        (rename [ ("s2", "score") ] (base "S")))
+  in
+  let out = Eval.eval ~env:(function "S" -> Some sample_s | _ -> None) e in
+  Alcotest.(check int) "filtered in renamed namespace" 1 (Bag.cardinal out)
+
+let test_rename_errors () =
+  (try
+     ignore
+       (Expr.schema_of
+          (fun _ -> schema_s)
+          Expr.(rename [ ("nope", "x") ] (base "S")));
+     Alcotest.fail "expected Expr_error"
+   with Expr.Expr_error _ -> ());
+  (* collision with a kept attribute *)
+  try
+    ignore
+      (Expr.schema_of
+         (fun _ -> schema_s)
+         Expr.(rename [ ("s1", "s2") ] (base "S")));
+    Alcotest.fail "expected Expr_error (collision)"
+  with Expr.Expr_error _ -> ()
+
+let test_rename_fd () =
+  let fds =
+    Fd.derive
+      (function "S" -> Fd.of_key schema_s | _ -> Fd.make [])
+      Expr.(rename [ ("s1", "id") ] (base "S"))
+  in
+  Alcotest.(check bool) "key FD renamed" true (Fd.determines fds [ "id" ] "s2")
+
+(* --- Fd --- *)
+
+let test_fd_closure () =
+  let fds = Fd.of_key schema_r in
+  Alcotest.(check (list string))
+    "closure of key"
+    [ "r1"; "r2"; "r3"; "r4" ]
+    (Fd.closure fds [ "r1" ]);
+  Alcotest.(check bool) "determines" true (Fd.determines fds [ "r1" ] "r3");
+  Alcotest.(check bool) "no reverse" false (Fd.determines fds [ "r3" ] "r1")
+
+let test_fd_transitive () =
+  let fds =
+    Fd.make [ { lhs = [ "a" ]; rhs = [ "b" ] }; { lhs = [ "b" ]; rhs = [ "c" ] } ]
+  in
+  Alcotest.(check bool) "transitivity" true (Fd.determines fds [ "a" ] "c")
+
+let test_fd_derive_example_2_3 () =
+  (* T = pi(sigma R |X|_{r2=s1} sigma S): r1 (key of R) determines r3 in T *)
+  let env = function
+    | "R" -> Fd.of_key schema_r
+    | "S" -> Fd.of_key schema_s
+    | _ -> Fd.make []
+  in
+  let fds = Fd.derive env t_def in
+  Alcotest.(check bool)
+    "T : r1 -> r3 (inference of Example 2.3)" true
+    (Fd.determines fds [ "r1" ] "r3");
+  Alcotest.(check bool)
+    "T : s1 -> s2" true
+    (Fd.determines fds [ "s1" ] "s2");
+  (* r2 is projected away in T, so r2 -> s1 holds only pre-projection *)
+  Alcotest.(check bool)
+    "projection drops r2's FDs" false
+    (Fd.determines fds [ "r2" ] "s1");
+  let join_fds =
+    Fd.derive env
+      Expr.(join ~on:join_cond (select cond_r4 (base "R")) (select cond_s3 (base "S")))
+  in
+  Alcotest.(check bool)
+    "equi pair before projection: r2 -> s1" true
+    (Fd.determines join_fds [ "r2" ] "s1")
+
+let test_fd_union_kills () =
+  let env = fun _ -> Fd.of_key schema_s in
+  let fds = Fd.derive env Expr.(union (base "S") (base "S")) in
+  Alcotest.(check bool)
+    "no FDs through bag union" false
+    (Fd.determines fds [ "s1" ] "s2")
+
+(* --- qcheck properties --- *)
+
+let prop_project_preserves_cardinality =
+  qtest "bag projection preserves total multiplicity" (bag_gen schema_s)
+    (fun b -> Bag.cardinal (Bag.project [ "s2" ] b) = Bag.cardinal b)
+
+let prop_union_cardinality =
+  qtest "union cardinality adds"
+    QCheck2.Gen.(pair (bag_gen schema_s) (bag_gen schema_s))
+    (fun (a, b) -> Bag.cardinal (Bag.union a b) = Bag.cardinal a + Bag.cardinal b)
+
+let prop_monus_inverse_of_union =
+  qtest "monus undoes union"
+    QCheck2.Gen.(pair (bag_gen schema_s) (bag_gen schema_s))
+    (fun (a, b) -> Bag.equal (Bag.monus (Bag.union a b) b) a)
+
+let prop_select_partition =
+  qtest "select p + select not p partition the bag" (bag_gen schema_s)
+    (fun b ->
+      let p = cond_s3 in
+      Bag.equal
+        (Bag.union (Bag.select p b) (Bag.select (Predicate.Not p) b))
+        b)
+
+let prop_join_commutes =
+  qtest "join support is commutative"
+    QCheck2.Gen.(pair (bag_gen schema_r) (bag_gen schema_s))
+    (fun (r, s) ->
+      let j1 = Bag.join ~on:join_cond r s in
+      let j2 = Bag.join ~on:join_cond s r in
+      Bag.cardinal j1 = Bag.cardinal j2)
+
+let prop_set_diff_set_semantics =
+  qtest "set_diff yields sets disjoint from subtrahend"
+    QCheck2.Gen.(pair (bag_gen schema_s) (bag_gen schema_s))
+    (fun (a, b) ->
+      let d = Bag.set_diff a b in
+      Bag.is_set d
+      && List.for_all (fun t -> not (Bag.mem b t)) (Bag.support d))
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "arith" `Quick test_value_arith;
+          Alcotest.test_case "hash consistency" `Quick test_value_hash_consistency;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basic" `Quick test_schema_basic;
+          Alcotest.test_case "project" `Quick test_schema_project;
+          Alcotest.test_case "duplicate detection" `Quick test_schema_dup;
+          Alcotest.test_case "join" `Quick test_schema_join;
+          Alcotest.test_case "union compat" `Quick test_schema_union_compatible;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "basic" `Quick test_tuple_basic;
+          Alcotest.test_case "concat" `Quick test_tuple_concat;
+          Alcotest.test_case "schema match" `Quick test_tuple_schema_match;
+        ] );
+      ( "predicate",
+        [
+          Alcotest.test_case "eval" `Quick test_predicate_eval;
+          Alcotest.test_case "attrs" `Quick test_predicate_attrs;
+          Alcotest.test_case "restrict_to" `Quick test_predicate_restrict;
+          Alcotest.test_case "simplify" `Quick test_predicate_simplify;
+        ] );
+      ( "bag",
+        [
+          Alcotest.test_case "multiplicity" `Quick test_bag_multiplicity;
+          Alcotest.test_case "select/project" `Quick test_bag_select_project;
+          Alcotest.test_case "union/monus" `Quick test_bag_union_monus;
+          Alcotest.test_case "set ops" `Quick test_bag_set_ops;
+          Alcotest.test_case "equi join" `Quick test_bag_join_equi;
+          Alcotest.test_case "natural join" `Quick test_bag_join_natural;
+          Alcotest.test_case "theta join" `Quick test_bag_join_theta;
+          Alcotest.test_case "join multiplicity" `Quick test_bag_join_multiplicity;
+          Alcotest.test_case "product overlap" `Quick test_bag_product_overlap;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "Example 2.1 view" `Quick test_eval_example_2_1;
+          Alcotest.test_case "union/diff semantics" `Quick test_eval_union_diff;
+          Alcotest.test_case "unbound relation" `Quick test_eval_unbound;
+          Alcotest.test_case "schema errors" `Quick test_expr_schema_errors;
+          Alcotest.test_case "shape predicates" `Quick test_expr_predicates;
+        ] );
+      ( "rename",
+        [
+          Alcotest.test_case "eval" `Quick test_rename_eval;
+          Alcotest.test_case "composes with select" `Quick test_rename_composes;
+          Alcotest.test_case "errors" `Quick test_rename_errors;
+          Alcotest.test_case "FDs follow" `Quick test_rename_fd;
+        ] );
+      ( "fd",
+        [
+          Alcotest.test_case "closure" `Quick test_fd_closure;
+          Alcotest.test_case "transitivity" `Quick test_fd_transitive;
+          Alcotest.test_case "Example 2.3 inference" `Quick test_fd_derive_example_2_3;
+          Alcotest.test_case "union kills FDs" `Quick test_fd_union_kills;
+        ] );
+      ( "properties",
+        [
+          prop_project_preserves_cardinality;
+          prop_union_cardinality;
+          prop_monus_inverse_of_union;
+          prop_select_partition;
+          prop_join_commutes;
+          prop_set_diff_set_semantics;
+        ] );
+    ]

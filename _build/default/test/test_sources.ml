@@ -1,0 +1,294 @@
+(* Tests for simulated autonomous source databases: versioned commits,
+   announcement modes, poll semantics (flush-before-answer, FIFO with
+   updates), and history access. *)
+
+open Relalg
+open Delta
+open Sim
+open Sources
+open Tutil
+
+let mk_source ?(announce = Source_db.Immediate) engine =
+  Source_db.create ~engine ~name:"db" ~relations:[ ("S", schema_s) ] ~announce ()
+
+let delta_ins tuple =
+  Multi_delta.singleton "S" (Rel_delta.insert (Rel_delta.empty schema_s) tuple)
+
+let test_commit_and_history () =
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  Source_db.load src "S" (Bag.of_tuples schema_s [ s_tuple 1 2 3 ]);
+  Alcotest.(check int) "version 0" 0 (Source_db.version src);
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      Source_db.commit src (delta_ins (s_tuple 4 5 6)));
+  Engine.schedule engine ~delay:2.0 (fun () ->
+      Source_db.commit src (delta_ins (s_tuple 7 8 9)));
+  Engine.run engine;
+  Alcotest.(check int) "version 2" 2 (Source_db.version src);
+  Alcotest.(check int) "current size" 3 (Bag.cardinal (Source_db.current src "S"));
+  (* history *)
+  let h = Source_db.history src in
+  Alcotest.(check int) "three entries" 3 (List.length h);
+  let state1 = Source_db.state_at_version src 1 in
+  Alcotest.(check int)
+    "version 1 has two tuples" 2
+    (Bag.cardinal (List.assoc "S" state1));
+  Alcotest.(check (float 1e-9))
+    "commit time of v1" 1.0
+    (Source_db.commit_time_of_version src 1);
+  Alcotest.(check (option (float 1e-9)))
+    "next commit after v1" (Some 2.0)
+    (Source_db.next_commit_time_after src 1);
+  Alcotest.(check (option (float 1e-9)))
+    "no commit after v2" None
+    (Source_db.next_commit_time_after src 2)
+
+let test_load_after_commit_rejected () =
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  Source_db.commit src (delta_ins (s_tuple 1 2 3));
+  try
+    Source_db.load src "S" (Bag.empty schema_s);
+    Alcotest.fail "expected Source_error"
+  with Source_db.Source_error _ -> ()
+
+let test_unknown_relation_rejected () =
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  let bad =
+    Multi_delta.singleton "NOPE"
+      (Rel_delta.insert (Rel_delta.empty schema_s) (s_tuple 1 2 3))
+  in
+  try
+    Source_db.commit src bad;
+    Alcotest.fail "expected Source_error"
+  with Source_db.Source_error _ -> ()
+
+let collect_updates engine src =
+  let received = ref [] in
+  Source_db.connect src ~comm_delay:0.1 ~q_proc_delay:0.01 (function
+    | Message.Update u -> received := u :: !received
+    | Message.Answer (iv, a) -> Engine.Ivar.fill engine iv a);
+  received
+
+let test_immediate_announce () =
+  let engine = Engine.create () in
+  let src = mk_source ~announce:Source_db.Immediate engine in
+  let received = collect_updates engine src in
+  Source_db.commit src (delta_ins (s_tuple 1 2 3));
+  Source_db.commit src (delta_ins (s_tuple 4 5 6));
+  Engine.run engine;
+  Alcotest.(check int) "one message per commit" 2 (List.length !received);
+  let first = List.nth (List.rev !received) 0 in
+  Alcotest.(check int) "version" 1 first.Message.version;
+  Alcotest.(check int) "atoms" 1 (Multi_delta.atom_count first.Message.delta)
+
+let test_periodic_announce_batches () =
+  let engine = Engine.create () in
+  let src = mk_source ~announce:(Source_db.Periodic 10.0) engine in
+  let received = collect_updates engine src in
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      Source_db.commit src (delta_ins (s_tuple 1 2 3)));
+  Engine.schedule engine ~delay:2.0 (fun () ->
+      Source_db.commit src (delta_ins (s_tuple 4 5 6)));
+  Engine.run engine ~until:15.0;
+  Alcotest.(check int) "one batched message" 1 (List.length !received);
+  let msg = List.hd !received in
+  Alcotest.(check int) "net delta has both atoms" 2
+    (Multi_delta.atom_count msg.Message.delta);
+  Alcotest.(check int) "version is the last commit" 2 msg.Message.version
+
+let test_periodic_net_delta_cancels () =
+  (* insert then delete within one period: the announced net delta is
+     empty-ish (the paper's "net updates") *)
+  let engine = Engine.create () in
+  let src = mk_source ~announce:(Source_db.Periodic 10.0) engine in
+  let received = collect_updates engine src in
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      Source_db.commit src (delta_ins (s_tuple 1 2 3)));
+  Engine.schedule engine ~delay:2.0 (fun () ->
+      Source_db.commit src
+        (Multi_delta.singleton "S"
+           (Rel_delta.delete (Rel_delta.empty schema_s) (s_tuple 1 2 3))));
+  Engine.run engine ~until:15.0;
+  (* the net delta cancels out; an (empty) message may or may not be
+     sent — either way no atoms should be announced *)
+  let atoms =
+    List.fold_left
+      (fun acc u -> acc + Multi_delta.atom_count u.Message.delta)
+      0 !received
+  in
+  Alcotest.(check int) "no net atoms announced" 0 atoms
+
+let test_never_announces () =
+  let engine = Engine.create () in
+  let src = mk_source ~announce:Source_db.Never engine in
+  let received = collect_updates engine src in
+  Source_db.commit src (delta_ins (s_tuple 1 2 3));
+  Engine.run engine ~until:50.0;
+  Alcotest.(check int) "virtual contributor stays silent" 0 (List.length !received)
+
+let test_poll_single_state () =
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  Source_db.load src "S"
+    (Bag.of_tuples schema_s [ s_tuple 1 2 3; s_tuple 4 5 60 ]);
+  let _ = collect_updates engine src in
+  let answer = ref None in
+  Engine.spawn engine (fun () ->
+      answer :=
+        Some
+          (Source_db.poll src
+             [
+               ("all", Expr.base "S");
+               ("low", Expr.select cond_s3 (Expr.base "S"));
+             ]));
+  Engine.run engine;
+  match !answer with
+  | Some a ->
+    Alcotest.(check int) "version 0" 0 a.Message.answer_version;
+    Alcotest.(check int) "all" 2 (Bag.cardinal (List.assoc "all" a.Message.results));
+    Alcotest.(check int) "low" 1 (Bag.cardinal (List.assoc "low" a.Message.results))
+  | None -> Alcotest.fail "no answer"
+
+let test_poll_flushes_pending_first () =
+  (* the ECA precondition: with Periodic announcements, a poll must
+     push the staged net delta onto the channel before answering, and
+     FIFO must deliver it before the answer *)
+  let engine = Engine.create () in
+  let src = mk_source ~announce:(Source_db.Periodic 1000.0) engine in
+  let arrivals = ref [] in
+  Source_db.connect src ~comm_delay:0.1 ~q_proc_delay:0.01 (function
+    | Message.Update u -> arrivals := `Update u.Message.version :: !arrivals
+    | Message.Answer (iv, a) ->
+      arrivals := `Answer a.Message.answer_version :: !arrivals;
+      Engine.Ivar.fill engine iv a);
+  Source_db.commit src (delta_ins (s_tuple 1 2 3));
+  Engine.spawn engine (fun () ->
+      ignore (Source_db.poll src [ ("all", Expr.base "S") ]));
+  Engine.run engine ~until:100.0;
+  (match List.rev !arrivals with
+  | [ `Update 1; `Answer 1 ] -> ()
+  | _ -> Alcotest.fail "expected the staged update to arrive before the answer");
+  Alcotest.(check int) "polls served" 1 (Source_db.polls_served src)
+
+let test_poll_answer_ordered_after_updates () =
+  (* updates committed while a poll is in flight are still ordered
+     correctly: the answer reflects them and arrives after them *)
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  let arrivals = ref [] in
+  Source_db.connect src ~comm_delay:0.5 ~q_proc_delay:0.01 (function
+    | Message.Update u -> arrivals := `Update u.Message.version :: !arrivals
+    | Message.Answer (iv, a) ->
+      arrivals := `Answer a.Message.answer_version :: !arrivals;
+      Engine.Ivar.fill engine iv a);
+  (* commit lands while the poll request is travelling *)
+  Engine.schedule engine ~delay:0.2 (fun () ->
+      Source_db.commit src (delta_ins (s_tuple 9 9 9)));
+  Engine.spawn engine (fun () ->
+      let a = Source_db.poll src [ ("all", Expr.base "S") ] in
+      Alcotest.(check int) "answer reflects the racing commit" 1
+        a.Message.answer_version);
+  Engine.run engine ~until:100.0;
+  match List.rev !arrivals with
+  | [ `Update 1; `Answer 1 ] -> ()
+  | _ -> Alcotest.fail "update must be delivered before the poll answer"
+
+let test_poll_atomic_version_stamp () =
+  (* regression: a commit landing during the source's query-processing
+     window must be reflected by BOTH the results and the version
+     stamp, or the mediator's Eager Compensation over-corrects (this
+     exact bug was caught by the E6 consistency checker) *)
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  Source_db.load src "S" (Bag.of_tuples schema_s [ s_tuple 1 2 3 ]);
+  let _ = collect_updates engine src in
+  (* comm_delay 0.1: request arrives at 0.1; q_proc 0.01 ends at 0.11;
+     schedule a commit in between *)
+  Engine.schedule engine ~delay:0.105 (fun () ->
+      Source_db.commit src (delta_ins (s_tuple 7 7 7)));
+  let got = ref None in
+  Engine.spawn engine (fun () ->
+      got := Some (Source_db.poll src [ ("all", Expr.base "S") ]));
+  Engine.run engine ~until:10.0;
+  match !got with
+  | Some a ->
+    let results = List.assoc "all" a.Message.results in
+    let claims_v1 = a.Message.answer_version = 1 in
+    let has_new_row = Bag.mem results (s_tuple 7 7 7) in
+    Alcotest.(check bool)
+      "version stamp agrees with the result contents" true
+      (claims_v1 = has_new_row)
+  | None -> Alcotest.fail "no answer"
+
+let test_filter_drops_irrelevant_atoms () =
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  let received = collect_updates engine src in
+  (* ship only rows with s3 < 50, projected to s1,s3 *)
+  Source_db.set_filter src ~relation:"S" ~attrs:[ "s1"; "s3" ]
+    ~cond:Predicate.(lt (attr "s3") (int 50));
+  Source_db.commit src (delta_ins (s_tuple 1 2 3));
+  (* filtered out *)
+  Source_db.commit src (delta_ins (s_tuple 4 5 99));
+  Engine.run engine;
+  let atoms =
+    List.fold_left
+      (fun acc u -> acc + Multi_delta.atom_count u.Message.delta)
+      0 !received
+  in
+  Alcotest.(check int) "only the relevant atom shipped" 1 atoms;
+  (* the shipped atom is projected *)
+  let narrow =
+    List.find_map
+      (fun u -> Multi_delta.find u.Message.delta "S")
+      (List.rev !received)
+  in
+  (match narrow with
+  | Some d ->
+    Rel_delta.fold
+      (fun t _ () ->
+        Alcotest.(check (list string)) "projected attrs" [ "s1"; "s3" ]
+          (Tuple.attrs t))
+      d ()
+  | None -> Alcotest.fail "expected a shipped delta");
+  (* heartbeat: the filtered-out commit still advanced the announced
+     version *)
+  let last = List.hd !received in
+  Alcotest.(check int) "version heartbeat" 2 last.Message.version
+
+let test_filter_unknown_attr_rejected () =
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  try
+    Source_db.set_filter src ~relation:"S" ~attrs:[ "zz" ] ~cond:Predicate.True;
+    Alcotest.fail "expected Source_error"
+  with Source_db.Source_error _ -> ()
+
+let () =
+  Alcotest.run "sources"
+    [
+      ( "state & history",
+        [
+          Alcotest.test_case "commit and history" `Quick test_commit_and_history;
+          Alcotest.test_case "load after commit" `Quick test_load_after_commit_rejected;
+          Alcotest.test_case "unknown relation" `Quick test_unknown_relation_rejected;
+        ] );
+      ( "announcements",
+        [
+          Alcotest.test_case "immediate" `Quick test_immediate_announce;
+          Alcotest.test_case "periodic batches" `Quick test_periodic_announce_batches;
+          Alcotest.test_case "net delta cancels" `Quick test_periodic_net_delta_cancels;
+          Alcotest.test_case "never (virtual contributor)" `Quick test_never_announces;
+          Alcotest.test_case "source-side filtering" `Quick test_filter_drops_irrelevant_atoms;
+          Alcotest.test_case "filter validation" `Quick test_filter_unknown_attr_rejected;
+        ] );
+      ( "polling",
+        [
+          Alcotest.test_case "single-state batch" `Quick test_poll_single_state;
+          Alcotest.test_case "flush before answer" `Quick test_poll_flushes_pending_first;
+          Alcotest.test_case "ordered after racing updates" `Quick test_poll_answer_ordered_after_updates;
+          Alcotest.test_case "atomic version stamp (regression)" `Quick test_poll_atomic_version_stamp;
+        ] );
+    ]

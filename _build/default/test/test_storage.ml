@@ -1,0 +1,145 @@
+(* Tests for the mediator-local store: indexed tables and delta
+   repositories. *)
+
+open Relalg
+open Delta
+open Storage
+open Tutil
+
+let test_table_basic () =
+  let t = Table.create ~name:"S" schema_s in
+  Table.insert t (s_tuple 1 2 3);
+  Table.insert ~mult:2 t (s_tuple 4 5 6);
+  Alcotest.(check int) "cardinal" 3 (Table.cardinal t);
+  Alcotest.(check int) "support" 2 (Table.support_cardinal t);
+  Alcotest.(check int) "mult" 2 (Table.mult t (s_tuple 4 5 6));
+  Table.delete t (s_tuple 4 5 6);
+  Alcotest.(check int) "after delete" 1 (Table.mult t (s_tuple 4 5 6));
+  Table.delete ~mult:10 t (s_tuple 4 5 6);
+  Alcotest.(check int) "monus clamps" 0 (Table.mult t (s_tuple 4 5 6))
+
+let test_table_key_index () =
+  let t = Table.create ~name:"S" schema_s in
+  for i = 0 to 9 do
+    Table.insert t (s_tuple i (i * 10) (i * 3))
+  done;
+  Alcotest.(check bool) "key indexed" true (Table.has_index_on t [ "s1" ]);
+  let hit = Table.lookup t [ "s1" ] [ Value.Int 4 ] in
+  Alcotest.(check int) "indexed lookup" 1 (Bag.cardinal hit);
+  Alcotest.(check bool) "right tuple" true (Bag.mem hit (s_tuple 4 40 12));
+  let miss = Table.lookup t [ "s1" ] [ Value.Int 99 ] in
+  Alcotest.(check int) "miss" 0 (Bag.cardinal miss)
+
+let test_table_secondary_index () =
+  let t = Table.create ~indexes:[ [ "s2" ] ] ~name:"S" schema_s in
+  Table.insert t (s_tuple 1 7 0);
+  Table.insert t (s_tuple 2 7 0);
+  Table.insert t (s_tuple 3 8 0);
+  Alcotest.(check bool) "secondary index" true (Table.has_index_on t [ "s2" ]);
+  Alcotest.(check int)
+    "two matches" 2
+    (Bag.cardinal (Table.lookup t [ "s2" ] [ Value.Int 7 ]))
+
+let test_table_scan_lookup () =
+  let t = Table.create ~name:"S" schema_s in
+  Table.insert t (s_tuple 1 7 0);
+  Table.insert t (s_tuple 2 7 0);
+  (* no index on s3: falls back to scanning *)
+  Alcotest.(check bool) "no index" false (Table.has_index_on t [ "s3" ]);
+  Alcotest.(check int)
+    "scan finds both" 2
+    (Bag.cardinal (Table.lookup t [ "s3" ] [ Value.Int 0 ]))
+
+let test_table_index_maintained_through_deletes () =
+  let t = Table.create ~name:"S" schema_s in
+  Table.insert t (s_tuple 1 2 3);
+  Table.delete t (s_tuple 1 2 3);
+  Alcotest.(check int)
+    "index entry removed" 0
+    (Bag.cardinal (Table.lookup t [ "s1" ] [ Value.Int 1 ]))
+
+let test_table_apply_delta_and_load () =
+  let t = Table.create ~name:"S" schema_s in
+  Table.load t (Bag.of_tuples schema_s [ s_tuple 1 2 3; s_tuple 4 5 6 ]);
+  let d =
+    Rel_delta.insert
+      (Rel_delta.delete (Rel_delta.empty schema_s) (s_tuple 1 2 3))
+      (s_tuple 7 8 9)
+  in
+  Table.apply_delta t d;
+  check_bag "delta applied"
+    (Bag.of_tuples schema_s [ s_tuple 4 5 6; s_tuple 7 8 9 ])
+    (Table.contents t);
+  Alcotest.(check int)
+    "index consistent after load+delta" 1
+    (Bag.cardinal (Table.lookup t [ "s1" ] [ Value.Int 7 ]))
+
+let test_table_rejects_bad_tuple () =
+  let t = Table.create ~name:"S" schema_s in
+  try
+    Table.insert t (Tuple.of_list [ ("x", Value.Int 1) ]);
+    Alcotest.fail "expected Bag_error"
+  with Bag.Bag_error _ -> ()
+
+let test_store_catalog () =
+  let store = Store.create () in
+  let _ = Store.create_table store ~name:"S" schema_s in
+  Alcotest.(check bool) "mem" true (Store.mem store "S");
+  Alcotest.(check (list string)) "names" [ "S" ] (Store.table_names store);
+  (try
+     ignore (Store.create_table store ~name:"S" schema_s);
+     Alcotest.fail "expected Store_error"
+   with Store.Store_error _ -> ());
+  try
+    ignore (Store.table store "NOPE");
+    Alcotest.fail "expected Store_error"
+  with Store.Store_error _ -> ()
+
+let test_store_delta_repositories () =
+  let store = Store.create () in
+  let _ = Store.create_table store ~name:"S" schema_s in
+  Alcotest.(check bool)
+    "initially empty" true
+    (Rel_delta.is_empty (Store.delta store "S"));
+  Store.add_delta store "S"
+    (Rel_delta.insert (Rel_delta.empty schema_s) (s_tuple 1 2 3));
+  Store.add_delta store "S"
+    (Rel_delta.insert (Rel_delta.empty schema_s) (s_tuple 4 5 6));
+  Alcotest.(check int) "smashed" 2 (Rel_delta.atom_count (Store.delta store "S"));
+  let taken = Store.take_delta store "S" in
+  Alcotest.(check int) "taken" 2 (Rel_delta.atom_count taken);
+  Alcotest.(check bool)
+    "cleared" true
+    (Rel_delta.is_empty (Store.delta store "S"))
+
+let test_store_env_and_bytes () =
+  let store = Store.create () in
+  let tbl = Store.create_table store ~name:"S" schema_s in
+  Table.insert tbl (s_tuple 1 2 3);
+  (match Store.env store "S" with
+  | Some b -> Alcotest.(check int) "env view" 1 (Bag.cardinal b)
+  | None -> Alcotest.fail "expected table");
+  Alcotest.(check (option reject)) "absent" None
+    (Option.map (fun (_ : Bag.t) -> ()) (Store.env store "NOPE"));
+  Alcotest.(check bool) "bytes counted" true (Store.total_bytes store > 0)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "basic" `Quick test_table_basic;
+          Alcotest.test_case "key index" `Quick test_table_key_index;
+          Alcotest.test_case "secondary index" `Quick test_table_secondary_index;
+          Alcotest.test_case "scan fallback" `Quick test_table_scan_lookup;
+          Alcotest.test_case "index through deletes" `Quick test_table_index_maintained_through_deletes;
+          Alcotest.test_case "apply delta / load" `Quick test_table_apply_delta_and_load;
+          Alcotest.test_case "rejects bad tuples" `Quick test_table_rejects_bad_tuple;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "catalog" `Quick test_store_catalog;
+          Alcotest.test_case "delta repositories" `Quick test_store_delta_repositories;
+          Alcotest.test_case "env and bytes" `Quick test_store_env_and_bytes;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Shared helpers for the test suites: schemas and relations of the
+   paper's running examples, alcotest testables, qcheck generators. *)
+
+open Relalg
+open Delta
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+
+(* --- Example 2.1: R(r1,r2,r3,r4) key r1; S(s1,s2,s3) key s1;
+       T = pi_{r1,r3,s1,s2}( sigma_{r4=100} R |X|_{r2=s1} sigma_{s3<50} S ) *)
+
+let schema_r =
+  Schema.make ~key:[ "r1" ]
+    [ ("r1", Value.TInt); ("r2", Value.TInt); ("r3", Value.TInt); ("r4", Value.TInt) ]
+
+let schema_s =
+  Schema.make ~key:[ "s1" ]
+    [ ("s1", Value.TInt); ("s2", Value.TInt); ("s3", Value.TInt) ]
+
+let r_tuple r1 r2 r3 r4 =
+  Tuple.of_list
+    [ ("r1", v_int r1); ("r2", v_int r2); ("r3", v_int r3); ("r4", v_int r4) ]
+
+let s_tuple s1 s2 s3 =
+  Tuple.of_list [ ("s1", v_int s1); ("s2", v_int s2); ("s3", v_int s3) ]
+
+let sample_r =
+  Bag.of_tuples schema_r
+    [
+      r_tuple 1 10 7 100;
+      r_tuple 2 20 8 100;
+      r_tuple 3 10 9 100;
+      r_tuple 4 30 6 200 (* filtered out by r4 = 100 *);
+    ]
+
+let sample_s =
+  Bag.of_tuples schema_s
+    [
+      s_tuple 10 55 20;
+      s_tuple 20 66 30;
+      s_tuple 30 77 99 (* filtered out by s3 < 50 *);
+    ]
+
+let cond_r4 = Predicate.(eq (attr "r4") (int 100))
+let cond_s3 = Predicate.(lt (attr "s3") (int 50))
+let join_cond = Predicate.eq_attrs "r2" "s1"
+
+let t_def =
+  Expr.(
+    project [ "r1"; "r3"; "s1"; "s2" ]
+      (join ~on:join_cond (select cond_r4 (base "R")) (select cond_s3 (base "S"))))
+
+(* --- alcotest testables --- *)
+
+let bag = Alcotest.testable Bag.pp Bag.equal
+let rel_delta = Alcotest.testable Rel_delta.pp Rel_delta.equal
+let value = Alcotest.testable Value.pp Value.equal
+let tuple = Alcotest.testable Tuple.pp Tuple.equal
+
+let check_bag = Alcotest.check bag
+let check_delta = Alcotest.check rel_delta
+
+(* --- qcheck generators --- *)
+
+(* Small integer domains keep collision (and hence join/diff overlap)
+   probability high, which is what exercises the interesting paths. *)
+let small_int_gen = QCheck2.Gen.int_range 0 6
+
+let tuple_gen schema =
+  let open QCheck2.Gen in
+  let attrs = Schema.attrs schema in
+  let rec build acc = function
+    | [] -> return (Tuple.of_list acc)
+    | a :: rest -> small_int_gen >>= fun v -> build ((a, v_int v) :: acc) rest
+  in
+  build [] attrs
+
+let bag_gen ?(max_size = 12) schema =
+  let open QCheck2.Gen in
+  list_size (int_range 0 max_size) (tuple_gen schema)
+  >|= fun tuples -> Bag.of_tuples schema tuples
+
+(* a delta that is non-redundant w.r.t. [bag]: deletions are drawn from
+   the bag's contents (with multiplicity <= present), insertions are
+   arbitrary *)
+let delta_gen_for schema bag =
+  let open QCheck2.Gen in
+  let support = Bag.support bag in
+  let deletions_gen =
+    match support with
+    | [] -> return []
+    | _ ->
+      list_size (int_range 0 4) (oneofl support) >|= fun chosen ->
+      (* clamp each tuple's total deletions to its multiplicity *)
+      let seen = ref [] in
+      let count t =
+        List.length (List.filter (fun t' -> Tuple.equal t t') !seen)
+      in
+      List.filter
+        (fun t ->
+          if count t < Bag.mult bag t then begin
+            seen := t :: !seen;
+            true
+          end
+          else false)
+        chosen
+  in
+  let insertions_gen = list_size (int_range 0 4) (tuple_gen schema) in
+  pair deletions_gen insertions_gen >|= fun (dels, inss) ->
+  let d = List.fold_left (fun d t -> Rel_delta.delete d t) (Rel_delta.empty schema) dels in
+  List.fold_left (fun d t -> Rel_delta.insert d t) d inss
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
