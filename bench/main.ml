@@ -22,6 +22,7 @@ let experiments =
     ("e9", Experiments.e9);
     ("e10", Micro.run);
     ("e11", Experiments.e11);
+    ("e12", Micro.physical);
     ("figs", Experiments.figs);
   ]
 

@@ -126,6 +126,16 @@ let update_transaction (t : Med.t) =
           | Some b -> Some b
           | None -> Med.store_env t name
         in
+        (* delta-sized probes into stored tables' join-key indexes; a
+           temp shadows its table (the env reads the temp instead) *)
+        let indexed_join ~name ~on d =
+          match List.assoc_opt name vap_result.Vap.temps with
+          | Some _ -> None
+          | None -> (
+            match Med.node_table t name with
+            | Some table -> Table.delta_join ~on d table
+            | None -> None)
+        in
         (* (4) kernel pass: upward traversal in topological order.
            Deltas are computed everywhere against PRE-update values
            (the telescoped rules account for simultaneity internally),
@@ -162,7 +172,7 @@ let update_transaction (t : Med.t) =
                     ~attrs:(Schema.attrs schema) ~cond:Predicate.True
                 in
                 let d =
-                  Inc_eval.delta_of_expr ~env
+                  Inc_eval.delta_of_expr ~indexed_join ~env
                     ~deltas:(fun c -> List.assoc_opt c child_deltas)
                     def
                 in

@@ -134,6 +134,43 @@ let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
           (Graph.leaves_of_source vdp src_name))
     (Graph.sources vdp);
   let store = Store.create () in
+  (* Join-key index specs per node: wherever a definition joins a
+     stored child, IUP's ΔA ⋈ B_old propagation probes the sibling's
+     pre-update table on the join keys, so index them up front. *)
+  let join_index_specs =
+    let specs : (string, string list list) Hashtbl.t = Hashtbl.create 8 in
+    let add name keys =
+      if keys <> [] then begin
+        let cur =
+          match Hashtbl.find_opt specs name with Some l -> l | None -> []
+        in
+        if not (List.mem keys cur) then Hashtbl.replace specs name (keys :: cur)
+      end
+    in
+    let schema_of e =
+      Expr.schema_of (fun n -> (Graph.node vdp n).Graph.schema) e
+    in
+    let rec walk = function
+      | Expr.Base _ -> ()
+      | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Rename (_, e) -> walk e
+      | Expr.Join (a, p, b) ->
+        let lk, rk = Bag.join_keys (schema_of a) (schema_of b) p in
+        (match a with Expr.Base n -> add n lk | _ -> ());
+        (match b with Expr.Base n -> add n rk | _ -> ());
+        walk a;
+        walk b
+      | Expr.Union (a, b) | Expr.Diff (a, b) ->
+        walk a;
+        walk b
+    in
+    List.iter
+      (fun node ->
+        match node.Graph.kind with
+        | Graph.Leaf _ -> ()
+        | Graph.Derived _ -> walk (Graph.def vdp node.Graph.name))
+      (Graph.nodes vdp);
+    specs
+  in
   List.iter
     (fun node ->
       let name = node.Graph.name in
@@ -141,10 +178,19 @@ let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
       | Graph.Leaf _ -> ()
       | Graph.Derived _ ->
         let mat = Annotation.materialized_attrs annotation name in
-        if mat <> [] then
+        if mat <> [] then begin
+          let indexes =
+            (* only keys the materialized projection retains *)
+            List.filter
+              (fun keys -> List.for_all (fun a -> List.mem a mat) keys)
+              (match Hashtbl.find_opt join_index_specs name with
+              | Some l -> l
+              | None -> [])
+          in
           ignore
-            (Store.create_table store ~name
-               (Schema.project node.Graph.schema mat)))
+            (Store.create_table store ~indexes ~name
+               (Schema.project node.Graph.schema mat))
+        end)
     (Graph.nodes vdp);
   let reflected =
     List.map

@@ -13,7 +13,17 @@ let schema_of ~env e =
       | None -> raise (Eval.Unbound_relation n))
     e
 
-let rec delta_of_expr ~env ~deltas expr =
+let rec delta_of_expr ?indexed_join ~env ~deltas expr =
+  let delta_of_expr = delta_of_expr ?indexed_join in
+  (* [d ⋈ base]: probe the base's persistent index when the caller
+     provides one, otherwise hash-join against its pre-update value *)
+  let join_side ~on d side =
+    let generic () = Rel_delta.join_bag ~on d (eval_old ~env side) in
+    match indexed_join, side with
+    | Some probe, Expr.Base name -> (
+      match probe ~name ~on d with Some part -> part | None -> generic ())
+    | _ -> generic ()
+  in
   match expr with
   | Expr.Base name -> (
     match deltas name with
@@ -42,31 +52,30 @@ let rec delta_of_expr ~env ~deltas expr =
     if Rel_delta.is_empty da && Rel_delta.is_empty db then
       Rel_delta.empty (schema_of ~env expr)
     else if Rel_delta.is_empty db then begin
-      let old_b = eval_old ~env b in
-      let part = Rel_delta.join_bag ~on:p da old_b in
+      let part = join_side ~on:p da b in
       Eval.charge_tuple_ops
         (Rel_delta.support_cardinal da + Rel_delta.support_cardinal part);
       part
     end
     else if Rel_delta.is_empty da then begin
-      let old_a = eval_old ~env a in
-      let part = Rel_delta.bag_join ~on:p old_a db in
+      (* the natural join is symmetric, so the delta may probe [a] *)
+      let part = join_side ~on:p db a in
       Eval.charge_tuple_ops
         (Rel_delta.support_cardinal db + Rel_delta.support_cardinal part);
       part
     end
     else begin
-      let old_a = eval_old ~env a and old_b = eval_old ~env b in
-      let new_b = Rel_delta.apply old_b db in
-      (* Example 6.1: ΔA ⋈ B_new covers ΔA ⋈ B and ΔA ⋈ ΔB; A_old ⋈ ΔB
-         covers the rest. *)
-      let part1 = Rel_delta.join_bag ~on:p da new_b in
-      let part2 = Rel_delta.bag_join ~on:p old_a db in
+      (* Example 6.1, without materializing B_new:
+         Δ(A ⋈ B) = ΔA ⋈ B_old + ΔA ⋈ ΔB + A_old ⋈ ΔB. *)
+      let part1 = join_side ~on:p da b in
+      let part2 = join_side ~on:p db a in
+      let cross = Rel_delta.join ~on:p da db in
       Eval.charge_tuple_ops
         (Rel_delta.support_cardinal da + Rel_delta.support_cardinal db
         + Rel_delta.support_cardinal part1
-        + Rel_delta.support_cardinal part2);
-      Rel_delta.smash part1 part2
+        + Rel_delta.support_cardinal part2
+        + Rel_delta.support_cardinal cross);
+      Rel_delta.smash (Rel_delta.smash part1 part2) cross
     end
   | Expr.Union (a, b) ->
     let da = delta_of_expr ~env ~deltas a in
@@ -82,10 +91,12 @@ let rec delta_of_expr ~env ~deltas expr =
     else begin
       let old_a = eval_old ~env a and old_b = eval_old ~env b in
       let schema = Bag.schema old_a in
-      let new_a = Rel_delta.apply old_a da in
-      let new_b = Rel_delta.apply old_b db in
       (* Only tuples whose bag multiplicity changed in a child can
-         change set membership in the output. *)
+         change set membership in the output, and post-state
+         membership is decidable from the old bag and the signed
+         delta — no new state is materialized. Deltas clamp at zero
+         on application, so membership after is [old + signed > 0]. *)
+      let mem_after bag d t = Bag.mult bag t + Rel_delta.signed_mult d t > 0 in
       let candidates =
         Rel_delta.fold
           (fun t _ acc -> Tuple.Set.add t acc)
@@ -97,7 +108,7 @@ let rec delta_of_expr ~env ~deltas expr =
       Tuple.Set.fold
         (fun t acc ->
           let before = Bag.mem old_a t && not (Bag.mem old_b t) in
-          let after = Bag.mem new_a t && not (Bag.mem new_b t) in
+          let after = mem_after old_a da t && not (mem_after old_b db t) in
           match before, after with
           | false, true -> Rel_delta.insert acc t
           | true, false -> Rel_delta.delete acc t
@@ -108,7 +119,7 @@ let rec delta_of_expr ~env ~deltas expr =
 let eval_new ~env ~deltas expr =
   let old_value = Eval.eval ~env expr in
   let d = delta_of_expr ~env ~deltas expr in
-  Rel_delta.apply old_value d
+  if Rel_delta.is_empty d then old_value else Rel_delta.apply old_value d
 
 let rec affected ~changed = function
   | Expr.Base n -> changed n

@@ -16,6 +16,8 @@
 open Relalg
 
 val delta_of_expr :
+  ?indexed_join:
+    (name:string -> on:Predicate.t -> Rel_delta.t -> Rel_delta.t option) ->
   env:(string -> Bag.t option) ->
   deltas:(string -> Rel_delta.t option) ->
   Expr.t ->
@@ -25,6 +27,13 @@ val delta_of_expr :
     the net delta of the expression, satisfying
     [apply (eval env e) (delta_of_expr e) = eval env' e] where [env']
     is [env] with the deltas applied.
+
+    [indexed_join ~name ~on d] may compute [d ⋈ name] (on the
+    pre-update value of base [name]) through a persistent join-key
+    index instead of the generic hash join; returning [None] falls
+    back. The IUP passes a probe into the mediator's stored tables
+    here, so per-transaction [ΔA ⋈ B_old] joins skip rebuilding a key
+    table over [B_old] on every update transaction.
     @raise Eval.Unbound_relation if a needed base is missing. *)
 
 val eval_new :

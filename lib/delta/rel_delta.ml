@@ -1,27 +1,18 @@
 open Relalg
 
-type t = { schema : Schema.t; muls : int Tuple.Map.t }
+type t = { schema : Schema.t; muls : Counts.t }
 (* invariant: all stored multiplicities are nonzero *)
 
 exception Delta_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Delta_error s)) fmt
 
-let empty schema = { schema; muls = Tuple.Map.empty }
+let empty schema = { schema; muls = Counts.empty () }
 let schema d = d.schema
-let is_empty d = Tuple.Map.is_empty d.muls
+let is_empty d = Counts.size d.muls = 0
 
 let add_signed d tuple mult =
-  if mult = 0 then d
-  else
-    let muls =
-      Tuple.Map.update tuple
-        (function
-          | None -> Some mult
-          | Some m -> if m + mult = 0 then None else Some (m + mult))
-        d.muls
-    in
-    { d with muls }
+  if mult = 0 then d else { d with muls = Counts.add_to d.muls tuple mult }
 
 let insert ?(mult = 1) d tuple =
   if mult <= 0 then err "insert: multiplicity %d must be positive" mult;
@@ -42,23 +33,22 @@ let of_diff ~old_bag ~new_bag =
   of_bags ~ins:(Bag.monus new_bag old_bag) ~del:(Bag.monus old_bag new_bag)
 
 let insertions d =
-  Tuple.Map.fold
+  Counts.fold
     (fun t m acc -> if m > 0 then Bag.add ~mult:m acc t else acc)
     d.muls (Bag.empty d.schema)
 
 let deletions d =
-  Tuple.Map.fold
+  Counts.fold
     (fun t m acc -> if m < 0 then Bag.add ~mult:(-m) acc t else acc)
     d.muls (Bag.empty d.schema)
 
-let signed_mult d tuple =
-  match Tuple.Map.find_opt tuple d.muls with Some m -> m | None -> 0
+let signed_mult d tuple = Counts.get d.muls tuple
 
-let atom_count d = Tuple.Map.fold (fun _ m acc -> acc + abs m) d.muls 0
-let support_cardinal d = Tuple.Map.cardinal d.muls
+let atom_count d = Counts.fold (fun _ m acc -> acc + abs m) d.muls 0
+let support_cardinal d = Counts.size d.muls
 
 let apply ?(strict = false) bag d =
-  Tuple.Map.fold
+  Counts.fold
     (fun tuple m bag ->
       if m > 0 then begin
         if strict && Schema.key (Bag.schema bag) <> [] && Bag.mem bag tuple
@@ -74,18 +64,27 @@ let apply ?(strict = false) bag d =
     d.muls bag
 
 let smash d1 d2 =
-  Tuple.Map.fold (fun t m acc -> add_signed acc t m) d2.muls d1
+  Counts.fold (fun t m acc -> add_signed acc t m) d2.muls d1
 
-let inverse d = { d with muls = Tuple.Map.map (fun m -> -m) d.muls }
+let inverse d =
+  let out = Counts.Builder.create ~size:(max 16 (Counts.size d.muls)) () in
+  Counts.iter (fun t m -> Counts.Builder.add out t (-m)) d.muls;
+  { d with muls = Counts.Builder.seal out }
 
 let select p d =
-  { d with muls = Tuple.Map.filter (fun t _ -> Predicate.eval p t) d.muls }
+  let out = Counts.Builder.create () in
+  Counts.iter
+    (fun t m -> if Predicate.eval p t then Counts.Builder.add out t m)
+    d.muls;
+  { d with muls = Counts.Builder.seal out }
 
 let project names d =
   let schema = Schema.project d.schema names in
-  Tuple.Map.fold
-    (fun tuple m acc -> add_signed acc (Tuple.project tuple names) m)
-    d.muls (empty schema)
+  let proj = Tuple.projector names in
+  let out = Counts.Builder.create ~size:(max 16 (Counts.size d.muls)) () in
+  (* counts of coinciding images accumulate; zero sums drop out *)
+  Counts.iter (fun tuple m -> Counts.Builder.add out (proj tuple) m) d.muls;
+  { schema; muls = Counts.Builder.seal out }
 
 let rename mapping d =
   let schema =
@@ -102,9 +101,11 @@ let rename mapping d =
            | None -> (a, v))
          (Tuple.to_list tuple))
   in
-  Tuple.Map.fold
-    (fun tuple m acc -> add_signed acc (rename_tuple tuple) m)
-    d.muls (empty schema)
+  let out = Counts.Builder.create ~size:(max 16 (Counts.size d.muls)) () in
+  Counts.iter
+    (fun tuple m -> Counts.Builder.add out (rename_tuple tuple) m)
+    d.muls;
+  { schema; muls = Counts.Builder.seal out }
 
 let split_join join_fn d =
   let ins = join_fn (insertions d) in
@@ -114,11 +115,26 @@ let split_join join_fn d =
 let join_bag ?on d bag = split_join (fun side -> Bag.join ?on side bag) d
 let bag_join ?on bag d = split_join (fun side -> Bag.join ?on bag side) d
 
-let fold f d init = Tuple.Map.fold f d.muls init
+(* Signed join of two deltas: multiplicities multiply, so the four
+   insertion/deletion quadrants carry sign (+ - - +). Both operands
+   are deltas, so the quadrant joins are delta-sized. *)
+let join ?on d1 d2 =
+  let schema = Schema.join d1.schema d2.schema in
+  let ins1 = insertions d1 and del1 = deletions d1 in
+  let ins2 = insertions d2 and del2 = deletions d2 in
+  let add sign j acc =
+    Bag.fold (fun t m acc -> add_signed acc t (sign * m)) j acc
+  in
+  empty schema
+  |> add 1 (Bag.join ?on ins1 ins2)
+  |> add (-1) (Bag.join ?on ins1 del2)
+  |> add (-1) (Bag.join ?on del1 ins2)
+  |> add 1 (Bag.join ?on del1 del2)
+
+let fold f d init = Counts.fold f d.muls init
 
 let equal a b =
-  Schema.union_compatible a.schema b.schema
-  && Tuple.Map.equal Int.equal a.muls b.muls
+  Schema.union_compatible a.schema b.schema && Counts.equal a.muls b.muls
 
 let pp fmt d =
   Format.fprintf fmt "{%a}"
@@ -127,6 +143,6 @@ let pp fmt d =
        (fun fmt (t, m) ->
          Format.fprintf fmt "%s%d*%a" (if m > 0 then "+" else "-") (abs m)
            Tuple.pp t))
-    (Tuple.Map.bindings d.muls)
+    (Counts.bindings d.muls)
 
 let to_string d = Format.asprintf "%a" pp d

@@ -76,6 +76,11 @@ val join_bag : ?on:Predicate.t -> t -> Bag.t -> t
 
 val bag_join : ?on:Predicate.t -> Bag.t -> t -> t
 
+val join : ?on:Predicate.t -> t -> t -> t
+(** Signed join of two deltas (ΔA ⋈ ΔB): multiplicities multiply, so
+    the cross term of the both-sides-changed Join propagation rule is
+    delta-sized and needs no materialized new state. *)
+
 val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
 
 val equal : t -> t -> bool

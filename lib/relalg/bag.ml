@@ -1,10 +1,17 @@
-type t = { schema : Schema.t; tuples : int Tuple.Map.t }
+(* Physical layer: a bag is a persistent tuple -> multiplicity hash
+   map ({!Counts}) plus a schema and an incrementally maintained total
+   multiplicity, so [add]/[remove]/[mult] and join probes are O(1)
+   (amortized) and [cardinal]/[support_cardinal]/[is_set] are O(1).
+   Algebra operators build their result in a private hash table and
+   seal it, never paying the diff-chain machinery. *)
+
+type t = { schema : Schema.t; card : int; tm : Counts.t }
 
 exception Bag_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Bag_error s)) fmt
 
-let empty schema = { schema; tuples = Tuple.Map.empty }
+let empty schema = { schema; card = 0; tm = Counts.empty () }
 let schema b = b.schema
 
 let check_tuple schema tuple =
@@ -15,26 +22,38 @@ let check_tuple schema tuple =
 let add ?(mult = 1) b tuple =
   if mult <= 0 then err "add: multiplicity %d must be positive" mult;
   check_tuple b.schema tuple;
-  let tuples =
-    Tuple.Map.update tuple
-      (function None -> Some mult | Some m -> Some (m + mult))
-      b.tuples
-  in
-  { b with tuples }
+  { b with card = b.card + mult; tm = Counts.add_to b.tm tuple mult }
 
 let remove ?(mult = 1) b tuple =
   if mult <= 0 then err "remove: multiplicity %d must be positive" mult;
-  let tuples =
-    Tuple.Map.update tuple
-      (function
-        | None -> None
-        | Some m -> if m > mult then Some (m - mult) else None)
-      b.tuples
-  in
-  { b with tuples }
+  let old = Counts.get b.tm tuple in
+  if old = 0 then b
+  else
+    let removed = min mult old in
+    { b with card = b.card - removed; tm = Counts.add_to b.tm tuple (-removed) }
+
+(* internal builder: accumulate into a private arena, then seal *)
+type builder = {
+  bu_schema : Schema.t;
+  bu_b : Counts.Builder.t;
+  mutable bu_card : int;
+}
+
+let builder ?(size = 16) schema =
+  { bu_schema = schema; bu_b = Counts.Builder.create ~size (); bu_card = 0 }
+
+let badd ~check bu tuple mult =
+  if check then check_tuple bu.bu_schema tuple;
+  Counts.Builder.add bu.bu_b tuple mult;
+  bu.bu_card <- bu.bu_card + mult
+
+let seal bu =
+  { schema = bu.bu_schema; card = bu.bu_card; tm = Counts.Builder.seal bu.bu_b }
 
 let of_tuples schema tuples =
-  List.fold_left (fun b t -> add b t) (empty schema) tuples
+  let bu = builder ~size:(max 16 (List.length tuples)) schema in
+  List.iter (fun t -> badd ~check:true bu t 1) tuples;
+  seal bu
 
 let of_rows schema rows =
   let names = Schema.attrs schema in
@@ -47,31 +66,34 @@ let of_rows schema rows =
   in
   of_tuples schema (List.map to_tuple rows)
 
-let mult b tuple =
-  match Tuple.Map.find_opt tuple b.tuples with Some m -> m | None -> 0
-
+let mult b tuple = Counts.get b.tm tuple
 let mem b tuple = mult b tuple > 0
-let cardinal b = Tuple.Map.fold (fun _ m acc -> acc + m) b.tuples 0
-let support_cardinal b = Tuple.Map.cardinal b.tuples
-let is_empty b = Tuple.Map.is_empty b.tuples
-let fold f b init = Tuple.Map.fold f b.tuples init
-let iter f b = Tuple.Map.iter f b.tuples
-let to_list b = Tuple.Map.bindings b.tuples
-let support b = List.map fst (Tuple.Map.bindings b.tuples)
+let cardinal b = b.card
+let support_cardinal b = Counts.size b.tm
+let is_empty b = Counts.size b.tm = 0
+let fold f b init = Counts.fold f b.tm init
+let iter f b = Counts.iter f b.tm
+let to_list b = Counts.bindings b.tm
+let support b = List.map fst (to_list b)
 
 let filter pred b =
-  { b with tuples = Tuple.Map.filter (fun t _ -> pred t) b.tuples }
+  let bu = builder b.schema in
+  iter (fun t m -> if pred t then badd ~check:false bu t m) b;
+  seal bu
 
 let select p b = filter (Predicate.eval p) b
 
 let map_tuples schema f b =
-  Tuple.Map.fold
-    (fun tuple m acc -> add ~mult:m acc (f tuple))
-    b.tuples (empty schema)
+  let bu = builder schema in
+  iter (fun t m -> badd ~check:true bu (f t) m) b;
+  seal bu
 
 let project names b =
   let schema = Schema.project b.schema names in
-  map_tuples schema (fun t -> Tuple.project t names) b
+  let proj = Tuple.projector names in
+  let bu = builder ~size:(max 16 (support_cardinal b)) schema in
+  iter (fun t m -> badd ~check:false bu (proj t) m) b;
+  seal bu
 
 let require_compatible op a b =
   if not (Schema.union_compatible a.schema b.schema) then
@@ -81,41 +103,49 @@ let require_compatible op a b =
 
 let union a b =
   require_compatible "union" a b;
-  let tuples =
-    Tuple.Map.union (fun _ m1 m2 -> Some (m1 + m2)) a.tuples b.tuples
+  (* copy the bigger side, merge the smaller *)
+  let big, small =
+    if support_cardinal a >= support_cardinal b then (a, b) else (b, a)
   in
-  { a with tuples }
+  let bb = Counts.Builder.of_counts big.tm in
+  iter (fun t m -> Counts.Builder.add bb t m) small;
+  { schema = a.schema; card = a.card + b.card; tm = Counts.Builder.seal bb }
 
 let monus a b =
   require_compatible "monus" a b;
-  let tuples =
-    Tuple.Map.fold
-      (fun tuple m acc ->
-        Tuple.Map.update tuple
-          (function
-            | None -> None
-            | Some m' -> if m' > m then Some (m' - m) else None)
-          acc)
-      b.tuples a.tuples
-  in
-  { a with tuples }
+  let bb = Counts.Builder.of_counts a.tm in
+  let card = ref a.card in
+  iter
+    (fun t m ->
+      let cur = Counts.Builder.get bb t in
+      let removed = min m cur in
+      if removed > 0 then begin
+        Counts.Builder.add bb t (-removed);
+        card := !card - removed
+      end)
+    b;
+  { schema = a.schema; card = !card; tm = Counts.Builder.seal bb }
 
-let to_set b = { b with tuples = Tuple.Map.map (fun _ -> 1) b.tuples }
-let is_set b = Tuple.Map.for_all (fun _ m -> m = 1) b.tuples
+let to_set b =
+  let bu = builder ~size:(max 16 (support_cardinal b)) b.schema in
+  iter (fun t _ -> badd ~check:false bu t 1) b;
+  seal bu
+
+let is_set b = b.card = Counts.size b.tm
 
 let set_diff a b =
   require_compatible "set_diff" a b;
-  let tuples =
-    Tuple.Map.filter (fun t _ -> not (Tuple.Map.mem t b.tuples)) a.tuples
-  in
-  to_set { a with tuples }
+  let bu = builder a.schema in
+  iter (fun t _ -> if Counts.get b.tm t = 0 then badd ~check:false bu t 1) a;
+  seal bu
 
 let inter_set a b =
   require_compatible "inter_set" a b;
-  let tuples = Tuple.Map.filter (fun t _ -> Tuple.Map.mem t b.tuples) a.tuples in
-  to_set { a with tuples }
+  let bu = builder a.schema in
+  iter (fun t _ -> if Counts.get b.tm t > 0 then badd ~check:false bu t 1) a;
+  seal bu
 
-(* Hash table keyed by join-key value lists, using Value's own
+(* Hash tables keyed by join-key values, using Value's own
    equality/hash so that e.g. Int 1 and Float 1. collide as they
    compare equal. *)
 module Key_table = Hashtbl.Make (struct
@@ -125,51 +155,81 @@ module Key_table = Hashtbl.Make (struct
   let hash key = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 key
 end)
 
-(* Hash join: key extractor returns the list of values for the equi
-   attributes of each side; tuples with equal keys are then checked
-   against the residual predicate. *)
-let join ?(on = Predicate.True) a b =
-  let shared =
-    List.filter (fun n -> Schema.mem b.schema n) (Schema.attrs a.schema)
-  in
+module VKey_table = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* Join-key planning: shared attribute names joined naturally, plus
+   the equi-pairs of the theta condition that span the two sides. *)
+let join_keys sa sb on =
+  let shared = List.filter (fun n -> Schema.mem sb n) (Schema.attrs sa) in
   let extra_pairs =
     List.filter_map
       (fun (x, y) ->
-        if Schema.mem a.schema x && Schema.mem b.schema y then Some (x, y)
-        else if Schema.mem a.schema y && Schema.mem b.schema x then Some (y, x)
+        if Schema.mem sa x && Schema.mem sb y then Some (x, y)
+        else if Schema.mem sa y && Schema.mem sb x then Some (y, x)
         else None)
       (Predicate.equi_pairs on)
   in
-  let left_keys = shared @ List.map fst extra_pairs in
-  let right_keys = shared @ List.map snd extra_pairs in
+  (shared @ List.map fst extra_pairs, shared @ List.map snd extra_pairs)
+
+(* Hash join over the physical tables: build a key index over the
+   right side once, probe with the left; keys are extracted through
+   memoized slot plans, and the common single-attribute key case skips
+   the key-list allocation entirely. *)
+let join ?(on = Predicate.True) a b =
+  let left_keys, right_keys = join_keys a.schema b.schema on in
   let out_schema = Schema.join a.schema b.schema in
-  let result = ref (empty out_schema) in
+  let bu =
+    builder ~size:(max 16 (max (support_cardinal a) (support_cardinal b)))
+      out_schema
+  in
+  let trivially_true = on = Predicate.True in
   let combine ta ma tb mb =
     match Tuple.concat ta tb with
     | None -> ()
     | Some merged ->
-      if Predicate.eval on merged then
-        result := add ~mult:(ma * mb) !result merged
+      if trivially_true || Predicate.eval on merged then
+        badd ~check:false bu merged (ma * mb)
   in
-  if left_keys = [] then
+  (match left_keys, right_keys with
+  | [], _ | _, [] ->
     (* pure theta join: nested loops *)
-    iter (fun ta ma -> iter (fun tb mb -> combine ta ma tb mb) b) a
-  else begin
-    let index = Key_table.create (max 16 (support_cardinal b)) in
-    iter
-      (fun tb mb ->
-        let key = List.map (Tuple.get tb) right_keys in
-        Key_table.add index key (tb, mb))
-      b;
-    iter
-      (fun ta ma ->
-        let key = List.map (Tuple.get ta) left_keys in
+    Counts.iter
+      (fun xa ma -> Counts.iter (fun xb mb -> combine xa ma xb mb) b.tm)
+      a.tm
+  | [ lk ], [ rk ] ->
+    let key_of_b = Tuple.keyer1 rk and key_of_a = Tuple.keyer1 lk in
+    (* [add]/[find_all] multi-bindings: inserts never walk the bucket
+       (replace-with-cons would walk it twice); presized past the
+       resize point *)
+    let index = VKey_table.create (2 * max 16 (Counts.size b.tm)) in
+    Counts.iter
+      (fun xb mb -> VKey_table.add index (key_of_b xb) (xb, mb))
+      b.tm;
+    Counts.iter
+      (fun xa ma ->
         List.iter
-          (fun (tb, mb) -> combine ta ma tb mb)
-          (Key_table.find_all index key))
-      a
-  end;
-  !result
+          (fun (xb, mb) -> combine xa ma xb mb)
+          (VKey_table.find_all index (key_of_a xa)))
+      a.tm
+  | _ ->
+    let key_of_b = Tuple.keyer right_keys
+    and key_of_a = Tuple.keyer left_keys in
+    let index = Key_table.create (2 * max 16 (Counts.size b.tm)) in
+    Counts.iter
+      (fun xb mb -> Key_table.add index (key_of_b xb) (xb, mb))
+      b.tm;
+    Counts.iter
+      (fun xa ma ->
+        List.iter
+          (fun (xb, mb) -> combine xa ma xb mb)
+          (Key_table.find_all index (key_of_a xa)))
+      a.tm);
+  seal bu
 
 let product a b =
   let overlap =
@@ -181,9 +241,13 @@ let product a b =
 
 let equal a b =
   Schema.union_compatible a.schema b.schema
-  && Tuple.Map.equal Int.equal a.tuples b.tuples
+  && a.card = b.card
+  && Counts.equal a.tm b.tm
 
-let equal_as_sets a b = equal (to_set a) (to_set b)
+let equal_as_sets a b =
+  Schema.union_compatible a.schema b.schema
+  && Counts.size a.tm = Counts.size b.tm
+  && Counts.fold (fun t _ acc -> acc && Counts.get b.tm t > 0) a.tm true
 
 let pp fmt b =
   Format.fprintf fmt "@[<v>%a:@,%a@]" Schema.pp b.schema

@@ -7,7 +7,16 @@
     "set nodes" (difference) are the set-images of bags.
 
     A bag is a schema plus a multiplicity map; all stored
-    multiplicities are strictly positive. *)
+    multiplicities are strictly positive.
+
+    Physically a bag is a tuple -> multiplicity hash table. The
+    persistent API is kept with diff chains: deriving a new version by
+    [add]/[remove] is O(1) and reading a superseded version reroots
+    the table back through the recorded diffs (iterations pin the
+    table, so any access pattern is safe). [cardinal],
+    [support_cardinal], [is_empty] and [is_set] are O(1). [to_list],
+    [support] and [pp] are sorted by {!Tuple.compare}; [fold] and
+    [iter] enumerate in unspecified (hash) order. *)
 
 type t
 
@@ -63,6 +72,14 @@ val set_diff : t -> t -> t
 
 val inter_set : t -> t -> t
 (** Set intersection of the set-images. *)
+
+val join_keys :
+  Schema.t -> Schema.t -> Predicate.t -> string list * string list
+(** [join_keys sa sb on] is the pair of equi-join key attribute lists
+    (left side, right side) that {!join} hashes on: the shared
+    attribute names plus the cross-side equi-pairs of [on]. Exposed so
+    delta propagation can match persistent table indexes against the
+    join's key. *)
 
 val join : ?on:Predicate.t -> t -> t -> t
 (** Natural join on shared attribute names combined with the optional

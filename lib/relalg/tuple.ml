@@ -1,64 +1,432 @@
-module Smap = Map.Make (String)
+(* Physical layer: tuples are immutable [Value.t array]s over an
+   interned schema descriptor. A descriptor fixes the attribute order
+   (sorted by name) and carries an attr -> slot table; two tuples over
+   the same attribute set always share the same descriptor (physical
+   equality), so equality/compare/hash never touch attribute names on
+   the hot path. *)
 
-type t = Value.t Smap.t
+module Desc = struct
+  type t = {
+    id : int;
+    names : string array; (* sorted, distinct *)
+    names_hash : int;
+  }
 
-let empty = Smap.empty
-let of_list l = List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty l
-let to_list t = Smap.bindings t
+  (* interning: one descriptor per attribute-name set, ever *)
+  let intern_tbl : (string list, t) Hashtbl.t = Hashtbl.create 64
+  let next_id = ref 0
+
+  let of_sorted_names names =
+    let key = Array.to_list names in
+    match Hashtbl.find_opt intern_tbl key with
+    | Some d -> d
+    | None ->
+      let d =
+        { id = !next_id; names = Array.copy names; names_hash = Hashtbl.hash key }
+      in
+      incr next_id;
+      Hashtbl.replace intern_tbl key d;
+      d
+
+  (* attr -> slot: binary search over the sorted name array; -1 when
+     absent (no allocation on the hot path) *)
+  let slot d name =
+    let names = d.names in
+    let lo = ref 0 and hi = ref (Array.length names - 1) and res = ref (-1) in
+    while !res < 0 && !lo <= !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      let c = String.compare name (Array.unsafe_get names mid) in
+      if c = 0 then res := mid else if c < 0 then hi := mid - 1 else lo := mid + 1
+    done;
+    !res
+end
+
+type t = {
+  desc : Desc.t;
+  vals : Value.t array;
+  mutable h : int; (* cached hash; -1 = not yet computed *)
+}
+
+let mk desc vals = { desc; vals; h = -1 }
+
+let empty_desc = Desc.of_sorted_names [||]
+let empty = mk empty_desc [||]
+
+let of_list l =
+  match l with
+  | [] -> empty
+  | _ ->
+    (* stable sort by name, later bindings override earlier ones *)
+    let arr = Array.of_list l in
+    let n = Array.length arr in
+    let idx = Array.init n (fun i -> i) in
+    Array.sort
+      (fun i j ->
+        let c = String.compare (fst arr.(i)) (fst arr.(j)) in
+        if c <> 0 then c else Int.compare i j)
+      idx;
+    let names = ref [] and vals = ref [] and count = ref 0 in
+    let i = ref (n - 1) in
+    (* walk from the back keeping the last occurrence of each name *)
+    while !i >= 0 do
+      let name, v = arr.(idx.(!i)) in
+      (match !names with
+      | last :: _ when String.equal last name -> ()
+      | _ ->
+        names := name :: !names;
+        vals := v :: !vals;
+        incr count);
+      (* skip earlier occurrences of the same name *)
+      while !i >= 0 && String.equal (fst arr.(idx.(!i))) name do
+        decr i
+      done
+    done;
+    let desc = Desc.of_sorted_names (Array.of_list !names) in
+    mk desc (Array.of_list !vals)
+
+let to_list t =
+  List.init (Array.length t.vals) (fun i -> (t.desc.Desc.names.(i), t.vals.(i)))
+
+let find_opt t name =
+  let i = Desc.slot t.desc name in
+  if i >= 0 then Some t.vals.(i) else None
 
 let get t name =
-  match Smap.find_opt name t with
-  | Some v -> v
-  | None -> raise Not_found
+  let i = Desc.slot t.desc name in
+  if i >= 0 then t.vals.(i) else raise Not_found
 
-let find_opt t name = Smap.find_opt name t
-let mem t name = Smap.mem name t
-let set t name v = Smap.add name v t
-let attrs t = List.map fst (Smap.bindings t)
-let arity t = Smap.cardinal t
+let mem t name = Desc.slot t.desc name >= 0
+
+let set t name v =
+  let s = Desc.slot t.desc name in
+  match s with
+  | i when i >= 0 ->
+    let vals = Array.copy t.vals in
+    vals.(i) <- v;
+    mk t.desc vals
+  | _ ->
+    let n = Array.length t.vals in
+    let names = Array.make (n + 1) name and vals = Array.make (n + 1) v in
+    let j = ref 0 in
+    Array.iteri
+      (fun i existing ->
+        if String.compare existing name < 0 && !j = i then begin
+          names.(i) <- existing;
+          vals.(i) <- t.vals.(i);
+          incr j
+        end)
+      t.desc.Desc.names;
+    let j = !j in
+    names.(j) <- name;
+    vals.(j) <- v;
+    for i = j to n - 1 do
+      names.(i + 1) <- t.desc.Desc.names.(i);
+      vals.(i + 1) <- t.vals.(i)
+    done;
+    mk (Desc.of_sorted_names names) vals
+
+let attrs t = Array.to_list t.desc.Desc.names
+let arity t = Array.length t.vals
+
+(* Projection plan: target descriptor plus source-slot gather map,
+   resolved once per (source descriptor, attribute list). *)
+let project_plan desc names =
+  let sorted = Array.of_list (List.sort_uniq String.compare names) in
+  let out_desc = Desc.of_sorted_names sorted in
+  let slots =
+    Array.map
+      (fun n ->
+        let i = Desc.slot desc n in
+        if i < 0 then raise Not_found else i)
+      sorted
+  in
+  (out_desc, slots)
+
+let apply_plan (out_desc, slots) t =
+  mk out_desc (Array.map (fun i -> Array.unsafe_get t.vals i) slots)
+
+(* [projector] carries a one-entry memo in its closure: bag-level
+   operations map tuples sharing a single descriptor, so after the
+   first tuple every projection is a plain array gather. *)
+let projector names =
+  let cache = ref None in
+  fun t ->
+    let plan =
+      match !cache with
+      | Some (src_id, plan) when src_id = t.desc.Desc.id -> plan
+      | _ ->
+        let plan = project_plan t.desc names in
+        cache := Some (t.desc.Desc.id, plan);
+        plan
+    in
+    apply_plan plan t
+
+(* direct [project] calls share plans through a global memo, fronted
+   by a physical-equality fast path for call sites passing the same
+   list repeatedly *)
+let project_cache : (int * string list, Desc.t * int array) Hashtbl.t =
+  Hashtbl.create 64
+
+let project_last = ref None
 
 let project t names =
-  List.fold_left (fun acc n -> Smap.add n (get t n) acc) Smap.empty names
+  match !project_last with
+  | Some (src_id, last_names, plan)
+    when src_id = t.desc.Desc.id && last_names == names ->
+    apply_plan plan t
+  | _ ->
+    let key = (t.desc.Desc.id, names) in
+    let plan =
+      match Hashtbl.find_opt project_cache key with
+      | Some plan -> plan
+      | None ->
+        let plan = project_plan t.desc names in
+        Hashtbl.replace project_cache key plan;
+        plan
+    in
+    project_last := Some (t.desc.Desc.id, names, plan);
+    apply_plan plan t
+
+(* Cached key-extraction plan: list of values at the named slots, in
+   the given attribute order (not sorted — join key order matters). *)
+let key_slots desc names =
+  Array.map
+    (fun n ->
+      let i = Desc.slot desc n in
+      if i < 0 then raise Not_found else i)
+    names
+
+let keyer names =
+  let names = Array.of_list names in
+  let cache = ref None in
+  fun t ->
+    let slots =
+      match !cache with
+      | Some (src_id, slots) when src_id = t.desc.Desc.id -> slots
+      | _ ->
+        let slots = key_slots t.desc names in
+        cache := Some (t.desc.Desc.id, slots);
+        slots
+    in
+    Array.fold_right (fun i acc -> t.vals.(i) :: acc) slots []
+
+(* single-attribute key extraction (the common join case): no list
+   allocation at all *)
+let keyer1 name =
+  let cache = ref None in
+  fun t ->
+    let slot =
+      match !cache with
+      | Some (src_id, slot) when src_id = t.desc.Desc.id -> slot
+      | _ ->
+        let i = Desc.slot t.desc name in
+        if i < 0 then raise Not_found;
+        cache := Some (t.desc.Desc.id, i);
+        i
+    in
+    t.vals.(slot)
 
 let agree_on a b names =
   List.for_all (fun n -> Value.equal (get a n) (get b n)) names
 
-let concat a b =
-  let ok = ref true in
-  let merged =
-    Smap.union
-      (fun _ va vb ->
-        if Value.equal va vb then Some va
+(* Merge plan for natural-join concatenation of two descriptors:
+   target descriptor, per-slot source (left slot or right slot), and
+   the shared slots whose values must agree. One-entry memo — a join
+   concatenates many tuple pairs over the same two descriptors. *)
+type merge_plan = {
+  mp_out : Desc.t;
+  mp_take : int array; (* slot i of output: left j if >= 0, right (-j-1) *)
+  mp_shared : (int * int) array; (* (left slot, right slot) to check *)
+}
+
+let concat_cache : (int * int * merge_plan) option ref = ref None
+
+let merge_plan da db =
+  match !concat_cache with
+  | Some (ia, ib, plan) when ia = da.Desc.id && ib = db.Desc.id -> plan
+  | _ ->
+    let la = da.Desc.names and lb = db.Desc.names in
+    let out = ref [] and take = ref [] and shared = ref [] in
+    let i = ref 0 and j = ref 0 in
+    let na = Array.length la and nb = Array.length lb in
+    while !i < na || !j < nb do
+      if !i >= na then begin
+        out := lb.(!j) :: !out;
+        take := (- !j - 1) :: !take;
+        incr j
+      end
+      else if !j >= nb then begin
+        out := la.(!i) :: !out;
+        take := !i :: !take;
+        incr i
+      end
+      else
+        let c = String.compare la.(!i) lb.(!j) in
+        if c < 0 then begin
+          out := la.(!i) :: !out;
+          take := !i :: !take;
+          incr i
+        end
+        else if c > 0 then begin
+          out := lb.(!j) :: !out;
+          take := (- !j - 1) :: !take;
+          incr j
+        end
         else begin
-          ok := false;
-          Some va
-        end)
-      a b
+          out := la.(!i) :: !out;
+          take := !i :: !take;
+          shared := (!i, !j) :: !shared;
+          incr i;
+          incr j
+        end
+    done;
+    let plan =
+      {
+        mp_out = Desc.of_sorted_names (Array.of_list (List.rev !out));
+        mp_take = Array.of_list (List.rev !take);
+        mp_shared = Array.of_list (List.rev !shared);
+      }
+    in
+    concat_cache := Some (da.Desc.id, db.Desc.id, plan);
+    plan
+
+let concat a b =
+  let plan = merge_plan a.desc b.desc in
+  let shared = plan.mp_shared in
+  let ns = Array.length shared in
+  let rec agree k =
+    k >= ns
+    ||
+    let i, j = Array.unsafe_get shared k in
+    Value.equal (Array.unsafe_get a.vals i) (Array.unsafe_get b.vals j)
+    && agree (k + 1)
   in
-  if !ok then Some merged else None
+  if not (agree 0) then None
+  else begin
+    let take = plan.mp_take in
+    let n = Array.length take in
+    let vals = Array.make n Value.Null in
+    for s = 0 to n - 1 do
+      let t = Array.unsafe_get take s in
+      Array.unsafe_set vals s
+        (if t >= 0 then Array.unsafe_get a.vals t
+         else Array.unsafe_get b.vals (-t - 1))
+    done;
+    Some (mk plan.mp_out vals)
+  end
+
+(* schema -> (descriptor, slot-ordered types) memo for fast
+   [matches_schema]; schemas are small immutable records, structural
+   hashing is fine *)
+let schema_cache : (Schema.t, Desc.t * Value.ty array) Hashtbl.t =
+  Hashtbl.create 64
+
+(* physical-equality front cache: bag operations type-check a stream
+   of tuples against one schema record, skipping the structural hash *)
+let schema_last = ref None
+
+let schema_plan schema =
+  match !schema_last with
+  | Some (last, plan) when last == schema -> plan
+  | _ ->
+    let plan =
+      match Hashtbl.find_opt schema_cache schema with
+      | Some plan -> plan
+      | None ->
+        let typed =
+          List.sort
+            (fun (a, _) (b, _) -> String.compare a b)
+            (Schema.typed_attrs schema)
+        in
+        let desc = Desc.of_sorted_names (Array.of_list (List.map fst typed)) in
+        let tys = Array.of_list (List.map snd typed) in
+        let plan = (desc, tys) in
+        Hashtbl.replace schema_cache schema plan;
+        plan
+    in
+    schema_last := Some (schema, plan);
+    plan
+
+let ty_matches v ty =
+  match v, ty with
+  | Value.Null, _ -> true
+  | Value.Bool _, Value.TBool
+  | Value.Int _, Value.TInt
+  | Value.Float _, Value.TFloat
+  | Value.Str _, Value.TStr ->
+    true
+  | (Value.Bool _ | Value.Int _ | Value.Float _ | Value.Str _), _ -> false
 
 let matches_schema t schema =
-  arity t = Schema.arity schema
-  && List.for_all
-       (fun (name, ty) ->
-         match find_opt t name with
-         | None -> false
-         | Some Value.Null -> true
-         | Some v -> Value.ty_of v = Some ty)
-       (Schema.typed_attrs schema)
+  let desc, tys = schema_plan schema in
+  t.desc == desc
+  && begin
+       let n = Array.length tys in
+       let rec go i =
+         i >= n || (ty_matches t.vals.(i) tys.(i) && go (i + 1))
+       in
+       go 0
+     end
 
-let compare = Smap.compare Value.compare
-let equal = Smap.equal Value.equal
+let compare a b =
+  if a == b then 0
+  else if a.desc == b.desc then begin
+    (* same attribute set: compare values in slot (= name) order,
+       exactly the old string-map ordering *)
+    let n = Array.length a.vals in
+    let rec go i =
+      if i >= n then 0
+      else
+        let c = Value.compare a.vals.(i) b.vals.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
+  else begin
+    (* differing attribute sets: merge-walk as sorted (name, value)
+       association sequences, mirroring [Map.compare] *)
+    let na = arity a and nb = arity b in
+    let rec go i j =
+      if i >= na && j >= nb then 0
+      else if i >= na then -1
+      else if j >= nb then 1
+      else
+        let c = String.compare a.desc.Desc.names.(i) b.desc.Desc.names.(j) in
+        if c <> 0 then c
+        else
+          let c = Value.compare a.vals.(i) b.vals.(j) in
+          if c <> 0 then c else go (i + 1) (j + 1)
+    in
+    go 0 0
+  end
+
+let equal a b =
+  a == b
+  || (a.desc == b.desc
+     && begin
+          let n = Array.length a.vals in
+          let rec go i =
+            i >= n || (Value.equal a.vals.(i) b.vals.(i) && go (i + 1))
+          in
+          go 0
+        end)
 
 let hash t =
-  Smap.fold (fun k v acc -> Hashtbl.hash (acc, k, Value.hash v)) t 17
+  if t.h >= 0 then t.h
+  else begin
+    let acc = ref t.desc.Desc.names_hash in
+    Array.iter (fun v -> acc := (!acc * 31) + Value.hash v) t.vals;
+    let h = !acc land max_int in
+    t.h <- h;
+    h
+  end
 
 let pp fmt t =
   Format.fprintf fmt "{%a}"
     (Format.pp_print_list
        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
        (fun fmt (k, v) -> Format.fprintf fmt "%s=%a" k Value.pp v))
-    (Smap.bindings t)
+    (to_list t)
 
 let to_string t = Format.asprintf "%a" pp t
 
@@ -72,4 +440,11 @@ module Set = Set.Make (struct
   type nonrec t = t
 
   let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
 end)

@@ -2,7 +2,13 @@
 
     Attribute-based (rather than positional) tuples match the paper's
     attribute-based relational algebra: projection, natural join and
-    delta filtering all operate by attribute name. *)
+    delta filtering all operate by attribute name.
+
+    Physically, a tuple is an immutable [Value.t array] over an
+    interned schema descriptor fixing a canonical (name-sorted)
+    attribute order and an attr -> slot table. Tuples over the same
+    attribute set share one descriptor, so equality, comparison and
+    hashing are positional array walks; hashes are cached per tuple. *)
 
 type t
 
@@ -26,6 +32,21 @@ val arity : t -> int
 val project : t -> string list -> t
 (** Keep only the named attributes. @raise Not_found if one is absent. *)
 
+val projector : string list -> t -> t
+(** [projector names] is [fun t -> project t names] with the slot plan
+    resolved once per source descriptor and memoized: partial
+    application pays the name lookups, each projected tuple is then a
+    plain array gather. Use for bag-wide projections. *)
+
+val keyer : string list -> t -> Value.t list
+(** [keyer names] extracts the values of [names] (in the given order)
+    with the slot plan memoized per source descriptor, as used for
+    join-key extraction. @raise Not_found if an attribute is absent. *)
+
+val keyer1 : string -> t -> Value.t
+(** Single-attribute [keyer] without the list allocation.
+    @raise Not_found if the attribute is absent. *)
+
 val agree_on : t -> t -> string list -> bool
 (** [agree_on a b names] is true when [a] and [b] carry equal values for
     every attribute in [names]. @raise Not_found if absent on either side. *)
@@ -47,3 +68,7 @@ val to_string : t -> string
 
 module Map : Map.S with type key = t
 module Set : Set.S with type elt = t
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash table keyed by tuples (cached tuple hashes, [equal] above);
+    the physical backing of {!Bag.t} and of table indexes. *)

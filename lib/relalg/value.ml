@@ -36,15 +36,19 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* cheap avalanching multiply; numeric values avoid the generic
+   [Hashtbl.hash] traversal entirely *)
+let int_hash i = (i + 17) * 0x9E3779B1 land max_int
+
 let hash = function
   | Null -> 0
   | Bool b -> if b then 1 else 2
-  | Int i -> Hashtbl.hash (2, i)
+  | Int i -> int_hash i
   | Float f ->
     (* keep Int/Float hash-compatible when the float is integral *)
-    if Float.is_integer f && Float.abs f < 1e18 then Hashtbl.hash (2, int_of_float f)
+    if Float.is_integer f && Float.abs f < 1e18 then int_hash (int_of_float f)
     else Hashtbl.hash (3, f)
-  | Str s -> Hashtbl.hash (4, s)
+  | Str s -> Hashtbl.hash s
 
 let type_error op a b =
   raise

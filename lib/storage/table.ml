@@ -5,6 +5,8 @@ exception Table_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Table_error s)) fmt
 
+(* Key hash tables use Value's own equality/hash so that Int 1 and
+   Float 1. land in the same bucket, as they compare equal. *)
 module Key_table = Hashtbl.Make (struct
   type t = Value.t list
 
@@ -12,7 +14,28 @@ module Key_table = Hashtbl.Make (struct
   let hash key = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 key
 end)
 
-type index = { on : string list; entries : int Tuple.Map.t ref Key_table.t }
+module VKey_table = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* An index cell holds the tuples sharing one key value. Unique and
+   near-unique keys (the common case) stay in the compact [One]
+   representation — three words instead of a hash table per key — and
+   promote to a mutable tuple -> multiplicity table only when a second
+   distinct tuple arrives. Single-attribute indexes (keys, join
+   attributes) additionally skip the key-list allocation via a
+   Value-keyed table. *)
+type cell = One of one | Many of int Tuple.Tbl.t
+and one = { mutable ot : Tuple.t; mutable om : int }
+
+type entries =
+  | Single of { key1 : Tuple.t -> Value.t; stbl : cell VKey_table.t }
+  | Multi of { key : Tuple.t -> Value.t list; mtbl : cell Key_table.t }
+
+type index = { on : string list; entries : entries }
 
 type t = {
   name : string;
@@ -21,7 +44,11 @@ type t = {
   indexes : index list;
 }
 
-let make_index on = { on; entries = Key_table.create 64 }
+let make_index on =
+  match on with
+  | [ a ] ->
+    { on; entries = Single { key1 = Tuple.keyer1 a; stbl = VKey_table.create 64 } }
+  | _ -> { on; entries = Multi { key = Tuple.keyer on; mtbl = Key_table.create 64 } }
 
 let create ?(indexes = []) ~name schema =
   let key = Schema.key schema in
@@ -42,31 +69,71 @@ let create ?(indexes = []) ~name schema =
 let name t = t.name
 let schema t = t.schema
 
-let index_key index tuple = List.map (Tuple.get tuple) index.on
+let tbl_add tb tuple mult =
+  let old = match Tuple.Tbl.find tb tuple with m -> m | exception Not_found -> 0 in
+  Tuple.Tbl.replace tb tuple (old + mult)
 
-let index_add index tuple mult =
-  let key = index_key index tuple in
-  match Key_table.find_opt index.entries key with
-  | Some cell ->
-    cell :=
-      Tuple.Map.update tuple
-        (function None -> Some mult | Some m -> Some (m + mult))
-        !cell
-  | None ->
-    Key_table.replace index.entries key (ref (Tuple.Map.singleton tuple mult))
+let tbl_remove tb tuple mult =
+  match Tuple.Tbl.find tb tuple with
+  | exception Not_found -> ()
+  | m ->
+    if m > mult then Tuple.Tbl.replace tb tuple (m - mult)
+    else Tuple.Tbl.remove tb tuple
 
-let index_remove index tuple mult =
-  let key = index_key index tuple in
-  match Key_table.find_opt index.entries key with
-  | None -> ()
-  | Some cell ->
-    cell :=
-      Tuple.Map.update tuple
-        (function
-          | None -> None
-          | Some m -> if m > mult then Some (m - mult) else None)
-        !cell;
-    if Tuple.Map.is_empty !cell then Key_table.remove index.entries key
+let promote o tuple mult =
+  let tb = Tuple.Tbl.create 8 in
+  Tuple.Tbl.replace tb o.ot o.om;
+  Tuple.Tbl.replace tb tuple mult;
+  Many tb
+
+let cell_iter f = function
+  | One o -> f o.ot o.om
+  | Many tb -> Tuple.Tbl.iter f tb
+
+(* [One] counts update in place; new keys go through [add] (the miss
+   just told us the key is absent, so no bucket walk to replace) *)
+let index_add ix tuple mult =
+  match ix.entries with
+  | Single { key1; stbl } -> (
+    let k = key1 tuple in
+    match VKey_table.find stbl k with
+    | exception Not_found ->
+      VKey_table.add stbl k (One { ot = tuple; om = mult })
+    | One o ->
+      if Tuple.equal o.ot tuple then o.om <- o.om + mult
+      else VKey_table.replace stbl k (promote o tuple mult)
+    | Many tb -> tbl_add tb tuple mult)
+  | Multi { key; mtbl } -> (
+    let k = key tuple in
+    match Key_table.find mtbl k with
+    | exception Not_found -> Key_table.add mtbl k (One { ot = tuple; om = mult })
+    | One o ->
+      if Tuple.equal o.ot tuple then o.om <- o.om + mult
+      else Key_table.replace mtbl k (promote o tuple mult)
+    | Many tb -> tbl_add tb tuple mult)
+
+let index_remove ix tuple mult =
+  match ix.entries with
+  | Single { key1; stbl } -> (
+    let k = key1 tuple in
+    match VKey_table.find stbl k with
+    | exception Not_found -> ()
+    | One o ->
+      if Tuple.equal o.ot tuple then
+        if o.om > mult then o.om <- o.om - mult else VKey_table.remove stbl k
+    | Many tb ->
+      tbl_remove tb tuple mult;
+      if Tuple.Tbl.length tb = 0 then VKey_table.remove stbl k)
+  | Multi { key; mtbl } -> (
+    let k = key tuple in
+    match Key_table.find mtbl k with
+    | exception Not_found -> ()
+    | One o ->
+      if Tuple.equal o.ot tuple then
+        if o.om > mult then o.om <- o.om - mult else Key_table.remove mtbl k
+    | Many tb ->
+      tbl_remove tb tuple mult;
+      if Tuple.Tbl.length tb = 0 then Key_table.remove mtbl k)
 
 let insert ?(mult = 1) t tuple =
   t.bag <- Bag.add ~mult t.bag tuple;
@@ -82,7 +149,12 @@ let delete ?(mult = 1) t tuple =
 
 let clear t =
   t.bag <- Bag.empty t.schema;
-  List.iter (fun ix -> Key_table.reset ix.entries) t.indexes
+  List.iter
+    (fun ix ->
+      match ix.entries with
+      | Single { stbl; _ } -> VKey_table.reset stbl
+      | Multi { mtbl; _ } -> Key_table.reset mtbl)
+    t.indexes
 
 let load t bag =
   clear t;
@@ -103,6 +175,38 @@ let mult t tuple = Bag.mult t.bag tuple
 
 let has_index_on t attrs = List.exists (fun ix -> ix.on = attrs) t.indexes
 
+let find_index t attrs = List.find_opt (fun ix -> ix.on = attrs) t.indexes
+
+let cell_of_index ix values =
+  match ix.entries, values with
+  | Single { stbl; _ }, [ v ] -> VKey_table.find_opt stbl v
+  | Single _, _ ->
+    err "index probe: single-attribute index given %d values"
+      (List.length values)
+  | Multi { mtbl; _ }, _ -> Key_table.find_opt mtbl values
+
+let probe t attrs values f =
+  match find_index t attrs with
+  | None ->
+    err "probe: no index on (%s) of table %s" (String.concat ", " attrs) t.name
+  | Some ix -> (
+    Eval.charge_tuple_ops 1;
+    match cell_of_index ix values with
+    | None -> ()
+    | Some cell -> cell_iter f cell)
+
+let probe1 t attr value f =
+  match find_index t [ attr ] with
+  | None -> err "probe1: no index on %s of table %s" attr t.name
+  | Some ix -> (
+    Eval.charge_tuple_ops 1;
+    match ix.entries with
+    | Single { stbl; _ } -> (
+      match VKey_table.find_opt stbl value with
+      | None -> ()
+      | Some cell -> cell_iter f cell)
+    | Multi _ -> assert false)
+
 let lookup t attrs values =
   if List.length attrs <> List.length values then
     err "lookup: %d attributes but %d values" (List.length attrs)
@@ -112,15 +216,15 @@ let lookup t attrs values =
       if not (Schema.mem t.schema a) then
         err "lookup: unknown attribute %S of table %s" a t.name)
     attrs;
-  match List.find_opt (fun ix -> ix.on = attrs) t.indexes with
+  match find_index t attrs with
   | Some ix -> (
     Eval.charge_tuple_ops 1;
-    match Key_table.find_opt ix.entries values with
+    match cell_of_index ix values with
     | None -> Bag.empty t.schema
     | Some cell ->
-      Tuple.Map.fold
-        (fun tuple m acc -> Bag.add ~mult:m acc tuple)
-        !cell (Bag.empty t.schema))
+      let acc = ref (Bag.empty t.schema) in
+      cell_iter (fun tuple m -> acc := Bag.add ~mult:m !acc tuple) cell;
+      !acc)
   | None ->
     Eval.charge_tuple_ops (Bag.support_cardinal t.bag);
     let pred =
@@ -130,6 +234,51 @@ let lookup t attrs values =
            attrs values)
     in
     Bag.select pred t.bag
+
+(* [delta_join d t] = the signed join [d ⋈ contents t] computed by
+   probing [t]'s persistent join-key index: one probe per delta atom
+   instead of rebuilding a key table over the whole stored bag. [None]
+   when no index matches the join keys — the caller falls back to the
+   generic hash join. Sound during IUP propagation because table
+   mutations are deferred until after the kernel pass, so probes see
+   the pre-update state. *)
+let delta_join ?(on = Predicate.True) d t =
+  let dschema = Rel_delta.schema d in
+  let left_keys, right_keys = Bag.join_keys dschema t.schema on in
+  if right_keys = [] then None
+  else
+    match find_index t right_keys with
+    | None -> None
+  | Some ix ->
+    let out = ref (Rel_delta.empty (Schema.join dschema t.schema)) in
+    let combine ta ma tb mb =
+      match Tuple.concat ta tb with
+      | None -> ()
+      | Some merged ->
+        if Predicate.eval on merged then begin
+          let m = ma * mb in
+          out :=
+            (if m > 0 then Rel_delta.insert ~mult:m !out merged
+             else Rel_delta.delete ~mult:(-m) !out merged)
+        end
+    in
+    (match ix.entries with
+    | Single _ ->
+      let key1 =
+        match left_keys with [ a ] -> Tuple.keyer1 a | _ -> assert false
+      in
+      let attr = List.hd right_keys in
+      Rel_delta.fold
+        (fun ta ma () ->
+          probe1 t attr (key1 ta) (fun tb mb -> combine ta ma tb mb))
+        d ()
+    | Multi _ ->
+      let keyer = Tuple.keyer left_keys in
+      Rel_delta.fold
+        (fun ta ma () ->
+          probe t right_keys (keyer ta) (fun tb mb -> combine ta ma tb mb))
+        d ());
+    Some !out
 
 let bytes_estimate t =
   Bag.cardinal t.bag * Schema.arity t.schema * 8

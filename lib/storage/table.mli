@@ -49,6 +49,23 @@ val lookup : t -> string list -> Value.t list -> Bag.t
 
 val has_index_on : t -> string list -> bool
 
+val probe : t -> string list -> Value.t list -> (Tuple.t -> int -> unit) -> unit
+(** [probe t attrs values f] calls [f tuple mult] for every stored
+    tuple matching [values] on [attrs], through the hash index on
+    exactly those attributes — the O(1)-per-probe path used by
+    incremental join propagation.
+    @raise Table_error when no such index exists. *)
+
+val probe1 : t -> string -> Value.t -> (Tuple.t -> int -> unit) -> unit
+(** Single-attribute {!probe} without the key-list allocation. *)
+
+val delta_join : ?on:Predicate.t -> Rel_delta.t -> t -> Rel_delta.t option
+(** [delta_join d t]: the signed join [d ⋈ contents t], computed by
+    probing [t]'s persistent join-key index — one probe per delta atom
+    instead of a key table rebuilt over the whole stored bag. [None]
+    when no index matches the join keys of [on]; callers fall back to
+    the generic hash join. *)
+
 val bytes_estimate : t -> int
 (** Rough space estimate (for the space-vs-performance tables of the
     Sec. 5.3 experiments): tuples * arity * word size. *)

@@ -158,9 +158,215 @@ let fuzz_case ?announce ?(label = "") sc ~filtering =
         fuzz_once ?announce sc ~seed ~filtering
       done)
 
+(* ---- physical bag layer: differential testing against a naive
+   reference. The array-tuple [Bag] (schema-interned descriptors,
+   open-addressing count store, hash join with Value-keyed tables)
+   must agree with an O(n^2) list-of-[(tuple, mult)] model on every
+   operator — including Int/Float cross-type key equality, which the
+   join key tables rely on for correctness. *)
+
+module Ref_bag = struct
+  (* a reference bag is a [(Tuple.t * int) list] with distinct tuples *)
+  let add l tuple m =
+    let rec go = function
+      | [] -> if m = 0 then [] else [ (tuple, m) ]
+      | (t, m') :: rest ->
+        if Tuple.equal t tuple then
+          let s = m' + m in
+          if s = 0 then rest else (t, s) :: rest
+        else (t, m') :: go rest
+    in
+    go l
+
+  let mult l tuple =
+    match List.find_opt (fun (t, _) -> Tuple.equal t tuple) l with
+    | Some (_, m) -> m
+    | None -> 0
+
+  let of_bag b = Bag.fold (fun t m acc -> add acc t m) b []
+  let union a b = List.fold_left (fun acc (t, m) -> add acc t m) a b
+
+  let monus a b =
+    List.filter_map
+      (fun (t, m) ->
+        let r = m - mult b t in
+        if r > 0 then Some (t, r) else None)
+      a
+
+  let select p l = List.filter (fun (t, _) -> Predicate.eval p t) l
+
+  let project names l =
+    List.fold_left (fun acc (t, m) -> add acc (Tuple.project t names) m) [] l
+
+  (* nested-loop join through Tuple.concat — no hashing, so it cannot
+     share a bug with the key-table path it checks *)
+  let join on a b =
+    List.fold_left
+      (fun acc (ta, ma) ->
+        List.fold_left
+          (fun acc (tb, mb) ->
+            match Tuple.concat ta tb with
+            | None -> acc
+            | Some merged ->
+              if Predicate.eval on merged then add acc merged (ma * mb)
+              else acc)
+          acc b)
+      [] a
+
+  let agrees l b =
+    List.length l = Bag.support_cardinal b
+    && List.for_all (fun (t, m) -> Bag.mult b t = m) l
+end
+
+(* small value domains so collisions, duplicates and cross-type key
+   matches (Int 2 vs Float 2.) actually happen *)
+let random_value rng = function
+  | Value.TInt -> Value.Int (Random.State.int rng 4)
+  | Value.TFloat -> Value.Float (float_of_int (Random.State.int rng 4))
+  | Value.TStr -> Value.Str (String.make 1 (Char.chr (97 + Random.State.int rng 3)))
+  | Value.TBool -> Value.Bool (Random.State.bool rng)
+
+let random_ty rng =
+  match Random.State.int rng 4 with
+  | 0 -> Value.TInt
+  | 1 -> Value.TFloat
+  | 2 -> Value.TStr
+  | _ -> Value.TBool
+
+(* one typed attribute pool per iteration; both schemas draw subsets
+   of it, so shared attributes agree on types and natural join is
+   well-formed *)
+let random_pool rng =
+  List.map (fun a -> (a, random_ty rng)) [ "a"; "b"; "c"; "d" ]
+
+let random_schema rng pool =
+  let chosen = List.filter (fun _ -> Random.State.int rng 3 < 2) pool in
+  Schema.make (if chosen = [] then [ List.hd pool ] else chosen)
+
+let random_tuple rng schema =
+  Tuple.of_list
+    (List.map (fun (a, ty) -> (a, random_value rng ty)) (Schema.typed_attrs schema))
+
+let random_bag rng schema =
+  let n = Random.State.int rng 10 in
+  let rec go acc i =
+    if i = 0 then acc
+    else
+      go
+        (Bag.add ~mult:(1 + Random.State.int rng 3) acc (random_tuple rng schema))
+        (i - 1)
+  in
+  go (Bag.empty schema) n
+
+let check_agrees ~what ~seed reference bag =
+  if not (Ref_bag.agrees reference bag) then
+    Alcotest.failf "seed %d: Bag.%s diverges from the list reference" seed what
+
+let diff_union_monus () =
+  for seed = 1 to 120 do
+    let rng = Random.State.make [| seed; 0xBA6 |] in
+    let schema = random_schema rng (random_pool rng) in
+    let a = random_bag rng schema and b = random_bag rng schema in
+    let ra = Ref_bag.of_bag a and rb = Ref_bag.of_bag b in
+    check_agrees ~what:"union" ~seed (Ref_bag.union ra rb) (Bag.union a b);
+    check_agrees ~what:"monus" ~seed (Ref_bag.monus ra rb) (Bag.monus a b)
+  done
+
+let diff_project_select () =
+  for seed = 1 to 120 do
+    let rng = Random.State.make [| seed; 0xBA7 |] in
+    let schema = random_schema rng (random_pool rng) in
+    let bag = random_bag rng schema in
+    let r = Ref_bag.of_bag bag in
+    let attrs = Schema.attrs schema in
+    let names =
+      List.filteri (fun i _ -> i = 0 || Random.State.bool rng) attrs
+    in
+    check_agrees ~what:"project" ~seed (Ref_bag.project names r)
+      (Bag.project names bag);
+    let attr = List.nth attrs (Random.State.int rng (List.length attrs)) in
+    (* constant of a random type: cross-type comparisons go through
+       the same Value.equal on both sides, exercising select's
+       short-circuit paths *)
+    let p =
+      Predicate.eq (Predicate.attr attr)
+        (Predicate.Const (random_value rng (random_ty rng)))
+    in
+    check_agrees ~what:"select" ~seed (Ref_bag.select p r) (Bag.select p bag)
+  done
+
+let diff_natural_join () =
+  for seed = 1 to 120 do
+    let rng = Random.State.make [| seed; 0xBA8 |] in
+    let pool = random_pool rng in
+    let sa = random_schema rng pool and sb = random_schema rng pool in
+    let a = random_bag rng sa and b = random_bag rng sb in
+    let ra = Ref_bag.of_bag a and rb = Ref_bag.of_bag b in
+    check_agrees ~what:"join" ~seed
+      (Ref_bag.join Predicate.True ra rb)
+      (Bag.join a b)
+  done
+
+let diff_cross_type_equi_join () =
+  (* A(x:int) ⋈ B(y:float) on x = y: the key tables must send Int 2
+     and Float 2. to the same bucket, exactly like Value.equal *)
+  let sa = Schema.make [ ("x", Value.TInt); ("u", Value.TStr) ] in
+  let sb = Schema.make [ ("y", Value.TFloat); ("w", Value.TStr) ] in
+  let on = Predicate.eq_attrs "x" "y" in
+  for seed = 1 to 120 do
+    let rng = Random.State.make [| seed; 0xBA9 |] in
+    let a = random_bag rng sa and b = random_bag rng sb in
+    check_agrees ~what:"join (Int/Float keys)" ~seed
+      (Ref_bag.join on (Ref_bag.of_bag a) (Ref_bag.of_bag b))
+      (Bag.join ~on a b)
+  done
+
+let diff_table_delta_join () =
+  (* Table.delta_join probes the persistent join-key index; it must
+     equal the generic hash join against the table contents *)
+  let st = Schema.make [ ("k", Value.TInt); ("q", Value.TStr) ] in
+  let sd = Schema.make [ ("k", Value.TInt); ("p", Value.TStr) ] in
+  for seed = 1 to 60 do
+    let rng = Random.State.make [| seed; 0xBAA |] in
+    let table = Storage.Table.create ~indexes:[ [ "k" ] ] ~name:"t" st in
+    Storage.Table.load table (random_bag rng st);
+    let d =
+      let n = 1 + Random.State.int rng 8 in
+      let rec go acc i =
+        if i = 0 then acc
+        else
+          let t = random_tuple rng sd in
+          let acc =
+            if Random.State.bool rng then Delta.Rel_delta.insert acc t
+            else Delta.Rel_delta.delete acc t
+          in
+          go acc (i - 1)
+      in
+      go (Delta.Rel_delta.empty sd) n
+    in
+    let generic = Delta.Rel_delta.join_bag d (Storage.Table.contents table) in
+    match Storage.Table.delta_join d table with
+    | None -> Alcotest.failf "seed %d: delta_join found no index" seed
+    | Some indexed ->
+      if not (Delta.Rel_delta.equal indexed generic) then
+        Alcotest.failf "seed %d: delta_join diverges from join_bag" seed
+  done
+
+let physical_cases =
+  [
+    Alcotest.test_case "union/monus vs reference" `Quick diff_union_monus;
+    Alcotest.test_case "project/select vs reference" `Quick diff_project_select;
+    Alcotest.test_case "natural join vs reference" `Quick diff_natural_join;
+    Alcotest.test_case "Int/Float equi-join keys" `Quick
+      diff_cross_type_equi_join;
+    Alcotest.test_case "delta_join vs generic join" `Quick
+      diff_table_delta_join;
+  ]
+
 let () =
   Alcotest.run "fuzz"
     [
+      ("physical bag vs reference", physical_cases);
       ( "random annotations",
         List.map (fun sc -> fuzz_case sc ~filtering:false) scenarios );
       ( "random annotations + source filtering",
