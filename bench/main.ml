@@ -23,6 +23,7 @@ let experiments =
     ("e10", Micro.run);
     ("e11", Experiments.e11);
     ("e12", Micro.physical);
+    ("e13", Adaptive.run);
     ("figs", Experiments.figs);
   ]
 

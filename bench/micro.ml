@@ -179,7 +179,16 @@ let seconds_per_call f =
    dataset at once would tax each minor-GC promotion with major-heap
    work that has nothing to do with the operation under test. *)
 let physical_benchmarks () =
-  let sizes = [ 1_000; 10_000; 100_000 ] in
+  (* CI smoke runs cap the size sweep with BENCH_SIZES_MAX (e.g. 1000);
+     rows for skipped sizes just drop out of the table and the JSON *)
+  let sizes =
+    let all = [ 1_000; 10_000; 100_000 ] in
+    match
+      Option.bind (Sys.getenv_opt "BENCH_SIZES_MAX") int_of_string_opt
+    with
+    | Some cap -> List.filter (fun n -> n <= cap) all
+    | None -> all
+  in
   let per_size name mk =
     List.map (fun n -> (Printf.sprintf "%s/%d" name n, fun () -> mk n)) sizes
   in

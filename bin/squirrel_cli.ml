@@ -6,12 +6,18 @@
      advise     run the Sec. 5.3 annotation advisor with given rates
      simulate   run a scenario under load and print stats + the
                 consistency/freshness report
+     adapt      run a scenario under the adaptive annotation policy;
+                print migrations and the final annotation
+     profile    run a scenario under load and print the measured
+                workload profile
      scenarios  list available scenarios
 
    Examples:
      squirrel describe fig1 --annotation ex23
      squirrel advise ex51 --hot-source dbB
-     squirrel simulate fig1 --annotation ex22 --updates 50 --queries 20 *)
+     squirrel simulate fig1 --annotation ex22 --updates 50 --queries 20
+     squirrel adapt fig1 --updates 400 --queries 60 --dot
+     squirrel profile retail --annotation hybrid *)
 
 open Cmdliner
 open Sim
@@ -430,6 +436,236 @@ let query_cmd =
        ~doc:"Pose one query (with parsed projection/condition) and print the              answer")
     term
 
+(* --- adapt ---------------------------------------------------------------- *)
+
+let adapt_cmd =
+  let run scenario annotation updates queries interval warmup cooldown min_gain
+      update_pressure dot seed verbose =
+    setup_verbose verbose;
+    match find_scenario scenario with
+    | Error e -> Error e
+    | Ok spec -> (
+      match find_annotation spec annotation with
+      | Error e -> Error e
+      | Ok ann_of ->
+        let env = spec.sc_make seed in
+        let med =
+          Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp) ()
+        in
+        Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
+        Engine.run env.Scenario.engine ~until:1.0;
+        let policy_config =
+          {
+            Adapt.Policy.default_config with
+            Adapt.Policy.interval;
+            warmup;
+            cooldown;
+            min_gain;
+            advisor =
+              {
+                Vdp.Advisor.default_config with
+                Vdp.Advisor.update_pressure_weight = update_pressure;
+              };
+          }
+        in
+        let policy = Adapt.Policy.create ~config:policy_config med in
+        Adapt.Policy.start policy;
+        (* phased load: update-heavy first, then query-heavy — the
+           workload shift the policy is meant to chase *)
+        let rng = Datagen.state (seed * 31) in
+        let u_interval = 0.1 and q_interval = 0.5 in
+        let phase2_start = (float_of_int updates *. u_interval) +. 5.0 in
+        List.iter
+          (fun (src_name, rel) ->
+            Driver.update_process ~rng ~src:(Scenario.source env src_name)
+              {
+                Driver.u_relation = rel;
+                u_interval;
+                u_count = updates;
+                u_delete_fraction = 0.5;
+                u_specs = spec.sc_specs rel;
+              })
+          spec.sc_update_rels;
+        let node = spec.sc_query_node in
+        let schema = (Vdp.Graph.node env.Scenario.vdp node).Vdp.Graph.schema in
+        let _ =
+          Driver.query_process ~start:phase2_start ~rng ~med
+            {
+              Driver.q_node = node;
+              q_interval;
+              q_count = queries;
+              q_attr_sets =
+                [ (Relalg.Schema.attrs schema, Relalg.Predicate.True) ];
+            }
+        in
+        let horizon =
+          phase2_start +. (float_of_int queries *. q_interval) +. 10.0
+        in
+        Engine.run env.Scenario.engine ~until:horizon;
+        Scenario.run_to_quiescence env med;
+        print_endline "-- migrations --";
+        (match Adapt.Policy.events policy with
+        | [] -> print_endline "  (none)"
+        | events ->
+          List.iter
+            (fun (ev : Adapt.Policy.event) ->
+              Printf.printf "  @%-8.1f %s (%d ops, predicted gain %.0f%%)\n"
+                ev.Adapt.Policy.e_time
+                (Adapt.Migrate.describe ev.Adapt.Policy.e_plan)
+                ev.Adapt.Policy.e_ops
+                (100.0 *. ev.Adapt.Policy.e_gain))
+            events);
+        print_endline "-- measured workload (smoothed) --";
+        print_string (Adapt.Monitor.render (Adapt.Policy.monitor policy));
+        print_endline "-- final annotation --";
+        print_endline (Vdp.Annotation.to_string (Mediator.annotation med));
+        let report =
+          Correctness.Checker.check ~vdp:env.Scenario.vdp
+            ~sources:env.Scenario.sources ~events:(Mediator.events med) ()
+        in
+        Printf.printf "-- correctness --\nmigrations %d, verdict %s\n"
+          (Mediator.stats med).Med.migrations
+          (if Correctness.Checker.consistent report then "CONSISTENT"
+           else "INCONSISTENT");
+        if dot then begin
+          print_endline "-- dot --";
+          print_string
+            (Vdp.Dot.render ~annotation:(Mediator.annotation med)
+               env.Scenario.vdp)
+        end;
+        Ok ())
+  in
+  let updates =
+    Arg.(
+      value & opt int 200
+      & info [ "updates"; "u" ] ~docv:"N"
+          ~doc:"Phase-1 commits per source relation.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 40
+      & info [ "queries"; "q" ] ~docv:"N"
+          ~doc:"Phase-2 queries against the main export.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 5.0
+      & info [ "interval" ] ~docv:"T" ~doc:"Policy tick period.")
+  in
+  let warmup =
+    Arg.(
+      value & opt float 10.0
+      & info [ "warmup" ] ~docv:"T" ~doc:"Earliest migration time.")
+  in
+  let cooldown =
+    Arg.(
+      value & opt float 10.0
+      & info [ "cooldown" ] ~docv:"T" ~doc:"Minimum time between migrations.")
+  in
+  let min_gain =
+    Arg.(
+      value & opt float 0.05
+      & info [ "min-gain" ] ~docv:"F"
+          ~doc:"Required relative predicted-cost improvement.")
+  in
+  let update_pressure =
+    Arg.(
+      value & opt float 1.0
+      & info [ "update-pressure" ] ~docv:"W"
+          ~doc:
+            "Advisor weight of measured update rates against query rates \
+             (0 disables demotion by update pressure).")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:"Also emit the final annotation as Graphviz (m/v superscripts).")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ scenario_arg
+        $ annotation_arg "ex21"
+        $ updates $ queries $ interval $ warmup $ cooldown $ min_gain
+        $ update_pressure $ dot $ seed_arg $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Run a scenario under the adaptive annotation policy; print the \
+          migration log and the final (possibly migrated) annotation")
+    term
+
+(* --- profile ---------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run scenario annotation updates queries seed verbose =
+    setup_verbose verbose;
+    match find_scenario scenario with
+    | Error e -> Error e
+    | Ok spec -> (
+      match find_annotation spec annotation with
+      | Error e -> Error e
+      | Ok ann_of ->
+        let env = spec.sc_make seed in
+        let med =
+          Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp) ()
+        in
+        Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
+        Engine.run env.Scenario.engine ~until:1.0;
+        let rng = Datagen.state (seed * 31) in
+        List.iter
+          (fun (src_name, rel) ->
+            Driver.update_process ~rng ~src:(Scenario.source env src_name)
+              {
+                Driver.u_relation = rel;
+                u_interval = 0.3;
+                u_count = updates;
+                u_delete_fraction = 0.25;
+                u_specs = spec.sc_specs rel;
+              })
+          spec.sc_update_rels;
+        let node = spec.sc_query_node in
+        let schema = (Vdp.Graph.node env.Scenario.vdp node).Vdp.Graph.schema in
+        let _ =
+          Driver.query_process ~rng ~med
+            {
+              Driver.q_node = node;
+              q_interval = 0.5;
+              q_count = queries;
+              q_attr_sets =
+                [ (Relalg.Schema.attrs schema, Relalg.Predicate.True) ];
+            }
+        in
+        Scenario.run_to_quiescence env med;
+        print_string (Adapt.Monitor.render_cumulative med);
+        Ok ())
+  in
+  let updates =
+    Arg.(
+      value & opt int 20
+      & info [ "updates"; "u" ] ~docv:"N" ~doc:"Commits per source relation.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 10
+      & info [ "queries"; "q" ] ~docv:"N" ~doc:"Queries against the main export.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ scenario_arg
+        $ annotation_arg "ex21"
+        $ updates $ queries $ seed_arg $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a scenario under load and print the measured workload profile \
+          (update rates, query rates, attribute access fractions)")
+    term
+
 (* --- dot -------------------------------------------------------------------- *)
 
 let dot_cmd =
@@ -477,4 +713,7 @@ let () =
          integration (Hull & Zhou, SIGMOD 1996)"
   in
   exit (Cmd.eval (Cmd.group info
-       [ describe_cmd; advise_cmd; simulate_cmd; query_cmd; dot_cmd; scenarios_cmd ]))
+       [
+         describe_cmd; advise_cmd; simulate_cmd; query_cmd; adapt_cmd;
+         profile_cmd; dot_cmd; scenarios_cmd;
+       ]))

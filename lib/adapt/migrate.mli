@@ -1,0 +1,64 @@
+(** Live plan migration: re-annotate a {e running} mediator.
+
+    A migration plan is the per-node difference between the current
+    annotation and a target one. {!apply} executes it as one mediator
+    transaction (under the FIFO mutex, serialized against update and
+    query transactions):
+
+    {ol
+    {- Nodes that {e gain} materialized attributes are rebuilt through
+       one VAP temporary construction under the {e old} annotation —
+       Eager Compensation rolls polled answers of hybrid-contributor
+       sources back to the reflected state, so the new tables agree
+       with the data already in the store, and queued-but-unprocessed
+       announcements will still propagate into them on the next update
+       transaction.}
+    {- Nodes that only {e lose} attributes are projections of their
+       existing tables — no polling.}
+    {- Tables are dropped/recreated (with the {!Squirrel.Med.join_index_plan}
+       index set for the new attribute list) and the mediator's
+       annotation is swapped.}
+    {- Sources that were virtual contributors and were polled during
+       the rebuild now back materialized data at the polled snapshot:
+       their reflected versions advance to the answer version and
+       queue entries the snapshot already covers are discarded —
+       exactly the bookkeeping [Mediator.initialize] performs.}}
+
+    The Sec. 3 correctness checker passes across migrations because
+    every table ends at a state some reflect vector describes, and
+    later transactions keep maintaining it incrementally. *)
+
+open Vdp
+open Squirrel
+
+type node_change = {
+  c_node : string;
+  c_from : string list;  (** materialized attrs before, schema order *)
+  c_to : string list;  (** materialized attrs after, schema order *)
+}
+
+type plan = {
+  p_old : Annotation.t;
+  p_new : Annotation.t;
+  p_changes : node_change list;  (** nodes whose materialized set changes *)
+}
+
+val diff : Graph.t -> old_ann:Annotation.t -> new_ann:Annotation.t -> plan
+val is_noop : plan -> bool
+
+val promotions : plan -> (string * string list) list
+(** Per node: attributes going V → M. *)
+
+val demotions : plan -> (string * string list) list
+(** Per node: attributes going M → V. *)
+
+val describe : plan -> string
+(** e.g. ["promote T{+r3,+s2}; demote R'{-r1,-r2}"]. *)
+
+val apply : Med.t -> plan -> int
+(** Execute the plan on the running mediator; returns the tuple
+    operations spent (also charged to [stats.ops_migrate], with
+    [stats.migrations] incremented). Must run inside a simulation
+    process (the rebuild may poll sources).
+    @raise Med.Mediator_error if the mediator is uninitialized or the
+    plan's [p_old] is not the mediator's current annotation. *)

@@ -1,0 +1,138 @@
+open Relalg
+open Vdp
+open Sim
+open Squirrel
+
+type t = {
+  med : Med.t;
+  smoothing : float;
+  mutable last_time : float;
+  (* snapshots of the cumulative counters at the previous observation *)
+  node_snap : (string, int) Hashtbl.t;
+  attr_snap : (string * string, int) Hashtbl.t;
+  leaf_snap : (string, int) Hashtbl.t;
+  (* exponentially-smoothed per-unit-time rates *)
+  query_rates : (string, float) Hashtbl.t;
+  attr_rates : (string * string, float) Hashtbl.t;
+  update_rates : (string, float) Hashtbl.t;
+}
+
+let create ?(smoothing = 0.5) (med : Med.t) =
+  if not (smoothing > 0.0 && smoothing <= 1.0) then
+    invalid_arg "Monitor.create: smoothing must be in (0, 1]";
+  {
+    med;
+    smoothing;
+    last_time = Engine.now med.Med.engine;
+    node_snap = Hashtbl.create 8;
+    attr_snap = Hashtbl.create 16;
+    leaf_snap = Hashtbl.create 8;
+    query_rates = Hashtbl.create 8;
+    attr_rates = Hashtbl.create 16;
+    update_rates = Hashtbl.create 8;
+  }
+
+(* fold one cumulative counter table into its snapshot and EMA: keys
+   already smoothed decay toward zero when their counter stalls *)
+let fold_table ~dt ~alpha cum snap ema =
+  let keys = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) cum;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) ema;
+  Hashtbl.iter
+    (fun k () ->
+      let total =
+        match Hashtbl.find_opt cum k with Some n -> n | None -> 0
+      in
+      let prev =
+        match Hashtbl.find_opt snap k with Some n -> n | None -> 0
+      in
+      let rate = float_of_int (total - prev) /. dt in
+      let smoothed =
+        match Hashtbl.find_opt ema k with
+        | None -> rate
+        | Some old -> (alpha *. rate) +. ((1.0 -. alpha) *. old)
+      in
+      Hashtbl.replace ema k smoothed;
+      Hashtbl.replace snap k total)
+    keys
+
+let observe t =
+  let now = Engine.now t.med.Med.engine in
+  let dt = now -. t.last_time in
+  if dt > 0.0 then begin
+    let s = t.med.Med.stats in
+    fold_table ~dt ~alpha:t.smoothing s.Med.node_accesses t.node_snap
+      t.query_rates;
+    fold_table ~dt ~alpha:t.smoothing s.Med.attr_accesses t.attr_snap
+      t.attr_rates;
+    fold_table ~dt ~alpha:t.smoothing s.Med.leaf_update_atoms t.leaf_snap
+      t.update_rates;
+    t.last_time <- now
+  end
+
+let rate tbl k = match Hashtbl.find_opt tbl k with Some r -> r | None -> 0.0
+
+let leaf_cardinality (med : Med.t) ?(default = 100) l =
+  match Hashtbl.find_opt med.Med.stats.Med.leaf_card l with
+  | Some c -> max 1 c
+  | None -> default
+
+let profile t =
+  {
+    Cost.leaf_cardinality = (fun l -> leaf_cardinality t.med l);
+    update_rate = (fun l -> rate t.update_rates l);
+    query_rate = (fun n -> rate t.query_rates n);
+    attr_access =
+      (fun n a ->
+        let q = rate t.query_rates n in
+        if q <= 0.0 then 0.0 else Float.min 1.0 (rate t.attr_rates (n, a) /. q));
+    selectivity = Cost.default_selectivity;
+  }
+
+let to_assoc tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let cumulative_profile ?(default_cardinality = 100) (med : Med.t) =
+  let s = med.Med.stats in
+  Cost.measured_profile ~default_cardinality
+    ~window:(Engine.now med.Med.engine)
+    ~leaf_cards:(to_assoc s.Med.leaf_card)
+    ~leaf_update_atoms:(to_assoc s.Med.leaf_update_atoms)
+    ~node_queries:(to_assoc s.Med.node_accesses)
+    ~attr_accesses:(to_assoc s.Med.attr_accesses)
+    ()
+
+let render_profile (med : Med.t) (p : Cost.profile) ~header =
+  let buf = Buffer.create 256 in
+  let pr fmt = Format.kasprintf (Buffer.add_string buf) fmt in
+  pr "%s@." header;
+  List.iter
+    (fun node ->
+      let name = node.Graph.name in
+      pr "  export %-12s %8.3f queries/t" name (p.Cost.query_rate name);
+      let attrs = Schema.attrs node.Graph.schema in
+      let freqs =
+        List.map (fun a -> Format.sprintf "%s %.2f" a (p.Cost.attr_access name a)) attrs
+      in
+      pr "  [%s]@." (String.concat ", " freqs))
+    (Graph.exports med.Med.vdp);
+  List.iter
+    (fun leaf ->
+      let name = leaf.Graph.name in
+      pr "  leaf   %-12s %8.3f update atoms/t   ~%d rows@." name
+        (p.Cost.update_rate name)
+        (p.Cost.leaf_cardinality name))
+    (Graph.leaves med.Med.vdp);
+  Buffer.contents buf
+
+let render t =
+  render_profile t.med (profile t)
+    ~header:
+      (Format.sprintf "smoothed workload rates (EMA %.2f, as of t=%g):"
+         t.smoothing t.last_time)
+
+let render_cumulative med =
+  render_profile med
+    (cumulative_profile med)
+    ~header:
+      (Format.sprintf "measured workload profile over %g time units:"
+         (Engine.now med.Med.engine))

@@ -1,0 +1,87 @@
+open Vdp
+open Sim
+open Squirrel
+
+type config = {
+  interval : float;
+  warmup : float;
+  cooldown : float;
+  min_gain : float;
+  smoothing : float;
+  advisor : Advisor.config;
+}
+
+let default_config =
+  {
+    interval = 5.0;
+    warmup = 10.0;
+    cooldown = 10.0;
+    min_gain = 0.05;
+    smoothing = 0.5;
+    advisor =
+      { Advisor.default_config with Advisor.update_pressure_weight = 1.0 };
+  }
+
+type event = {
+  e_time : float;
+  e_plan : Migrate.plan;
+  e_ops : int;
+  e_gain : float;
+}
+
+type t = {
+  med : Med.t;
+  mon : Monitor.t;
+  config : config;
+  mutable last_migration : float;
+  mutable log : event list; (* newest first *)
+}
+
+let create ?(config = default_config) med =
+  {
+    med;
+    mon = Monitor.create ~smoothing:config.smoothing med;
+    config;
+    last_migration = Float.neg_infinity;
+    log = [];
+  }
+
+let monitor t = t.mon
+let events t = List.rev t.log
+
+let tick t =
+  Monitor.observe t.mon;
+  let now = Engine.now t.med.Med.engine in
+  if now < t.config.warmup || now -. t.last_migration < t.config.cooldown then
+    None
+  else begin
+    let profile = Monitor.profile t.mon in
+    let target, _why =
+      Advisor.advise ~config:t.config.advisor t.med.Med.vdp profile
+    in
+    let plan = Migrate.diff t.med.Med.vdp ~old_ann:t.med.Med.ann ~new_ann:target in
+    if Migrate.is_noop plan then None
+    else begin
+      let current =
+        Cost.total (Cost.estimate t.med.Med.vdp t.med.Med.ann profile)
+      in
+      let proposed = Cost.total (Cost.estimate t.med.Med.vdp target profile) in
+      let gain = (current -. proposed) /. Float.max current 1e-9 in
+      if gain < t.config.min_gain then None
+      else begin
+        let ops = Migrate.apply t.med plan in
+        let ev = { e_time = now; e_plan = plan; e_ops = ops; e_gain = gain } in
+        t.last_migration <- now;
+        t.log <- ev :: t.log;
+        Some ev
+      end
+    end
+  end
+
+let start t =
+  let rec loop () =
+    Engine.sleep t.med.Med.engine t.config.interval;
+    ignore (tick t);
+    loop ()
+  in
+  Engine.spawn t.med.Med.engine loop

@@ -118,7 +118,8 @@ let update_transaction (t : Med.t) =
                 (String.concat ", "
                    (List.map (fun r -> r.Vap.r_node) requests)));
         let vap_result =
-          if requests = [] then { Vap.temps = []; polled_versions = [] }
+          if requests = [] then
+            { Vap.temps = []; polled_versions = []; polled_times = [] }
           else Vap.build t ~kind:`Update requests
         in
         let env name =

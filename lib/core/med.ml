@@ -64,8 +64,14 @@ type stats = {
   mutable key_based_constructions : int;
   mutable ops_update : int;
   mutable ops_query : int;
+  mutable ops_migrate : int;
+  mutable migrations : int;
   mutable messages_received : int;
   mutable atoms_received : int;
+  node_accesses : (string, int) Hashtbl.t;
+  attr_accesses : (string * string, int) Hashtbl.t;
+  leaf_update_atoms : (string, int) Hashtbl.t;
+  leaf_card : (string, int) Hashtbl.t;
 }
 
 let fresh_stats () =
@@ -80,14 +86,24 @@ let fresh_stats () =
     key_based_constructions = 0;
     ops_update = 0;
     ops_query = 0;
+    ops_migrate = 0;
+    migrations = 0;
     messages_received = 0;
     atoms_received = 0;
+    node_accesses = Hashtbl.create 8;
+    attr_accesses = Hashtbl.create 16;
+    leaf_update_atoms = Hashtbl.create 8;
+    leaf_card = Hashtbl.create 8;
   }
+
+let bump tbl key n =
+  Hashtbl.replace tbl key
+    ((match Hashtbl.find_opt tbl key with Some c -> c | None -> 0) + n)
 
 type t = {
   engine : Engine.t;
   vdp : Graph.t;
-  ann : Annotation.t;
+  mutable ann : Annotation.t;
   store : Store.t;
   mutex : Engine.Mutex.t;
   config : config;
@@ -109,6 +125,47 @@ exception Mediator_error of string
 let err fmt = Format.kasprintf (fun s -> raise (Mediator_error s)) fmt
 
 let mat_attrs t node = Annotation.materialized_attrs t.ann node
+
+(* Join-key index specs per node: wherever a definition joins a
+   stored child, IUP's ΔA ⋈ B_old propagation probes the sibling's
+   pre-update table on the join keys, so index them up front. Also
+   consulted by the live-migration executor when it (re)creates a
+   node's table under a new annotation. *)
+let join_index_plan vdp =
+  let specs : (string, string list list) Hashtbl.t = Hashtbl.create 8 in
+  let add name keys =
+    if keys <> [] then begin
+      let cur =
+        match Hashtbl.find_opt specs name with Some l -> l | None -> []
+      in
+      if not (List.mem keys cur) then Hashtbl.replace specs name (keys :: cur)
+    end
+  in
+  let schema_of e = Expr.schema_of (fun n -> (Graph.node vdp n).Graph.schema) e in
+  let rec walk = function
+    | Expr.Base _ -> ()
+    | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Rename (_, e) -> walk e
+    | Expr.Join (a, p, b) ->
+      let lk, rk = Bag.join_keys (schema_of a) (schema_of b) p in
+      (match a with Expr.Base n -> add n lk | _ -> ());
+      (match b with Expr.Base n -> add n rk | _ -> ());
+      walk a;
+      walk b
+    | Expr.Union (a, b) | Expr.Diff (a, b) ->
+      walk a;
+      walk b
+  in
+  List.iter
+    (fun node ->
+      match node.Graph.kind with
+      | Graph.Leaf _ -> ()
+      | Graph.Derived _ -> walk (Graph.def vdp node.Graph.name))
+    (Graph.nodes vdp);
+  fun name ~mat ->
+    (* only keys the materialized projection retains *)
+    List.filter
+      (fun keys -> List.for_all (fun a -> List.mem a mat) keys)
+      (match Hashtbl.find_opt specs name with Some l -> l | None -> [])
 
 let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
   let source_tbl = Hashtbl.create 8 in
@@ -134,43 +191,7 @@ let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
           (Graph.leaves_of_source vdp src_name))
     (Graph.sources vdp);
   let store = Store.create () in
-  (* Join-key index specs per node: wherever a definition joins a
-     stored child, IUP's ΔA ⋈ B_old propagation probes the sibling's
-     pre-update table on the join keys, so index them up front. *)
-  let join_index_specs =
-    let specs : (string, string list list) Hashtbl.t = Hashtbl.create 8 in
-    let add name keys =
-      if keys <> [] then begin
-        let cur =
-          match Hashtbl.find_opt specs name with Some l -> l | None -> []
-        in
-        if not (List.mem keys cur) then Hashtbl.replace specs name (keys :: cur)
-      end
-    in
-    let schema_of e =
-      Expr.schema_of (fun n -> (Graph.node vdp n).Graph.schema) e
-    in
-    let rec walk = function
-      | Expr.Base _ -> ()
-      | Expr.Select (_, e) | Expr.Project (_, e) | Expr.Rename (_, e) -> walk e
-      | Expr.Join (a, p, b) ->
-        let lk, rk = Bag.join_keys (schema_of a) (schema_of b) p in
-        (match a with Expr.Base n -> add n lk | _ -> ());
-        (match b with Expr.Base n -> add n rk | _ -> ());
-        walk a;
-        walk b
-      | Expr.Union (a, b) | Expr.Diff (a, b) ->
-        walk a;
-        walk b
-    in
-    List.iter
-      (fun node ->
-        match node.Graph.kind with
-        | Graph.Leaf _ -> ()
-        | Graph.Derived _ -> walk (Graph.def vdp node.Graph.name))
-      (Graph.nodes vdp);
-    specs
-  in
+  let indexes_of = join_index_plan vdp in
   List.iter
     (fun node ->
       let name = node.Graph.name in
@@ -178,19 +199,10 @@ let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
       | Graph.Leaf _ -> ()
       | Graph.Derived _ ->
         let mat = Annotation.materialized_attrs annotation name in
-        if mat <> [] then begin
-          let indexes =
-            (* only keys the materialized projection retains *)
-            List.filter
-              (fun keys -> List.for_all (fun a -> List.mem a mat) keys)
-              (match Hashtbl.find_opt join_index_specs name with
-              | Some l -> l
-              | None -> [])
-          in
+        if mat <> [] then
           ignore
-            (Store.create_table store ~indexes ~name
-               (Schema.project node.Graph.schema mat))
-        end)
+            (Store.create_table store ~indexes:(indexes_of name ~mat) ~name
+               (Schema.project node.Graph.schema mat)))
     (Graph.nodes vdp);
   let reflected =
     List.map
@@ -255,6 +267,15 @@ let enqueue t (u : Message.update) =
   t.stats.messages_received <- t.stats.messages_received + 1;
   t.stats.atoms_received <-
     t.stats.atoms_received + Multi_delta.atom_count u.Message.delta;
+  (* workload monitor: per-leaf update traffic and a running
+     cardinality estimate (initial snapshot size plus net atoms) *)
+  List.iter
+    (fun (leaf, d) ->
+      bump t.stats.leaf_update_atoms leaf (Rel_delta.atom_count d);
+      bump t.stats.leaf_card leaf
+        (Bag.cardinal (Rel_delta.insertions d)
+        - Bag.cardinal (Rel_delta.deletions d)))
+    (Multi_delta.bindings u.Message.delta);
   let entry =
     {
       q_source = u.Message.source;
@@ -298,6 +319,13 @@ let events t = List.rev t.log
 let charge_ops t kind ops =
   (match kind with
   | `Update -> t.stats.ops_update <- t.stats.ops_update + ops
-  | `Query -> t.stats.ops_query <- t.stats.ops_query + ops);
+  | `Query -> t.stats.ops_query <- t.stats.ops_query + ops
+  | `Migrate -> t.stats.ops_migrate <- t.stats.ops_migrate + ops);
   if t.config.op_time > 0.0 && ops > 0 then
     Engine.sleep t.engine (float_of_int ops *. t.config.op_time)
+
+let record_access t ~node ~attrs =
+  bump t.stats.node_accesses node 1;
+  List.iter (fun a -> bump t.stats.attr_accesses (node, a) 1) attrs
+
+let record_leaf_card t leaf n = Hashtbl.replace t.stats.leaf_card leaf n

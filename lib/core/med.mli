@@ -81,15 +81,32 @@ type stats = {
   mutable key_based_constructions : int;
   mutable ops_update : int;
   mutable ops_query : int;
+  mutable ops_migrate : int;
+      (** tuple operations spent rebuilding tables during live
+          re-annotations (the {!Adapt} subsystem) *)
+  mutable migrations : int;  (** live re-annotations applied *)
   mutable messages_received : int;
   mutable atoms_received : int;
       (** total update atoms arriving in announcements *)
+  node_accesses : (string, int) Hashtbl.t;
+      (** workload monitor: query requests per node *)
+  attr_accesses : (string * string, int) Hashtbl.t;
+      (** workload monitor: query requests touching (node, attr) —
+          projection and condition attributes alike *)
+  leaf_update_atoms : (string, int) Hashtbl.t;
+      (** workload monitor: update atoms received per leaf *)
+  leaf_card : (string, int) Hashtbl.t;
+      (** per-leaf cardinality estimate: initialization snapshot size
+          plus the net signed atom count of later announcements *)
 }
 
 type t = {
   engine : Engine.t;
   vdp : Graph.t;
-  ann : Annotation.t;
+  mutable ann : Annotation.t;
+      (** mutable so a live migration (Adapt.Migrate) can swap the
+          annotation of a running mediator; all processors read it
+          afresh on every transaction *)
   store : Store.t;
   mutex : Engine.Mutex.t;
   config : config;
@@ -160,9 +177,24 @@ val log_event : t -> event -> unit
 val events : t -> event list
 (** Chronological. *)
 
-val charge_ops : t -> [ `Update | `Query ] -> int -> unit
+val charge_ops : t -> [ `Update | `Query | `Migrate ] -> int -> unit
 (** Account tuple operations to a transaction class and advance the
     simulated clock by [op_time] per operation (must run in a
     process). *)
+
+val record_access : t -> node:string -> attrs:string list -> unit
+(** Workload monitor feed (QP): one query request against [node]
+    touching [attrs]. *)
+
+val record_leaf_card : t -> string -> int -> unit
+(** Workload monitor feed: reset a leaf's cardinality estimate (the
+    initialization snapshot; announcements adjust it incrementally). *)
+
+val join_index_plan :
+  Graph.t -> string -> mat:string list -> string list list
+(** [join_index_plan vdp] precomputes the join-key probe sets of every
+    definition; the returned function gives, for a node and the
+    attribute set its table will hold, the indexes the table should
+    carry. Shared by {!create} and the live-migration executor. *)
 
 val fresh_stats : unit -> stats

@@ -41,7 +41,9 @@ let initialize (t : Med.t) =
             let answer = Source_db.poll src queries in
             t.Med.stats.Med.polls <- t.Med.stats.Med.polls + 1;
             List.iter
-              (fun (l, b) -> Hashtbl.replace leaf_values l b)
+              (fun (l, b) ->
+                Hashtbl.replace leaf_values l b;
+                Med.record_leaf_card t l (Bag.cardinal b))
               answer.Message.results;
             Med.set_reflected t src_name
               {

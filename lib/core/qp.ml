@@ -60,6 +60,11 @@ let query_many (t : Med.t) requests =
   in
   Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
       let ops_before = Eval.tuple_ops () in
+      List.iter
+        (fun (node, attrs, cond) ->
+          Med.record_access t ~node
+            ~attrs:(dedup (attrs @ Predicate.attrs cond)))
+        requests;
       Med.Log.debug (fun m ->
           m "multi-query tx @%g over %s"
             (Engine.now t.Med.engine)
@@ -79,7 +84,8 @@ let query_many (t : Med.t) requests =
           requests
       in
       let vap_result =
-        if vap_requests = [] then { Vap.temps = []; polled_versions = [] }
+        if vap_requests = [] then
+          { Vap.temps = []; polled_versions = []; polled_times = [] }
         else Vap.build t ~kind:`Query vap_requests
       in
       let answers =
@@ -133,6 +139,7 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
   Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
       let ops_before = Eval.tuple_ops () in
       let needed = dedup (attrs @ Predicate.attrs cond) in
+      Med.record_access t ~node ~attrs:needed;
       let finish answer polled =
         t.Med.stats.Med.query_txs <- t.Med.stats.Med.query_txs + 1;
         Med.charge_ops t `Query (Eval.tuple_ops () - ops_before);

@@ -8,6 +8,7 @@ type request = { r_node : string; r_attrs : string list; r_cond : Predicate.t }
 type result = {
   temps : (string * Bag.t) list;
   polled_versions : (string * int) list;
+  polled_times : (string * float) list;
 }
 
 (* a request's attrs always cover its condition's attributes *)
@@ -17,6 +18,10 @@ let normalize r =
   in
   { r with r_attrs = r.r_attrs @ extra }
 
+let rec disjuncts = function
+  | Predicate.Or (a, b) -> disjuncts a @ disjuncts b
+  | p -> [ p ]
+
 let merge_into table r =
   let r = normalize r in
   match Hashtbl.find_opt table r.r_node with
@@ -25,8 +30,15 @@ let merge_into table r =
     let attrs =
       attrs @ List.filter (fun a -> not (List.mem a attrs)) r.r_attrs
     in
+    (* idempotent disjunction — merging the same condition twice must
+       not grow the predicate, or the closure fixpoint never settles *)
     let cond =
-      if Predicate.equal cond r.r_cond then cond
+      let have = disjuncts cond in
+      if
+        List.for_all
+          (fun d -> List.exists (Predicate.equal d) have)
+          (disjuncts r.r_cond)
+      then cond
       else Predicate.simplify (Predicate.Or (cond, r.r_cond))
     in
     Hashtbl.replace table r.r_node (attrs, cond)
@@ -41,20 +53,35 @@ let closure (t : Med.t) requests =
         Med.err "VAP request for leaf %S" r.r_node;
       merge_into table r)
     requests;
-  (* parents before children, so requests propagate downward once *)
+  (* parents before children, iterated to fixpoint: a request on any
+     node makes its temporary shadow the store table during inner
+     evaluation, so the temp must also carry every attribute some
+     OTHER parent of that node needs — even a parent the store alone
+     would have covered, and even one discovered on a later pass
+     (multi-node migration plans over diamond-shaped VDPs hit both) *)
   let order = List.rev (Graph.topo_order t.Med.vdp) in
-  List.iter
-    (fun node ->
-      match Hashtbl.find_opt table node with
-      | None -> ()
-      | Some (attrs, cond) ->
-        List.iter
-          (fun (child, b, g) ->
-            if not (Graph.is_leaf t.Med.vdp child) then
-              if not (Med.is_covered t ~node:child ~attrs:b) then
-                merge_into table { r_node = child; r_attrs = b; r_cond = g })
-          (Derived_from.derived_from t.Med.vdp ~node ~attrs ~cond))
-    order;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun node ->
+        match Hashtbl.find_opt table node with
+        | None -> ()
+        | Some (attrs, cond) ->
+          List.iter
+            (fun (child, b, g) ->
+              if not (Graph.is_leaf t.Med.vdp child) then
+                if
+                  (not (Med.is_covered t ~node:child ~attrs:b))
+                  || Hashtbl.mem table child
+                then begin
+                  let before = Hashtbl.find_opt table child in
+                  merge_into table { r_node = child; r_attrs = b; r_cond = g };
+                  if Hashtbl.find_opt table child <> before then changed := true
+                end)
+            (Derived_from.derived_from t.Med.vdp ~node ~attrs ~cond))
+      order
+  done;
   List.filter_map
     (fun node ->
       match Hashtbl.find_opt table node with
@@ -82,6 +109,7 @@ let build (t : Med.t) ~kind:_ requests =
   let lp_reqs, inner_reqs = List.partition (fun r -> is_leaf_parent r.r_node) reqs in
   let temps : (string, Bag.t) Hashtbl.t = Hashtbl.create 8 in
   let polled_versions = ref [] in
+  let polled_times = ref [] in
   (* group leaf-parent requests by source; one poll per source *)
   let by_source = Hashtbl.create 4 in
   List.iter
@@ -125,7 +153,9 @@ let build (t : Med.t) ~kind:_ requests =
       (match contributor with
       | Med.Virtual_contributor ->
         polled_versions :=
-          (src_name, answer.Message.answer_version) :: !polled_versions
+          (src_name, answer.Message.answer_version) :: !polled_versions;
+        polled_times :=
+          (src_name, answer.Message.state_time) :: !polled_times
       | Med.Materialized_contributor | Med.Hybrid_contributor -> ());
       List.iter
         (fun (r, leaf) ->
@@ -187,4 +217,5 @@ let build (t : Med.t) ~kind:_ requests =
   {
     temps = Hashtbl.fold (fun k v acc -> (k, v) :: acc) temps [];
     polled_versions = !polled_versions;
+    polled_times = !polled_times;
   }

@@ -32,6 +32,10 @@ type result = {
   polled_versions : (string * int) list;
       (** versions served by virtual-contributor sources in this run —
           needed for the query transaction's reflect vector *)
+  polled_times : (string * float) list;
+      (** state times of those answers — the migration executor
+          records them when a poll establishes a new reflected
+          version for a promoted source *)
 }
 
 val build : Med.t -> kind:[ `Query | `Update ] -> request list -> result

@@ -1,8 +1,13 @@
 open Relalg
 
-type config = { access_threshold : float; demand_factor : float }
+type config = {
+  access_threshold : float;
+  demand_factor : float;
+  update_pressure_weight : float;
+}
 
-let default_config = { access_threshold = 0.25; demand_factor = 1.0 }
+let default_config =
+  { access_threshold = 0.25; demand_factor = 1.0; update_pressure_weight = 0.0 }
 
 let advise ?(config = default_config) vdp profile =
   let explanations = ref [] in
@@ -56,6 +61,21 @@ let advise ?(config = default_config) vdp profile =
     if is_export name then begin
       let needed_by_parents = attrs_needed_by_parents name in
       let expensive = Cost.is_expensive_join vdp name in
+      (* with update pressure enabled the access threshold is scaled
+         by how much maintenance traffic a materialized attribute
+         would ride on relative to the queries it serves: an attribute
+         earns materialization only when [freq * query_rate] beats the
+         threshold applied to [query_rate + w * upstream_update_rate] *)
+      let access_earns_mat freq =
+        if config.update_pressure_weight <= 0.0 then
+          freq >= config.access_threshold
+        else
+          let q = profile.Cost.query_rate name in
+          let u = node_update_rate name in
+          freq *. q
+          >= config.access_threshold
+             *. (q +. (config.update_pressure_weight *. u))
+      in
       let marks =
         List.map
           (fun a ->
@@ -63,7 +83,7 @@ let advise ?(config = default_config) vdp profile =
             if List.mem a key && (expensive || needed_by_parents <> []) then
               (a, Annotation.M)
             else if List.mem a needed_by_parents then (a, Annotation.M)
-            else if freq >= config.access_threshold then (a, Annotation.M)
+            else if access_earns_mat freq then (a, Annotation.M)
             else (a, Annotation.V))
           attrs
       in

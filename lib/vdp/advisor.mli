@@ -30,6 +30,15 @@ type config = {
   demand_factor : float;
       (** materialize a leaf-parent when sibling demand >= factor *
           own update rate (default 1.0) *)
+  update_pressure_weight : float;
+      (** 0.0 (the default) keeps the pure access-fraction rule for
+          export attributes. When positive, an export attribute is
+          materialized only if [freq * query_rate >= access_threshold
+          * (query_rate + weight * upstream_update_rate)] — under an
+          update-heavy, query-light workload this demotes rarely-read
+          attributes to virtual, and promotes them back when queries
+          dominate. Used by the adaptive policy with a measured
+          {!Cost.profile}. *)
 }
 
 val default_config : config

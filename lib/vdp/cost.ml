@@ -30,6 +30,29 @@ let uniform_profile ?(cardinality = 1000) ?(update_rate = 1.0)
     selectivity = default_selectivity;
   }
 
+let measured_profile ?(selectivity = default_selectivity)
+    ?(default_cardinality = 100) ~window ~leaf_cards ~leaf_update_atoms
+    ~node_queries ~attr_accesses () =
+  let w = Float.max window 1e-9 in
+  let count tbl k =
+    match List.assoc_opt k tbl with Some n -> n | None -> 0
+  in
+  {
+    leaf_cardinality =
+      (fun l ->
+        match List.assoc_opt l leaf_cards with
+        | Some c -> max 1 c
+        | None -> default_cardinality);
+    update_rate = (fun l -> float_of_int (count leaf_update_atoms l) /. w);
+    query_rate = (fun n -> float_of_int (count node_queries n) /. w);
+    attr_access =
+      (fun n a ->
+        match count node_queries n with
+        | 0 -> 0.0
+        | q -> float_of_int (count attr_accesses (n, a)) /. float_of_int q);
+    selectivity;
+  }
+
 (* remote polling of a leaf costs this much more than local work *)
 let remote_factor = 5.0
 let remote_latency = 100.0

@@ -34,6 +34,25 @@ val uniform_profile :
   unit ->
   profile
 
+val measured_profile :
+  ?selectivity:(Predicate.t -> float) ->
+  ?default_cardinality:int ->
+  window:float ->
+  leaf_cards:(string * int) list ->
+  leaf_update_atoms:(string * int) list ->
+  node_queries:(string * int) list ->
+  attr_accesses:((string * string) * int) list ->
+  unit ->
+  profile
+(** Profile built from counters observed over a time window of length
+    [window] (simulated time units), so the analytic model can run on
+    measured numbers instead of guesses: update and query rates are
+    [count /. window], an attribute's access frequency is the fraction
+    of the node's queries that touched it, and leaf cardinalities come
+    from the last observed populations ([default_cardinality] when a
+    leaf was never seen). The counter shapes match {!Med.stats}'s
+    monitor tables. *)
+
 val cardinality : Graph.t -> profile -> string -> int
 (** Estimated cardinality of any node. *)
 

@@ -36,7 +36,7 @@ let single_delete src relation tuple =
   Multi_delta.singleton relation
     (Rel_delta.delete (Rel_delta.empty schema) tuple)
 
-let update_process ~rng ~src load =
+let update_process ?(start = 0.0) ~rng ~src load =
   let engine = Source_db.engine src in
   let schema = Source_db.schema src load.u_relation in
   let next_key = ref 1_000_000 in
@@ -63,6 +63,7 @@ let update_process ~rng ~src load =
     end
   in
   Engine.spawn engine (fun () ->
+      if start > 0.0 then Engine.sleep engine start;
       for _ = 1 to load.u_count do
         Engine.sleep engine load.u_interval;
         one_commit ()
@@ -81,10 +82,11 @@ type query_record = {
   qr_answer : Bag.t;
 }
 
-let query_process ~rng ~med load =
+let query_process ?(start = 0.0) ~rng ~med load =
   let engine = (med : Mediator.t).Med.engine in
   let records = ref [] in
   Engine.spawn engine (fun () ->
+      if start > 0.0 then Engine.sleep engine start;
       for _ = 1 to load.q_count do
         Engine.sleep engine load.q_interval;
         match Datagen.pick rng load.q_attr_sets with

@@ -24,9 +24,10 @@ type update_load = {
 }
 
 val update_process :
-  rng:Random.State.t -> src:Source_db.t -> update_load -> unit
-(** Spawn the committing process (first commit after one interval).
-    Key uniqueness is maintained for keyed relations. *)
+  ?start:float -> rng:Random.State.t -> src:Source_db.t -> update_load -> unit
+(** Spawn the committing process (first commit one interval after
+    [start], default 0 — phased workloads stagger their drivers with
+    it). Key uniqueness is maintained for keyed relations. *)
 
 val single_insert : Source_db.t -> string -> Tuple.t -> Multi_delta.t
 val single_delete : Source_db.t -> string -> Tuple.t -> Multi_delta.t
@@ -48,9 +49,11 @@ type query_record = {
 }
 
 val query_process :
+  ?start:float ->
   rng:Random.State.t ->
   med:Mediator.t ->
   query_load ->
   query_record list ref
-(** Spawn the querying process; the returned cell accumulates answers
-    (newest first). *)
+(** Spawn the querying process (first query one interval after
+    [start], default 0); the returned cell accumulates answers (newest
+    first). *)
