@@ -1,0 +1,136 @@
+(* E14 — chaos matrix: convergence under injected faults.
+
+   Every (scenario × fault profile × seed) cell runs the same shape of
+   trace on a fault-free start (see lib/chaos/chaos_run.ml):
+
+     t ∈ [0, 1):    initialize the mediator (clean channels);
+     t ∈ [2, 20):   the fault profile is live on every source channel
+                    (drops, duplicates, jitter, reordering, outages —
+                    see lib/faults);
+     t ∈ [1, ~31]:  update drivers commit on every source, continuing
+                    well past the fault window so gap detection has
+                    later traffic to reveal losses;
+     t ∈ [3, ~33]:  a query process hits the scenario's probe export,
+                    classifying each answer fresh / stale / refused;
+     afterwards:    faults are cleared, the run is driven to
+                    quiescence, and every export is queried once more
+                    and compared against a direct evaluation of the
+                    view definition over the sources' current states.
+
+   A cell passes when it quiesces, the final answers all match the
+   fault-free reference (convergence), and the transaction log clears
+   the correctness checker (degraded answers exempted from validity).
+   The point of the matrix: every recovery mechanism — retry/backoff,
+   degraded stale answers, gap-triggered resync — must actually fire
+   somewhere, and nowhere may consistency break. Results go to
+   BENCH_3.json (path overridable via BENCH3_JSON).
+
+   CI smoke runs cap the seed list with BENCH_SIZES_MAX (the same
+   convention e10 uses for sizes): seeds beyond the cap drop out. *)
+
+open Chaos_run
+
+let json path runs ~summary:(all_pass, retry, degraded, resync) =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"bench\": \"chaos matrix: convergence under injected faults (bench/chaos.ml e14)\",\n";
+  p
+    "  \"scenario\": \"fig1/ex51/retail under seed-deterministic fault \
+     profiles; faults heal, run quiesces, exports compared against a \
+     fault-free reference and the consistency checker\",\n";
+  p "  \"results\": [\n";
+  let n = List.length runs in
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"scenario\": %S, \"profile\": %S, \"seed\": %d, \"pass\": %b, \
+         \"quiesced\": %b, \"converged\": %b, \"consistent\": %b, \
+         \"queries_fresh\": %d, \"queries_stale\": %d, \"queries_refused\": \
+         %d, \"msgs_sent\": %d, \"msgs_delivered\": %d, \"msgs_dropped\": %d, \
+         \"msgs_duplicated\": %d, \"polls\": %d, \"poll_retries\": %d, \
+         \"poll_failures\": %d, \"degraded_answers\": %d, \"gaps_detected\": \
+         %d, \"dup_messages_dropped\": %d, \"resyncs\": %d, \
+         \"update_deferrals\": %d, \"version_checks\": %d, \"note\": %S}%s\n"
+        r.c_scenario r.c_profile r.c_seed (passed r) r.c_quiesced r.c_converged
+        r.c_consistent r.c_fresh r.c_stale r.c_refused r.c_sent r.c_delivered
+        r.c_dropped r.c_duplicated r.c_polls r.c_retries r.c_poll_failures
+        r.c_degraded r.c_gaps r.c_dups_dropped r.c_resyncs r.c_deferrals
+        r.c_heartbeats r.c_note
+        (if i = n - 1 then "" else ","))
+    runs;
+  p "  ],\n";
+  p "  \"all_pass\": %b,\n" all_pass;
+  p "  \"exercised_retry\": %b,\n" retry;
+  p "  \"exercised_degraded_answers\": %b,\n" degraded;
+  p "  \"exercised_resync\": %b\n" resync;
+  p "}\n";
+  close_out oc
+
+let seeds () =
+  let all = [ 1; 2; 3 ] in
+  match Option.bind (Sys.getenv_opt "BENCH_SIZES_MAX") int_of_string_opt with
+  | Some cap -> List.filteri (fun i _ -> i < max 1 cap) all
+  | None -> all
+
+let row r =
+  [
+    Tables.S r.c_scenario;
+    S r.c_profile;
+    I r.c_seed;
+    B (passed r);
+    I r.c_fresh;
+    I r.c_stale;
+    I r.c_refused;
+    I r.c_dropped;
+    I r.c_duplicated;
+    I r.c_retries;
+    I r.c_poll_failures;
+    I r.c_degraded;
+    I r.c_gaps;
+    I r.c_resyncs;
+    I r.c_deferrals;
+    S r.c_note;
+  ]
+
+let header =
+  [
+    "scenario"; "profile"; "seed"; "pass"; "fresh"; "stale"; "refused";
+    "drop"; "dup"; "retry"; "pfail"; "degr"; "gaps"; "resync"; "defer";
+    "note";
+  ]
+
+let run () =
+  Tables.section "E14  chaos matrix: convergence under injected faults";
+  let seeds = seeds () in
+  let runs =
+    List.concat_map
+      (fun sc ->
+        List.concat_map
+          (fun profile -> List.map (run_one sc profile) seeds)
+          Faults.all)
+      scenarios
+  in
+  Tables.print ~title:"seed × profile × scenario (counters are per run)"
+    ~header (List.map row runs);
+  let all_pass = List.for_all passed runs in
+  let retry = List.exists (fun r -> r.c_retries > 0) runs in
+  let degraded = List.exists (fun r -> r.c_degraded > 0) runs in
+  let resync = List.exists (fun r -> r.c_resyncs > 0) runs in
+  Tables.note "all cells pass (quiesce + converge + consistent): %s\n"
+    (if all_pass then "yes" else "NO");
+  Tables.note
+    "recovery coverage — retries: %s, degraded answers: %s, resyncs: %s\n"
+    (if retry then "yes" else "NO")
+    (if degraded then "yes" else "NO")
+    (if resync then "yes" else "NO");
+  let path =
+    match Sys.getenv_opt "BENCH3_JSON" with
+    | Some p -> p
+    | None -> "BENCH_3.json"
+  in
+  json path runs ~summary:(all_pass, retry, degraded, resync);
+  Tables.note "wrote %s\n" path;
+  if not (all_pass && retry && degraded && resync) then (
+    Tables.note "E14 FAILED\n";
+    exit 1)

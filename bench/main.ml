@@ -24,6 +24,7 @@ let experiments =
     ("e11", Experiments.e11);
     ("e12", Micro.physical);
     ("e13", Adaptive.run);
+    ("e14", Chaos.run);
     ("figs", Experiments.figs);
   ]
 

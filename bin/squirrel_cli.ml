@@ -690,6 +690,73 @@ let dot_cmd =
        ~doc:"Emit the annotated VDP as Graphviz (the paper's Figures 1/4)")
     term
 
+(* --- chaos ----------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let run scenario profile seed verbose =
+    setup_verbose verbose;
+    match Chaos_run.scenario_by_name scenario with
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown chaos scenario %S (try: %s)" scenario
+              (String.concat ", " Chaos_run.scenario_names)))
+    | Some sc -> (
+      match Faults.by_name profile with
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown fault profile %S (try: %s)" profile
+                (String.concat ", " Faults.names)))
+      | Some p ->
+        let r = Chaos_run.run_one sc p seed in
+        let b v = if v then "yes" else "NO" in
+        Printf.printf "-- chaos cell %s/%s seed %d --\n" r.Chaos_run.c_scenario
+          r.Chaos_run.c_profile r.Chaos_run.c_seed;
+        Printf.printf "verdict           %s\n"
+          (if Chaos_run.passed r then "PASS" else "FAIL");
+        Printf.printf "  quiesced        %s\n" (b r.Chaos_run.c_quiesced);
+        Printf.printf "  converged       %s\n" (b r.Chaos_run.c_converged);
+        Printf.printf "  consistent      %s\n" (b r.Chaos_run.c_consistent);
+        if r.Chaos_run.c_note <> "" then
+          Printf.printf "  note            %s\n" r.Chaos_run.c_note;
+        Printf.printf "queries           %d fresh, %d stale, %d refused\n"
+          r.Chaos_run.c_fresh r.Chaos_run.c_stale r.Chaos_run.c_refused;
+        Printf.printf
+          "channel           %d sent, %d delivered, %d dropped, %d duplicated\n"
+          r.Chaos_run.c_sent r.Chaos_run.c_delivered r.Chaos_run.c_dropped
+          r.Chaos_run.c_duplicated;
+        Printf.printf "polls             %d (+%d retries, %d exhausted)\n"
+          r.Chaos_run.c_polls r.Chaos_run.c_retries r.Chaos_run.c_poll_failures;
+        Printf.printf "recovery          %d gaps, %d resyncs, %d deferrals, \
+                       %d dup msgs dropped\n"
+          r.Chaos_run.c_gaps r.Chaos_run.c_resyncs r.Chaos_run.c_deferrals
+          r.Chaos_run.c_dups_dropped;
+        Printf.printf "degraded answers  %d\n" r.Chaos_run.c_degraded;
+        Printf.printf "version checks    %d\n" r.Chaos_run.c_heartbeats;
+        if Chaos_run.passed r then Ok () else Error (`Msg "chaos cell failed"))
+  in
+  let profile =
+    Arg.(
+      value
+      & opt string "chaos"
+      & info [ "profile"; "p" ] ~docv:"PROFILE"
+          ~doc:
+            "Fault profile: none, jitter, drop, dup, outage, blackhole, \
+             reorder, chaos.")
+  in
+  let term =
+    Term.(term_result (const run $ scenario_arg $ profile $ seed_arg $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run one chaos-matrix cell: a scenario under an injected fault \
+          profile, checked for convergence and consistency after the faults \
+          heal (deterministic per seed — reproduce a failing cell from the \
+          e14 benchmark by its coordinates)")
+    term
+
 (* --- scenarios ------------------------------------------------------------ *)
 
 let scenarios_cmd =
@@ -715,5 +782,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [
          describe_cmd; advise_cmd; simulate_cmd; query_cmd; adapt_cmd;
-         profile_cmd; dot_cmd; scenarios_cmd;
+         profile_cmd; chaos_cmd; dot_cmd; scenarios_cmd;
        ]))

@@ -33,7 +33,9 @@ let connect t ?(delays = fun _ -> (0.05, 0.01)) () =
   let handler (msg : Message.t) =
     match msg with
     | Message.Update _ -> () (* a pure-virtual mediator ignores updates *)
-    | Message.Answer (ivar, a) -> Engine.Ivar.fill t.engine ivar a
+    | Message.Answer (ivar, a) ->
+      (* guard against duplicated answer messages on a faulty channel *)
+      if not (Engine.Ivar.is_filled ivar) then Engine.Ivar.fill t.engine ivar a
   in
   Hashtbl.iter
     (fun _ src ->

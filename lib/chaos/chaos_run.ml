@@ -1,0 +1,260 @@
+(* One cell of the chaos matrix: a scenario run under an injected
+   fault profile, driven past the fault window, healed, quiesced, and
+   checked for convergence and consistency. Shared by the e14 bench
+   harness (the full matrix) and the CLI's [chaos] subcommand (one
+   cell, for reproducing a failing seed). *)
+
+open Relalg
+open Vdp
+open Sim
+open Sources
+open Squirrel
+open Correctness
+open Workload
+
+let fault_window = (2.0, 20.0)
+let update_start = 1.0
+let update_interval = 0.25
+let update_count = 120
+let query_start = 1.5
+let query_interval = 1.5
+let query_count = 20
+
+(* Timeouts and the heartbeat are what make faults survivable at all:
+   a dropped answer only surfaces as a timeout, and a dropped FINAL
+   announcement only surfaces through the version check. *)
+let config =
+  {
+    Med.default_config with
+    Med.op_time = 0.0;
+    poll_timeout = Some 2.0;
+    poll_retries = 4;
+    poll_backoff = 0.1;
+    version_check_interval = Some 2.0;
+  }
+
+type scenario = {
+  sc_name : string;
+  sc_make : seed:int -> Scenario.env;
+  sc_ann : Graph.t -> Annotation.t;
+  sc_updates : (string * string * Datagen.column_spec list) list;
+  sc_query_node : string;
+  sc_query_attrs : string list;
+}
+
+let scenarios =
+  [
+    {
+      sc_name = "fig1";
+      sc_make = (fun ~seed -> Scenario.make_fig1 ~seed ());
+      sc_ann = Scenario.ann_ex23;
+      sc_updates =
+        [
+          ("db1", "R", Scenario.fig1_update_specs "R");
+          ("db2", "S", Scenario.fig1_update_specs "S");
+        ];
+      (* T is hybrid under Ex. 2.3: the virtual attributes force polls,
+         so outages degrade the answer to the materialized subset *)
+      sc_query_node = "T";
+      sc_query_attrs = [ "r1"; "r3"; "s1"; "s2" ];
+    };
+    {
+      sc_name = "ex51";
+      sc_make = (fun ~seed -> Scenario.make_ex51 ~seed ());
+      sc_ann = Scenario.ann_ex51;
+      sc_updates =
+        [
+          ("dbA", "A", Scenario.ex51_update_specs "A");
+          ("dbB", "B", Scenario.ex51_update_specs "B");
+          ("dbC", "C", Scenario.ex51_update_specs "C");
+          ("dbD", "D", Scenario.ex51_update_specs "D");
+        ];
+      sc_query_node = "E";
+      sc_query_attrs = [ "a1"; "a2"; "b1" ];
+    };
+    {
+      sc_name = "retail";
+      sc_make = (fun ~seed -> Scenario.make_retail ~seed ());
+      sc_ann = Scenario.ann_retail_hybrid;
+      sc_updates =
+        [
+          ("dbEast", "OrdersE", Scenario.retail_update_specs "OrdersE");
+          ("dbWest", "OrdersW", Scenario.retail_update_specs "OrdersW");
+          ("dbCust", "Cust", Scenario.retail_update_specs "Cust");
+        ];
+      (* Premium is fully materialized: answers stay local, but gap
+         repair in progress still marks them stale *)
+      sc_query_node = "Premium";
+      sc_query_attrs = [ "cust"; "region"; "amt" ];
+    };
+  ]
+
+let scenario_names = List.map (fun sc -> sc.sc_name) scenarios
+
+let scenario_by_name name =
+  List.find_opt (fun sc -> String.equal sc.sc_name name) scenarios
+
+type run = {
+  c_scenario : string;
+  c_profile : string;
+  c_seed : int;
+  c_quiesced : bool;
+  c_converged : bool;
+  c_consistent : bool;
+  c_fresh : int;
+  c_stale : int;
+  c_refused : int;
+  c_sent : int;
+  c_delivered : int;
+  c_dropped : int;
+  c_duplicated : int;
+  c_polls : int;
+  c_retries : int;
+  c_poll_failures : int;
+  c_degraded : int;
+  c_gaps : int;
+  c_dups_dropped : int;
+  c_resyncs : int;
+  c_deferrals : int;
+  c_heartbeats : int;
+  c_note : string;
+}
+
+let passed r = r.c_quiesced && r.c_converged && r.c_consistent
+
+(* fault-free reference: the view definition evaluated directly over
+   the sources' current (post-quiescence) states *)
+let reference_answer env name =
+  let vdp = env.Scenario.vdp in
+  let leaf_env leaf =
+    match Graph.node_opt vdp leaf with
+    | Some { Graph.kind = Graph.Leaf { source }; _ } ->
+      let src = Scenario.source env source in
+      Some (Source_db.current src leaf)
+    | Some _ | None -> None
+  in
+  Eval.eval ~env:leaf_env (Graph.expanded_def vdp name)
+
+let run_one sc profile seed =
+  let env = sc.sc_make ~seed in
+  let engine = env.Scenario.engine in
+  let med =
+    Scenario.mediator env ~annotation:(sc.sc_ann env.Scenario.vdp) ~config ()
+  in
+  Engine.spawn engine (fun () -> Mediator.initialize med);
+  Engine.run engine ~until:update_start;
+  Faults.apply ~engine ~seed ~window:fault_window profile env.Scenario.sources;
+  List.iteri
+    (fun i (src_name, rel, specs) ->
+      Driver.update_process ~start:update_start
+        ~rng:(Datagen.state ((seed * 97) + (i * 13) + 5))
+        ~src:(Scenario.source env src_name)
+        {
+          Driver.u_relation = rel;
+          u_interval = update_interval;
+          u_count = update_count;
+          u_delete_fraction = 0.4;
+          u_specs = specs;
+        })
+    sc.sc_updates;
+  let fresh = ref 0 and stale = ref 0 and refused = ref 0 in
+  Engine.spawn engine (fun () ->
+      Engine.sleep engine query_start;
+      for _ = 1 to query_count do
+        Engine.sleep engine query_interval;
+        try
+          match
+            (Mediator.query_ex med ~node:sc.sc_query_node
+               ~attrs:sc.sc_query_attrs ())
+              .Qp.quality
+          with
+          | Qp.Fresh -> incr fresh
+          | Qp.Stale _ -> incr stale
+        with Med.Poll_failed _ | Med.Desync _ -> incr refused
+      done);
+  let horizon =
+    update_start +. (float_of_int update_count *. update_interval) +. 2.0
+  in
+  Engine.run engine ~until:horizon;
+  Faults.clear env.Scenario.sources;
+  let quiesced, note =
+    try
+      Scenario.run_to_quiescence env med;
+      (true, [])
+    with Scenario.No_quiescence { nq_queue; nq_pending_events; _ } ->
+      ( false,
+        [
+          Printf.sprintf "no quiescence (queue=%d, pending events=%d)" nq_queue
+            nq_pending_events;
+        ] )
+  in
+  (* healed channels: one final query per export, checked against the
+     fault-free reference *)
+  let finals = ref [] in
+  Engine.spawn engine (fun () ->
+      List.iter
+        (fun (n : Graph.node) ->
+          let ans =
+            try Some (Mediator.query med ~node:n.Graph.name ())
+            with Med.Poll_failed _ | Med.Desync _ -> None
+          in
+          finals := (n.Graph.name, ans) :: !finals)
+        (Graph.exports env.Scenario.vdp));
+  Engine.run engine ~until:(Engine.now engine +. 60.0);
+  let diverged =
+    List.filter_map
+      (fun (name, ans) ->
+        match ans with
+        | None -> Some (name ^ " unanswered")
+        | Some b ->
+          if Bag.equal b (reference_answer env name) then None
+          else Some (name ^ " diverged"))
+      !finals
+  in
+  let converged = quiesced && diverged = [] in
+  let report =
+    Checker.check ~vdp:env.Scenario.vdp ~sources:env.Scenario.sources
+      ~events:(Mediator.events med) ()
+  in
+  let violations =
+    List.filter_map
+      (fun (v : Checker.violation) ->
+        match v.Checker.v_kind with
+        | `Freshness _ -> None
+        | `Validity -> Some (Printf.sprintf "validity@%g" v.Checker.v_time)
+        | `Chronology -> Some (Printf.sprintf "chronology@%g" v.Checker.v_time)
+        | `Order -> Some (Printf.sprintf "order@%g" v.Checker.v_time))
+      report.Checker.violations
+  in
+  let sum f =
+    List.fold_left
+      (fun acc s ->
+        match Source_db.channel s with Some c -> acc + f c | None -> acc)
+      0 env.Scenario.sources
+  in
+  let s = Mediator.stats med in
+  {
+    c_scenario = sc.sc_name;
+    c_profile = Faults.name profile;
+    c_seed = seed;
+    c_quiesced = quiesced;
+    c_converged = converged;
+    c_consistent = Checker.consistent report;
+    c_fresh = !fresh;
+    c_stale = !stale;
+    c_refused = !refused;
+    c_sent = sum Channel.sent_count;
+    c_delivered = sum Channel.delivered_count;
+    c_dropped = sum Channel.dropped_count;
+    c_duplicated = sum Channel.duplicated_count;
+    c_polls = s.Med.polls;
+    c_retries = s.Med.poll_retries;
+    c_poll_failures = s.Med.poll_failures;
+    c_degraded = s.Med.degraded_answers;
+    c_gaps = s.Med.gaps_detected;
+    c_dups_dropped = s.Med.dup_messages_dropped;
+    c_resyncs = s.Med.resyncs;
+    c_deferrals = s.Med.update_deferrals;
+    c_heartbeats = s.Med.version_checks;
+    c_note = String.concat "; " (note @ diverged @ violations);
+  }

@@ -2,6 +2,7 @@ open Relalg
 open Delta
 open Vdp
 open Sim
+open Sources
 open Storage
 
 (* nodes whose delta must be computed: materialized themselves, or
@@ -25,27 +26,40 @@ let is_leaf_parent (t : Med.t) node =
 (* filter the leaf-level delta through a leaf-parent's definition *)
 let leaf_parent_delta (t : Med.t) node (delta : Multi_delta.t) =
   let leaf =
-    match Graph.children t.Med.vdp node with [ l ] -> l | _ -> assert false
+    match Graph.children t.Med.vdp node with
+    | [ l ] -> l
+    | ls ->
+      Med.shape_err ~node ~kind:"leaf-parent"
+        "expected exactly one child, found %d" (List.length ls)
   in
   match Multi_delta.find delta leaf with
   | None -> None
   | Some d ->
-    let rec filter expr d =
-      match expr with
-      | Expr.Base _ -> d
-      | Expr.Select (p, e) -> Rel_delta.select p (filter e d)
-      | Expr.Project (a, e) -> Rel_delta.project a (filter e d)
-      | Expr.Rename (m, e) -> Rel_delta.rename m (filter e d)
-      | Expr.Join _ | Expr.Union _ | Expr.Diff _ -> assert false
-    in
-    let filtered = filter (Graph.def t.Med.vdp node) d in
+    let filtered = Vap.filter_delta ~node (Graph.def t.Med.vdp node) d in
     if Rel_delta.is_empty filtered then None else Some filtered
 
 let update_transaction (t : Med.t) =
   Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
+      (* a detected announcement gap makes the queue unusable for the
+         affected source — rebuild from a snapshot before processing.
+         If the source is still unreachable, keep deferring: a later
+         flusher tick retries after the fault heals. *)
+      (try Resync.resync_if_dirty t with Med.Poll_failed _ -> ());
       let entries = Med.take_queue t in
+      (* if the resync could not run (source still unreachable), its
+         sources' entries chain onto a lost delta — applying them
+         would fabricate states the source never went through. Hold
+         them back; clean sources keep flowing. *)
+      let still_dirty = Med.dirty_sources t in
+      let deferred, entries =
+        List.partition
+          (fun e -> List.mem e.Med.q_source still_dirty)
+          entries
+      in
+      t.Med.queue <- deferred @ t.Med.queue;
       if entries = [] then false
       else begin
+        try
         let ops_before = Eval.tuple_ops () in
         (* (1) smash the whole queue into one delta *)
         let delta =
@@ -202,6 +216,14 @@ let update_transaction (t : Med.t) =
                 })
           entries;
         t.Med.pending <- Multi_delta.empty;
+        (* bounded-history support: versions below what we now reflect
+           will never be polled or checked again by this mediator *)
+        if t.Med.config.Med.release_history then
+          List.iter
+            (fun s ->
+              Source_db.release (Med.source t s)
+                ~upto:(Med.reflected_version t s).Med.r_version)
+            (Graph.sources t.Med.vdp);
         t.Med.stats.Med.update_txs <- t.Med.stats.Med.update_txs + 1;
         Med.charge_ops t `Update (Eval.tuple_ops () - ops_before);
         Med.log_event t
@@ -215,6 +237,18 @@ let update_transaction (t : Med.t) =
                ut_atoms = Multi_delta.atom_count delta;
              });
         true
+        with (Med.Poll_failed _ | Med.Desync _) as exn ->
+          (* abort: put the work back untouched (no table was modified
+             — applications happen only after the kernel pass, which
+             the poll precedes) and let a later tick retry or resync *)
+          t.Med.pending <- Multi_delta.empty;
+          t.Med.queue <- entries @ t.Med.queue;
+          t.Med.stats.Med.update_deferrals <-
+            t.Med.stats.Med.update_deferrals + 1;
+          Med.Log.warn (fun m ->
+              m "update tx deferred @%g: %s" (Engine.now t.Med.engine)
+                (Printexc.to_string exn));
+          false
       end)
 
 let start_flusher (t : Med.t) =

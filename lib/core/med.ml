@@ -10,6 +10,11 @@ type config = {
   op_time : float;
   eca_enabled : bool;
   key_based_enabled : bool;
+  poll_timeout : float option;
+  poll_retries : int;
+  poll_backoff : float;
+  version_check_interval : float option;
+  release_history : bool;
 }
 
 let default_config =
@@ -18,11 +23,17 @@ let default_config =
     op_time = 0.0001;
     eca_enabled = true;
     key_based_enabled = true;
+    poll_timeout = None;
+    poll_retries = 3;
+    poll_backoff = 0.25;
+    version_check_interval = None;
+    release_history = false;
   }
 
 type queue_entry = {
   q_source : string;
   q_version : int;
+  q_prev_version : int;
   q_commit_time : float;
   q_send_time : float;
   q_recv_time : float;
@@ -38,6 +49,8 @@ type contributor_kind =
 
 type reflect_entry = Version of int | Current
 
+type staleness = { st_source : string; st_version : int; st_age : float }
+
 type event =
   | Update_tx of {
       ut_time : float;
@@ -51,6 +64,7 @@ type event =
       qt_cond : Predicate.t;
       qt_answer : Bag.t;
       qt_reflect : (string * reflect_entry) list;
+      qt_stale : staleness list;
     }
 
 type stats = {
@@ -68,6 +82,14 @@ type stats = {
   mutable migrations : int;
   mutable messages_received : int;
   mutable atoms_received : int;
+  mutable poll_retries : int;
+  mutable poll_failures : int;
+  mutable degraded_answers : int;
+  mutable gaps_detected : int;
+  mutable dup_messages_dropped : int;
+  mutable resyncs : int;
+  mutable update_deferrals : int;
+  mutable version_checks : int;
   node_accesses : (string, int) Hashtbl.t;
   attr_accesses : (string * string, int) Hashtbl.t;
   leaf_update_atoms : (string, int) Hashtbl.t;
@@ -90,6 +112,14 @@ let fresh_stats () =
     migrations = 0;
     messages_received = 0;
     atoms_received = 0;
+    poll_retries = 0;
+    poll_failures = 0;
+    degraded_answers = 0;
+    gaps_detected = 0;
+    dup_messages_dropped = 0;
+    resyncs = 0;
+    update_deferrals = 0;
+    version_checks = 0;
     node_accesses = Hashtbl.create 8;
     attr_accesses = Hashtbl.create 16;
     leaf_update_atoms = Hashtbl.create 8;
@@ -111,6 +141,8 @@ type t = {
   mutable queue : queue_entry list;
   mutable reflected : (string * reflected) list;
   mutable pending : Multi_delta.t;
+  mutable seen : (string * int) list;
+  mutable dirty : string list;
   stats : stats;
   mutable log : event list;
   mutable initialized : bool;
@@ -122,7 +154,42 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 exception Mediator_error of string
 
+type shape_error = { se_node : string; se_kind : string; se_detail : string }
+
+exception Med_error of shape_error
+
+type poll_exhausted = {
+  pe_source : string;
+  pe_attempts : int;
+  pe_error : string;
+}
+
+exception Poll_failed of poll_exhausted
+
+exception Desync of string
+(** Raised mid-transaction when a polled answer reflects source
+    versions the mediator never received announcements for (a dropped
+    message); the transaction must abort and resync before ECA can be
+    trusted again. *)
+
 let err fmt = Format.kasprintf (fun s -> raise (Mediator_error s)) fmt
+
+let shape_err ~node ~kind fmt =
+  Format.kasprintf
+    (fun s -> raise (Med_error { se_node = node; se_kind = kind; se_detail = s }))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Med_error { se_node; se_kind; se_detail } ->
+      Some
+        (Printf.sprintf "Med_error: node %S, %s expression: %s" se_node se_kind
+           se_detail)
+    | Poll_failed { pe_source; pe_attempts; pe_error } ->
+      Some
+        (Printf.sprintf "Poll_failed: source %S after %d attempt(s): %s"
+           pe_source pe_attempts pe_error)
+    | _ -> None)
 
 let mat_attrs t node = Annotation.materialized_attrs t.ann node
 
@@ -220,6 +287,8 @@ let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
     queue = [];
     reflected;
     pending = Multi_delta.empty;
+    seen = List.map (fun s -> (s, 0)) (Graph.sources vdp);
+    dirty = [];
     stats = fresh_stats ();
     log = [];
     initialized = false;
@@ -263,30 +332,66 @@ let reflected_version t src_name =
 let set_reflected t src_name r =
   t.reflected <- (src_name, r) :: List.remove_assoc src_name t.reflected
 
+let seen_version t src_name =
+  match List.assoc_opt src_name t.seen with
+  | Some v -> v
+  | None -> err "source %S is not tracked" src_name
+
+let note_seen t src_name v =
+  if v > seen_version t src_name then
+    t.seen <- (src_name, v) :: List.remove_assoc src_name t.seen
+
+let mark_dirty t src_name =
+  if not (List.mem src_name t.dirty) then t.dirty <- src_name :: t.dirty
+
+let clear_dirty t = t.dirty <- []
+let dirty_sources t = t.dirty
+
 let enqueue t (u : Message.update) =
   t.stats.messages_received <- t.stats.messages_received + 1;
   t.stats.atoms_received <-
     t.stats.atoms_received + Multi_delta.atom_count u.Message.delta;
-  (* workload monitor: per-leaf update traffic and a running
-     cardinality estimate (initial snapshot size plus net atoms) *)
-  List.iter
-    (fun (leaf, d) ->
-      bump t.stats.leaf_update_atoms leaf (Rel_delta.atom_count d);
-      bump t.stats.leaf_card leaf
-        (Bag.cardinal (Rel_delta.insertions d)
-        - Bag.cardinal (Rel_delta.deletions d)))
-    (Multi_delta.bindings u.Message.delta);
-  let entry =
-    {
-      q_source = u.Message.source;
-      q_version = u.Message.version;
-      q_commit_time = u.Message.commit_time;
-      q_send_time = u.Message.send_time;
-      q_recv_time = Engine.now t.engine;
-      q_delta = u.Message.delta;
-    }
-  in
-  t.queue <- t.queue @ [ entry ]
+  let seen = seen_version t u.Message.source in
+  if u.Message.version <= seen then
+    (* a duplicated announcement (faulty channel): versions only move
+       forward, so anything at or below what we have seen is a replay
+       of a delta already queued or reflected — applying it twice would
+       double-count *)
+    t.stats.dup_messages_dropped <- t.stats.dup_messages_dropped + 1
+  else begin
+    if u.Message.prev_version > seen then begin
+      (* the delta's predecessor never arrived: an announcement was
+         lost in transit. The queue no longer composes to the source's
+         state, so ECA cannot be trusted — mark the source for resync. *)
+      t.stats.gaps_detected <- t.stats.gaps_detected + 1;
+      Log.warn (fun m ->
+          m "gap from %s: delta covers (%d, %d] but only v%d seen"
+            u.Message.source u.Message.prev_version u.Message.version seen);
+      mark_dirty t u.Message.source
+    end;
+    note_seen t u.Message.source u.Message.version;
+    (* workload monitor: per-leaf update traffic and a running
+       cardinality estimate (initial snapshot size plus net atoms) *)
+    List.iter
+      (fun (leaf, d) ->
+        bump t.stats.leaf_update_atoms leaf (Rel_delta.atom_count d);
+        bump t.stats.leaf_card leaf
+          (Bag.cardinal (Rel_delta.insertions d)
+          - Bag.cardinal (Rel_delta.deletions d)))
+      (Multi_delta.bindings u.Message.delta);
+    let entry =
+      {
+        q_source = u.Message.source;
+        q_version = u.Message.version;
+        q_prev_version = u.Message.prev_version;
+        q_commit_time = u.Message.commit_time;
+        q_send_time = u.Message.send_time;
+        q_recv_time = Engine.now t.engine;
+        q_delta = u.Message.delta;
+      }
+    in
+    t.queue <- t.queue @ [ entry ]
+  end
 
 let take_queue t =
   let entries = t.queue in
@@ -329,3 +434,39 @@ let record_access t ~node ~attrs =
   List.iter (fun a -> bump t.stats.attr_accesses (node, a) 1) attrs
 
 let record_leaf_card t leaf n = Hashtbl.replace t.stats.leaf_card leaf n
+
+(* Poll with bounded retry and exponential backoff. [config.poll_retries]
+   is the total attempt budget; each failed attempt doubles the wait,
+   starting from [config.poll_backoff]. Exhaustion raises {!Poll_failed}
+   so the caller can degrade or defer instead of crashing the process. *)
+let poll_with_retry t src queries =
+  let src_name = Source_db.name src in
+  let budget = max 1 t.config.poll_retries in
+  let rec attempt n backoff =
+    match Source_db.try_poll src ?timeout:t.config.poll_timeout queries with
+    | Ok a -> a
+    | Error e ->
+      if n >= budget then begin
+        t.stats.poll_failures <- t.stats.poll_failures + 1;
+        Log.warn (fun m ->
+            m "poll of %s failed after %d attempt(s): %s" src_name n
+              (Source_db.poll_error_to_string e));
+        raise
+          (Poll_failed
+             {
+               pe_source = src_name;
+               pe_attempts = n;
+               pe_error = Source_db.poll_error_to_string e;
+             })
+      end
+      else begin
+        t.stats.poll_retries <- t.stats.poll_retries + 1;
+        Log.debug (fun m ->
+            m "poll of %s failed (%s); retry %d/%d after %g" src_name
+              (Source_db.poll_error_to_string e)
+              n (budget - 1) backoff);
+        Engine.sleep t.engine backoff;
+        attempt (n + 1) (backoff *. 2.0)
+      end
+  in
+  attempt 1 t.config.poll_backoff

@@ -27,6 +27,27 @@ type config = {
           E6 ablation and breaks consistency *)
   key_based_enabled : bool;
       (** Example 2.3's key-based construction of temporaries *)
+  poll_timeout : float option;
+      (** give up on a poll after this much simulated time ([None] =
+          wait forever — only safe on fault-free channels) *)
+  poll_retries : int;
+      (** total attempt budget per poll ({!poll_with_retry}); [1]
+          disables retrying *)
+  poll_backoff : float;
+      (** wait before the first retry; doubles on every further one *)
+  version_check_interval : float option;
+      (** when set, the mediator periodically polls each announcing
+          source with an empty query list — an anti-entropy heartbeat:
+          the poll's flush pushes any silently-lost tail announcement
+          again, and a version mismatch in the answer marks the source
+          for resync. Needed for convergence when the {e last}
+          announcement of a run can be dropped; without it nothing
+          later would reveal the gap. *)
+  release_history : bool;
+      (** after each update transaction, advance every source's release
+          watermark ({!Source_db.release}) to the reflected version so
+          snapshot history stays bounded. Incompatible with running a
+          {!Correctness.Checker} afterwards, which replays history. *)
 }
 
 val default_config : config
@@ -34,6 +55,11 @@ val default_config : config
 type queue_entry = {
   q_source : string;
   q_version : int;
+  q_prev_version : int;
+      (** the version this delta applies on top of — consecutive
+          entries of a source must chain ([q_prev_version] = previous
+          entry's [q_version]) for the queue to compose; a break means
+          an announcement was lost *)
   q_commit_time : float;
   q_send_time : float;
   q_recv_time : float;
@@ -55,6 +81,15 @@ type reflect_entry =
   | Version of int  (** the view reflects this source version *)
   | Current  (** source not involved: reflects its current state *)
 
+type staleness = {
+  st_source : string;
+  st_version : int;  (** the source version the answer does reflect *)
+  st_age : float;  (** now − commit time of that version *)
+}
+(** Marker attached to a degraded answer: fresh data from [st_source]
+    was unreachable, so the answer was served from the materialized
+    store as of [st_version]. *)
+
 type event =
   | Update_tx of {
       ut_time : float;
@@ -68,6 +103,10 @@ type event =
       qt_cond : Predicate.t;
       qt_answer : Bag.t;
       qt_reflect : (string * reflect_entry) list;
+      qt_stale : staleness list;
+          (** empty for a normal answer; non-empty marks a degraded
+              answer (restricted to materialized attributes) whose
+              validity the checker must not enforce *)
     }
 
 type stats = {
@@ -88,6 +127,17 @@ type stats = {
   mutable messages_received : int;
   mutable atoms_received : int;
       (** total update atoms arriving in announcements *)
+  mutable poll_retries : int;  (** retry attempts beyond the first *)
+  mutable poll_failures : int;  (** polls that exhausted their budget *)
+  mutable degraded_answers : int;  (** queries served with [Stale] markers *)
+  mutable gaps_detected : int;
+      (** announcements whose [prev_version] exceeded what was seen *)
+  mutable dup_messages_dropped : int;
+      (** duplicated announcements discarded by version monotonicity *)
+  mutable resyncs : int;  (** snapshot rebuilds triggered by gaps *)
+  mutable update_deferrals : int;
+      (** update transactions aborted and requeued on poll failure *)
+  mutable version_checks : int;  (** anti-entropy heartbeat polls *)
   node_accesses : (string, int) Hashtbl.t;
       (** workload monitor: query requests per node *)
   attr_accesses : (string * string, int) Hashtbl.t;
@@ -117,6 +167,14 @@ type t = {
       (** during an update transaction: the delta taken from the queue
           but not yet applied — ECA must compensate polled answers by
           its inverse too (Sec. 6.4 phase (b)) *)
+  mutable seen : (string * int) list;
+      (** highest announcement version received per source — ahead of
+          [reflected] while updates sit in the queue; the baseline for
+          duplicate and gap detection *)
+  mutable dirty : string list;
+      (** sources with a detected announcement gap: the queue no
+          longer composes to their state, so ECA is off until a
+          resync *)
   stats : stats;
   mutable log : event list;  (** newest first *)
   mutable initialized : bool;
@@ -130,7 +188,38 @@ module Log : Logs.LOG
 
 exception Mediator_error of string
 
+type shape_error = {
+  se_node : string;  (** the VDP node whose definition is malformed *)
+  se_kind : string;  (** the offending expression kind, e.g. ["Join"] *)
+  se_detail : string;
+}
+
+exception Med_error of shape_error
+(** A structural invariant of the VDP was violated (e.g. a leaf-parent
+    definition containing a join); carries enough context to name the
+    offending node instead of a bare assertion failure. *)
+
+type poll_exhausted = {
+  pe_source : string;
+  pe_attempts : int;
+  pe_error : string;  (** rendering of the last {!Source_db.poll_error} *)
+}
+
+exception Poll_failed of poll_exhausted
+(** {!poll_with_retry} ran out of attempts. QP degrades to a stale
+    answer; IUP defers the update transaction. *)
+
+exception Desync of string
+(** A polled answer reflected a source version that disagrees with the
+    announcements received — a message was lost or reordered, so the
+    ECA compensation baseline is wrong. The transaction must abort and
+    the source resync. *)
+
 val err : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val shape_err :
+  node:string -> kind:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Med_error} with formatted detail. *)
 
 val create :
   engine:Engine.t ->
@@ -163,7 +252,23 @@ val reflected_version : t -> string -> reflected
 
 val set_reflected : t -> string -> reflected -> unit
 
+val seen_version : t -> string -> int
+(** Highest announcement version received from the source. *)
+
+val note_seen : t -> string -> int -> unit
+(** Advance the seen version (never retreats). *)
+
+val mark_dirty : t -> string -> unit
+val clear_dirty : t -> unit
+val dirty_sources : t -> string list
+
 val enqueue : t -> Message.update -> unit
+(** Queue an arriving announcement — after fault screening: a version
+    at or below the seen version is a duplicate and is dropped
+    ([dup_messages_dropped]); a [prev_version] above the seen version
+    reveals a lost predecessor and marks the source dirty
+    ([gaps_detected]) while still queueing the delta. *)
+
 val take_queue : t -> queue_entry list
 
 val unseen_delta : t -> source:string -> leaf:string -> Rel_delta.t
@@ -189,6 +294,13 @@ val record_access : t -> node:string -> attrs:string list -> unit
 val record_leaf_card : t -> string -> int -> unit
 (** Workload monitor feed: reset a leaf's cardinality estimate (the
     initialization snapshot; announcements adjust it incrementally). *)
+
+val poll_with_retry :
+  t -> Source_db.t -> (string * Expr.t) list -> Message.answer
+(** {!Source_db.try_poll} under the config's timeout, retried up to
+    [poll_retries] attempts with exponential backoff from
+    [poll_backoff]. Must run in a process. @raise Poll_failed when the
+    budget is exhausted. *)
 
 val join_index_plan :
   Graph.t -> string -> mat:string list -> string list list

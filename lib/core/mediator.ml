@@ -16,7 +16,13 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
   let handler (msg : Message.t) =
     match msg with
     | Message.Update u -> Med.enqueue t u
-    | Message.Answer (ivar, a) -> Engine.Ivar.fill t.Med.engine ivar a
+    | Message.Answer (ivar, a) ->
+      (* a faulty channel can duplicate the answer message; only the
+         first copy wakes the poller (or none, if it already timed
+         out and will never read the ivar — still fill it so the
+         invariant "delivered answers are filled" holds) *)
+      if not (Engine.Ivar.is_filled ivar) then
+        Engine.Ivar.fill t.Med.engine ivar a
   in
   List.iter
     (fun src_name ->
@@ -24,69 +30,52 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
       Source_db.connect (Med.source t src_name) ~comm_delay:d.comm_delay
         ~q_proc_delay:d.q_proc_delay handler)
     (Graph.sources t.Med.vdp);
-  Iup.start_flusher t
+  Iup.start_flusher t;
+  (* anti-entropy heartbeat: an empty-query poll answers with the
+     source's current version; a mismatch against the versions seen in
+     announcements reveals a silently dropped one and marks the source
+     for resync. Without it, a dropped FINAL announcement would never
+     be discovered — nothing later arrives to reveal the gap. *)
+  match t.Med.config.Med.version_check_interval with
+  | None -> ()
+  | Some period ->
+    let rec checker () =
+      Engine.sleep t.Med.engine period;
+      if t.Med.initialized then
+        List.iter
+          (fun src_name ->
+            match Med.contributor_kind t src_name with
+            | Med.Virtual_contributor -> ()
+            | Med.Materialized_contributor | Med.Hybrid_contributor -> (
+              let src = Med.source t src_name in
+              match
+                Source_db.try_poll src ?timeout:t.Med.config.Med.poll_timeout
+                  []
+              with
+              | Ok a ->
+                t.Med.stats.Med.version_checks <-
+                  t.Med.stats.Med.version_checks + 1;
+                if a.Message.answer_version <> Med.seen_version t src_name
+                then begin
+                  t.Med.stats.Med.gaps_detected <-
+                    t.Med.stats.Med.gaps_detected + 1;
+                  Med.Log.warn (fun m ->
+                      m "version check: %s answers v%d but v%d seen" src_name
+                        a.Message.answer_version
+                        (Med.seen_version t src_name));
+                  Med.mark_dirty t src_name
+                end
+              | Error _ -> ()))
+          (Graph.sources t.Med.vdp);
+      checker ()
+    in
+    Engine.spawn t.Med.engine checker
 
 let initialize (t : Med.t) =
   if t.Med.initialized then Med.err "mediator already initialized";
   Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
-      (* poll every source for the full contents of its leaves, one
-         source transaction each *)
-      let leaf_values : (string, Bag.t) Hashtbl.t = Hashtbl.create 8 in
-      List.iter
-        (fun src_name ->
-          let src = Med.source t src_name in
-          let leaves = Graph.leaves_of_source t.Med.vdp src_name in
-          if leaves <> [] then begin
-            let queries = List.map (fun l -> (l, Expr.base l)) leaves in
-            let answer = Source_db.poll src queries in
-            t.Med.stats.Med.polls <- t.Med.stats.Med.polls + 1;
-            List.iter
-              (fun (l, b) ->
-                Hashtbl.replace leaf_values l b;
-                Med.record_leaf_card t l (Bag.cardinal b))
-              answer.Message.results;
-            Med.set_reflected t src_name
-              {
-                Med.r_version = answer.Message.answer_version;
-                r_commit_time = answer.Message.state_time;
-                r_send_time = answer.Message.state_time;
-              }
-          end)
-        (Graph.sources t.Med.vdp);
-      (* drop queued announcements already covered by the snapshot *)
-      t.Med.queue <-
-        List.filter
-          (fun e ->
-            e.Med.q_version
-            > (Med.reflected_version t e.Med.q_source).Med.r_version)
-          t.Med.queue;
-      (* populate bottom-up *)
-      let values : (string, Bag.t) Hashtbl.t = Hashtbl.create 16 in
-      let env name =
-        match Hashtbl.find_opt values name with
-        | Some b -> Some b
-        | None -> Hashtbl.find_opt leaf_values name
-      in
-      List.iter
-        (fun node ->
-          let value = Eval.eval ~env (Graph.def t.Med.vdp node) in
-          Hashtbl.replace values node value;
-          match Med.node_table t node with
-          | Some table ->
-            Table.load table (Bag.project (Med.mat_attrs t node) value)
-          | None -> ())
-        (Graph.topo_order t.Med.vdp);
-      t.Med.initialized <- true;
-      Med.log_event t
-        (Med.Update_tx
-           {
-             ut_time = Engine.now t.Med.engine;
-             ut_reflect =
-               List.map
-                 (fun s -> (s, (Med.reflected_version t s).Med.r_version))
-                 (Graph.sources t.Med.vdp);
-             ut_atoms = 0;
-           }))
+      Resync.snapshot t;
+      t.Med.initialized <- true)
 
 (* selection conditions inside a leaf-parent's definition *)
 (* conditions in the leaf (source) namespace: conditions above a
@@ -168,8 +157,10 @@ let enable_source_filtering (t : Med.t) =
     (Graph.leaves t.Med.vdp)
 
 let query = Qp.query
+let query_ex = Qp.query_ex
 let query_many = Qp.query_many
 let process_updates = Iup.update_transaction
+let dirty_sources = Med.dirty_sources
 
 let commit_at_source (t : Med.t) ~source delta =
   Source_db.commit (Med.source t source) delta

@@ -61,6 +61,17 @@ val query :
   t -> node:string -> ?attrs:string list -> ?cond:Predicate.t -> unit -> Bag.t
 (** One query transaction against an export relation (see {!Qp}). *)
 
+val query_ex :
+  t ->
+  node:string ->
+  ?attrs:string list ->
+  ?cond:Predicate.t ->
+  unit ->
+  Qp.rich_answer
+(** Like {!query} but reporting answer quality: [Stale] marks a
+    degraded answer served from the materialized store because a
+    source was unreachable (see {!Qp.query_ex}). *)
+
 val query_many :
   t ->
   (string * string list option * Predicate.t) list ->
@@ -100,6 +111,9 @@ val store_bytes : t -> int
     trade-off). *)
 
 val queue_length : t -> int
+
+val dirty_sources : t -> string list
+(** Sources with a detected announcement gap awaiting resync. *)
 
 val describe : t -> string
 (** Multi-line description: VDP, annotation, rulebase, contributor

@@ -17,6 +17,31 @@ let reflect_vector (t : Med.t) ~polled =
 
 let dedup attrs = List.sort_uniq String.compare attrs
 
+type quality = Fresh | Stale of Med.staleness list
+
+type rich_answer = { answer : Bag.t; quality : quality }
+
+let staleness_of (t : Med.t) srcs =
+  let now = Engine.now t.Med.engine in
+  List.map
+    (fun s ->
+      let r = Med.reflected_version t s in
+      {
+        Med.st_source = s;
+        st_version = r.Med.r_version;
+        st_age = now -. r.Med.r_commit_time;
+      })
+    (List.sort_uniq String.compare srcs)
+
+(* every query transaction starts by repairing known gaps; if the
+   source is still unreachable the dirty mark stays and the answer
+   will carry staleness markers for it *)
+let pre_repair (t : Med.t) =
+  try Resync.resync_if_dirty t with Med.Poll_failed _ -> ()
+
+let base_stale (t : Med.t) =
+  match Med.dirty_sources t with [] -> [] | dirty -> staleness_of t dirty
+
 let key_based_plan (t : Med.t) ~node ~needed =
   if not t.Med.config.Med.key_based_enabled then None
   else
@@ -59,6 +84,7 @@ let query_many (t : Med.t) requests =
       requests
   in
   Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
+      pre_repair t;
       let ops_before = Eval.tuple_ops () in
       List.iter
         (fun (node, attrs, cond) ->
@@ -83,26 +109,58 @@ let query_many (t : Med.t) requests =
             else Some { Vap.r_node = node; r_attrs = needed; r_cond = cond })
           requests
       in
-      let vap_result =
-        if vap_requests = [] then
-          { Vap.temps = []; polled_versions = []; polled_times = [] }
-        else Vap.build t ~kind:`Query vap_requests
+      let empty_result =
+        { Vap.temps = []; polled_versions = []; polled_times = [] }
+      in
+      (* [failure] is set when fresh data could not be fetched: every
+         answer of the transaction is then served degraded from the
+         materialized store, stale-marked with the unreachable
+         sources *)
+      let vap_result, stale, failure =
+        if vap_requests = [] then (empty_result, base_stale t, None)
+        else
+          try (Vap.build t ~kind:`Query vap_requests, base_stale t, None)
+          with
+          | Med.Poll_failed pe as exn ->
+            ( empty_result,
+              staleness_of t (pe.pe_source :: Med.dirty_sources t),
+              Some exn )
+          | Med.Desync _ as exn ->
+            (empty_result, staleness_of t (Med.dirty_sources t), Some exn)
       in
       let answers =
         List.map
           (fun (node, attrs, cond) ->
-            let value =
-              match List.assoc_opt node vap_result.Vap.temps with
-              | Some temp -> temp
-              | None -> (
+            match List.assoc_opt node vap_result.Vap.temps with
+            | Some temp -> (node, Bag.project attrs (Bag.select cond temp))
+            | None -> (
+              let needed = dedup (attrs @ Predicate.attrs cond) in
+              match Med.node_table t node with
+              | Some table when Med.is_covered t ~node ~attrs:needed ->
                 t.Med.stats.Med.queries_from_store <-
                   t.Med.stats.Med.queries_from_store + 1;
-                match Med.node_table t node with
-                | Some table -> Table.contents table
+                (node, Bag.project attrs (Bag.select cond (Table.contents table)))
+              | Some table -> (
+                (* fresh data unreachable: degrade to the materialized
+                   portion — only materialized attributes survive, and
+                   only conditions over them apply *)
+                match failure with
+                | Some exn ->
+                  let mat = Med.mat_attrs t node in
+                  let avail = List.filter (fun a -> List.mem a mat) attrs in
+                  if avail = [] then raise exn;
+                  ( node,
+                    Bag.project avail
+                      (Bag.select
+                         (Predicate.restrict_to cond mat)
+                         (Table.contents table)) )
                 | None ->
-                  Med.err "export %S neither materialized nor built" node)
-            in
-            (node, Bag.project attrs (Bag.select cond value)))
+                  Med.err "export %S not covered and no temporary built" node)
+              | None -> (
+                match failure with
+                | Some exn -> raise exn
+                | None ->
+                  Med.err "export %S neither materialized nor built" node)))
           requests
       in
       (* one transaction: every answer shares one reflect vector and
@@ -110,6 +168,8 @@ let query_many (t : Med.t) requests =
       let reflect = reflect_vector t ~polled:vap_result.Vap.polled_versions in
       let time = Engine.now t.Med.engine in
       t.Med.stats.Med.query_txs <- t.Med.stats.Med.query_txs + 1;
+      if stale <> [] then
+        t.Med.stats.Med.degraded_answers <- t.Med.stats.Med.degraded_answers + 1;
       Med.charge_ops t `Query (Eval.tuple_ops () - ops_before);
       List.iter2
         (fun (node, attrs, cond) (_, answer) ->
@@ -122,11 +182,12 @@ let query_many (t : Med.t) requests =
                  qt_cond = cond;
                  qt_answer = answer;
                  qt_reflect = reflect;
+                 qt_stale = stale;
                }))
         requests answers;
       answers)
 
-let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
+let query_ex (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
   let n = Graph.node t.Med.vdp node in
   if not n.Graph.export then Med.err "%S is not an export relation" node;
   let schema = n.Graph.schema in
@@ -137,11 +198,15 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
         Med.err "export %S has no attribute %S" node a)
     (attrs @ Predicate.attrs cond);
   Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
+      pre_repair t;
       let ops_before = Eval.tuple_ops () in
       let needed = dedup (attrs @ Predicate.attrs cond) in
       Med.record_access t ~node ~attrs:needed;
-      let finish answer polled =
+      let finish ?(stale = []) answer polled =
         t.Med.stats.Med.query_txs <- t.Med.stats.Med.query_txs + 1;
+        if stale <> [] then
+          t.Med.stats.Med.degraded_answers <-
+            t.Med.stats.Med.degraded_answers + 1;
         Med.charge_ops t `Query (Eval.tuple_ops () - ops_before);
         Med.log_event t
           (Med.Query_tx
@@ -152,8 +217,35 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
                qt_cond = cond;
                qt_answer = answer;
                qt_reflect = reflect_vector t ~polled;
+               qt_stale = stale;
              });
-        answer
+        { answer; quality = (if stale = [] then Fresh else Stale stale) }
+      in
+      (* fresh data unreachable: serve what the store has — the
+         materialized subset of the requested attributes, under the
+         conditions those attributes can express — marked stale *)
+      let degrade ~exn srcs =
+        match Med.node_table t node with
+        | Some table ->
+          let mat = Med.mat_attrs t node in
+          let avail = List.filter (fun a -> List.mem a mat) attrs in
+          if avail = [] then raise exn;
+          Med.Log.warn (fun m ->
+              m "degraded answer for %s @%g: %s" node
+                (Engine.now t.Med.engine)
+                (Printexc.to_string exn));
+          finish ~stale:(staleness_of t srcs)
+            (Bag.project avail
+               (Bag.select (Predicate.restrict_to cond mat) (Table.contents table)))
+            []
+        | None -> raise exn
+      in
+      let with_degrade f =
+        try f ()
+        with
+        | Med.Poll_failed pe as exn ->
+          degrade ~exn (pe.pe_source :: Med.dirty_sources t)
+        | Med.Desync _ as exn -> degrade ~exn (Med.dirty_sources t)
       in
       Med.Log.debug (fun m ->
           m "query tx @%g: π(%s) σ(%s) %s"
@@ -166,9 +258,12 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
         t.Med.stats.Med.queries_from_store <-
           t.Med.stats.Med.queries_from_store + 1;
         Eval.charge_tuple_ops (Table.support_cardinal table);
-        finish (Bag.project attrs (Bag.select cond (Table.contents table))) []
+        finish ~stale:(base_stale t)
+          (Bag.project attrs (Bag.select cond (Table.contents table)))
+          []
       end
-      else begin
+      else
+        with_degrade @@ fun () -> begin
         (* how many children would the general construction touch at
            virtual attributes? *)
         let general_uncovered =
@@ -222,7 +317,9 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
           let joined = Bag.join own c_part in
           t.Med.stats.Med.key_based_constructions <-
             t.Med.stats.Med.key_based_constructions + 1;
-          finish (Bag.project attrs (Bag.select cond joined)) polled
+          finish ~stale:(base_stale t)
+            (Bag.project attrs (Bag.select cond joined))
+            polled
         end
         | Some _ | None ->
           let res =
@@ -230,7 +327,10 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
               [ { Vap.r_node = node; r_attrs = needed; r_cond = cond } ]
           in
           let temp = List.assoc node res.Vap.temps in
-          finish
+          finish ~stale:(base_stale t)
             (Bag.project attrs (Bag.select cond temp))
             res.Vap.polled_versions
       end)
+
+let query (t : Med.t) ~node ?attrs ?cond () =
+  (query_ex t ~node ?attrs ?cond ()).answer

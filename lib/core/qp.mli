@@ -20,10 +20,37 @@
 
 open Relalg
 
+type quality =
+  | Fresh  (** normal answer, consistent at its reflect vector *)
+  | Stale of Med.staleness list
+      (** degraded answer: the named sources were unreachable, so the
+          result was served from the materialized store (restricted to
+          materialized attributes) as of the reflected versions *)
+
+type rich_answer = { answer : Bag.t; quality : quality }
+
+val query_ex :
+  Med.t ->
+  node:string ->
+  ?attrs:string list ->
+  ?cond:Predicate.t ->
+  unit ->
+  rich_answer
+(** Like {!query} but reporting answer quality. When fresh data is
+    needed and its source cannot be polled within the config's retry
+    budget, the QP degrades instead of failing: the answer carries
+    only the materialized subset of the requested attributes, applies
+    only the conditions expressible over them, and is marked [Stale]
+    with the age of the data served. The correctness checker exempts
+    stale-marked transactions from validity checking.
+    @raise Med.Poll_failed when degradation is impossible too (the
+    node has no materialized portion covering any requested
+    attribute). *)
+
 val query :
   Med.t -> node:string -> ?attrs:string list -> ?cond:Predicate.t -> unit -> Bag.t
 (** Defaults: all attributes, no condition. Must run inside a
-    simulation process.
+    simulation process. [(query_ex ...).answer].
     @raise Med.Mediator_error for a non-export node or unknown
     attributes. *)
 

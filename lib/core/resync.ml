@@ -1,0 +1,109 @@
+open Relalg
+open Delta
+open Vdp
+open Sim
+open Sources
+open Storage
+
+(* Re-initialize-style snapshot: poll every source for the full
+   contents of its leaves (one source transaction each), rebuild every
+   materialized table bottom-up, reset the reflect vector, and drop
+   queued announcements the snapshot already covers.
+
+   Two-phase so a mid-way poll failure leaves the mediator untouched:
+   all polls complete before any state mutates — otherwise a partially
+   advanced reflect vector would disagree with tables never rebuilt. *)
+let snapshot (t : Med.t) =
+  let answers =
+    List.filter_map
+      (fun src_name ->
+        let src = Med.source t src_name in
+        let leaves = Graph.leaves_of_source t.Med.vdp src_name in
+        if leaves = [] then None
+        else begin
+          let queries = List.map (fun l -> (l, Expr.base l)) leaves in
+          let answer = Med.poll_with_retry t src queries in
+          t.Med.stats.Med.polls <- t.Med.stats.Med.polls + 1;
+          Some (src_name, answer)
+        end)
+      (Graph.sources t.Med.vdp)
+  in
+  let leaf_values : (string, Bag.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (src_name, answer) ->
+      List.iter
+        (fun (l, b) ->
+          Hashtbl.replace leaf_values l b;
+          Med.record_leaf_card t l (Bag.cardinal b))
+        answer.Message.results;
+      Med.set_reflected t src_name
+        {
+          Med.r_version = answer.Message.answer_version;
+          r_commit_time = answer.Message.state_time;
+          r_send_time = answer.Message.state_time;
+        };
+      Med.note_seen t src_name answer.Message.answer_version)
+    answers;
+  (* drop queued announcements already covered by the snapshot *)
+  t.Med.queue <-
+    List.filter
+      (fun e ->
+        e.Med.q_version > (Med.reflected_version t e.Med.q_source).Med.r_version)
+      t.Med.queue;
+  t.Med.pending <- Multi_delta.empty;
+  (* populate bottom-up *)
+  let values : (string, Bag.t) Hashtbl.t = Hashtbl.create 16 in
+  let env name =
+    match Hashtbl.find_opt values name with
+    | Some b -> Some b
+    | None -> Hashtbl.find_opt leaf_values name
+  in
+  List.iter
+    (fun node ->
+      let value = Eval.eval ~env (Graph.def t.Med.vdp node) in
+      Hashtbl.replace values node value;
+      match Med.node_table t node with
+      | Some table -> Table.load table (Bag.project (Med.mat_attrs t node) value)
+      | None -> ())
+    (Graph.topo_order t.Med.vdp);
+  (* The polls above yield to the scheduler, so announcements keep
+     arriving while the snapshot is in progress — including ones that
+     reveal NEW gaps in a source already polled (whose answer then
+     does not cover the lost delta). Blanket-clearing the dirty set
+     here would wipe those flags and lose the repair forever. Instead,
+     recompute dirtiness from what actually survived: a source is
+     clean only if its remaining queue entries chain gaplessly from
+     the version the snapshot reflected. *)
+  Med.clear_dirty t;
+  List.iter
+    (fun src ->
+      let chain = ref (Med.reflected_version t src).Med.r_version in
+      List.iter
+        (fun e ->
+          if String.equal e.Med.q_source src then begin
+            if e.Med.q_prev_version > !chain then Med.mark_dirty t src;
+            chain := e.Med.q_version
+          end)
+        t.Med.queue)
+    (Graph.sources t.Med.vdp);
+  Med.log_event t
+    (Med.Update_tx
+       {
+         ut_time = Engine.now t.Med.engine;
+         ut_reflect =
+           List.map
+             (fun s -> (s, (Med.reflected_version t s).Med.r_version))
+             (Graph.sources t.Med.vdp);
+         ut_atoms = 0;
+       })
+
+let resync_if_dirty (t : Med.t) =
+  match Med.dirty_sources t with
+  | [] -> ()
+  | dirty ->
+    Med.Log.info (fun m ->
+        m "resync @%g: announcement gap(s) from %s"
+          (Engine.now t.Med.engine)
+          (String.concat ", " dirty));
+    t.Med.stats.Med.resyncs <- t.Med.stats.Med.resyncs + 1;
+    snapshot t

@@ -92,14 +92,21 @@ let closure (t : Med.t) requests =
 
 (* push a leaf-level delta through a leaf-parent's select/project
    definition (deltas commute with select and project, Sec. 6.2) *)
-let rec filter_delta expr d =
+let rec filter_delta ~node expr d =
   match expr with
   | Expr.Base _ -> d
-  | Expr.Select (p, e) -> Rel_delta.select p (filter_delta e d)
-  | Expr.Project (a, e) -> Rel_delta.project a (filter_delta e d)
-  | Expr.Rename (m, e) -> Rel_delta.rename m (filter_delta e d)
-  | Expr.Join _ | Expr.Union _ | Expr.Diff _ ->
-    assert false (* leaf-parent defs are select/project/rename chains *)
+  | Expr.Select (p, e) -> Rel_delta.select p (filter_delta ~node e d)
+  | Expr.Project (a, e) -> Rel_delta.project a (filter_delta ~node e d)
+  | Expr.Rename (m, e) -> Rel_delta.rename m (filter_delta ~node e d)
+  | Expr.Join _ ->
+    Med.shape_err ~node ~kind:"Join"
+      "leaf-parent definitions must be select/project/rename chains"
+  | Expr.Union _ ->
+    Med.shape_err ~node ~kind:"Union"
+      "leaf-parent definitions must be select/project/rename chains"
+  | Expr.Diff _ ->
+    Med.shape_err ~node ~kind:"Diff"
+      "leaf-parent definitions must be select/project/rename chains"
 
 let build (t : Med.t) ~kind:_ requests =
   let reqs = closure t requests in
@@ -117,7 +124,9 @@ let build (t : Med.t) ~kind:_ requests =
       let leaf =
         match Graph.children t.Med.vdp r.r_node with
         | [ l ] -> l
-        | _ -> assert false
+        | ls ->
+          Med.shape_err ~node:r.r_node ~kind:"leaf-parent"
+            "expected exactly one child, found %d" (List.length ls)
       in
       let src = Graph.source_of_leaf t.Med.vdp leaf in
       let existing =
@@ -142,7 +151,7 @@ let build (t : Med.t) ~kind:_ requests =
       Med.Log.debug (fun m ->
           m "VAP polls %s for %s" src_name
             (String.concat ", " (List.map fst queries)));
-      let answer = Source_db.poll src queries in
+      let answer = Med.poll_with_retry t src queries in
       t.Med.stats.Med.polls <- t.Med.stats.Med.polls + 1;
       t.Med.stats.Med.polled_tuples <-
         t.Med.stats.Med.polled_tuples
@@ -156,7 +165,23 @@ let build (t : Med.t) ~kind:_ requests =
           (src_name, answer.Message.answer_version) :: !polled_versions;
         polled_times :=
           (src_name, answer.Message.state_time) :: !polled_times
-      | Med.Materialized_contributor | Med.Hybrid_contributor -> ());
+      | Med.Materialized_contributor | Med.Hybrid_contributor ->
+        (* ECA precondition check: the poll flushed all pending
+           announcements ahead of the answer, so on a reliable FIFO
+           channel the seen version equals the answer's. Any mismatch
+           means an announcement was dropped (answer ahead) or the
+           answer overtook one (reordering) — either way the unseen
+           delta no longer describes what the answer contains, so
+           compensation would corrupt the view. *)
+        let seen = Med.seen_version t src_name in
+        if answer.Message.answer_version <> seen then begin
+          Med.mark_dirty t src_name;
+          raise
+            (Med.Desync
+               (Printf.sprintf
+                  "answer from %s reflects v%d but v%d announced" src_name
+                  answer.Message.answer_version seen))
+        end);
       List.iter
         (fun (r, leaf) ->
           let polled = List.assoc r.r_node answer.Message.results in
@@ -173,7 +198,7 @@ let build (t : Med.t) ~kind:_ requests =
                     leaf (Rel_delta.atom_count unseen));
               let comp = Rel_delta.inverse unseen in
               let through_def =
-                filter_delta (Graph.def t.Med.vdp r.r_node) comp
+                filter_delta ~node:r.r_node (Graph.def t.Med.vdp r.r_node) comp
               in
               let through_req =
                 Rel_delta.project r.r_attrs

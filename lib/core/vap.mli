@@ -40,7 +40,19 @@ type result = {
 
 val build : Med.t -> kind:[ `Query | `Update ] -> request list -> result
 (** Must run inside a simulation process (polls block).
-    @raise Med.Mediator_error on a request for a leaf or unknown node. *)
+    @raise Med.Mediator_error on a request for a leaf or unknown node.
+    @raise Med.Poll_failed when a source cannot be reached within the
+    config's retry budget.
+    @raise Med.Desync when a polled answer's version disagrees with
+    the announcements received from a non-virtual contributor — a
+    dropped or reordered message invalidated the ECA baseline; the
+    source is marked dirty for resync. *)
+
+val filter_delta : node:string -> Expr.t -> Delta.Rel_delta.t -> Delta.Rel_delta.t
+(** Push a leaf-level delta through a leaf-parent's
+    select/project/rename definition (deltas commute with these,
+    Sec. 6.2). [node] names the owning node in errors.
+    @raise Med.Med_error on a join/union/difference in the definition. *)
 
 val closure : Med.t -> request list -> request list
 (** Phase 1 alone (exposed for tests): the full set of temporaries

@@ -11,6 +11,7 @@ type violation = {
 
 type report = {
   checked_queries : int;
+  degraded_queries : int;
   violations : violation list;
   max_staleness : (string * float) list;
 }
@@ -88,6 +89,7 @@ let check ~vdp ~sources ~events () =
   in
   let prev_vector : (string * int) list ref = ref [] in
   let checked = ref 0 in
+  let degraded = ref 0 in
   let check_monotone time vector =
     List.iter
       (fun (src, v) ->
@@ -106,7 +108,8 @@ let check ~vdp ~sources ~events () =
       | Med.Update_tx { ut_time; ut_reflect; _ } ->
         check_monotone ut_time ut_reflect
       | Med.Query_tx
-          { qt_time; qt_node; qt_attrs; qt_cond; qt_answer; qt_reflect } ->
+          { qt_time; qt_node; qt_attrs; qt_cond; qt_answer; qt_reflect; qt_stale }
+        ->
         incr checked;
         let time = qt_time in
         (* resolve Current entries to the version current at query time *)
@@ -132,19 +135,25 @@ let check ~vdp ~sources ~events () =
           resolved;
         (* order preservation *)
         check_monotone time resolved;
-        (* validity *)
-        let env = env_of_assignment ~vdp ~src_tbl resolved in
-        let expected =
-          Bag.project qt_attrs
-            (Bag.select qt_cond
-               (Eval.eval ~env (Graph.expanded_def vdp qt_node)))
-        in
-        if not (Bag.equal expected qt_answer) then
-          violate time `Validity
-            (Format.asprintf
-               "query on %s at %g: answer differs from ν(reflect)@;\
-                expected %a@;got %a"
-               qt_node time Bag.pp expected Bag.pp qt_answer);
+        (* validity — not enforced for degraded answers: a stale-marked
+           answer deliberately serves a restricted projection of old
+           data, so it need not equal ν(reflect); chronology and order
+           above still apply to it *)
+        if qt_stale <> [] then incr degraded
+        else begin
+          let env = env_of_assignment ~vdp ~src_tbl resolved in
+          let expected =
+            Bag.project qt_attrs
+              (Bag.select qt_cond
+                 (Eval.eval ~env (Graph.expanded_def vdp qt_node)))
+          in
+          if not (Bag.equal expected qt_answer) then
+            violate time `Validity
+              (Format.asprintf
+                 "query on %s at %g: answer differs from ν(reflect)@;\
+                  expected %a@;got %a"
+                 qt_node time Bag.pp expected Bag.pp qt_answer)
+        end;
         (* staleness bookkeeping *)
         List.iter
           (fun (src_name, v) ->
@@ -156,6 +165,7 @@ let check ~vdp ~sources ~events () =
     events;
   {
     checked_queries = !checked;
+    degraded_queries = !degraded;
     violations = List.rev !violations;
     max_staleness =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) max_stale []);

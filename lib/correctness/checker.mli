@@ -35,6 +35,11 @@ type violation = {
 
 type report = {
   checked_queries : int;
+  degraded_queries : int;
+      (** stale-marked query transactions ([qt_stale <> []]): served
+          from old materialized data during a fault; chronology and
+          order are still checked, validity is not — the answer
+          deliberately differs from ν(reflect) *)
   violations : violation list;
   max_staleness : (string * float) list;
       (** per source: the largest observed staleness over all query

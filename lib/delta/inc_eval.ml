@@ -5,14 +5,6 @@ open Relalg
    lookups dominate and this is cheap. *)
 let eval_old ~env e = Eval.eval ~env e
 
-let schema_of ~env e =
-  Expr.schema_of
-    (fun n ->
-      match env n with
-      | Some bag -> Bag.schema bag
-      | None -> raise (Eval.Unbound_relation n))
-    e
-
 let rec delta_of_expr ?indexed_join ~env ~deltas expr =
   let delta_of_expr = delta_of_expr ?indexed_join in
   (* [d ⋈ base]: probe the base's persistent index when the caller
@@ -49,8 +41,12 @@ let rec delta_of_expr ?indexed_join ~env ~deltas expr =
     let db = delta_of_expr ~env ~deltas b in
     (* evaluate only the sides a fired rule actually reads: when one
        side is unchanged, the other side's old value suffices *)
+    (* schema from the (possibly empty) child deltas, NOT from env
+       values: a virtual child whose delta filtered out entirely has no
+       stored value and no temporary, so an env schema lookup here
+       would fail on a no-op delta *)
     if Rel_delta.is_empty da && Rel_delta.is_empty db then
-      Rel_delta.empty (schema_of ~env expr)
+      Rel_delta.empty (Schema.join (Rel_delta.schema da) (Rel_delta.schema db))
     else if Rel_delta.is_empty db then begin
       let part = join_side ~on:p da b in
       Eval.charge_tuple_ops
@@ -87,7 +83,7 @@ let rec delta_of_expr ?indexed_join ~env ~deltas expr =
     let da = delta_of_expr ~env ~deltas a in
     let db = delta_of_expr ~env ~deltas b in
     if Rel_delta.is_empty da && Rel_delta.is_empty db then
-      Rel_delta.empty (schema_of ~env expr)
+      Rel_delta.empty (Rel_delta.schema da)
     else begin
       let old_a = eval_old ~env a and old_b = eval_old ~env b in
       let schema = Bag.schema old_a in

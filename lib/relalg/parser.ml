@@ -190,14 +190,14 @@ and parse_atom st =
 
 (* --- predicates --------------------------------------------------------- *)
 
-let cmp_of = function
+let cmp_of pos = function
   | "=" -> Predicate.Eq
   | "<>" -> Predicate.Ne
   | "<" -> Predicate.Lt
   | "<=" -> Predicate.Le
   | ">" -> Predicate.Gt
   | ">=" -> Predicate.Ge
-  | op -> invalid_arg op
+  | op -> err pos "%S is not a comparison operator (=, <>, <, <=, >, >=)" op
 
 let rec parse_pred st =
   let lhs = parse_conj st in
@@ -238,9 +238,10 @@ and parse_comparison st =
   let lhs = parse_term st in
   match peek st with
   | Some (Top (("=" | "<>" | "<" | "<=" | ">" | ">=") as op)) ->
+    let op_pos = pos st in
     advance st;
     let rhs = parse_term st in
-    Predicate.Cmp (cmp_of op, lhs, rhs)
+    Predicate.Cmp (cmp_of op_pos op, lhs, rhs)
   | _ -> err (pos st) "expected a comparison operator"
 
 (* --- algebra expressions ------------------------------------------------ *)

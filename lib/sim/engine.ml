@@ -109,6 +109,26 @@ module Ivar = struct
       (match iv.state with
       | Full v -> v
       | Empty _ -> assert false)
+
+  let read_timeout engine iv ~timeout =
+    match iv.state with
+    | Full v -> Some v
+    | Empty _ ->
+      suspend (fun resume ->
+          (* the process is woken by whichever fires first — the fill
+             or the timer; [fired] makes the wake-up happen only once *)
+          let fired = ref false in
+          let once () =
+            if not !fired then begin
+              fired := true;
+              resume ()
+            end
+          in
+          schedule engine ~delay:timeout once;
+          match iv.state with
+          | Full _ -> schedule engine ~delay:0.0 once
+          | Empty waiters -> iv.state <- Empty (once :: waiters));
+      (match iv.state with Full v -> Some v | Empty _ -> None)
 end
 
 module Mutex = struct

@@ -55,6 +55,12 @@ module Ivar : sig
 
   val read : engine -> 'a t -> 'a
   (** Return the value, blocking the current process until filled. *)
+
+  val read_timeout : engine -> 'a t -> timeout:float -> 'a option
+  (** Like {!read} but give up after [timeout] time units, returning
+      [None]. A later [fill] still succeeds (the value is simply never
+      observed by this reader) — the mechanism behind per-poll
+      timeouts when an answer message is lost in transit. *)
 end
 
 (** FIFO mutex: the mediator serializes its query and update

@@ -4,6 +4,7 @@ open Sim
 
 type update = {
   source : string;
+  prev_version : int;
   version : int;
   commit_time : float;
   send_time : float;

@@ -15,6 +15,12 @@ open Sim
 
 type update = {
   source : string;
+  prev_version : int;
+      (** source version the previous announcement brought the
+          receiver to — the delta covers versions
+          [(prev_version, version]]. Lets a mediator detect a dropped
+          announcement: an arriving update whose [prev_version]
+          exceeds every version it has seen implies a gap. *)
   version : int;  (** source version after the last included commit *)
   commit_time : float;  (** commit time of the last included commit *)
   send_time : float;

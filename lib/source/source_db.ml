@@ -8,6 +8,14 @@ let err fmt = Format.kasprintf (fun s -> raise (Source_error s)) fmt
 
 type announce_mode = Immediate | Periodic of float | Never
 
+type outage_mode = Refuse | Black_hole
+
+type poll_error =
+  | Unavailable of { u_source : string; u_until : float option }
+  | Timed_out of { t_source : string; t_timeout : float }
+
+type retention = Keep_all | Keep_last of int
+
 type link = {
   channel : Message.t Channel.t;
   q_proc_delay : float;
@@ -30,6 +38,11 @@ type t = {
   mutable link : link option;
   mutable announcements : int;
   mutable polls : int;
+  mutable poll_failures : int;
+  mutable outages : (float * float) list; (* [start, stop) windows *)
+  mutable outage_mode : outage_mode;
+  mutable retention : retention;
+  mutable released : int; (* lowest version any consumer may still need *)
 }
 
 let create ~engine ~name ~relations ~announce () =
@@ -50,6 +63,11 @@ let create ~engine ~name ~relations ~announce () =
     link = None;
     announcements = 0;
     polls = 0;
+    poll_failures = 0;
+    outages = [];
+    outage_mode = Refuse;
+    retention = Keep_all;
+    released = 0;
   }
 
 let name t = t.name
@@ -82,6 +100,31 @@ let filter_delta t rel d =
   | None -> d
   | Some (attrs, cond) -> Rel_delta.project attrs (Rel_delta.select cond d)
 
+(* history entries strictly below the floor can no longer be asked
+   for: drop them. The floor is the lowest version some consumer may
+   still poll or check against — the release watermark a mediator
+   advances as its reflected version moves, further bounded by a
+   [Keep_last] retention if one is set. *)
+let history_floor t =
+  match t.retention with
+  | Keep_all -> t.released
+  | Keep_last n -> max t.released (t.version - max 1 n + 1)
+
+let prune_history t =
+  let floor = history_floor t in
+  if floor > 0 then
+    t.history <- List.filter (fun (_, v, _) -> v >= floor) t.history
+
+let set_retention t retention =
+  t.retention <- retention;
+  prune_history t
+
+let release t ~upto =
+  if upto > t.released then begin
+    t.released <- min upto t.version;
+    prune_history t
+  end
+
 let flush_announcements t =
   match t.link with
   | None -> ()
@@ -91,6 +134,7 @@ let flush_announcements t =
         (Message.Update
            {
              source = t.name;
+             prev_version = t.announced_version;
              version = t.pending_version;
              commit_time = t.pending_commit_time;
              send_time = Engine.now t.engine;
@@ -138,6 +182,7 @@ let commit t delta =
   t.version <- t.version + 1;
   let now = Engine.now t.engine in
   t.history <- (now, t.version, t.tables) :: t.history;
+  prune_history t;
   let staged =
     List.fold_left
       (fun acc rel ->
@@ -157,36 +202,115 @@ let commit t delta =
   | Immediate -> flush_announcements t
   | Periodic _ | Never -> ()
 
-let poll t queries =
+let set_outages t ?(mode = Refuse) windows =
+  List.iter
+    (fun (start, stop) ->
+      if stop < start then err "set_outages: window [%g, %g) is empty" start stop)
+    windows;
+  t.outage_mode <- mode;
+  t.outages <- windows
+
+let is_down t =
+  let now = Engine.now t.engine in
+  List.exists (fun (start, stop) -> start <= now && now < stop) t.outages
+
+let down_until t =
+  let now = Engine.now t.engine in
+  List.fold_left
+    (fun acc (start, stop) ->
+      if start <= now && now < stop then
+        Some (match acc with Some u -> Float.max u stop | None -> stop)
+      else acc)
+    None t.outages
+
+let try_poll t ?timeout queries =
   match t.link with
   | None -> err "source %s: poll before connect" t.name
   | Some link ->
-    (* request travels to the source, then waits out the source's
-       processing time *)
+    let started = Engine.now t.engine in
+    (* request travels to the source *)
     Engine.sleep t.engine link.comm_delay;
-    Engine.sleep t.engine link.q_proc_delay;
-    (* from here to the send the source acts atomically: the flush
-       (ECA precondition — the answer must not reflect updates the
-       mediator cannot see), the evaluation, and the version stamp all
-       observe the same state, and FIFO delivery puts the flushed
-       announcement ahead of the answer *)
-    flush_announcements t;
-    t.polls <- t.polls + 1;
-    let env rel = List.assoc_opt rel t.tables in
-    let results =
-      List.map (fun (label, expr) -> (label, Eval.eval ~env expr)) queries
-    in
-    let answer =
-      {
-        Message.answer_source = t.name;
-        answer_version = t.version;
-        state_time = Engine.now t.engine;
-        results;
-      }
-    in
-    let ivar = Engine.Ivar.create () in
-    Channel.send link.channel (Message.Answer (ivar, answer));
-    Engine.Ivar.read t.engine ivar
+    if is_down t then begin
+      t.poll_failures <- t.poll_failures + 1;
+      match t.outage_mode with
+      | Refuse ->
+        (* a refusal travels back immediately — a fast failure *)
+        Engine.sleep t.engine link.comm_delay;
+        Error (Unavailable { u_source = t.name; u_until = down_until t })
+      | Black_hole -> (
+        (* the request vanishes; the poller only learns by timeout *)
+        match timeout with
+        | Some tmo ->
+          let remaining = tmo -. (Engine.now t.engine -. started) in
+          if remaining > 0.0 then Engine.sleep t.engine remaining;
+          Error (Timed_out { t_source = t.name; t_timeout = tmo })
+        | None ->
+          err
+            "source %s: black-hole outage poll without a timeout would \
+             deadlock"
+            t.name)
+    end
+    else begin
+      (* the source waits out its processing time *)
+      Engine.sleep t.engine link.q_proc_delay;
+      (* from here to the send the source acts atomically: the flush
+         (ECA precondition — the answer must not reflect updates the
+         mediator cannot see), the evaluation, and the version stamp
+         all observe the same state, and FIFO delivery puts the
+         flushed announcement ahead of the answer *)
+      flush_announcements t;
+      t.polls <- t.polls + 1;
+      let env rel = List.assoc_opt rel t.tables in
+      let results =
+        List.map (fun (label, expr) -> (label, Eval.eval ~env expr)) queries
+      in
+      let answer =
+        {
+          Message.answer_source = t.name;
+          answer_version = t.version;
+          state_time = Engine.now t.engine;
+          results;
+        }
+      in
+      let ivar = Engine.Ivar.create () in
+      Channel.send link.channel (Message.Answer (ivar, answer));
+      match timeout with
+      | None -> Ok (Engine.Ivar.read t.engine ivar)
+      | Some tmo -> (
+        let remaining = tmo -. (Engine.now t.engine -. started) in
+        if remaining <= 0.0 then begin
+          t.poll_failures <- t.poll_failures + 1;
+          Error (Timed_out { t_source = t.name; t_timeout = tmo })
+        end
+        else
+          match Engine.Ivar.read_timeout t.engine ivar ~timeout:remaining with
+          | Some a -> Ok a
+          | None ->
+            (* the answer was delayed past the deadline or lost on the
+               channel *)
+            t.poll_failures <- t.poll_failures + 1;
+            Error (Timed_out { t_source = t.name; t_timeout = tmo }))
+    end
+
+let poll t queries =
+  match try_poll t queries with
+  | Ok a -> a
+  | Error (Unavailable { u_source; u_until }) ->
+    err "source %s unavailable%s" u_source
+      (match u_until with
+      | Some u -> Printf.sprintf " (outage until %g)" u
+      | None -> "")
+  | Error (Timed_out { t_source; t_timeout }) ->
+    err "source %s: poll timed out after %g" t_source t_timeout
+
+let poll_error_to_string = function
+  | Unavailable { u_source; u_until } ->
+    Printf.sprintf "source %s unavailable%s" u_source
+      (match u_until with
+      | Some u -> Printf.sprintf " (outage until %g)" u
+      | None -> "")
+  | Timed_out { t_source; t_timeout } ->
+    Printf.sprintf "source %s: poll timed out after %g" t_source t_timeout
 
 let history t = List.rev t.history
 
@@ -211,3 +335,18 @@ let next_commit_time_after t v =
 
 let announcements_sent t = t.announcements
 let polls_served t = t.polls
+let poll_failures t = t.poll_failures
+let history_length t = List.length t.history
+
+let channel t = Option.map (fun l -> l.channel) t.link
+
+let with_channel t f =
+  match t.link with
+  | None -> err "source %s: not connected" t.name
+  | Some l -> f l.channel
+
+let set_channel_policy t policy =
+  with_channel t (fun ch -> Channel.set_policy ch policy)
+
+let set_link_up t up = with_channel t (fun ch -> Channel.set_link ch ~up)
+let in_flight t = match t.link with None -> 0 | Some l -> Channel.in_flight l.channel

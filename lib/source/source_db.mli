@@ -32,6 +32,24 @@ type announce_mode =
   | Periodic of float  (** flush every [ann_delay] time units *)
   | Never  (** virtual contributor: never announces *)
 
+(** What a poll experiences while the source is inside an outage
+    window. *)
+type outage_mode =
+  | Refuse  (** a fast failure: a refusal travels straight back *)
+  | Black_hole
+      (** the request vanishes; the poller only learns via its
+          timeout (polling without one is an error — it would
+          deadlock the simulation) *)
+
+type poll_error =
+  | Unavailable of { u_source : string; u_until : float option }
+  | Timed_out of { t_source : string; t_timeout : float }
+
+(** History snapshot retention. *)
+type retention =
+  | Keep_all
+  | Keep_last of int  (** keep at most the last [n] versions *)
+
 exception Source_error of string
 
 val create :
@@ -86,16 +104,75 @@ val poll : t -> (string * Expr.t) list -> Message.answer
 (** Evaluate labelled queries against a single state of the source and
     wait for the answer to travel back. Must be called from a
     simulation process. Pending announcements are flushed first so the
-    FIFO guarantees the ECA precondition (see {!Message}). *)
+    FIFO guarantees the ECA precondition (see {!Message}).
+    @raise Source_error if the source is inside an outage window. *)
+
+val try_poll :
+  t ->
+  ?timeout:float ->
+  (string * Expr.t) list ->
+  (Message.answer, poll_error) result
+(** Like {!poll} but failures are values: [Unavailable] when the
+    source is down ({!set_outages}), [Timed_out] when no answer
+    arrived within [timeout] of the call — whether because the source
+    was slow, a [Black_hole] outage ate the request, or the answer
+    message was lost on a faulty channel. With no [timeout] the wait
+    is unbounded (and a [Black_hole] outage is an error). *)
+
+val poll_error_to_string : poll_error -> string
+
+(** {1 Fault injection} *)
+
+val set_outages : t -> ?mode:outage_mode -> (float * float) list -> unit
+(** Declare [[start, stop)] windows of simulated time during which the
+    source's query interface is down. Commits and announcements are
+    unaffected (the source itself stays live; only polling fails) —
+    the separation lets outage tests distinguish query-path from
+    update-path failures. Default mode is [Refuse]. *)
+
+val is_down : t -> bool
+(** Inside an outage window right now. *)
+
+val set_channel_policy : t -> Sim.Channel.policy option -> unit
+(** Install a fault policy on the source→mediator channel.
+    @raise Source_error before [connect]. *)
+
+val set_link_up : t -> bool -> unit
+(** Take the source→mediator link down or up (see
+    {!Sim.Channel.set_link}). @raise Source_error before [connect]. *)
+
+val channel : t -> Message.t Sim.Channel.t option
+(** The connected channel, for fault-counter inspection. *)
+
+val in_flight : t -> int
+(** Messages scheduled on the channel but not yet delivered ([0] when
+    not connected). *)
 
 (** {1 History access (for the correctness checker)} *)
 
 val history : t -> (float * int * (string * Bag.t) list) list
 (** Chronological [(commit_time, version, state)] list, starting with
-    version 0 at creation time. *)
+    version 0 at creation time. Bounded by the retention policy and
+    the release watermark (below). *)
+
+val set_retention : t -> retention -> unit
+(** Cap the snapshot history. Default [Keep_all] — required when a
+    {!Correctness.Checker} will replay the run, since it evaluates
+    view states at arbitrary past versions. Long-running deployments
+    without a checker should bound it: one full table snapshot per
+    commit otherwise grows without bound. *)
+
+val release : t -> upto:int -> unit
+(** Advance the release watermark: versions below [upto] will never be
+    asked for again (the caller — typically a mediator whose reflected
+    version has passed them) and their snapshots are pruned. The
+    watermark never retreats. *)
+
+val history_length : t -> int
+(** Number of retained snapshots (for retention regression tests). *)
 
 val state_at_version : t -> int -> (string * Bag.t) list
-(** @raise Source_error for an unknown version. *)
+(** @raise Source_error for an unknown (or pruned) version. *)
 
 val commit_time_of_version : t -> int -> float
 
@@ -106,3 +183,6 @@ val next_commit_time_after : t -> int -> float option
 
 val announcements_sent : t -> int
 val polls_served : t -> int
+
+val poll_failures : t -> int
+(** Polls that ended in [Unavailable] or [Timed_out]. *)

@@ -214,10 +214,49 @@ let mediator env ~annotation ?config ?delays () =
   Mediator.connect med ?delays ();
   med
 
+exception
+  No_quiescence of {
+    nq_rounds : int;
+    nq_time : float;  (** simulated time when we gave up *)
+    nq_queue : int;  (** mediator update-queue depth *)
+    nq_in_flight : (string * int) list;
+        (** per source: messages scheduled on its channel but not yet
+            delivered *)
+    nq_pending_events : int;  (** engine events still scheduled *)
+  }
+
+let () =
+  Printexc.register_printer (function
+    | No_quiescence { nq_rounds; nq_time; nq_queue; nq_in_flight; nq_pending_events }
+      ->
+      Some
+        (Printf.sprintf
+           "No_quiescence: %d rounds (t=%g), queue depth %d, in flight [%s], \
+            %d pending events"
+           nq_rounds nq_time nq_queue
+           (String.concat "; "
+              (List.map
+                 (fun (s, n) -> Printf.sprintf "%s:%d" s n)
+                 nq_in_flight))
+           nq_pending_events)
+    | _ -> None)
+
 let run_to_quiescence env med =
   let slice = 2.0 *. (med : Mediator.t).Med.config.Med.flush_interval in
   let rec go rounds stable last_msgs =
-    if rounds > 100_000 then failwith "run_to_quiescence: no quiescence";
+    if rounds > 100_000 then
+      raise
+        (No_quiescence
+           {
+             nq_rounds = rounds;
+             nq_time = Engine.now env.engine;
+             nq_queue = Mediator.queue_length med;
+             nq_in_flight =
+               List.map
+                 (fun s -> (Source_db.name s, Source_db.in_flight s))
+                 env.sources;
+             nq_pending_events = Engine.pending env.engine;
+           });
     Engine.run env.engine ~until:(Engine.now env.engine +. slice);
     let msgs = (Mediator.stats med).Med.messages_received in
     let quiet = Mediator.queue_length med = 0 && msgs = last_msgs in

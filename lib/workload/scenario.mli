@@ -83,10 +83,26 @@ val mediator :
     periodic flusher starts immediately; call [Mediator.initialize]
     from a process). *)
 
+exception
+  No_quiescence of {
+    nq_rounds : int;
+    nq_time : float;  (** simulated time when we gave up *)
+    nq_queue : int;  (** mediator update-queue depth *)
+    nq_in_flight : (string * int) list;
+        (** per source: messages scheduled on its channel but not yet
+            delivered *)
+    nq_pending_events : int;  (** engine events still scheduled *)
+  }
+(** The simulation would not settle. Carries a diagnostic snapshot so
+    a harness (e.g. the chaos runner) can report {e what} was still
+    moving — a stuck queue, an undeliverable message, a runaway
+    process — together with the seed that produced it. *)
+
 val run_to_quiescence : env -> Mediator.t -> unit
 (** Drive the simulation until no load remains and the mediator has
     caught up: runs the engine until only the periodic flusher keeps
-    it alive and the update queue is empty. *)
+    it alive and the update queue is empty.
+    @raise No_quiescence after 100_000 rounds without settling. *)
 
 (** {1 Retail environment (union views)}
 

@@ -105,7 +105,7 @@ let synthetic_setup () =
   Engine.run engine;
   (vdp, src)
 
-let query_event ~time ~answer ~version =
+let query_event ?(stale = []) ~time ~answer ~version () =
   Med.Query_tx
     {
       qt_time = time;
@@ -114,15 +114,16 @@ let query_event ~time ~answer ~version =
       qt_cond = Predicate.True;
       qt_answer = answer;
       qt_reflect = [ ("db", Med.Version version) ];
+      qt_stale = stale;
     }
 
 let test_checker_accepts_honest_log () =
   let vdp, src = synthetic_setup () in
   let events =
     [
-      query_event ~time:2.5 ~answer:(v_state 1) ~version:1;
-      query_event ~time:4.5 ~answer:(v_state 0) ~version:2;
-      query_event ~time:6.5 ~answer:(v_state 0) ~version:5;
+      query_event ~time:2.5 ~answer:(v_state 1) ~version:1 ();
+      query_event ~time:4.5 ~answer:(v_state 0) ~version:2 ();
+      query_event ~time:6.5 ~answer:(v_state 0) ~version:5 ();
     ]
   in
   let report = Checker.check ~vdp ~sources:[ src ] ~events () in
@@ -131,7 +132,7 @@ let test_checker_accepts_honest_log () =
 
 let test_checker_detects_validity_violation () =
   let vdp, src = synthetic_setup () in
-  let events = [ query_event ~time:2.5 ~answer:(v_state 0) ~version:1 ] in
+  let events = [ query_event ~time:2.5 ~answer:(v_state 0) ~version:1 () ] in
   let report = Checker.check ~vdp ~sources:[ src ] ~events () in
   Alcotest.(check bool) "inconsistent" false (Checker.consistent report);
   match report.Checker.violations with
@@ -141,7 +142,7 @@ let test_checker_detects_validity_violation () =
 let test_checker_detects_chronology_violation () =
   let vdp, src = synthetic_setup () in
   (* version 3 was committed at time 4.0, after the claimed query time *)
-  let events = [ query_event ~time:3.5 ~answer:(v_state 0) ~version:3 ] in
+  let events = [ query_event ~time:3.5 ~answer:(v_state 0) ~version:3 () ] in
   let report = Checker.check ~vdp ~sources:[ src ] ~events () in
   Alcotest.(check bool)
     "chronology violated" true
@@ -153,8 +154,8 @@ let test_checker_detects_order_violation () =
   let vdp, src = synthetic_setup () in
   let events =
     [
-      query_event ~time:4.5 ~answer:(v_state 0) ~version:3;
-      query_event ~time:6.5 ~answer:(v_state 1) ~version:1 (* backwards *);
+      query_event ~time:4.5 ~answer:(v_state 0) ~version:3 ();
+      query_event ~time:6.5 ~answer:(v_state 1) ~version:1 () (* backwards *);
     ]
   in
   let report = Checker.check ~vdp ~sources:[ src ] ~events () in
@@ -166,7 +167,7 @@ let test_checker_staleness_measured () =
   let vdp, src = synthetic_setup () in
   (* at time 6.5 reflecting version 2: version 3 arrived at 4.0, so
      the view is 2.5 stale *)
-  let events = [ query_event ~time:6.5 ~answer:(v_state 0) ~version:2 ] in
+  let events = [ query_event ~time:6.5 ~answer:(v_state 0) ~version:2 () ] in
   let report = Checker.check ~vdp ~sources:[ src ] ~events () in
   Alcotest.(check bool) "valid" true (Checker.consistent report);
   (match report.Checker.max_staleness with

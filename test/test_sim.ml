@@ -175,6 +175,150 @@ let test_channel_fifo_preserved () =
     [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
     (List.rev !got)
 
+let test_channel_zero_delay () =
+  let engine = Engine.create () in
+  let got = ref [] in
+  let ch = Channel.create engine ~delay:0.0 (fun m -> got := m :: !got) in
+  Channel.send ch "a";
+  Channel.send ch "b";
+  Alcotest.(check (list string)) "not delivered synchronously" [] !got;
+  Engine.run engine;
+  Alcotest.(check (list string)) "delivered in order" [ "a"; "b" ] (List.rev !got);
+  Alcotest.(check (float 1e-9)) "no time passed" 0.0 (Engine.now engine)
+
+let const_policy ?(reorder = false) d = { Channel.decide = (fun () -> d); reorder }
+
+let test_channel_drop_policy () =
+  let engine = Engine.create () in
+  let got = ref [] in
+  let ch = Channel.create engine ~delay:1.0 (fun m -> got := m :: !got) in
+  (* drop every second message *)
+  let n = ref 0 in
+  Channel.set_policy ch
+    (Some
+       {
+         Channel.decide =
+           (fun () ->
+             incr n;
+             { Channel.no_fault with d_drop = !n mod 2 = 0 });
+         reorder = false;
+       });
+  for i = 1 to 6 do
+    Channel.send ch i
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "survivors in order" [ 1; 3; 5 ] (List.rev !got);
+  Alcotest.(check int) "sent counts all" 6 (Channel.sent_count ch);
+  Alcotest.(check int) "delivered" 3 (Channel.delivered_count ch);
+  Alcotest.(check int) "dropped" 3 (Channel.dropped_count ch)
+
+let test_channel_dup_policy () =
+  let engine = Engine.create () in
+  let got = ref [] in
+  let ch = Channel.create engine ~delay:1.0 (fun m -> got := m :: !got) in
+  Channel.set_policy ch (Some (const_policy { Channel.no_fault with d_dup = 2 }));
+  Channel.send ch "m";
+  Engine.run engine;
+  Alcotest.(check (list string)) "original + 2 copies" [ "m"; "m"; "m" ]
+    (List.rev !got);
+  Alcotest.(check int) "sent" 1 (Channel.sent_count ch);
+  Alcotest.(check int) "delivered counts copies" 3 (Channel.delivered_count ch);
+  Alcotest.(check int) "duplicated" 2 (Channel.duplicated_count ch)
+
+let test_channel_jitter_fifo_clamp () =
+  (* the first message gets heavy jitter; without reorder the second
+     must still arrive after it, clamped to its delivery time *)
+  let engine = Engine.create () in
+  let got = ref [] in
+  let first = ref true in
+  let ch = Channel.create engine ~delay:1.0 (fun m -> got := (m, Engine.now engine) :: !got) in
+  Channel.set_policy ch
+    (Some
+       {
+         Channel.decide =
+           (fun () ->
+             let j = if !first then 5.0 else 0.0 in
+             first := false;
+             { Channel.no_fault with d_jitter = j });
+         reorder = false;
+       });
+  Channel.send ch "slow";
+  Channel.send ch "fast";
+  Engine.run engine;
+  (match List.rev !got with
+  | [ ("slow", t1); ("fast", t2) ] ->
+    Alcotest.(check (float 1e-9)) "jittered" 6.0 t1;
+    Alcotest.(check bool) "FIFO clamp holds" true (t2 >= t1)
+  | _ -> Alcotest.fail "expected slow before fast");
+  (* same shape with reorder allowed: the fast message overtakes *)
+  let engine = Engine.create () in
+  let got = ref [] in
+  let first = ref true in
+  let ch = Channel.create engine ~delay:1.0 (fun m -> got := m :: !got) in
+  Channel.set_policy ch
+    (Some
+       {
+         Channel.decide =
+           (fun () ->
+             let j = if !first then 5.0 else 0.0 in
+             first := false;
+             { Channel.no_fault with d_jitter = j });
+         reorder = true;
+       });
+  Channel.send ch "slow";
+  Channel.send ch "fast";
+  Engine.run engine;
+  Alcotest.(check (list string)) "overtaking allowed" [ "fast"; "slow" ]
+    (List.rev !got)
+
+let test_channel_link_down () =
+  let engine = Engine.create () in
+  let got = ref [] in
+  let ch = Channel.create engine ~delay:1.0 (fun m -> got := m :: !got) in
+  Channel.send ch 1;
+  Channel.set_link ch ~up:false;
+  Alcotest.(check bool) "link down" false (Channel.is_up ch);
+  Channel.send ch 2;
+  Channel.send ch 3;
+  Channel.set_link ch ~up:true;
+  Channel.send ch 4;
+  Engine.run engine;
+  Alcotest.(check (list int))
+    "in-flight survives, downed sends lost" [ 1; 4 ] (List.rev !got);
+  Alcotest.(check int) "dropped" 2 (Channel.dropped_count ch)
+
+let test_channel_policy_determinism () =
+  (* the same seeded policy produces the same delivery trace *)
+  let trace seed =
+    let engine = Engine.create () in
+    let got = ref [] in
+    let ch = Channel.create engine ~delay:1.0 (fun m -> got := (m, Engine.now engine) :: !got) in
+    let rng = Random.State.make [| seed |] in
+    Channel.set_policy ch
+      (Some
+         {
+           Channel.decide =
+             (fun () ->
+               {
+                 Channel.d_drop = Random.State.float rng 1.0 < 0.3;
+                 d_dup = (if Random.State.float rng 1.0 < 0.2 then 1 else 0);
+                 d_jitter = Random.State.float rng 2.0;
+               });
+           reorder = false;
+         });
+    for i = 1 to 50 do
+      Channel.send ch i
+    done;
+    Engine.run engine;
+    (List.rev !got, Channel.dropped_count ch, Channel.duplicated_count ch)
+  in
+  let t1, d1, u1 = trace 7 and t2, d2, u2 = trace 7 in
+  Alcotest.(check (list (pair int (float 1e-9)))) "same trace" t1 t2;
+  Alcotest.(check int) "same drops" d1 d2;
+  Alcotest.(check int) "same dups" u1 u2;
+  let t3, _, _ = trace 8 in
+  Alcotest.(check bool) "different seed differs" true (t1 <> t3)
+
 let test_nested_process_spawn () =
   let engine = Engine.create () in
   let log = ref [] in
@@ -214,5 +358,11 @@ let () =
         [
           Alcotest.test_case "delay and order" `Quick test_channel_delay_and_order;
           Alcotest.test_case "FIFO preserved" `Quick test_channel_fifo_preserved;
+          Alcotest.test_case "zero delay" `Quick test_channel_zero_delay;
+          Alcotest.test_case "drop policy" `Quick test_channel_drop_policy;
+          Alcotest.test_case "dup policy" `Quick test_channel_dup_policy;
+          Alcotest.test_case "jitter FIFO clamp" `Quick test_channel_jitter_fifo_clamp;
+          Alcotest.test_case "link down" `Quick test_channel_link_down;
+          Alcotest.test_case "seeded determinism" `Quick test_channel_policy_determinism;
         ] );
     ]

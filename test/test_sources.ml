@@ -222,6 +222,86 @@ let test_poll_atomic_version_stamp () =
       (claims_v1 = has_new_row)
   | None -> Alcotest.fail "no answer"
 
+let test_outage_refuses_polls () =
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  let _ = collect_updates engine src in
+  Source_db.set_outages src [ (1.0, 3.0) ];
+  let results = ref [] in
+  let poll_at t =
+    Engine.schedule engine ~delay:t (fun () ->
+        Engine.spawn engine (fun () ->
+            results :=
+              (t, Source_db.try_poll src [ ("S", Expr.base "S") ]) :: !results))
+  in
+  poll_at 0.5;
+  poll_at 1.5;
+  poll_at 3.5;
+  Engine.run engine;
+  (match List.assoc 0.5 !results with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("before window: " ^ Source_db.poll_error_to_string e));
+  (match List.assoc 1.5 !results with
+  | Error (Source_db.Unavailable { u_until = Some t; _ }) ->
+    Alcotest.(check (float 1e-9)) "reports window end" 3.0 t
+  | Error e -> Alcotest.fail ("wrong error: " ^ Source_db.poll_error_to_string e)
+  | Ok _ -> Alcotest.fail "poll inside window succeeded");
+  (match List.assoc 3.5 !results with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("after window: " ^ Source_db.poll_error_to_string e));
+  Alcotest.(check int) "failure counted" 1 (Source_db.poll_failures src)
+
+let test_blackhole_times_out () =
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  let _ = collect_updates engine src in
+  Source_db.set_outages src ~mode:Source_db.Black_hole [ (0.0, 10.0) ];
+  let result = ref None in
+  let t_done = ref 0.0 in
+  Engine.spawn engine (fun () ->
+      result := Some (Source_db.try_poll src ~timeout:2.0 [ ("S", Expr.base "S") ]);
+      t_done := Engine.now engine);
+  Engine.run engine;
+  (match !result with
+  | Some (Error (Source_db.Timed_out { t_timeout; _ })) ->
+    Alcotest.(check (float 1e-9)) "timeout reported" 2.0 t_timeout;
+    Alcotest.(check (float 1e-9)) "gave up at the deadline" 2.0 !t_done
+  | Some (Error e) ->
+    Alcotest.fail ("wrong error: " ^ Source_db.poll_error_to_string e)
+  | Some (Ok _) -> Alcotest.fail "black hole answered"
+  | None -> Alcotest.fail "poll never returned")
+
+let test_retention_bounds_history () =
+  (* regression: history used to grow by one full snapshot per commit
+     with no way to prune; both bounding mechanisms must cap it *)
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  Source_db.set_retention src (Source_db.Keep_last 5);
+  for i = 1 to 50 do
+    Source_db.commit src (delta_ins (s_tuple i i i))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "Keep_last caps" 5 (Source_db.history_length src);
+  Alcotest.(check int) "latest version intact" 50 (Source_db.version src);
+  (* retained tail still answers; pruned versions refuse *)
+  ignore (Source_db.state_at_version src 50);
+  (try
+     ignore (Source_db.state_at_version src 1);
+     Alcotest.fail "pruned version served"
+   with Source_db.Source_error _ -> ());
+  (* release watermark prunes independently of retention *)
+  let engine = Engine.create () in
+  let src = mk_source engine in
+  for i = 1 to 20 do
+    Source_db.commit src (delta_ins (s_tuple i i i))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "Keep_all retains" 21 (Source_db.history_length src);
+  Source_db.release src ~upto:18;
+  Alcotest.(check int) "watermark prunes" 3 (Source_db.history_length src);
+  Source_db.release src ~upto:10;
+  Alcotest.(check int) "watermark never retreats" 3 (Source_db.history_length src)
+
 let test_filter_drops_irrelevant_atoms () =
   let engine = Engine.create () in
   let src = mk_source engine in
@@ -290,5 +370,12 @@ let () =
           Alcotest.test_case "flush before answer" `Quick test_poll_flushes_pending_first;
           Alcotest.test_case "ordered after racing updates" `Quick test_poll_answer_ordered_after_updates;
           Alcotest.test_case "atomic version stamp (regression)" `Quick test_poll_atomic_version_stamp;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "outage refuses polls" `Quick test_outage_refuses_polls;
+          Alcotest.test_case "black hole times out" `Quick test_blackhole_times_out;
+          Alcotest.test_case "bounded history (regression)" `Quick
+            test_retention_bounds_history;
         ] );
     ]
