@@ -25,6 +25,7 @@ let experiments =
     ("e12", Micro.physical);
     ("e13", Adaptive.run);
     ("e14", Chaos.run);
+    ("e15", Compiled.run);
     ("figs", Experiments.figs);
   ]
 

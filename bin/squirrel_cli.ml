@@ -640,6 +640,14 @@ let profile_cmd =
         in
         Scenario.run_to_quiescence env med;
         print_string (Adapt.Monitor.render_cumulative med);
+        let s = Mediator.stats med in
+        Printf.printf
+          "\n\
+           answer cache: %d hits, %d misses, %d invalidations\n\
+           compiled plans: %d value, %d delta\n"
+          s.Med.cache_hits s.Med.cache_misses s.Med.cache_invalidations
+          (Relalg.Plan.compiled_plans ())
+          (Delta.Delta_plan.compiled_plans ());
         Ok ())
   in
   let updates =

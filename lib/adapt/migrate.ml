@@ -135,6 +135,14 @@ let apply (t : Med.t) plan =
             Table.load table value)
         plan.p_changes;
       t.Med.ann <- plan.p_new;
+      (* the annotation epoch changed: relevant sets, contributor
+         kinds, and invalidation closures are all stale, and any
+         cached answer's reflect entries may flip between
+         polled-version and reflected-version semantics — drop both
+         caches and recompile the (restricted) definition plans *)
+      Med.invalidate_derived t;
+      Med.cache_flush t;
+      Med.warm_plans t;
       (* polled virtual-contributor sources now back materialized data
          at the snapshot the poll returned: advance their reflected
          versions and drop queue entries the snapshot covers (the

@@ -6,22 +6,10 @@ open Sources
 open Storage
 
 (* nodes whose delta must be computed: materialized themselves, or
-   feeding a relevant parent *)
-let relevant_nodes (t : Med.t) =
-  let relevant = Hashtbl.create 16 in
-  let topo = Graph.topo_order t.Med.vdp in
-  List.iter
-    (fun node ->
-      let self = Med.mat_attrs t node <> [] in
-      let feeds_relevant =
-        List.exists (Hashtbl.mem relevant) (Graph.parents t.Med.vdp node)
-      in
-      if self || feeds_relevant then Hashtbl.replace relevant node ())
-    (List.rev topo);
-  List.filter (Hashtbl.mem relevant) topo
-
-let is_leaf_parent (t : Med.t) node =
-  List.exists (Graph.is_leaf t.Med.vdp) (Graph.children t.Med.vdp node)
+   feeding a relevant parent — precomputed per annotation epoch in the
+   mediator's derived cache *)
+let relevant_nodes (t : Med.t) = Med.relevant_nodes t
+let is_leaf_parent (t : Med.t) node = Med.is_leaf_parent t node
 
 (* filter the leaf-level delta through a leaf-parent's definition *)
 let leaf_parent_delta (t : Med.t) node (delta : Multi_delta.t) =
@@ -87,7 +75,7 @@ let update_transaction (t : Med.t) =
         let rec mark node =
           if not (Hashtbl.mem affected node) then begin
             Hashtbl.add affected node ();
-            List.iter mark (Graph.parents t.Med.vdp node)
+            List.iter mark (Med.node_parents t node)
           end
         in
         List.iter (fun (n, _) -> mark n) lp_deltas;
@@ -203,6 +191,11 @@ let update_transaction (t : Med.t) =
             end)
           process;
         List.iter (fun (table, d) -> Table.apply_delta table d) !to_apply;
+        (* the tables behind any cached answer in the affected closure
+           just changed; answers cached since the announcements arrived
+           (computed from pre-update tables) must not be served again *)
+        Med.cache_invalidate_nodes t
+          (Hashtbl.fold (fun n () acc -> n :: acc) affected []);
         (* bookkeeping: advance ref' per source (Sec. 6.1) *)
         List.iter
           (fun e ->

@@ -15,6 +15,7 @@ type config = {
   poll_backoff : float;
   version_check_interval : float option;
   release_history : bool;
+  answer_cache_enabled : bool;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     poll_backoff = 0.25;
     version_check_interval = None;
     release_history = false;
+    answer_cache_enabled = true;
   }
 
 type queue_entry = {
@@ -90,6 +92,9 @@ type stats = {
   mutable resyncs : int;
   mutable update_deferrals : int;
   mutable version_checks : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_invalidations : int;
   node_accesses : (string, int) Hashtbl.t;
   attr_accesses : (string * string, int) Hashtbl.t;
   leaf_update_atoms : (string, int) Hashtbl.t;
@@ -120,6 +125,9 @@ let fresh_stats () =
     resyncs = 0;
     update_deferrals = 0;
     version_checks = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_invalidations = 0;
     node_accesses = Hashtbl.create 8;
     attr_accesses = Hashtbl.create 16;
     leaf_update_atoms = Hashtbl.create 8;
@@ -129,6 +137,25 @@ let fresh_stats () =
 let bump tbl key n =
   Hashtbl.replace tbl key
     ((match Hashtbl.find_opt tbl key with Some c -> c | None -> 0) + n)
+
+type cached_answer = {
+  ca_answer : Bag.t;
+  ca_polled : (string * int) list;
+      (** polled versions of the VAP that produced the answer; replayed
+          into the reflect vector on every cache hit *)
+}
+
+type derived = {
+  d_relevant : string list;
+      (** nodes whose delta the IUP must compute: materialized
+          themselves, or feeding a relevant parent (topological order) *)
+  d_parents : (string, string list) Hashtbl.t;
+  d_leaf_parents : (string, unit) Hashtbl.t;
+  d_source_closure : (string, string list) Hashtbl.t;
+      (** source → upward closure of its leaves: every node whose value
+          can depend on the source, the invalidation unit of the answer
+          cache *)
+}
 
 type t = {
   engine : Engine.t;
@@ -146,6 +173,9 @@ type t = {
   stats : stats;
   mutable log : event list;
   mutable initialized : bool;
+  mutable derived : derived option;
+  answer_cache : (string * string list * Predicate.t, cached_answer) Hashtbl.t;
+  polled_hw : (string, int) Hashtbl.t;
 }
 
 let log_src = Logs.Src.create "squirrel.mediator" ~doc:"Squirrel mediator internals"
@@ -234,6 +264,146 @@ let join_index_plan vdp =
       (fun keys -> List.for_all (fun a -> List.mem a mat) keys)
       (match Hashtbl.find_opt specs name with Some l -> l | None -> [])
 
+(* Annotation-dependent topology, computed once per annotation epoch
+   instead of on every update transaction: the IUP's relevant set and
+   affected-closure parent walks, and the answer cache's per-source
+   invalidation closures. A live migration drops the cache
+   ({!invalidate_derived}); the next reader rebuilds lazily. *)
+let build_derived t =
+  let vdp = t.vdp in
+  let d_parents = Hashtbl.create 16 in
+  List.iter
+    (fun node ->
+      let name = node.Graph.name in
+      Hashtbl.replace d_parents name (Graph.parents vdp name))
+    (Graph.nodes vdp);
+  let topo = Graph.topo_order vdp in
+  let relevant = Hashtbl.create 16 in
+  List.iter
+    (fun node ->
+      let self = Annotation.materialized_attrs t.ann node <> [] in
+      let feeds_relevant =
+        List.exists (Hashtbl.mem relevant)
+          (match Hashtbl.find_opt d_parents node with
+          | Some ps -> ps
+          | None -> [])
+      in
+      if self || feeds_relevant then Hashtbl.replace relevant node ())
+    (List.rev topo);
+  let d_leaf_parents = Hashtbl.create 8 in
+  List.iter
+    (fun node -> Hashtbl.replace d_leaf_parents node.Graph.name ())
+    (Graph.leaf_parents vdp);
+  let d_source_closure = Hashtbl.create 8 in
+  List.iter
+    (fun src ->
+      let closure =
+        List.sort_uniq String.compare
+          (List.concat_map
+             (fun leaf -> Graph.ancestors vdp leaf)
+             (Graph.leaves_of_source vdp src))
+      in
+      Hashtbl.replace d_source_closure src closure)
+    (Graph.sources vdp);
+  {
+    d_relevant = List.filter (Hashtbl.mem relevant) topo;
+    d_parents;
+    d_leaf_parents;
+    d_source_closure;
+  }
+
+let derived t =
+  match t.derived with
+  | Some d -> d
+  | None ->
+    let d = build_derived t in
+    t.derived <- Some d;
+    d
+
+let invalidate_derived t = t.derived <- None
+let relevant_nodes t = (derived t).d_relevant
+
+let node_parents t node =
+  match Hashtbl.find_opt (derived t).d_parents node with
+  | Some ps -> ps
+  | None -> []
+
+let is_leaf_parent t node = Hashtbl.mem (derived t).d_leaf_parents node
+
+let source_closure t src =
+  match Hashtbl.find_opt (derived t).d_source_closure src with
+  | Some ns -> ns
+  | None -> []
+
+(* Compile every definition-shaped expression the processors will run
+   repeatedly: the raw definition (resync/initialization rebuilds) and
+   the full-width restricted definition (the IUP's kernel pass), each
+   as a value plan and as a delta plan. Per-request VAP restrictions
+   compile on first use through the same memo. *)
+let warm_plans t =
+  List.iter
+    (fun node ->
+      match node.Graph.kind with
+      | Graph.Leaf _ -> ()
+      | Graph.Derived _ ->
+        let name = node.Graph.name in
+        ignore (Plan.of_expr (Graph.def t.vdp name) : Plan.t);
+        let full =
+          Derived_from.restrict_def t.vdp ~node:name
+            ~attrs:(Schema.attrs node.Graph.schema) ~cond:Predicate.True
+        in
+        ignore (Plan.of_expr full : Plan.t);
+        ignore (Delta_plan.of_expr full : Delta_plan.t))
+    (Graph.nodes t.vdp)
+
+(* ---- query answer cache ----
+   Keyed by (node, attrs, cond); holds only [Fresh] answers. Hits are
+   served with a reflect vector recomputed at serve time from the
+   entry's recorded polled versions, so reflect entries of sources the
+   answer does not depend on stay monotone. Invalidation: the upward
+   closure of an announcing source at {!enqueue}; the IUP's affected
+   closure after tables are updated; the closure of any source whose
+   polled version is observed to advance ({!observe_source_version} —
+   covers dropped announcements from virtual contributors); and a
+   wholesale flush on resync snapshots and live migrations. *)
+
+let cache_lookup t ~node ~attrs ~cond =
+  if not t.config.answer_cache_enabled then None
+  else Hashtbl.find_opt t.answer_cache (node, attrs, cond)
+
+let cache_store t ~node ~attrs ~cond ~polled answer =
+  if t.config.answer_cache_enabled then
+    Hashtbl.replace t.answer_cache (node, attrs, cond)
+      { ca_answer = answer; ca_polled = polled }
+
+let cache_invalidate_nodes t nodes =
+  if Hashtbl.length t.answer_cache > 0 && nodes <> [] then begin
+    let doomed =
+      Hashtbl.fold
+        (fun ((n, _, _) as key) _ acc ->
+          if List.exists (String.equal n) nodes then key :: acc else acc)
+        t.answer_cache []
+    in
+    List.iter (Hashtbl.remove t.answer_cache) doomed;
+    t.stats.cache_invalidations <-
+      t.stats.cache_invalidations + List.length doomed
+  end
+
+let cache_flush t =
+  t.stats.cache_invalidations <-
+    t.stats.cache_invalidations + Hashtbl.length t.answer_cache;
+  Hashtbl.reset t.answer_cache
+
+let observe_source_version t src version =
+  let prev =
+    match Hashtbl.find_opt t.polled_hw src with Some v -> v | None -> 0
+  in
+  if version > prev then begin
+    Hashtbl.replace t.polled_hw src version;
+    if t.config.answer_cache_enabled then
+      cache_invalidate_nodes t (source_closure t src)
+  end
+
 let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
   let source_tbl = Hashtbl.create 8 in
   List.iter (fun s -> Hashtbl.replace source_tbl (Source_db.name s) s) sources;
@@ -276,23 +446,31 @@ let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
       (fun s -> (s, { r_version = 0; r_commit_time = 0.0; r_send_time = 0.0 }))
       (Graph.sources vdp)
   in
-  {
-    engine;
-    vdp;
-    ann = annotation;
-    store;
-    mutex = Engine.Mutex.create ();
-    config;
-    source_tbl;
-    queue = [];
-    reflected;
-    pending = Multi_delta.empty;
-    seen = List.map (fun s -> (s, 0)) (Graph.sources vdp);
-    dirty = [];
-    stats = fresh_stats ();
-    log = [];
-    initialized = false;
-  }
+  let t =
+    {
+      engine;
+      vdp;
+      ann = annotation;
+      store;
+      mutex = Engine.Mutex.create ();
+      config;
+      source_tbl;
+      queue = [];
+      reflected;
+      pending = Multi_delta.empty;
+      seen = List.map (fun s -> (s, 0)) (Graph.sources vdp);
+      dirty = [];
+      stats = fresh_stats ();
+      log = [];
+      initialized = false;
+      derived = None;
+      answer_cache = Hashtbl.create 32;
+      polled_hw = Hashtbl.create 8;
+    }
+  in
+  warm_plans t;
+  ignore (derived t : derived);
+  t
 
 let source t name =
   match Hashtbl.find_opt t.source_tbl name with
@@ -370,6 +548,10 @@ let enqueue t (u : Message.update) =
       mark_dirty t u.Message.source
     end;
     note_seen t u.Message.source u.Message.version;
+    (* announced data supersedes any cached answer that can see the
+       source; also advances the observed high-water mark so a later
+       poll returning this same version does not re-invalidate *)
+    observe_source_version t u.Message.source u.Message.version;
     (* workload monitor: per-leaf update traffic and a running
        cardinality estimate (initial snapshot size plus net atoms) *)
     List.iter

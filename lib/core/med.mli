@@ -48,6 +48,13 @@ type config = {
           watermark ({!Source_db.release}) to the reflected version so
           snapshot history stays bounded. Incompatible with running a
           {!Correctness.Checker} afterwards, which replays history. *)
+  answer_cache_enabled : bool;
+      (** cache query answers keyed by (node, attrs, cond) and serve
+          repeats of unchanged nodes without re-polling or re-reading
+          the store; delta arrivals invalidate the announcing source's
+          upward closure. Also extends the anti-entropy heartbeat to
+          virtual contributors so cached virtual answers notice
+          silently dropped announcements. *)
 }
 
 val default_config : config
@@ -138,6 +145,12 @@ type stats = {
   mutable update_deferrals : int;
       (** update transactions aborted and requeued on poll failure *)
   mutable version_checks : int;  (** anti-entropy heartbeat polls *)
+  mutable cache_hits : int;
+      (** queries served from the answer cache without recomputation *)
+  mutable cache_misses : int;
+      (** cache-enabled queries that had to compute their answer *)
+  mutable cache_invalidations : int;
+      (** cached answers dropped by deltas, resyncs, or migrations *)
   node_accesses : (string, int) Hashtbl.t;
       (** workload monitor: query requests per node *)
   attr_accesses : (string * string, int) Hashtbl.t;
@@ -149,6 +162,19 @@ type stats = {
       (** per-leaf cardinality estimate: initialization snapshot size
           plus the net signed atom count of later announcements *)
 }
+
+type cached_answer = {
+  ca_answer : Bag.t;
+  ca_polled : (string * int) list;
+      (** polled versions of the VAP that produced the answer; replayed
+          into the reflect vector on every cache hit *)
+}
+
+type derived
+(** Annotation-dependent topology computed once per annotation epoch:
+    the IUP's relevant set, parent tables for affected-closure walks,
+    leaf-parent membership, and per-source invalidation closures.
+    Rebuilt lazily after {!invalidate_derived}. *)
 
 type t = {
   engine : Engine.t;
@@ -178,6 +204,13 @@ type t = {
   stats : stats;
   mutable log : event list;  (** newest first *)
   mutable initialized : bool;
+  mutable derived : derived option;  (** [None] = stale, rebuilt lazily *)
+  answer_cache : (string * string list * Predicate.t, cached_answer) Hashtbl.t;
+      (** [Fresh] answers by (node, attrs, cond); see {!cache_lookup} *)
+  polled_hw : (string, int) Hashtbl.t;
+      (** highest source version observed per source (announcements and
+          poll answers alike); an advance invalidates the source's
+          closure in the answer cache *)
 }
 
 val log_src : Logs.src
@@ -301,6 +334,74 @@ val poll_with_retry :
     [poll_retries] attempts with exponential backoff from
     [poll_backoff]. Must run in a process. @raise Poll_failed when the
     budget is exhausted. *)
+
+(** {1 Derived topology and compiled plans} *)
+
+val relevant_nodes : t -> string list
+(** Nodes whose delta the IUP must compute — materialized themselves,
+    or feeding a relevant parent — in topological order. Precomputed
+    per annotation epoch. *)
+
+val node_parents : t -> string -> string list
+(** {!Graph.parents} through the derived cache (no graph walk). *)
+
+val is_leaf_parent : t -> string -> bool
+
+val source_closure : t -> string -> string list
+(** Upward closure of the source's leaves: every node whose value can
+    depend on the source. The invalidation unit of the answer cache. *)
+
+val invalidate_derived : t -> unit
+(** Drop the derived-topology cache (a live migration changed the
+    annotation); the next reader rebuilds it. *)
+
+val warm_plans : t -> unit
+(** Compile every definition-shaped expression the processors run
+    repeatedly — raw and full-width restricted definitions, as value
+    plans and delta plans. Called by {!create}; a live migration calls
+    it again after swapping the annotation. *)
+
+(** {1 Query answer cache}
+
+    Holds only [Fresh] answers, keyed by (node, attrs, cond). A hit is
+    served with a reflect vector recomputed at serve time from the
+    entry's recorded polled versions. Invalidated by the upward
+    closure of an announcing source ({!enqueue}), by the IUP's
+    affected closure after tables are updated, by any observed
+    per-source version advance ({!observe_source_version}), and
+    wholesale on resync snapshots and live migrations. *)
+
+val cache_lookup :
+  t ->
+  node:string ->
+  attrs:string list ->
+  cond:Predicate.t ->
+  cached_answer option
+(** [None] when disabled by config or not cached. *)
+
+val cache_store :
+  t ->
+  node:string ->
+  attrs:string list ->
+  cond:Predicate.t ->
+  polled:(string * int) list ->
+  Bag.t ->
+  unit
+(** No-op when disabled by config. Only [Fresh] answers may be
+    stored. *)
+
+val cache_invalidate_nodes : t -> string list -> unit
+(** Drop every cached answer against one of the nodes. *)
+
+val cache_flush : t -> unit
+(** Drop everything (resync snapshot, live migration). *)
+
+val observe_source_version : t -> string -> int -> unit
+(** Note that [src] was seen at [version] (an announcement arrived or
+    a poll answer reflected it). When this advances the per-source
+    high-water mark, cached answers in the source's closure are
+    invalidated — this is how answers cached against a virtual
+    contributor notice versions whose announcements were dropped. *)
 
 val join_index_plan :
   Graph.t -> string -> mat:string list -> string list list

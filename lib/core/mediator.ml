@@ -45,7 +45,27 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
         List.iter
           (fun src_name ->
             match Med.contributor_kind t src_name with
-            | Med.Virtual_contributor -> ()
+            | Med.Virtual_contributor
+              when not t.Med.config.Med.answer_cache_enabled ->
+              (* staleness of a purely virtual source is resolved by
+                 polling at query time — unless cached answers can be
+                 served without polling, in which case the heartbeat
+                 must observe version advances for them (below) *)
+              ()
+            | Med.Virtual_contributor -> (
+              let src = Med.source t src_name in
+              match
+                Source_db.try_poll src ?timeout:t.Med.config.Med.poll_timeout
+                  []
+              with
+              | Ok a ->
+                t.Med.stats.Med.version_checks <-
+                  t.Med.stats.Med.version_checks + 1;
+                (* no dirty marking: there is no ECA baseline to
+                   repair, only cached answers to invalidate *)
+                Med.observe_source_version t src_name
+                  a.Message.answer_version
+              | Error _ -> ())
             | Med.Materialized_contributor | Med.Hybrid_contributor -> (
               let src = Med.source t src_name in
               match
@@ -55,6 +75,8 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
               | Ok a ->
                 t.Med.stats.Med.version_checks <-
                   t.Med.stats.Med.version_checks + 1;
+                Med.observe_source_version t src_name
+                  a.Message.answer_version;
                 if a.Message.answer_version <> Med.seen_version t src_name
                 then begin
                   t.Med.stats.Med.gaps_detected <-

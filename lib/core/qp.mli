@@ -36,7 +36,16 @@ val query_ex :
   ?cond:Predicate.t ->
   unit ->
   rich_answer
-(** Like {!query} but reporting answer quality. When fresh data is
+(** Like {!query} but reporting answer quality.
+
+    When the answer cache is enabled (config), a [Fresh] answer for
+    the exact (node, attrs, cond) triple is stored after computation
+    and replayed on repeats until some delta arrival, table update,
+    observed source-version advance, resync, or migration invalidates
+    it; hits are logged as full query transactions with a reflect
+    vector recomputed from the entry's recorded polled versions.
+
+    When fresh data is
     needed and its source cannot be polled within the config's retry
     budget, the QP degrades instead of failing: the answer carries
     only the materialized subset of the requested attributes, applies
@@ -63,7 +72,9 @@ val query_many :
     set goes through a single VAP run, so overlapping needs merge in
     phase 1 and each source is polled at most once for the entire
     transaction; all answers share a single reflect vector — they
-    correspond to {e one} state of the integrated view. *)
+    correspond to {e one} state of the integrated view. Bypasses the
+    answer cache: per-request replay could not guarantee that shared
+    reflect vector. *)
 
 val key_based_plan :
   Med.t ->

@@ -28,6 +28,8 @@ let snapshot (t : Med.t) =
         end)
       (Graph.sources t.Med.vdp)
   in
+  (* every cached answer predates the snapshot *)
+  Med.cache_flush t;
   let leaf_values : (string, Bag.t) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun (src_name, answer) ->
@@ -36,6 +38,7 @@ let snapshot (t : Med.t) =
           Hashtbl.replace leaf_values l b;
           Med.record_leaf_card t l (Bag.cardinal b))
         answer.Message.results;
+      Med.observe_source_version t src_name answer.Message.answer_version;
       Med.set_reflected t src_name
         {
           Med.r_version = answer.Message.answer_version;

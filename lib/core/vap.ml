@@ -158,6 +158,10 @@ let build (t : Med.t) ~kind:_ requests =
         + List.fold_left
             (fun acc (_, b) -> acc + Bag.cardinal b)
             0 answer.Message.results;
+      (* any polled answer is an observation of the source's current
+         version; an advance past the high-water mark invalidates
+         cached answers in the source's closure *)
+      Med.observe_source_version t src_name answer.Message.answer_version;
       let contributor = Med.contributor_kind t src_name in
       (match contributor with
       | Med.Virtual_contributor ->

@@ -1,0 +1,229 @@
+open Relalg
+
+(* Compiled incremental propagation rules: the delta counterpart of
+   {!Relalg.Plan}. Each edge/definition expression is compiled once
+   into a delta pipeline — predicates compiled to slot closures, unary
+   select/project/rename chains fused into a single signed pass over
+   the child delta ({!Rel_delta.transform}), join rules precompiled
+   with their residual tests — and executed on every update
+   transaction. Rule structure mirrors {!Inc_eval.delta_of_expr_interp}
+   exactly (Example 6.1 three-part join, membership-candidate
+   difference); the interpreter stays as the differential-test
+   oracle. *)
+
+type step =
+  | Filter of (Tuple.t -> bool)
+  | Gather of string list * (Tuple.t -> Tuple.t) (* projection *)
+  | Remap of (string * string) list * (Tuple.t -> Tuple.t) (* renaming *)
+
+type prog =
+  | Source of string
+  | Fused of step array * prog (* steps innermost-first *)
+  | Join of join
+  | Union of prog * prog
+  | Diff of diff
+
+and join = {
+  on : Predicate.t;
+  test : (Tuple.t -> bool) option; (* compiled [on]; None = True *)
+  left : prog;
+  right : prog;
+  left_expr : Expr.t; (* old-value side reads for the fired rules *)
+  right_expr : Expr.t;
+}
+
+and diff = {
+  d_left : prog;
+  d_right : prog;
+  a_expr : Expr.t; (* both old values are read when either side moves *)
+  b_expr : Expr.t;
+}
+
+type t = { expr : Expr.t; prog : prog }
+
+let expr p = p.expr
+
+(* collect a maximal unary chain; the accumulator ends up
+   innermost-first, which is execution order. Fusing is value-correct
+   for signed deltas: a filter decision depends only on the tuple
+   value, so atoms whose projection images coincide pass or fail
+   together and accumulating signed multiplicities once at the end of
+   the chain equals accumulating after every projection. *)
+let rec peel acc = function
+  | Expr.Select (p, e) -> peel (Filter (Predicate.compile p) :: acc) e
+  | Expr.Project (names, e) ->
+    peel (Gather (names, Tuple.projector names) :: acc) e
+  | Expr.Rename (m, e) -> peel (Remap (m, Tuple.renamer m) :: acc) e
+  | e -> (acc, e)
+
+let rec compile_prog expr =
+  match expr with
+  | Expr.Base n -> Source n
+  | Expr.Select _ | Expr.Project _ | Expr.Rename _ ->
+    let steps, sub = peel [] expr in
+    Fused (Array.of_list steps, compile_prog sub)
+  | Expr.Join (a, p, b) ->
+    Join
+      {
+        on = p;
+        test =
+          (if Predicate.equal p Predicate.True then None
+           else Some (Predicate.compile p));
+        left = compile_prog a;
+        right = compile_prog b;
+        left_expr = a;
+        right_expr = b;
+      }
+  | Expr.Union (a, b) -> Union (compile_prog a, compile_prog b)
+  | Expr.Diff (a, b) ->
+    Diff { d_left = compile_prog a; d_right = compile_prog b; a_expr = a; b_expr = b }
+
+let eval_old ~env e = Eval.eval ~env e
+
+let run ?indexed_join ~env ~deltas p =
+  (* [d ⋈ base]: probe the base's persistent index when the caller
+     provides one, otherwise hash-join against its pre-update value
+     with the compiled residual test *)
+  let join_side ~on ~test d side =
+    let generic () =
+      Rel_delta.join_bag ~on ?test d (eval_old ~env side)
+    in
+    match (indexed_join, side) with
+    | Some probe, Expr.Base name -> (
+      match probe ~name ~on d with Some part -> part | None -> generic ())
+    | _ -> generic ()
+  in
+  let rec exec prog =
+    match prog with
+    | Source name -> (
+      match deltas name with
+      | Some d -> d
+      | None -> (
+        match env name with
+        | Some bag -> Rel_delta.empty (Bag.schema bag)
+        | None -> raise (Eval.Unbound_relation name)))
+    | Fused (steps, sub) ->
+      let d = exec sub in
+      let n = Array.length steps in
+      let schema =
+        Array.fold_left
+          (fun s step ->
+            match step with
+            | Filter _ -> s
+            | Gather (names, _) -> Schema.project s names
+            | Remap (m, _) ->
+              Expr.schema_of (fun _ -> s) (Expr.Rename (m, Expr.Base "_")))
+          (Rel_delta.schema d) steps
+      in
+      let ops = ref 0 in
+      let rec go i t =
+        if i >= n then Some t
+        else begin
+          incr ops;
+          match Array.unsafe_get steps i with
+          | Filter f -> if f t then go (i + 1) t else None
+          | Gather (_, g) -> go (i + 1) (g t)
+          | Remap (_, r) -> go (i + 1) (r t)
+        end
+      in
+      let out = Rel_delta.transform schema (go 0) d in
+      Eval.charge_tuple_ops !ops;
+      out
+    | Join j ->
+      let da = exec j.left in
+      let db = exec j.right in
+      (* schema from the (possibly empty) child deltas, NOT from env
+         values: a virtual child whose delta filtered out entirely has
+         no stored value and no temporary (see the interpreter) *)
+      if Rel_delta.is_empty da && Rel_delta.is_empty db then
+        Rel_delta.empty
+          (Schema.join (Rel_delta.schema da) (Rel_delta.schema db))
+      else if Rel_delta.is_empty db then begin
+        let part = join_side ~on:j.on ~test:j.test da j.right_expr in
+        Eval.charge_tuple_ops
+          (Rel_delta.support_cardinal da + Rel_delta.support_cardinal part);
+        part
+      end
+      else if Rel_delta.is_empty da then begin
+        (* the natural join is symmetric, so the delta may probe the
+           left side *)
+        let part = join_side ~on:j.on ~test:j.test db j.left_expr in
+        Eval.charge_tuple_ops
+          (Rel_delta.support_cardinal db + Rel_delta.support_cardinal part);
+        part
+      end
+      else begin
+        (* Example 6.1, without materializing B_new:
+           Δ(A ⋈ B) = ΔA ⋈ B_old + ΔA ⋈ ΔB + A_old ⋈ ΔB. *)
+        let part1 = join_side ~on:j.on ~test:j.test da j.right_expr in
+        let part2 = join_side ~on:j.on ~test:j.test db j.left_expr in
+        let cross = Rel_delta.join ~on:j.on ?test:j.test da db in
+        Eval.charge_tuple_ops
+          (Rel_delta.support_cardinal da + Rel_delta.support_cardinal db
+          + Rel_delta.support_cardinal part1
+          + Rel_delta.support_cardinal part2
+          + Rel_delta.support_cardinal cross);
+        Rel_delta.smash (Rel_delta.smash part1 part2) cross
+      end
+    | Union (a, b) ->
+      let da = exec a in
+      let db = exec b in
+      Eval.charge_tuple_ops
+        (Rel_delta.support_cardinal da + Rel_delta.support_cardinal db);
+      Rel_delta.smash da db
+    | Diff d ->
+      let da = exec d.d_left in
+      let db = exec d.d_right in
+      if Rel_delta.is_empty da && Rel_delta.is_empty db then
+        Rel_delta.empty (Rel_delta.schema da)
+      else begin
+        let old_a = eval_old ~env d.a_expr
+        and old_b = eval_old ~env d.b_expr in
+        let schema = Bag.schema old_a in
+        (* Only tuples whose bag multiplicity changed in a child can
+           change set membership in the output; post-state membership
+           is decidable from the old bag and the signed delta. *)
+        let mem_after bag dl t =
+          Bag.mult bag t + Rel_delta.signed_mult dl t > 0
+        in
+        let candidates =
+          Rel_delta.fold
+            (fun t _ acc -> Tuple.Set.add t acc)
+            da
+            (Rel_delta.fold
+               (fun t _ acc -> Tuple.Set.add t acc)
+               db Tuple.Set.empty)
+        in
+        Eval.charge_tuple_ops (Tuple.Set.cardinal candidates);
+        Tuple.Set.fold
+          (fun t acc ->
+            let before = Bag.mem old_a t && not (Bag.mem old_b t) in
+            let after = mem_after old_a da t && not (mem_after old_b db t) in
+            match (before, after) with
+            | false, true -> Rel_delta.insert acc t
+            | true, false -> Rel_delta.delete acc t
+            | true, true | false, false -> acc)
+          candidates (Rel_delta.empty schema)
+      end
+  in
+  exec p.prog
+
+(* compile-once memo keyed by the expression; bounded like the value
+   plan cache so ad-hoc expressions from fuzz runs cannot leak *)
+let cache : (Expr.t, t) Hashtbl.t = Hashtbl.create 64
+let cache_cap = 4096
+let compiled = ref 0
+
+let of_expr expr =
+  match Hashtbl.find_opt cache expr with
+  | Some p -> p
+  | None ->
+    let p = { expr; prog = compile_prog expr } in
+    incr compiled;
+    if Hashtbl.length cache < cache_cap then Hashtbl.replace cache expr p;
+    p
+
+let compiled_plans () = !compiled
+
+let delta_of_expr ?indexed_join ~env ~deltas expr =
+  run ?indexed_join ~env ~deltas (of_expr expr)

@@ -1,0 +1,51 @@
+(** Compiled incremental propagation rules: the delta counterpart of
+    {!Relalg.Plan} (the default engine behind
+    {!Inc_eval.delta_of_expr}).
+
+    Each definition/edge expression compiles once into a delta
+    pipeline: predicates become closures over schema slot indices,
+    unary select/project/rename chains fuse into a single signed pass
+    over the child delta, and join rules carry their precompiled
+    residual tests into {!Rel_delta}'s signed joins. Rule structure —
+    the Example 6.1 three-part join, the membership-candidate
+    difference, the schema-from-child-deltas rule for no-op joins —
+    mirrors the interpretive oracle {!Inc_eval.delta_of_expr_interp}
+    exactly; plans must agree with it on values. Operation charging
+    matches the interpreter's per-rule delta supports, except that a
+    fused chain charges per atom streamed into each step (pre-merge
+    counts below duplicate-merging projections). *)
+
+open Relalg
+
+type t
+(** A compiled delta plan. *)
+
+val of_expr : Expr.t -> t
+(** Compile (or fetch from the global compile-once memo). *)
+
+val expr : t -> Expr.t
+(** The source expression of a plan. *)
+
+val run :
+  ?indexed_join:
+    (name:string -> on:Predicate.t -> Rel_delta.t -> Rel_delta.t option) ->
+  env:(string -> Bag.t option) ->
+  deltas:(string -> Rel_delta.t option) ->
+  t ->
+  Rel_delta.t
+(** Execute the plan: same contract as {!Inc_eval.delta_of_expr}
+    ([env] = pre-update values, [deltas] = net changes, [indexed_join]
+    = persistent-index probe for [Δ ⋈ base] parts).
+    @raise Eval.Unbound_relation if a needed base is missing. *)
+
+val delta_of_expr :
+  ?indexed_join:
+    (name:string -> on:Predicate.t -> Rel_delta.t -> Rel_delta.t option) ->
+  env:(string -> Bag.t option) ->
+  deltas:(string -> Rel_delta.t option) ->
+  Expr.t ->
+  Rel_delta.t
+(** [run (of_expr e) ...]. *)
+
+val compiled_plans : unit -> int
+(** Number of distinct expressions compiled so far (process-wide). *)

@@ -5,8 +5,11 @@ open Relalg
    lookups dominate and this is cheap. *)
 let eval_old ~env e = Eval.eval ~env e
 
-let rec delta_of_expr ?indexed_join ~env ~deltas expr =
-  let delta_of_expr = delta_of_expr ?indexed_join in
+(* The interpretive rule engine: walks the expression on every
+   transaction. Kept as the differential-test oracle for the compiled
+   delta plans; production paths go through {!delta_of_expr} below. *)
+let rec delta_of_expr_interp ?indexed_join ~env ~deltas expr =
+  let delta_of_expr = delta_of_expr_interp ?indexed_join in
   (* [d ⋈ base]: probe the base's persistent index when the caller
      provides one, otherwise hash-join against its pre-update value *)
   let join_side ~on d side =
@@ -111,6 +114,11 @@ let rec delta_of_expr ?indexed_join ~env ~deltas expr =
           | true, true | false, false -> acc)
         candidates (Rel_delta.empty schema)
     end
+
+(* production propagation: compiled delta pipelines (compile-once memo
+   keyed by the expression) — see {!Delta_plan} *)
+let delta_of_expr ?indexed_join ~env ~deltas expr =
+  Delta_plan.delta_of_expr ?indexed_join ~env ~deltas expr
 
 let eval_new ~env ~deltas expr =
   let old_value = Eval.eval ~env expr in

@@ -34,7 +34,22 @@ val delta_of_expr :
     back. The IUP passes a probe into the mediator's stored tables
     here, so per-transaction [ΔA ⋈ B_old] joins skip rebuilding a key
     table over [B_old] on every update transaction.
+
+    Execution goes through the compiled delta pipelines of
+    {!Delta_plan} (fused unary chains, slot-compiled predicates),
+    compiled once per expression and reused on every transaction.
     @raise Eval.Unbound_relation if a needed base is missing. *)
+
+val delta_of_expr_interp :
+  ?indexed_join:
+    (name:string -> on:Predicate.t -> Rel_delta.t -> Rel_delta.t option) ->
+  env:(string -> Bag.t option) ->
+  deltas:(string -> Rel_delta.t option) ->
+  Expr.t ->
+  Rel_delta.t
+(** The interpretive rule engine (walks the expression on every call):
+    the differential-test oracle against which compiled delta plans
+    are verified. Value-identical to {!delta_of_expr}. *)
 
 val eval_new :
   env:(string -> Bag.t option) ->

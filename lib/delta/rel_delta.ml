@@ -71,12 +71,22 @@ let inverse d =
   Counts.iter (fun t m -> Counts.Builder.add out t (-m)) d.muls;
   { d with muls = Counts.Builder.seal out }
 
-let select p d =
+let filter test d =
   let out = Counts.Builder.create () in
-  Counts.iter
-    (fun t m -> if Predicate.eval p t then Counts.Builder.add out t m)
-    d.muls;
+  Counts.iter (fun t m -> if test t then Counts.Builder.add out t m) d.muls;
   { d with muls = Counts.Builder.seal out }
+
+let select p d = filter (Predicate.eval p) d
+
+let transform schema f d =
+  let out = Counts.Builder.create ~size:(max 16 (Counts.size d.muls)) () in
+  Counts.iter
+    (fun tuple m ->
+      match f tuple with
+      | Some tuple' -> Counts.Builder.add out tuple' m
+      | None -> ())
+    d.muls;
+  { schema; muls = Counts.Builder.seal out }
 
 let project names d =
   let schema = Schema.project d.schema names in
@@ -92,15 +102,9 @@ let rename mapping d =
       (fun _ -> d.schema)
       (Expr.Rename (mapping, Expr.Base "_"))
   in
-  let rename_tuple tuple =
-    Tuple.of_list
-      (List.map
-         (fun (a, v) ->
-           match List.assoc_opt a mapping with
-           | Some b -> (b, v)
-           | None -> (a, v))
-         (Tuple.to_list tuple))
-  in
+  (* array fast path: the renamer precomputes the slot permutation per
+     descriptor, no assoc-list round trip per tuple *)
+  let rename_tuple = Tuple.renamer mapping in
   let out = Counts.Builder.create ~size:(max 16 (Counts.size d.muls)) () in
   Counts.iter
     (fun tuple m -> Counts.Builder.add out (rename_tuple tuple) m)
@@ -112,13 +116,16 @@ let split_join join_fn d =
   let del = join_fn (deletions d) in
   of_bags ~ins ~del
 
-let join_bag ?on d bag = split_join (fun side -> Bag.join ?on side bag) d
-let bag_join ?on bag d = split_join (fun side -> Bag.join ?on bag side) d
+let join_bag ?on ?test d bag =
+  split_join (fun side -> Bag.join ?on ?test side bag) d
+
+let bag_join ?on ?test bag d =
+  split_join (fun side -> Bag.join ?on ?test bag side) d
 
 (* Signed join of two deltas: multiplicities multiply, so the four
    insertion/deletion quadrants carry sign (+ - - +). Both operands
    are deltas, so the quadrant joins are delta-sized. *)
-let join ?on d1 d2 =
+let join ?on ?test d1 d2 =
   let schema = Schema.join d1.schema d2.schema in
   let ins1 = insertions d1 and del1 = deletions d1 in
   let ins2 = insertions d2 and del2 = deletions d2 in
@@ -126,10 +133,10 @@ let join ?on d1 d2 =
     Bag.fold (fun t m acc -> add_signed acc t (sign * m)) j acc
   in
   empty schema
-  |> add 1 (Bag.join ?on ins1 ins2)
-  |> add (-1) (Bag.join ?on ins1 del2)
-  |> add (-1) (Bag.join ?on del1 ins2)
-  |> add 1 (Bag.join ?on del1 del2)
+  |> add 1 (Bag.join ?on ?test ins1 ins2)
+  |> add (-1) (Bag.join ?on ?test ins1 del2)
+  |> add (-1) (Bag.join ?on ?test del1 ins2)
+  |> add 1 (Bag.join ?on ?test del1 del2)
 
 let fold f d init = Counts.fold f d.muls init
 

@@ -62,6 +62,18 @@ val select : Predicate.t -> t -> t
 (** Commutes with apply:
     [select p (apply db d) = apply (select p db) (select p d)]. *)
 
+val filter : (Tuple.t -> bool) -> t -> t
+(** [select] with a pre-compiled predicate closure
+    ({!Relalg.Predicate.compile}); the hot path of compiled delta
+    plans. *)
+
+val transform : Schema.t -> (Tuple.t -> Tuple.t option) -> t -> t
+(** One-pass fused filter+map: each atom's tuple is rewritten (or
+    dropped on [None]) keeping its signed multiplicity; signed
+    multiplicities of coinciding images accumulate and zero sums drop
+    out. [schema] is the schema of the rewritten atoms. Backs fused
+    unary chains in compiled delta plans. *)
+
 val project : string list -> t -> t
 (** Bag projection of a delta (signed multiplicities of coinciding
     images add up). Commutes with apply on bags. *)
@@ -70,13 +82,15 @@ val rename : (string * string) list -> t -> t
 (** Rename attributes in every atom ([(old, new)] pairs). Commutes
     with apply like projection does. *)
 
-val join_bag : ?on:Predicate.t -> t -> Bag.t -> t
+val join_bag : ?on:Predicate.t -> ?test:(Tuple.t -> bool) -> t -> Bag.t -> t
 (** [join_bag d b]: the signed join [d ⋈ b], the building block of the
-    SPJ propagation rules of Sec. 5.2. *)
+    SPJ propagation rules of Sec. 5.2. [test], when given, must be the
+    compiled form of [on] and replaces interpretive residual
+    evaluation (see {!Relalg.Bag.join}). *)
 
-val bag_join : ?on:Predicate.t -> Bag.t -> t -> t
+val bag_join : ?on:Predicate.t -> ?test:(Tuple.t -> bool) -> Bag.t -> t -> t
 
-val join : ?on:Predicate.t -> t -> t -> t
+val join : ?on:Predicate.t -> ?test:(Tuple.t -> bool) -> t -> t -> t
 (** Signed join of two deltas (ΔA ⋈ ΔB): multiplicities multiply, so
     the cross term of the both-sides-changed Join propagation rule is
     delta-sized and needs no materialized new state. *)

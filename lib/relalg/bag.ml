@@ -180,7 +180,7 @@ let join_keys sa sb on =
    right side once, probe with the left; keys are extracted through
    memoized slot plans, and the common single-attribute key case skips
    the key-list allocation entirely. *)
-let join ?(on = Predicate.True) a b =
+let join ?(on = Predicate.True) ?test a b =
   let left_keys, right_keys = join_keys a.schema b.schema on in
   let out_schema = Schema.join a.schema b.schema in
   let bu =
@@ -188,11 +188,16 @@ let join ?(on = Predicate.True) a b =
       out_schema
   in
   let trivially_true = on = Predicate.True in
+  (* [test] is a compiled form of [on] supplied by the plan layer;
+     when absent the residual condition is evaluated interpretively *)
+  let residual =
+    match test with Some f -> f | None -> Predicate.eval on
+  in
   let combine ta ma tb mb =
     match Tuple.concat ta tb with
     | None -> ()
     | Some merged ->
-      if trivially_true || Predicate.eval on merged then
+      if trivially_true || residual merged then
         badd ~check:false bu merged (ma * mb)
   in
   (match left_keys, right_keys with

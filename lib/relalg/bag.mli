@@ -81,11 +81,15 @@ val join_keys :
     delta propagation can match persistent table indexes against the
     join's key. *)
 
-val join : ?on:Predicate.t -> t -> t -> t
+val join : ?on:Predicate.t -> ?test:(Tuple.t -> bool) -> t -> t -> t
 (** Natural join on shared attribute names combined with the optional
     theta condition [on]. Uses a hash join on shared attributes and on
     equi-pairs of [on] when available, falling back to nested loops.
-    Result multiplicity is the product of input multiplicities. *)
+    Result multiplicity is the product of input multiplicities.
+    [test], when given, replaces the interpretive evaluation of [on]
+    on merged tuples (the plan compiler passes [Predicate.compile on]
+    here); [on] still drives join-key planning, so [test] must be
+    semantically equal to [on]. *)
 
 val product : t -> t -> t
 (** Cartesian product. @raise Bag_error if attribute names overlap. *)
@@ -104,6 +108,26 @@ val map_tuples : Schema.t -> (Tuple.t -> Tuple.t) -> t -> t
 (** Re-map every tuple (multiplicities of coinciding images add up). *)
 
 val filter : (Tuple.t -> bool) -> t -> t
+
+(** {1 Builder}
+
+    Mutable accumulation of a fresh bag, sealed in O(1) — the arena
+    every algebra operator builds its result in. Exposed so the plan
+    compiler ({!Plan}) can stream fused operator pipelines straight
+    into one output bag without materializing intermediates. *)
+
+type builder
+
+val builder : ?size:int -> Schema.t -> builder
+
+val badd : check:bool -> builder -> Tuple.t -> int -> unit
+(** Accumulate [mult] copies of a tuple (multiplicities of coinciding
+    tuples add up). [check] validates the tuple against the builder's
+    schema; pass [false] only for tuples produced by schema-correct
+    plans. *)
+
+val seal : builder -> t
+(** Transfer ownership; the builder must not be used afterwards. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

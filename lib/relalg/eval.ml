@@ -1,43 +1,37 @@
-exception Unbound_relation of string
+exception Unbound_relation = Plan.Unbound_relation
 
-let ops_counter = ref 0
+let tuple_ops = Plan.tuple_ops
+let reset_tuple_ops = Plan.reset_tuple_ops
+let charge_tuple_ops = Plan.charge_tuple_ops
 
-let tuple_ops () = !ops_counter
-let reset_tuple_ops () = ops_counter := 0
-let charge_tuple_ops n = ops_counter := !ops_counter + n
+let rename_tuple mapping = Tuple.renamer mapping
 
-let rename_tuple mapping tuple =
-  Tuple.of_list
-    (List.map
-       (fun (a, v) ->
-         match List.assoc_opt a mapping with
-         | Some b -> (b, v)
-         | None -> (a, v))
-       (Tuple.to_list tuple))
-
-let rec eval ~env expr =
+(* The interpretive evaluator: walks the AST on every call, resolving
+   operators as it goes. Kept as the differential-test oracle for the
+   plan compiler; production paths go through {!eval} below. *)
+let rec eval_interp ~env expr =
   match expr with
   | Expr.Base name -> (
     match env name with
     | Some bag -> bag
     | None -> raise (Unbound_relation name))
   | Expr.Select (p, e) ->
-    let bag = eval ~env e in
+    let bag = eval_interp ~env e in
     charge_tuple_ops (Bag.support_cardinal bag);
     Bag.select p bag
   | Expr.Project (names, e) ->
-    let bag = eval ~env e in
+    let bag = eval_interp ~env e in
     charge_tuple_ops (Bag.support_cardinal bag);
     Bag.project names bag
   | Expr.Rename (mapping, e) ->
-    let bag = eval ~env e in
+    let bag = eval_interp ~env e in
     charge_tuple_ops (Bag.support_cardinal bag);
     let schema =
       Expr.schema_of (fun _ -> Bag.schema bag) (Expr.Rename (mapping, Expr.Base "_"))
     in
     Bag.map_tuples schema (rename_tuple mapping) bag
   | Expr.Join (a, p, b) ->
-    let ba = eval ~env a and bb = eval ~env b in
+    let ba = eval_interp ~env a and bb = eval_interp ~env b in
     let result = Bag.join ~on:p ba bb in
     (* hash join: linear in inputs plus output; theta-only joins are
        charged quadratically by [Bag.join] going through every pair,
@@ -55,13 +49,18 @@ let rec eval ~env expr =
     charge_tuple_ops cost;
     result
   | Expr.Union (a, b) ->
-    let ba = eval ~env a and bb = eval ~env b in
+    let ba = eval_interp ~env a and bb = eval_interp ~env b in
     charge_tuple_ops (Bag.support_cardinal ba + Bag.support_cardinal bb);
     Bag.union ba bb
   | Expr.Diff (a, b) ->
-    let ba = eval ~env a and bb = eval ~env b in
+    let ba = eval_interp ~env a and bb = eval_interp ~env b in
     charge_tuple_ops (Bag.support_cardinal ba + Bag.support_cardinal bb);
     Bag.set_diff ba bb
+
+(* production evaluation: compiled operator pipelines (compile-once
+   memo keyed by the expression), fused stages, slot-compiled
+   predicates — see {!Plan} *)
+let eval ~env expr = Plan.eval ~env expr
 
 let eval_assoc bindings expr =
   eval ~env:(fun name -> List.assoc_opt name bindings) expr

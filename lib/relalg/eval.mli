@@ -11,7 +11,17 @@ val eval : env:(string -> Bag.t option) -> Expr.t -> Bag.t
     Duplicate-eliminating semantics per the paper: [Diff] first takes
     set-images of both operands and yields a set; [Union] and
     [Project] are bag operators.
+
+    Execution goes through the plan compiler ({!Plan}): the expression
+    is compiled once (fused unary stages, slot-compiled predicates,
+    streaming joins) and the compiled pipeline is reused on every
+    subsequent evaluation of the same expression.
     @raise Unbound_relation when a base name is unresolved. *)
+
+val eval_interp : env:(string -> Bag.t option) -> Expr.t -> Bag.t
+(** The interpretive evaluator (walks the AST on every call): the
+    differential-test oracle against which compiled plans are
+    verified. Value-identical to {!eval}. *)
 
 val eval_assoc : (string * Bag.t) list -> Expr.t -> Bag.t
 (** [eval] with an association-list environment. *)

@@ -1,0 +1,277 @@
+(* Plan compiler: algebra expressions compiled once into physical
+   operator pipelines, executed many times.
+
+   An expression is compiled to a [prog] tree whose unary chains
+   (select / project / rename) are fused into a single per-tuple pass
+   over the child's output — no intermediate bag per operator — and
+   whose predicates are closures over schema slot indices
+   ({!Predicate.compile}, {!Tuple.projector}, {!Tuple.renamer}): after
+   the first tuple of each descriptor no attribute-name lookup happens
+   on the hot path. Execution streams tuples from sources through the
+   fused stages into one output builder; joins build a key index over
+   the streamed right side and probe it with the left, emitting merged
+   tuples straight into the downstream stage.
+
+   Schemas are resolved at execution time from the environment's bags,
+   NOT at compile time from static declarations: the same node
+   definition runs over full leaf relations, materialized projections,
+   and VAP temporaries carrying only the requested attributes, and
+   natural-join keys depend on the attribute sets actually present. A
+   plan is therefore schema-polymorphic — keyed by the expression
+   alone — and every stage re-derives its slot plans per descriptor
+   through the one-entry memos of the physical layer.
+
+   The interpretive evaluator ({!Eval.eval_interp}) stays as the
+   differential-test oracle; plans must agree with it on values.
+   Operation charging mirrors the interpreter's per-operator input
+   cardinalities, with one documented deviation: a fused stage charges
+   per tuple streamed into it, so a duplicate-merging projection below
+   another stage charges the pre-merge count where the interpreter
+   charges the materialized (merged) support. *)
+
+exception Unbound_relation of string
+
+(* the global tuple-operation counter feeding the simulator's cost
+   model lives here (the compiled path is the default evaluator);
+   {!Eval} re-exports it under its historical name *)
+let ops_counter = ref 0
+let tuple_ops () = !ops_counter
+let reset_tuple_ops () = ops_counter := 0
+let charge_tuple_ops n = ops_counter := !ops_counter + n
+
+type step =
+  | Filter of (Tuple.t -> bool)
+  | Gather of string list * (Tuple.t -> Tuple.t) (* projection *)
+  | Remap of (string * string) list * (Tuple.t -> Tuple.t) (* renaming *)
+
+type prog =
+  | Source of string
+  | Fused of step array * prog (* steps innermost-first *)
+  | Join of join
+  | Union of prog * prog
+  | Diff of prog * prog
+
+and join = {
+  on : Predicate.t;
+  test : (Tuple.t -> bool) option; (* compiled [on]; None = True *)
+  has_equi : bool; (* equi_pairs on <> [], for cost parity *)
+  left : prog;
+  right : prog;
+}
+
+type t = { expr : Expr.t; prog : prog }
+
+let expr p = p.expr
+
+(* collect a maximal unary chain; the accumulator ends up
+   innermost-first, which is execution order *)
+let rec peel acc = function
+  | Expr.Select (p, e) -> peel (Filter (Predicate.compile p) :: acc) e
+  | Expr.Project (names, e) ->
+    peel (Gather (names, Tuple.projector names) :: acc) e
+  | Expr.Rename (m, e) -> peel (Remap (m, Tuple.renamer m) :: acc) e
+  | e -> (acc, e)
+
+let rec compile_prog expr =
+  match expr with
+  | Expr.Base n -> Source n
+  | Expr.Select _ | Expr.Project _ | Expr.Rename _ ->
+    let steps, sub = peel [] expr in
+    Fused (Array.of_list steps, compile_prog sub)
+  | Expr.Join (a, p, b) ->
+    Join
+      {
+        on = p;
+        test =
+          (if Predicate.equal p Predicate.True then None
+           else Some (Predicate.compile p));
+        has_equi = Predicate.equi_pairs p <> [];
+        left = compile_prog a;
+        right = compile_prog b;
+      }
+  | Expr.Union (a, b) -> Union (compile_prog a, compile_prog b)
+  | Expr.Diff (a, b) -> Diff (compile_prog a, compile_prog b)
+
+let resolve env name =
+  match env name with
+  | Some bag -> bag
+  | None -> raise (Unbound_relation name)
+
+let bag_err fmt = Format.kasprintf (fun s -> raise (Bag.Bag_error s)) fmt
+
+(* runtime schema of a node's output, derived from the environment's
+   bags; also performs the structural validation the interpreter's bag
+   operators would (rename mappings, union compatibility) *)
+let rec out_schema prog ~env =
+  match prog with
+  | Source n -> Bag.schema (resolve env n)
+  | Fused (steps, sub) ->
+    let s = out_schema sub ~env in
+    Array.fold_left
+      (fun s step ->
+        match step with
+        | Filter _ -> s
+        | Gather (names, _) -> Schema.project s names
+        | Remap (m, _) ->
+          Expr.schema_of (fun _ -> s) (Expr.Rename (m, Expr.Base "_")))
+      s steps
+  | Join j ->
+    Schema.join (out_schema j.left ~env) (out_schema j.right ~env)
+  | Union (a, b) ->
+    let sa = out_schema a ~env and sb = out_schema b ~env in
+    if not (Schema.union_compatible sa sb) then
+      bag_err "union: schemas %s and %s are not union-compatible"
+        (Schema.to_string sa) (Schema.to_string sb);
+    sa
+  | Diff (a, b) ->
+    let sa = out_schema a ~env and sb = out_schema b ~env in
+    if not (Schema.union_compatible sa sb) then
+      bag_err "set_diff: schemas %s and %s are not union-compatible"
+        (Schema.to_string sa) (Schema.to_string sb);
+    sa
+
+(* key tables for the streaming hash join, over Value's own
+   equality/hash (Int 1 and Float 1. compare equal and must collide) *)
+module VKey_table = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+module Key_table = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+  let hash key = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 key
+end)
+
+let rec stream prog ~env ~(emit : Tuple.t -> int -> unit) =
+  match prog with
+  | Source n -> Bag.iter emit (resolve env n)
+  | Fused (steps, sub) ->
+    let n = Array.length steps in
+    stream sub ~env ~emit:(fun t m ->
+        let rec go i t =
+          if i >= n then emit t m
+          else begin
+            incr ops_counter;
+            match Array.unsafe_get steps i with
+            | Filter f -> if f t then go (i + 1) t
+            | Gather (_, g) -> go (i + 1) (g t)
+            | Remap (_, r) -> go (i + 1) (r t)
+          end
+        in
+        go 0 t)
+  | Join j -> exec_join j ~env ~emit
+  | Union (a, b) ->
+    ignore (out_schema prog ~env : Schema.t);
+    let pass t m =
+      incr ops_counter;
+      emit t m
+    in
+    stream a ~env ~emit:pass;
+    stream b ~env ~emit:pass
+  | Diff (a, b) ->
+    ignore (out_schema prog ~env : Schema.t);
+    (* set difference of the set-images: both sides deduplicated *)
+    let in_b = Tuple.Tbl.create 64 in
+    stream b ~env ~emit:(fun t _ ->
+        if not (Tuple.Tbl.mem in_b t) then begin
+          incr ops_counter;
+          Tuple.Tbl.add in_b t ()
+        end);
+    let seen = Tuple.Tbl.create 64 in
+    stream a ~env ~emit:(fun t _ ->
+        if not (Tuple.Tbl.mem seen t) then begin
+          Tuple.Tbl.add seen t ();
+          incr ops_counter;
+          if not (Tuple.Tbl.mem in_b t) then emit t 1
+        end)
+
+and exec_join j ~env ~emit =
+  let sa = out_schema j.left ~env and sb = out_schema j.right ~env in
+  let left_keys, right_keys = Bag.join_keys sa sb j.on in
+  let shared =
+    List.exists (fun n -> Schema.mem sb n) (Schema.attrs sa)
+  in
+  let residual = match j.test with Some f -> f | None -> fun _ -> true in
+  let trivially_true = j.test = None in
+  let na = ref 0 and nb = ref 0 and nout = ref 0 in
+  let combine ta ma tb mb =
+    match Tuple.concat ta tb with
+    | None -> ()
+    | Some merged ->
+      if trivially_true || residual merged then begin
+        incr nout;
+        emit merged (ma * mb)
+      end
+  in
+  (match left_keys, right_keys with
+  | [], _ | _, [] ->
+    (* pure theta join: nested loops over the materialized right *)
+    let right = ref [] in
+    stream j.right ~env ~emit:(fun t m ->
+        incr nb;
+        right := (t, m) :: !right);
+    let right = !right in
+    stream j.left ~env ~emit:(fun ta ma ->
+        incr na;
+        List.iter (fun (tb, mb) -> combine ta ma tb mb) right)
+  | [ lk ], [ rk ] ->
+    let key_of_b = Tuple.keyer1 rk and key_of_a = Tuple.keyer1 lk in
+    let index = VKey_table.create 64 in
+    stream j.right ~env ~emit:(fun tb mb ->
+        incr nb;
+        VKey_table.add index (key_of_b tb) (tb, mb));
+    stream j.left ~env ~emit:(fun ta ma ->
+        incr na;
+        List.iter
+          (fun (tb, mb) -> combine ta ma tb mb)
+          (VKey_table.find_all index (key_of_a ta)))
+  | _ ->
+    let key_of_b = Tuple.keyer right_keys
+    and key_of_a = Tuple.keyer left_keys in
+    let index = Key_table.create 64 in
+    stream j.right ~env ~emit:(fun tb mb ->
+        incr nb;
+        Key_table.add index (key_of_b tb) (tb, mb));
+    stream j.left ~env ~emit:(fun ta ma ->
+        incr na;
+        List.iter
+          (fun (tb, mb) -> combine ta ma tb mb)
+          (Key_table.find_all index (key_of_a ta))));
+  (* interpreter cost parity: hash joins are linear in inputs plus
+     output, theta-only joins quadratic (the product bound) *)
+  charge_tuple_ops
+    (if shared || j.has_equi then !na + !nb + !nout else !na * !nb)
+
+let run p ~env =
+  match p.prog with
+  | Source n -> resolve env n (* as the interpreter: no copy, no charge *)
+  | prog ->
+    let schema = out_schema prog ~env in
+    let bu = Bag.builder schema in
+    stream prog ~env ~emit:(fun t m -> Bag.badd ~check:false bu t m);
+    Bag.seal bu
+
+(* compile-once memo keyed by the expression (pure data, hashable);
+   counts feed the CLI's profile report. Unbounded growth is capped:
+   past the cap plans still compile but are not retained (ad-hoc
+   query expressions from long fuzz runs must not leak). *)
+let cache : (Expr.t, t) Hashtbl.t = Hashtbl.create 64
+let cache_cap = 4096
+let compiled = ref 0
+
+let of_expr expr =
+  match Hashtbl.find_opt cache expr with
+  | Some p -> p
+  | None ->
+    let p = { expr; prog = compile_prog expr } in
+    incr compiled;
+    if Hashtbl.length cache < cache_cap then Hashtbl.replace cache expr p;
+    p
+
+let compiled_plans () = !compiled
+
+let eval ~env expr = run (of_expr expr) ~env

@@ -71,6 +71,45 @@ let rec eval p tuple =
   | Or (a, b) -> eval a tuple || eval b tuple
   | Not a -> not (eval a tuple)
 
+(* Compiled form: the closure tree mirrors the AST, but every [Attr]
+   access goes through {!Tuple.keyer1}, whose one-entry slot memo turns
+   the per-tuple name lookup into an array read after the first tuple
+   of each descriptor. *)
+let rec compile_term = function
+  | Const v -> fun _ -> v
+  | Attr a -> Tuple.keyer1 a
+  | Neg t ->
+    let f = compile_term t in
+    fun x -> Value.neg (f x)
+  | Add (a, b) ->
+    let fa = compile_term a and fb = compile_term b in
+    fun x -> Value.add (fa x) (fb x)
+  | Sub (a, b) ->
+    let fa = compile_term a and fb = compile_term b in
+    fun x -> Value.sub (fa x) (fb x)
+  | Mul (a, b) ->
+    let fa = compile_term a and fb = compile_term b in
+    fun x -> Value.mul (fa x) (fb x)
+  | Div (a, b) ->
+    let fa = compile_term a and fb = compile_term b in
+    fun x -> Value.div (fa x) (fb x)
+
+let rec compile = function
+  | True -> fun _ -> true
+  | False -> fun _ -> false
+  | Cmp (op, a, b) ->
+    let fa = compile_term a and fb = compile_term b in
+    fun t -> eval_cmp op (fa t) (fb t)
+  | And (a, b) ->
+    let fa = compile a and fb = compile b in
+    fun t -> fa t && fb t
+  | Or (a, b) ->
+    let fa = compile a and fb = compile b in
+    fun t -> fa t || fb t
+  | Not a ->
+    let fa = compile a in
+    fun t -> not (fa t)
+
 module Sset = Set.Make (String)
 
 let rec term_attr_set = function

@@ -54,6 +54,18 @@ val eval : t -> Tuple.t -> bool
 (** Evaluate against a tuple. Comparisons involving [Null] are [false]
     (so [Not] of such a comparison is [true]: two-valued collapse). *)
 
+val compile_term : term -> Tuple.t -> Value.t
+(** [compile_term t] is [eval_term t] as a closure tree with every
+    attribute access resolved through a per-descriptor slot memo
+    ({!Tuple.keyer1}): after the first tuple of a descriptor each
+    access is a plain array read. Same exceptions as {!eval_term}. *)
+
+val compile : t -> Tuple.t -> bool
+(** [compile p] is [eval p] with attribute slots memoized per
+    descriptor; partial application pays the closure construction
+    once, each tuple test then performs no name lookups. Semantics
+    identical to {!eval}. *)
+
 val attrs : t -> string list
 (** Attribute names mentioned, sorted, without duplicates. This is the
     set [D] used by [derived_from] (Sec. 6.3). *)

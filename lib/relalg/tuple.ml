@@ -226,6 +226,41 @@ let keyer1 name =
     in
     t.vals.(slot)
 
+(* Rename plan: renaming re-sorts the attribute order, so the plan is
+   a target descriptor plus a source-slot gather map, resolved once
+   per (source descriptor, mapping). One-entry memo as for projector:
+   bag-wide renames stream tuples over a single descriptor. *)
+let rename_plan desc mapping =
+  let n = Array.length desc.Desc.names in
+  let renamed =
+    Array.init n (fun i ->
+        let name = desc.Desc.names.(i) in
+        ( (match List.assoc_opt name mapping with
+          | Some fresh -> fresh
+          | None -> name),
+          i ))
+  in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) renamed;
+  for i = 1 to n - 1 do
+    if String.equal (fst renamed.(i - 1)) (fst renamed.(i)) then
+      invalid_arg "Tuple.renamer: mapping collapses two attributes"
+  done;
+  let out_desc = Desc.of_sorted_names (Array.map fst renamed) in
+  (out_desc, Array.map snd renamed)
+
+let renamer mapping =
+  let cache = ref None in
+  fun t ->
+    let plan =
+      match !cache with
+      | Some (src_id, plan) when src_id = t.desc.Desc.id -> plan
+      | _ ->
+        let plan = rename_plan t.desc mapping in
+        cache := Some (t.desc.Desc.id, plan);
+        plan
+    in
+    apply_plan plan t
+
 let agree_on a b names =
   List.for_all (fun n -> Value.equal (get a n) (get b n)) names
 

@@ -38,6 +38,14 @@ val projector : string list -> t -> t
     application pays the name lookups, each projected tuple is then a
     plain array gather. Use for bag-wide projections. *)
 
+val renamer : (string * string) list -> t -> t
+(** [renamer mapping] rewrites attribute names through [mapping]
+    ((old, new) pairs; unmapped names kept) with the gather plan
+    resolved once per source descriptor — the array-tuple fast path
+    behind algebra renaming, replacing the [of_list]/[to_list]
+    assoc-list round-trip. @raise Invalid_argument if the mapping
+    collapses two attributes of the tuple into one name. *)
+
 val keyer : string list -> t -> Value.t list
 (** [keyer names] extracts the values of [names] (in the given order)
     with the slot plan memoized per source descriptor, as used for

@@ -1,0 +1,401 @@
+(* Differential fuzzing of the compiled operator plans (Plan,
+   Delta_plan) against the interpretive oracles they replaced, plus
+   answer-cache behavior: repeat queries hit without polling,
+   committed updates invalidate, resync and live migration flush
+   wholesale, and a full chaos run stays convergent and consistent
+   with the cache enabled. *)
+
+open Relalg
+open Delta
+open Vdp
+open Sim
+open Sources
+open Squirrel
+open Workload
+
+let in_process env f =
+  let cell = ref None in
+  Engine.spawn env.Scenario.engine (fun () -> cell := Some (f ()));
+  let rec go n =
+    match !cell with
+    | Some v -> v
+    | None ->
+      if n > 100_000 then Alcotest.fail "simulation did not produce a result";
+      Engine.run env.Scenario.engine
+        ~until:(Engine.now env.Scenario.engine +. 1.0);
+      go (n + 1)
+  in
+  go 0
+
+let recompute env node =
+  let env_fn leaf =
+    match Graph.node_opt env.Scenario.vdp leaf with
+    | Some { Graph.kind = Graph.Leaf { source }; _ } ->
+      Some (Source_db.current (Scenario.source env source) leaf)
+    | Some _ | None -> None
+  in
+  Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)
+
+(* ---- random well-formed expressions ------------------------------------ *)
+
+(* small value domains so collisions, duplicates and cross-type key
+   matches (Int 2 vs Float 2.) actually happen *)
+let random_value rng = function
+  | Value.TInt -> Value.Int (Random.State.int rng 4)
+  | Value.TFloat -> Value.Float (float_of_int (Random.State.int rng 4))
+  | Value.TStr ->
+    Value.Str (String.make 1 (Char.chr (97 + Random.State.int rng 3)))
+  | Value.TBool -> Value.Bool (Random.State.bool rng)
+
+let random_ty rng =
+  match Random.State.int rng 3 with
+  | 0 -> Value.TInt
+  | 1 -> Value.TFloat
+  | _ -> Value.TStr
+
+(* one typed attribute pool per iteration; every schema draws a subset
+   of it, so shared attributes agree on types and natural joins are
+   well-formed *)
+let random_pool rng =
+  List.map (fun a -> (a, random_ty rng)) [ "a"; "b"; "c"; "d" ]
+
+let random_schema rng pool =
+  let chosen = List.filter (fun _ -> Random.State.int rng 3 < 2) pool in
+  Schema.make (if chosen = [] then [ List.hd pool ] else chosen)
+
+let random_tuple rng schema =
+  Tuple.of_list
+    (List.map (fun (a, ty) -> (a, random_value rng ty)) (Schema.typed_attrs schema))
+
+let random_bag rng schema =
+  let n = Random.State.int rng 10 in
+  let rec go acc i =
+    if i = 0 then acc
+    else
+      go
+        (Bag.add ~mult:(1 + Random.State.int rng 3) acc (random_tuple rng schema))
+        (i - 1)
+  in
+  go (Bag.empty schema) n
+
+let random_bases rng =
+  let pool = random_pool rng in
+  List.map
+    (fun name ->
+      let schema = random_schema rng pool in
+      (name, schema, random_bag rng schema))
+    [ "P"; "Q"; "N" ]
+
+let cmps =
+  [ Predicate.eq; Predicate.ne; Predicate.lt; Predicate.le; Predicate.gt;
+    Predicate.ge ]
+
+let random_pred rng schema =
+  let attrs = Schema.typed_attrs schema in
+  let pick () = List.nth attrs (Random.State.int rng (List.length attrs)) in
+  let const ty =
+    match random_value rng ty with
+    | Value.Int i -> Predicate.int i
+    | Value.Float f -> Predicate.flt f
+    | Value.Str s -> Predicate.str s
+    | _ -> Predicate.int 0
+  in
+  let rec go depth =
+    if depth = 0 || Random.State.int rng 3 = 0 then begin
+      let a, ty = pick () in
+      let rhs =
+        if Random.State.bool rng then Predicate.attr (fst (pick ()))
+        else const ty
+      in
+      (List.nth cmps (Random.State.int rng 6)) (Predicate.attr a) rhs
+    end
+    else
+      match Random.State.int rng 3 with
+      | 0 -> Predicate.And (go (depth - 1), go (depth - 1))
+      | 1 -> Predicate.Or (go (depth - 1), go (depth - 1))
+      | _ -> Predicate.Not (go (depth - 1))
+  in
+  go (1 + Random.State.int rng 2)
+
+(* rename targets are a function of the source attribute, so two
+   branches renaming the same pool attribute agree on name AND type
+   and a later natural join above them stays well-formed *)
+let rename_schema s mapping =
+  let ren a =
+    match List.assoc_opt a mapping with Some b -> b | None -> a
+  in
+  Schema.make (List.map (fun (a, ty) -> (ren a, ty)) (Schema.typed_attrs s))
+
+let rec random_expr rng bases depth =
+  if depth = 0 then begin
+    let name, schema, _ =
+      List.nth bases (Random.State.int rng (List.length bases))
+    in
+    (Expr.base name, schema)
+  end
+  else begin
+    let sub () = random_expr rng bases (depth - 1) in
+    match Random.State.int rng 10 with
+    | 0 | 1 ->
+      let e, s = sub () in
+      (Expr.select (random_pred rng s) e, s)
+    | 2 | 3 ->
+      let e, s = sub () in
+      let attrs = List.filter (fun _ -> Random.State.bool rng) (Schema.attrs s) in
+      let attrs = if attrs = [] then [ List.hd (Schema.attrs s) ] else attrs in
+      (Expr.project attrs e, Schema.project s attrs)
+    | 4 ->
+      let e, s = sub () in
+      let mapping =
+        List.filter_map
+          (fun a ->
+            if Random.State.bool rng then Some (a, "r" ^ a) else None)
+          (Schema.attrs s)
+      in
+      if mapping = [] then (e, s)
+      else (Expr.rename mapping e, rename_schema s mapping)
+    | 5 | 6 ->
+      let e1, s1 = sub () in
+      let e2, s2 = sub () in
+      (Expr.join e1 e2, Schema.join s1 s2)
+    | 7 ->
+      let e1, s1 = sub () in
+      let e2, s2 = sub () in
+      let s = Schema.join s1 s2 in
+      (Expr.join ~on:(random_pred rng s) e1 e2, s)
+    | 8 ->
+      let e, s = sub () in
+      (Expr.union e (Expr.select (random_pred rng s) e), s)
+    | _ ->
+      let e, s = sub () in
+      (Expr.diff e (Expr.select (random_pred rng s) e), s)
+  end
+
+let env_of_bases bases name =
+  List.find_map
+    (fun (n, _, b) -> if String.equal n name then Some b else None)
+    bases
+
+(* ---- compiled plans vs the interpreters -------------------------------- *)
+
+let test_value_plans_agree () =
+  for seed = 0 to 199 do
+    let rng = Random.State.make [| 0x9A57; seed |] in
+    let bases = random_bases rng in
+    let env = env_of_bases bases in
+    let e, _ = random_expr rng bases (1 + Random.State.int rng 3) in
+    Tutil.check_bag
+      (Printf.sprintf "seed %d: %s" seed (Expr.to_string e))
+      (Eval.eval_interp ~env e) (Eval.eval ~env e)
+  done
+
+let test_delta_plans_agree () =
+  for seed = 0 to 199 do
+    let rng = Random.State.make [| 0xD17A; seed |] in
+    let bases = random_bases rng in
+    let env = env_of_bases bases in
+    let delta_list =
+      List.filter_map
+        (fun (n, s, b) ->
+          if Random.State.bool rng then
+            Some (n, Rel_delta.of_diff ~old_bag:b ~new_bag:(random_bag rng s))
+          else None)
+        bases
+    in
+    let deltas name = List.assoc_opt name delta_list in
+    let e, _ = random_expr rng bases (1 + Random.State.int rng 3) in
+    let what = Printf.sprintf "seed %d: %s" seed (Expr.to_string e) in
+    let compiled = Inc_eval.delta_of_expr ~env ~deltas e in
+    Alcotest.check Tutil.rel_delta what
+      (Inc_eval.delta_of_expr_interp ~env ~deltas e)
+      compiled;
+    (* the apply contract against full recomputation: old value plus
+       the compiled delta is the value over the updated bases *)
+    let env' name =
+      match (env name, deltas name) with
+      | Some b, Some d -> Some (Rel_delta.apply b d)
+      | v, _ -> v
+    in
+    Tutil.check_bag (what ^ " (apply contract)")
+      (Eval.eval ~env:env' e)
+      (Rel_delta.apply (Eval.eval ~env e) compiled)
+  done
+
+let test_renamer () =
+  let t =
+    Tuple.of_list
+      [ ("a", Value.Int 1); ("b", Value.Int 2); ("c", Value.Str "x") ]
+  in
+  let r = Tuple.renamer [ ("a", "z") ] in
+  Alcotest.check Tutil.tuple "simple rename"
+    (Tuple.of_list
+       [ ("z", Value.Int 1); ("b", Value.Int 2); ("c", Value.Str "x") ])
+    (r t);
+  let swap = Tuple.renamer [ ("a", "b"); ("b", "a") ] in
+  Alcotest.check Tutil.tuple "swap is a permutation, not a clash"
+    (Tuple.of_list
+       [ ("b", Value.Int 1); ("a", Value.Int 2); ("c", Value.Str "x") ])
+    (swap t);
+  (match Tuple.renamer [ ("a", "b") ] t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "collapsing rename should raise");
+  (* the one-entry memo re-plans when the descriptor changes *)
+  let t2 = Tuple.of_list [ ("a", Value.Int 5); ("d", Value.Int 6) ] in
+  Alcotest.check Tutil.tuple "same closure, new descriptor"
+    (Tuple.of_list [ ("z", Value.Int 5); ("d", Value.Int 6) ])
+    (r t2)
+
+(* ---- the answer cache --------------------------------------------------- *)
+
+let fault_config =
+  {
+    Med.default_config with
+    Med.poll_timeout = Some 0.5;
+    poll_retries = 4;
+    poll_backoff = 0.5;
+  }
+
+let setup ?(config = Med.default_config) () =
+  let env = Scenario.make_fig1 () in
+  let med =
+    Scenario.mediator env
+      ~annotation:(Scenario.ann_ex23 env.Scenario.vdp)
+      ~config ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  (env, med)
+
+let commit_r env i =
+  let db1 = Scenario.source env "db1" in
+  let tuple =
+    Tuple.of_list
+      [
+        ("r1", Value.Int (9000 + i));
+        ("r2", Value.Int (i mod 40));
+        ("r3", Value.Int (i * 10));
+        ("r4", Value.Int 100);
+      ]
+  in
+  Source_db.commit db1 (Driver.single_insert db1 "R" tuple)
+
+let test_repeat_query_hits_cache () =
+  let env, med = setup () in
+  (* r3 is virtual under Example 2.3: the uncached path must poll *)
+  let q () =
+    in_process env (fun () ->
+        Mediator.query med ~node:"T" ~attrs:[ "r1"; "r3" ] ())
+  in
+  let a1 = q () in
+  let s = Mediator.stats med in
+  let polls_after_first = s.Med.polls in
+  Alcotest.(check bool) "first query polled" true (polls_after_first >= 1);
+  let a2 = q () in
+  Alcotest.(check bool) "hit recorded" true (s.Med.cache_hits >= 1);
+  Alcotest.(check int) "no polls on the hit" polls_after_first s.Med.polls;
+  Tutil.check_bag "replayed answer equals the original" a1 a2;
+  Tutil.check_bag "and equals recomputation"
+    (Bag.project [ "r1"; "r3" ] (recompute env "T"))
+    a2
+
+let test_update_invalidates_cached_answer () =
+  let env, med = setup () in
+  let q () =
+    in_process env (fun () ->
+        Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+  in
+  ignore (q () : Bag.t);
+  commit_r env 1;
+  Scenario.run_to_quiescence env med;
+  let s = Mediator.stats med in
+  Alcotest.(check bool) "the update invalidated" true
+    (s.Med.cache_invalidations >= 1);
+  Tutil.check_bag "post-update answer equals recomputation"
+    (Bag.project [ "r1"; "s1" ] (recompute env "T"))
+    (q ())
+
+let test_migration_flushes_cache () =
+  let env, med = setup () in
+  let q () =
+    in_process env (fun () ->
+        Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+  in
+  ignore (q () : Bag.t);
+  let vdp = env.Scenario.vdp in
+  let plan =
+    Adapt.Migrate.diff vdp
+      ~old_ann:(Mediator.annotation med)
+      ~new_ann:(Scenario.ann_ex21 vdp)
+  in
+  ignore (in_process env (fun () -> Adapt.Migrate.apply med plan) : int);
+  let s = Mediator.stats med in
+  Alcotest.(check bool) "migration flushed the cache" true
+    (s.Med.cache_invalidations >= 1);
+  Tutil.check_bag "post-migration answer equals recomputation"
+    (Bag.project [ "r1"; "s1" ] (recompute env "T"))
+    (q ())
+
+let test_resync_flushes_cache () =
+  let env, med = setup ~config:fault_config () in
+  let db1 = Scenario.source env "db1" in
+  let q () =
+    in_process env (fun () ->
+        Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+  in
+  ignore (q () : Bag.t);
+  let at d f = Engine.schedule env.Scenario.engine ~delay:d f in
+  at 1.0 (fun () -> commit_r env 1);
+  (* this commit's announcement dies on the wire; the next one's
+     prev_version exposes the loss and forces a resync *)
+  at 2.0 (fun () -> Source_db.set_link_up db1 false);
+  at 2.1 (fun () -> commit_r env 2);
+  at 3.0 (fun () -> Source_db.set_link_up db1 true);
+  at 3.1 (fun () -> commit_r env 3);
+  Engine.run env.Scenario.engine ~until:(Engine.now env.Scenario.engine +. 5.0);
+  Scenario.run_to_quiescence env med;
+  let s = Mediator.stats med in
+  Alcotest.(check bool) "resync ran" true (s.Med.resyncs >= 1);
+  Alcotest.(check bool) "cached answers were dropped" true
+    (s.Med.cache_invalidations >= 1);
+  Tutil.check_bag "post-resync answer equals recomputation"
+    (Bag.project [ "r1"; "s1" ] (recompute env "T"))
+    (q ())
+
+(* end-to-end: randomized update/query load under the combined fault
+   profile, answer cache on (the chaos runner's config inherits the
+   default), must quiesce, converge, and pass the Sec. 3 checker *)
+let test_chaos_with_cache () =
+  let sc =
+    match Chaos_run.scenario_by_name "fig1" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "fig1 chaos scenario missing"
+  in
+  List.iter
+    (fun seed ->
+      let r = Chaos_run.run_one sc Faults.chaos seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "chaos seed %d quiesced+converged+consistent" seed)
+        true (Chaos_run.passed r))
+    [ 1; 2 ]
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "compiled-vs-interpreter",
+        [
+          Alcotest.test_case "value plans agree" `Quick test_value_plans_agree;
+          Alcotest.test_case "delta plans agree" `Quick test_delta_plans_agree;
+          Alcotest.test_case "tuple renamer" `Quick test_renamer;
+        ] );
+      ( "answer-cache",
+        [
+          Alcotest.test_case "repeat query hits" `Quick
+            test_repeat_query_hits_cache;
+          Alcotest.test_case "update invalidates" `Quick
+            test_update_invalidates_cached_answer;
+          Alcotest.test_case "migration flushes" `Quick
+            test_migration_flushes_cache;
+          Alcotest.test_case "resync flushes" `Quick test_resync_flushes_cache;
+          Alcotest.test_case "chaos stays consistent" `Slow
+            test_chaos_with_cache;
+        ] );
+    ]
