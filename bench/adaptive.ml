@@ -63,7 +63,7 @@ let run_variant ~label ~adaptive ~annotation_of () =
   let med =
     Scenario.mediator env
       ~annotation:(annotation_of env.Scenario.vdp)
-      ~config:{ Med.default_config with Med.op_time = 0.0 }
+      ~config:(Med.Config.make ~op_time:0.0 ())
       ()
   in
   Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
@@ -148,12 +148,12 @@ let run_variant ~label ~adaptive ~annotation_of () =
   | None -> ());
   {
     a_label = label;
-    a_ops_update = s.Med.ops_update;
-    a_ops_query = s.Med.ops_query;
-    a_ops_migrate = s.Med.ops_migrate;
-    a_polls = s.Med.polls;
-    a_polled_tuples = s.Med.polled_tuples;
-    a_migrations = s.Med.migrations;
+    a_ops_update = Obs.Metrics.value s.Med.ops_update;
+    a_ops_query = Obs.Metrics.value s.Med.ops_query;
+    a_ops_migrate = Obs.Metrics.value s.Med.ops_migrate;
+    a_polls = Obs.Metrics.value s.Med.polls;
+    a_polled_tuples = Obs.Metrics.value s.Med.polled_tuples;
+    a_migrations = Obs.Metrics.value s.Med.migrations;
     a_promotions = promotions;
     a_demotions = demotions;
     a_consistent = Checker.consistent report;

@@ -30,7 +30,7 @@
 
 open Chaos_run
 
-let json path runs ~summary:(all_pass, retry, degraded, resync) =
+let json path runs ~summary:(all_pass, retry, degraded, resync, traced) =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -51,19 +51,23 @@ let json path runs ~summary:(all_pass, retry, degraded, resync) =
          \"msgs_duplicated\": %d, \"polls\": %d, \"poll_retries\": %d, \
          \"poll_failures\": %d, \"degraded_answers\": %d, \"gaps_detected\": \
          %d, \"dup_messages_dropped\": %d, \"resyncs\": %d, \
-         \"update_deferrals\": %d, \"version_checks\": %d, \"note\": %S}%s\n"
+         \"update_deferrals\": %d, \"version_checks\": %d, \
+         \"retry_spans\": %d, \"degraded_spans\": %d, \"resync_spans\": \
+         %d, \"trace_ok\": %b, \"note\": %S}%s\n"
         r.c_scenario r.c_profile r.c_seed (passed r) r.c_quiesced r.c_converged
         r.c_consistent r.c_fresh r.c_stale r.c_refused r.c_sent r.c_delivered
         r.c_dropped r.c_duplicated r.c_polls r.c_retries r.c_poll_failures
         r.c_degraded r.c_gaps r.c_dups_dropped r.c_resyncs r.c_deferrals
-        r.c_heartbeats r.c_note
+        r.c_heartbeats r.c_retry_spans r.c_degraded_spans r.c_resync_spans
+        r.c_trace_ok r.c_note
         (if i = n - 1 then "" else ","))
     runs;
   p "  ],\n";
   p "  \"all_pass\": %b,\n" all_pass;
   p "  \"exercised_retry\": %b,\n" retry;
   p "  \"exercised_degraded_answers\": %b,\n" degraded;
-  p "  \"exercised_resync\": %b\n" resync;
+  p "  \"exercised_resync\": %b,\n" resync;
+  p "  \"trace_spans_cover_recovery\": %b\n" traced;
   p "}\n";
   close_out oc
 
@@ -117,6 +121,13 @@ let run () =
   let retry = List.exists (fun r -> r.c_retries > 0) runs in
   let degraded = List.exists (fun r -> r.c_degraded > 0) runs in
   let resync = List.exists (fun r -> r.c_resyncs > 0) runs in
+  (* the counters above come from the metrics registry; the recovery
+     machinery must also be visible in the exported traces *)
+  let traced =
+    List.exists (fun r -> r.c_retry_spans > 0) runs
+    && List.exists (fun r -> r.c_degraded_spans > 0) runs
+    && List.exists (fun r -> r.c_resync_spans > 0) runs
+  in
   Tables.note "all cells pass (quiesce + converge + consistent): %s\n"
     (if all_pass then "yes" else "NO");
   Tables.note
@@ -124,13 +135,19 @@ let run () =
     (if retry then "yes" else "NO")
     (if degraded then "yes" else "NO")
     (if resync then "yes" else "NO");
+  Tables.note
+    "trace coverage — retry spans: %s, degraded query_tx spans: %s, resync \
+     spans: %s\n"
+    (if List.exists (fun r -> r.c_retry_spans > 0) runs then "yes" else "NO")
+    (if List.exists (fun r -> r.c_degraded_spans > 0) runs then "yes" else "NO")
+    (if List.exists (fun r -> r.c_resync_spans > 0) runs then "yes" else "NO");
   let path =
     match Sys.getenv_opt "BENCH3_JSON" with
     | Some p -> p
     | None -> "BENCH_3.json"
   in
-  json path runs ~summary:(all_pass, retry, degraded, resync);
+  json path runs ~summary:(all_pass, retry, degraded, resync, traced);
   Tables.note "wrote %s\n" path;
-  if not (all_pass && retry && degraded && resync) then (
+  if not (all_pass && retry && degraded && resync && traced) then (
     Tables.note "E14 FAILED\n";
     exit 1)

@@ -183,9 +183,7 @@ let cache_workload () =
   let s_size = max 40 (r_size / 5) in
   let repeats = 50 in
   let run ~cached =
-    let config =
-      { Med.default_config with Med.answer_cache_enabled = cached }
-    in
+    let config = Med.Config.make ~answer_cache_enabled:cached () in
     let env = Scenario.make_fig1 ~r_size ~s_size () in
     let med =
       Scenario.mediator env
@@ -212,8 +210,8 @@ let cache_workload () =
     cw_queries = repeats;
     cw_uncached_us = uncached_s *. 1e6;
     cw_cached_us = cached_s *. 1e6;
-    cw_hits = stats.Med.cache_hits;
-    cw_misses = stats.Med.cache_misses;
+    cw_hits = Obs.Metrics.value stats.Med.cache_hits;
+    cw_misses = Obs.Metrics.value stats.Med.cache_misses;
   }
 
 (* ---- report -------------------------------------------------------- *)

@@ -28,7 +28,7 @@ let e1 () =
         let med =
           Scenario.mediator env
             ~annotation:(Scenario.ann_ex21 env.Scenario.vdp)
-            ~config:{ Med.default_config with Med.op_time = 0.0 }
+            ~config:(Med.Config.make ~op_time:0.0 ())
             ()
         in
         Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
@@ -51,7 +51,7 @@ let e1 () =
         Scenario.run_to_quiescence env med;
         let s = Mediator.stats med in
         let inc_per_update =
-          float_of_int s.Med.ops_update /. float_of_int (max 1 s.Med.update_txs)
+          float_of_int (Obs.Metrics.value s.Med.ops_update) /. float_of_int (max 1 (Obs.Metrics.value s.Med.update_txs))
         in
         [
           I size;
@@ -59,7 +59,7 @@ let e1 () =
           F inc_per_update;
           I recompute_ops;
           F (float_of_int recompute_ops /. Float.max 1.0 inc_per_update);
-          I s.Med.polls;
+          I (Obs.Metrics.value s.Med.polls);
         ])
       sizes
   in
@@ -83,8 +83,8 @@ let e2_run ~annotation_of ~r_updates ~s_updates =
   in
   Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
   Engine.run env.Scenario.engine ~until:1.0;
-  let polls0 = (Mediator.stats med).Med.polls in
-  let tuples0 = (Mediator.stats med).Med.polled_tuples in
+  let polls0 = (Obs.Metrics.value (Mediator.stats med).Med.polls) in
+  let tuples0 = (Obs.Metrics.value (Mediator.stats med).Med.polled_tuples) in
   let rng = Datagen.state 4 in
   let drive rel count =
     if count > 0 then
@@ -106,9 +106,9 @@ let e2_run ~annotation_of ~r_updates ~s_updates =
     Checker.check ~vdp:env.Scenario.vdp ~sources:env.Scenario.sources
       ~events:(Mediator.events med) ()
   in
-  ( s.Med.polls - polls0,
-    s.Med.polled_tuples - tuples0,
-    s.Med.ops_update,
+  ( (Obs.Metrics.value s.Med.polls) - polls0,
+    (Obs.Metrics.value s.Med.polled_tuples) - tuples0,
+    (Obs.Metrics.value s.Med.ops_update),
     Mediator.store_bytes med,
     Checker.consistent report )
 
@@ -152,20 +152,18 @@ let e2 () =
 
 let e3_query ~key_based ~attrs ~cond =
   let env = Scenario.make_fig1 ~seed:5 () in
-  let config =
-    { Med.default_config with Med.key_based_enabled = key_based; op_time = 0.0 }
-  in
+  let config = Med.Config.make ~key_based_enabled:key_based ~op_time:0.0 () in
   let med =
     Scenario.mediator env ~annotation:(Scenario.ann_ex23 env.Scenario.vdp)
       ~config ()
   in
   Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
   Engine.run env.Scenario.engine ~until:1.0;
-  let polls0 = (Mediator.stats med).Med.polls in
-  let tuples0 = (Mediator.stats med).Med.polled_tuples in
+  let polls0 = (Obs.Metrics.value (Mediator.stats med).Med.polls) in
+  let tuples0 = (Obs.Metrics.value (Mediator.stats med).Med.polled_tuples) in
   let answer = ref None in
   Engine.spawn env.Scenario.engine (fun () ->
-      answer := Some (Mediator.query med ~node:"T" ~attrs ~cond ()));
+      answer := Some ((Mediator.query med ~node:"T" ~attrs ~cond ()).Qp.tuples));
   Engine.run env.Scenario.engine ~until:10.0;
   let s = Mediator.stats med in
   let correct =
@@ -175,10 +173,10 @@ let e3_query ~key_based ~attrs ~cond =
         (Bag.project attrs (Bag.select cond (Harness.recompute env "T")))
     | None -> false
   in
-  ( s.Med.polls - polls0,
-    s.Med.polled_tuples - tuples0,
-    s.Med.ops_query,
-    s.Med.key_based_constructions,
+  ( (Obs.Metrics.value s.Med.polls) - polls0,
+    (Obs.Metrics.value s.Med.polled_tuples) - tuples0,
+    (Obs.Metrics.value s.Med.ops_query),
+    (Obs.Metrics.value s.Med.key_based_constructions),
     correct )
 
 let e3 () =
@@ -371,7 +369,7 @@ let e6 () =
             let checked = ref 0 in
             List.iter
               (fun seed ->
-                let config = { Med.default_config with Med.eca_enabled = eca } in
+                let config = Med.Config.make ~eca_enabled:eca () in
                 (* inject same-batch join partners: the stress case for
                    Eager Compensation (cf. Example 6.1's cross term) *)
                 let extra env =
@@ -451,9 +449,7 @@ let e7 () =
     List.concat_map
       (fun (name, announce, ann_delay, flush) ->
         let make_env seed = Scenario.make_fig1 ~seed ~announce () in
-        let config =
-          { Med.default_config with Med.flush_interval = flush; op_time = 0.0 }
-        in
+        let config = Med.Config.make ~flush_interval:flush ~op_time:0.0 () in
         let load =
           {
             Harness.default_load with
@@ -674,7 +670,7 @@ let e11 () =
     Scenario.run_to_quiescence env med;
     let answer = ref None in
     Engine.spawn env.Scenario.engine (fun () ->
-        answer := Some (Mediator.query med ~node:"T" ()));
+        answer := Some ((Mediator.query med ~node:"T" ()).Qp.tuples));
     Engine.run env.Scenario.engine
       ~until:(Engine.now env.Scenario.engine +. 10.0);
     let ok =
@@ -683,7 +679,7 @@ let e11 () =
       | None -> false
     in
     let s = Mediator.stats med in
-    (s.Med.atoms_received, s.Med.messages_received, ok)
+    ((Obs.Metrics.value s.Med.atoms_received), (Obs.Metrics.value s.Med.messages_received), ok)
   in
   let rows =
     List.concat_map

@@ -60,7 +60,7 @@ let spawn_updates env ~rng ~load ~rels ~specs =
     rels
 
 (* run a Squirrel mediator under the load and report *)
-let run_squirrel ?(config = Med.default_config) ?(seed = 42) ?extra ~make_env
+let run_squirrel ?(config = Med.Config.default) ?(seed = 42) ?extra ~make_env
     ~rels ~specs ~annotation_of ~query_sets ~query_node ~load () =
   let env = make_env seed in
   let med =
@@ -70,8 +70,8 @@ let run_squirrel ?(config = Med.default_config) ?(seed = 42) ?extra ~make_env
   Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
   Engine.run env.Scenario.engine ~until:1.0;
   let init_stats = Mediator.stats med in
-  let polls0 = init_stats.Med.polls in
-  let polled0 = init_stats.Med.polled_tuples in
+  let polls0 = Obs.Metrics.value init_stats.Med.polls in
+  let polled0 = Obs.Metrics.value init_stats.Med.polled_tuples in
   let rng = Datagen.state (seed * 17 + 3) in
   spawn_updates env ~rng ~load ~rels ~specs;
   (match extra with Some f -> f env | None -> ());
@@ -92,19 +92,20 @@ let run_squirrel ?(config = Med.default_config) ?(seed = 42) ?extra ~make_env
     Checker.check ~vdp:env.Scenario.vdp ~sources:env.Scenario.sources
       ~events:(Mediator.events med) ()
   in
+  let v = Obs.Metrics.value in
   {
-    r_polls = s.Med.polls - polls0;
-    r_polled_tuples = s.Med.polled_tuples - polled0;
-    r_atoms = s.Med.propagated_atoms;
-    r_ops_update = s.Med.ops_update;
-    r_ops_query = s.Med.ops_query;
+    r_polls = v s.Med.polls - polls0;
+    r_polled_tuples = v s.Med.polled_tuples - polled0;
+    r_atoms = v s.Med.propagated_atoms;
+    r_ops_update = v s.Med.ops_update;
+    r_ops_query = v s.Med.ops_query;
     r_bytes = Mediator.store_bytes med;
-    r_store_hits = s.Med.queries_from_store;
-    r_key_based = s.Med.key_based_constructions;
-    r_temps = s.Med.temps_built;
-    r_update_txs = s.Med.update_txs;
-    r_queries = s.Med.query_txs;
-    r_messages = s.Med.messages_received;
+    r_store_hits = v s.Med.queries_from_store;
+    r_key_based = v s.Med.key_based_constructions;
+    r_temps = v s.Med.temps_built;
+    r_update_txs = v s.Med.update_txs;
+    r_queries = v s.Med.query_txs;
+    r_messages = v s.Med.messages_received;
     r_consistent = Checker.consistent report;
     r_violations = List.length report.Checker.violations;
     r_max_staleness = report.Checker.max_staleness;

@@ -26,6 +26,7 @@ let experiments =
     ("e13", Adaptive.run);
     ("e14", Chaos.run);
     ("e15", Compiled.run);
+    ("e16", Obs_overhead.run);
     ("figs", Experiments.figs);
   ]
 

@@ -250,7 +250,7 @@ let simulate_cmd =
       | Error e -> Error e
       | Ok ann_of ->
         let env = spec.sc_make seed in
-        let config = { Med.default_config with Med.eca_enabled = eca } in
+        let config = Med.Config.make ~eca_enabled:eca () in
         let med =
           Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp) ~config ()
         in
@@ -281,17 +281,18 @@ let simulate_cmd =
         in
         Scenario.run_to_quiescence env med;
         let s = Mediator.stats med in
+        let v = Obs.Metrics.value in
         Printf.printf "-- stats --\n";
-        Printf.printf "update txs        %d\n" s.Med.update_txs;
-        Printf.printf "query txs         %d\n" s.Med.query_txs;
-        Printf.printf "  from store      %d\n" s.Med.queries_from_store;
-        Printf.printf "  key-based       %d\n" s.Med.key_based_constructions;
-        Printf.printf "polls             %d\n" s.Med.polls;
-        Printf.printf "tuples polled     %d\n" s.Med.polled_tuples;
-        Printf.printf "atoms propagated  %d\n" s.Med.propagated_atoms;
-        Printf.printf "temp relations    %d\n" s.Med.temps_built;
-        Printf.printf "ops (update)      %d\n" s.Med.ops_update;
-        Printf.printf "ops (query)       %d\n" s.Med.ops_query;
+        Printf.printf "update txs        %d\n" (v s.Med.update_txs);
+        Printf.printf "query txs         %d\n" (v s.Med.query_txs);
+        Printf.printf "  from store      %d\n" (v s.Med.queries_from_store);
+        Printf.printf "  key-based       %d\n" (v s.Med.key_based_constructions);
+        Printf.printf "polls             %d\n" (v s.Med.polls);
+        Printf.printf "tuples polled     %d\n" (v s.Med.polled_tuples);
+        Printf.printf "atoms propagated  %d\n" (v s.Med.propagated_atoms);
+        Printf.printf "temp relations    %d\n" (v s.Med.temps_built);
+        Printf.printf "ops (update)      %d\n" (v s.Med.ops_update);
+        Printf.printf "ops (query)       %d\n" (v s.Med.ops_query);
         Printf.printf "store bytes       %d\n" (Mediator.store_bytes med);
         let report =
           Correctness.Checker.check ~vdp:env.Scenario.vdp
@@ -387,13 +388,14 @@ let query_cmd =
           Engine.run env.Scenario.engine
             ~until:(Engine.now env.Scenario.engine +. 60.0);
           match !answer with
-          | Some bag ->
+          | Some ans ->
+            let bag = ans.Qp.tuples in
             Format.printf "%a@." Relalg.Bag.pp bag;
             Printf.printf "(%d tuples; polls %d, key-based %d, from store %d)\n"
               (Relalg.Bag.cardinal bag)
-              (Mediator.stats med).Med.polls
-              (Mediator.stats med).Med.key_based_constructions
-              (Mediator.stats med).Med.queries_from_store;
+              (Obs.Metrics.value (Mediator.stats med).Med.polls)
+              (Obs.Metrics.value (Mediator.stats med).Med.key_based_constructions)
+              (Obs.Metrics.value (Mediator.stats med).Med.queries_from_store);
             Ok ()
           | None -> Error (`Msg "query did not complete")
         with
@@ -524,7 +526,7 @@ let adapt_cmd =
             ~sources:env.Scenario.sources ~events:(Mediator.events med) ()
         in
         Printf.printf "-- correctness --\nmigrations %d, verdict %s\n"
-          (Mediator.stats med).Med.migrations
+          (Obs.Metrics.value (Mediator.stats med).Med.migrations)
           (if Correctness.Checker.consistent report then "CONSISTENT"
            else "INCONSISTENT");
         if dot then begin
@@ -641,13 +643,17 @@ let profile_cmd =
         Scenario.run_to_quiescence env med;
         print_string (Adapt.Monitor.render_cumulative med);
         let s = Mediator.stats med in
+        let v = Obs.Metrics.value in
         Printf.printf
           "\n\
            answer cache: %d hits, %d misses, %d invalidations\n\
            compiled plans: %d value, %d delta\n"
-          s.Med.cache_hits s.Med.cache_misses s.Med.cache_invalidations
+          (v s.Med.cache_hits) (v s.Med.cache_misses)
+          (v s.Med.cache_invalidations)
           (Relalg.Plan.compiled_plans ())
           (Delta.Delta_plan.compiled_plans ());
+        Printf.printf "\n-- metrics registry --\n";
+        print_string (Obs.Metrics.render (Obs.Metrics.snapshot (Mediator.metrics med)));
         Ok ())
   in
   let updates =
@@ -672,6 +678,134 @@ let profile_cmd =
        ~doc:
          "Run a scenario under load and print the measured workload profile \
           (update rates, query rates, attribute access fractions)")
+    term
+
+(* --- trace / metrics -------------------------------------------------------- *)
+
+(* Shared driver for the observability commands: a scenario under the
+   standard update/query load, quiesced, with the mediator handed back
+   so the caller can export its trace or metrics registry. *)
+let run_observed spec ann_of ~updates ~queries ~seed =
+  let env = spec.sc_make seed in
+  let med = Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp) () in
+  Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
+  Engine.run env.Scenario.engine ~until:1.0;
+  let rng = Datagen.state (seed * 31) in
+  List.iter
+    (fun (src_name, rel) ->
+      Driver.update_process ~rng ~src:(Scenario.source env src_name)
+        {
+          Driver.u_relation = rel;
+          u_interval = 0.3;
+          u_count = updates;
+          u_delete_fraction = 0.25;
+          u_specs = spec.sc_specs rel;
+        })
+    spec.sc_update_rels;
+  let node = spec.sc_query_node in
+  let schema = (Vdp.Graph.node env.Scenario.vdp node).Vdp.Graph.schema in
+  let _ =
+    Driver.query_process ~rng ~med
+      {
+        Driver.q_node = node;
+        q_interval = 0.5;
+        q_count = queries;
+        q_attr_sets = [ (Relalg.Schema.attrs schema, Relalg.Predicate.True) ];
+      }
+  in
+  Scenario.run_to_quiescence env med;
+  med
+
+let updates_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "updates"; "u" ] ~docv:"N" ~doc:"Commits per source relation.")
+
+let queries_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "queries"; "q" ] ~docv:"N" ~doc:"Queries against the main export.")
+
+let trace_cmd =
+  let run scenario annotation updates queries seed jsonl verbose =
+    setup_verbose verbose;
+    match find_scenario scenario with
+    | Error e -> Error e
+    | Ok spec -> (
+      match find_annotation spec annotation with
+      | Error e -> Error e
+      | Ok ann_of ->
+        let med = run_observed spec ann_of ~updates ~queries ~seed in
+        let trace = Mediator.trace med in
+        (match jsonl with
+        | "" -> print_string (Obs.Trace.render trace)
+        | "-" -> print_string (Obs.Trace.to_jsonl trace)
+        | file ->
+          let oc = open_out file in
+          output_string oc (Obs.Trace.to_jsonl trace);
+          close_out oc;
+          Printf.printf "wrote %d spans (%d roots, %d dropped) to %s\n"
+            (Obs.Trace.spans_recorded trace)
+            (List.length (Obs.Trace.roots trace))
+            (Obs.Trace.dropped_roots trace)
+            file);
+        Ok ())
+  in
+  let jsonl =
+    Arg.(
+      value & opt string ""
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Export the trace as JSON lines (one span per line) to $(docv) \
+             instead of rendering the span tree; use - for stdout.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ scenario_arg
+        $ annotation_arg "ex21"
+        $ updates_arg $ queries_arg $ seed_arg $ jsonl $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scenario under load and print its transaction trace (update, \
+          query, poll, and resync spans with simulated-time and op costs), or \
+          export it as JSONL")
+    term
+
+let metrics_cmd =
+  let run scenario annotation updates queries seed json verbose =
+    setup_verbose verbose;
+    match find_scenario scenario with
+    | Error e -> Error e
+    | Ok spec -> (
+      match find_annotation spec annotation with
+      | Error e -> Error e
+      | Ok ann_of ->
+        let med = run_observed spec ann_of ~updates ~queries ~seed in
+        let snap = Obs.Metrics.snapshot (Mediator.metrics med) in
+        if json then print_endline (Obs.Metrics.to_json snap)
+        else print_string (Obs.Metrics.render snap);
+        Ok ())
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the metrics snapshot as JSON.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ scenario_arg
+        $ annotation_arg "ex21"
+        $ updates_arg $ queries_arg $ seed_arg $ json $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a scenario under load and print the mediator's metrics registry \
+          (counters, gauges, latency histograms, workload families)")
     term
 
 (* --- dot -------------------------------------------------------------------- *)
@@ -742,6 +876,12 @@ let chaos_cmd =
           r.Chaos_run.c_dups_dropped;
         Printf.printf "degraded answers  %d\n" r.Chaos_run.c_degraded;
         Printf.printf "version checks    %d\n" r.Chaos_run.c_heartbeats;
+        Printf.printf
+          "trace             %d retry spans, %d degraded query spans, \
+           %d resync spans, invariants %s\n"
+          r.Chaos_run.c_retry_spans r.Chaos_run.c_degraded_spans
+          r.Chaos_run.c_resync_spans
+          (b r.Chaos_run.c_trace_ok);
         if Chaos_run.passed r then Ok () else Error (`Msg "chaos cell failed"))
   in
   let profile =
@@ -790,5 +930,6 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [
          describe_cmd; advise_cmd; simulate_cmd; query_cmd; adapt_cmd;
-         profile_cmd; chaos_cmd; dot_cmd; scenarios_cmd;
+         profile_cmd; trace_cmd; metrics_cmd; chaos_cmd; dot_cmd;
+         scenarios_cmd;
        ]))

@@ -117,7 +117,7 @@ let () =
   section "A live Squirrel run satisfies the definitions";
   let run ~eca =
     let env = Scenario.make_fig1 ~seed:21 () in
-    let config = { Med.default_config with Med.eca_enabled = eca } in
+    let config = Med.Config.make ~eca_enabled:eca () in
     let med =
       Scenario.mediator env ~annotation:(Scenario.ann_ex22 env.Scenario.vdp)
         ~config ()

@@ -139,7 +139,7 @@ let () =
           ~attrs:(Parser.attrs "sid, vehicle, age")
           ~cond:where ()
       in
-      Format.printf "very late at depot 2:@.%a@." Bag.pp answer);
+      Format.printf "very late at depot 2:@.%a@." Bag.pp answer.Qp.tuples);
   Engine.run engine ~until:(Engine.now engine +. 5.0);
 
   section "Live updates";
@@ -162,10 +162,10 @@ let () =
         Mediator.query med ~node:"LateByVehicle" ~attrs:[ "sid"; "vehicle" ] ()
       in
       Printf.printf "late shipments now: %d (includes sid 9001: %b)\n"
-        (Bag.cardinal answer)
+        (Bag.cardinal answer.Qp.tuples)
         (List.exists
            (fun t -> Value.equal (Tuple.get t "sid") (Value.Int 9001))
-           (Bag.support answer)));
+           (Bag.support answer.Qp.tuples)));
   Engine.run engine ~until:(Engine.now engine +. 5.0);
 
   section "Consistency";

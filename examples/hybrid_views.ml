@@ -83,7 +83,7 @@ let () =
       Printf.printf
         "π(r1,s1) T: %d tuples — answered from the store (polls: db1 +%d, db2 \
          +%d)\n"
-        (Bag.cardinal fast)
+        (Bag.cardinal fast.Qp.tuples)
         (Source_db.polls_served db1 - p1)
         (Source_db.polls_served db2 - p2));
 
@@ -93,10 +93,10 @@ let () =
       Printf.printf
         "π(r3,s1) σ(r3<100) T: %d tuples — key-based construction through r1 \
          (polls: db1 +%d, db2 +%d; key-based uses: %d)\n"
-        (Bag.cardinal slow)
+        (Bag.cardinal slow.Qp.tuples)
         (Source_db.polls_served db1 - p1)
         (Source_db.polls_served db2 - p2)
-        (Mediator.stats med).Med.key_based_constructions);
+        (Obs.Metrics.value (Mediator.stats med).Med.key_based_constructions));
 
   section "Consistency";
   let report =

@@ -34,13 +34,13 @@ let () =
   Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
   Engine.run env.Scenario.engine ~until:1.0;
   Printf.printf "initial polls: %d (one per source)\n"
-    (Mediator.stats med).Med.polls;
+    (Obs.Metrics.value (Mediator.stats med).Med.polls);
 
   section "Query the view";
   let show_query () =
     Engine.spawn env.Scenario.engine (fun () ->
         let answer = Mediator.query med ~node:"T" () in
-        Printf.printf "T has %d tuples at t=%.2f\n" (Bag.cardinal answer)
+        Printf.printf "T has %d tuples at t=%.2f\n" (Bag.cardinal answer.Qp.tuples)
           (Engine.now env.Scenario.engine))
   in
   show_query ();
@@ -71,9 +71,9 @@ let () =
   section "Incremental propagation";
   Scenario.run_to_quiescence env med;
   Printf.printf "update transactions: %d, atoms propagated: %d, polls: %d\n"
-    (Mediator.stats med).Med.update_txs
-    (Mediator.stats med).Med.propagated_atoms
-    (Mediator.stats med).Med.polls;
+    (Obs.Metrics.value (Mediator.stats med).Med.update_txs)
+    (Obs.Metrics.value (Mediator.stats med).Med.propagated_atoms)
+    (Obs.Metrics.value (Mediator.stats med).Med.polls);
   show_query ();
   Engine.run env.Scenario.engine
     ~until:(Engine.now env.Scenario.engine +. 1.0);

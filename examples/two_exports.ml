@@ -51,8 +51,9 @@ let () =
   run_in env (fun () ->
       let e = Mediator.query med ~node:"E" ~attrs:[ "a1"; "b1" ] () in
       let g = Mediator.query med ~node:"G" () in
-      Printf.printf "|π(a1,b1) E| = %d   |G| = %d\n" (Bag.cardinal e)
-        (Bag.cardinal g));
+      Printf.printf "|π(a1,b1) E| = %d   |G| = %d\n"
+        (Bag.cardinal e.Qp.tuples)
+        (Bag.cardinal g.Qp.tuples));
 
   section "Churn on all four sources";
   let rng = Datagen.state 12 in
@@ -71,17 +72,19 @@ let () =
   let stats = Mediator.stats med in
   Printf.printf
     "update txs: %d, atoms propagated: %d, temps built: %d, polls: %d\n"
-    stats.Med.update_txs stats.Med.propagated_atoms stats.Med.temps_built
-    stats.Med.polls;
+    (Obs.Metrics.value stats.Med.update_txs)
+    (Obs.Metrics.value stats.Med.propagated_atoms)
+    (Obs.Metrics.value stats.Med.temps_built)
+    (Obs.Metrics.value stats.Med.polls);
 
   section "Query the maintained exports (and the virtual a2)";
   run_in env (fun () ->
       let g = Mediator.query med ~node:"G" () in
-      Printf.printf "|G| = %d after churn\n" (Bag.cardinal g));
+      Printf.printf "|G| = %d after churn\n" (Bag.cardinal g.Qp.tuples));
   run_in env (fun () ->
       let e_full = Mediator.query med ~node:"E" () in
       Printf.printf "|E| = %d (a2 fetched through the materialized key a1)\n"
-        (Bag.cardinal e_full));
+        (Bag.cardinal e_full.Qp.tuples));
 
   section "Consistency";
   let report =

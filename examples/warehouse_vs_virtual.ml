@@ -55,11 +55,11 @@ let run_squirrel name annotation_of ~updates ~queries =
   let s = Mediator.stats med in
   {
     o_name = name;
-    o_polls = s.Med.polls;
-    o_tuples_polled = s.Med.polled_tuples;
-    o_atoms = s.Med.propagated_atoms;
-    o_ops_query = s.Med.ops_query;
-    o_ops_update = s.Med.ops_update;
+    o_polls = Obs.Metrics.value s.Med.polls;
+    o_tuples_polled = Obs.Metrics.value s.Med.polled_tuples;
+    o_atoms = Obs.Metrics.value s.Med.propagated_atoms;
+    o_ops_query = Obs.Metrics.value s.Med.ops_query;
+    o_ops_update = Obs.Metrics.value s.Med.ops_update;
     o_bytes = Mediator.store_bytes med;
   }
 

@@ -70,6 +70,9 @@ let apply (t : Med.t) plan =
         Med.err "cannot migrate an uninitialized mediator";
       if not (Annotation.equal t.Med.ann plan.p_old) then
         Med.err "stale migration plan: annotation changed since diff";
+      Obs.Trace.with_span t.Med.trace "migration"
+        ~attrs:[ ("plan", describe plan) ]
+        (fun mig_sp ->
       let ops_before = Eval.tuple_ops () in
       (* one VAP construction (under the OLD annotation, so Eager
          Compensation lines polled answers up with the store's
@@ -166,10 +169,11 @@ let apply (t : Med.t) plan =
             > (Med.reflected_version t e.Med.q_source).Med.r_version)
           t.Med.queue;
       let ops = Eval.tuple_ops () - ops_before in
-      t.Med.stats.Med.migrations <- t.Med.stats.Med.migrations + 1;
+      Obs.Metrics.incr t.Med.stats.Med.migrations;
+      Obs.Trace.set_attri mig_sp "mig_ops" ops;
       Med.charge_ops t `Migrate ops;
       Med.Log.info (fun m ->
           m "migration @%g: %s (%d ops)"
             (Engine.now t.Med.engine)
             (describe plan) ops);
-      ops)
+      ops))

@@ -24,14 +24,8 @@ let query_count = 20
    a dropped answer only surfaces as a timeout, and a dropped FINAL
    announcement only surfaces through the version check. *)
 let config =
-  {
-    Med.default_config with
-    Med.op_time = 0.0;
-    poll_timeout = Some 2.0;
-    poll_retries = 4;
-    poll_backoff = 0.1;
-    version_check_interval = Some 2.0;
-  }
+  Med.Config.make ~op_time:0.0 ~poll_timeout:2.0 ~poll_retries:4
+    ~poll_backoff:0.1 ~version_check_interval:2.0 ~trace_capacity:16384 ()
 
 type scenario = {
   sc_name : string;
@@ -117,10 +111,76 @@ type run = {
   c_resyncs : int;
   c_deferrals : int;
   c_heartbeats : int;
+  c_retry_spans : int;
+      (** poll spans that needed more than one attempt *)
+  c_degraded_spans : int;  (** query_tx spans marked degraded *)
+  c_resync_spans : int;  (** resync spans in the trace *)
+  c_trace_ok : bool;  (** trace invariants held (see {!trace_invariants}) *)
   c_note : string;
 }
 
-let passed r = r.c_quiesced && r.c_converged && r.c_consistent
+let passed r = r.c_quiesced && r.c_converged && r.c_consistent && r.c_trace_ok
+
+(* Trace invariants the fault model must preserve:
+   1. a deferred update transaction is not the end of the story — some
+      applied update_tx or snapshot rebuild starts at-or-after it
+      (otherwise deferred work was silently dropped);
+   2. every resync span was triggered by an observed gap: some
+      gap_detected event precedes it. *)
+let trace_invariants trace =
+  let roots = Obs.Trace.roots trace in
+  let starts name pred =
+    List.filter_map
+      (fun (sp : Obs.Trace.span) ->
+        if String.equal sp.Obs.Trace.name name && pred sp then
+          Some sp.Obs.Trace.start_time
+        else None)
+      roots
+  in
+  let outcome v (sp : Obs.Trace.span) =
+    match Obs.Trace.attr sp "outcome" with Some x -> String.equal x v | None -> false
+  in
+  let any _ = true in
+  let deferred = starts "update_tx" (outcome "deferred") in
+  let applied = starts "update_tx" (outcome "applied") in
+  let snapshots = starts "snapshot" any in
+  let resyncs = starts "resync" any in
+  let gaps = starts "gap_detected" any in
+  let closed_after t0 =
+    List.exists (fun t -> t >= t0) applied
+    || List.exists (fun t -> t >= t0) snapshots
+  in
+  let problems =
+    (if List.for_all closed_after deferred then []
+     else [ "deferred update_tx never followed by applied/snapshot" ])
+    @
+    if
+      List.for_all
+        (fun rt -> List.exists (fun gt -> gt <= rt) gaps)
+        resyncs
+    then []
+    else [ "resync without a preceding gap_detected event" ]
+  in
+  (problems = [], problems)
+
+let span_coverage trace =
+  let retry = ref 0 and degraded = ref 0 and resync = ref 0 in
+  Obs.Trace.iter_spans
+    (fun (sp : Obs.Trace.span) ->
+      match sp.Obs.Trace.name with
+      | "poll" ->
+        (match Obs.Trace.attr sp "attempts" with
+        | Some n when int_of_string n > 1 -> incr retry
+        | _ ->
+          (* exhausted polls also count: retries happened *)
+          if Obs.Trace.attr sp "outcome" = Some "exhausted" then incr retry)
+      | "query_tx" ->
+        if Obs.Trace.attr sp "degraded" = Some "true" then incr degraded
+        else if Obs.Trace.attr sp "served" = Some "degraded" then incr degraded
+      | "resync" -> incr resync
+      | _ -> ())
+    trace;
+  (!retry, !degraded, !resync)
 
 (* fault-free reference: the view definition evaluated directly over
    the sources' current (post-quiescence) states *)
@@ -164,7 +224,7 @@ let run_one sc profile seed =
         Engine.sleep engine query_interval;
         try
           match
-            (Mediator.query_ex med ~node:sc.sc_query_node
+            (Mediator.query med ~node:sc.sc_query_node
                ~attrs:sc.sc_query_attrs ())
               .Qp.quality
           with
@@ -195,7 +255,7 @@ let run_one sc profile seed =
       List.iter
         (fun (n : Graph.node) ->
           let ans =
-            try Some (Mediator.query med ~node:n.Graph.name ())
+            try Some (Mediator.query med ~node:n.Graph.name ()).Qp.tuples
             with Med.Poll_failed _ | Med.Desync _ -> None
           in
           finals := (n.Graph.name, ans) :: !finals)
@@ -233,6 +293,10 @@ let run_one sc profile seed =
       0 env.Scenario.sources
   in
   let s = Mediator.stats med in
+  let v = Obs.Metrics.value in
+  let trace = Mediator.trace med in
+  let trace_ok, trace_problems = trace_invariants trace in
+  let retry_spans, degraded_spans, resync_spans = span_coverage trace in
   {
     c_scenario = sc.sc_name;
     c_profile = Faults.name profile;
@@ -247,14 +311,18 @@ let run_one sc profile seed =
     c_delivered = sum Channel.delivered_count;
     c_dropped = sum Channel.dropped_count;
     c_duplicated = sum Channel.duplicated_count;
-    c_polls = s.Med.polls;
-    c_retries = s.Med.poll_retries;
-    c_poll_failures = s.Med.poll_failures;
-    c_degraded = s.Med.degraded_answers;
-    c_gaps = s.Med.gaps_detected;
-    c_dups_dropped = s.Med.dup_messages_dropped;
-    c_resyncs = s.Med.resyncs;
-    c_deferrals = s.Med.update_deferrals;
-    c_heartbeats = s.Med.version_checks;
-    c_note = String.concat "; " (note @ diverged @ violations);
+    c_polls = v s.Med.polls;
+    c_retries = v s.Med.poll_retries;
+    c_poll_failures = v s.Med.poll_failures;
+    c_degraded = v s.Med.degraded_answers;
+    c_gaps = v s.Med.gaps_detected;
+    c_dups_dropped = v s.Med.dup_messages_dropped;
+    c_resyncs = v s.Med.resyncs;
+    c_deferrals = v s.Med.update_deferrals;
+    c_heartbeats = v s.Med.version_checks;
+    c_retry_spans = retry_spans;
+    c_degraded_spans = degraded_spans;
+    c_resync_spans = resync_spans;
+    c_trace_ok = trace_ok;
+    c_note = String.concat "; " (note @ diverged @ violations @ trace_problems);
   }

@@ -46,7 +46,11 @@ let update_transaction (t : Med.t) =
       in
       t.Med.queue <- deferred @ t.Med.queue;
       if entries = [] then false
-      else begin
+      else
+        Obs.Trace.with_span t.Med.trace "update_tx"
+          ~attrs:[ ("entries", string_of_int (List.length entries)) ]
+          (fun tx_sp ->
+        let tx_start = Engine.now t.Med.engine in
         try
         let ops_before = Eval.tuple_ops () in
         (* (1) smash the whole queue into one delta *)
@@ -56,11 +60,17 @@ let update_transaction (t : Med.t) =
             Multi_delta.empty entries
         in
         t.Med.pending <- delta;
+        Obs.Trace.set_attri tx_sp "atoms" (Multi_delta.atom_count delta);
         Med.Log.debug (fun m ->
             m "update tx @%g: %d queue entries, %d atoms"
               (Engine.now t.Med.engine) (List.length entries)
               (Multi_delta.atom_count delta));
-        (* filter through leaf-parents *)
+        (* (2) IUP Preparation: filter through leaf-parents, close the
+           affected set upward, and find the children whose values the
+           fired rules will read — among those, the ones not covered by
+           materialized data become VAP requests *)
+        let lp_deltas, affected, process, requests =
+          Obs.Trace.with_span t.Med.trace "temp_determination" (fun det_sp ->
         let lp_deltas =
           List.filter_map
             (fun n ->
@@ -85,9 +95,6 @@ let update_transaction (t : Med.t) =
             (fun n -> Hashtbl.mem affected n && not (is_leaf_parent t n))
             relevant
         in
-        (* (2) IUP Preparation: find the children whose values the
-           fired rules will read, and among those the ones not covered
-           by materialized data *)
         let changed name = Hashtbl.mem affected name in
         let requests =
           List.concat_map
@@ -112,6 +119,10 @@ let update_transaction (t : Med.t) =
                         })
                 needs)
             process
+        in
+        Obs.Trace.set_attri det_sp "affected" (Hashtbl.length affected);
+        Obs.Trace.set_attri det_sp "requests" (List.length requests);
+        (lp_deltas, affected, process, requests))
         in
         (* (3) populate temporaries at the pre-update state *)
         if requests <> [] then
@@ -152,6 +163,7 @@ let update_transaction (t : Med.t) =
               (table, Rel_delta.project (Med.mat_attrs t node) d) :: !to_apply
           | None -> ()
         in
+        Obs.Trace.with_span t.Med.trace "kernel_pass" (fun kp_sp ->
         List.iter
           (fun (n, d) ->
             Hashtbl.replace deltas_tbl n d;
@@ -168,7 +180,10 @@ let update_transaction (t : Med.t) =
                     | None -> None)
                   (Graph.children t.Med.vdp node)
               in
-              if child_deltas <> [] then begin
+              if child_deltas <> [] then
+                Obs.Trace.with_span t.Med.trace "delta"
+                  ~attrs:[ ("node", node) ]
+                  (fun d_sp ->
                 let schema = (Graph.node t.Med.vdp node).Graph.schema in
                 let def =
                   Derived_from.restrict_def t.Med.vdp ~node
@@ -179,18 +194,21 @@ let update_transaction (t : Med.t) =
                     ~deltas:(fun c -> List.assoc_opt c child_deltas)
                     def
                 in
+                Obs.Trace.set_attri d_sp "atoms" (Rel_delta.atom_count d);
                 if not (Rel_delta.is_empty d) then begin
                   Med.Log.debug (fun m ->
                       m "  Δ(%s): %d atoms" node (Rel_delta.atom_count d));
                   Hashtbl.replace deltas_tbl node d;
-                  t.Med.stats.Med.propagated_atoms <-
-                    t.Med.stats.Med.propagated_atoms + Rel_delta.atom_count d;
+                  Obs.Metrics.add t.Med.stats.Med.propagated_atoms
+                    (Rel_delta.atom_count d);
                   stage node d
-                end
-              end
+                end)
             end)
           process;
-        List.iter (fun (table, d) -> Table.apply_delta table d) !to_apply;
+        Obs.Trace.set_attri kp_sp "nodes" (Hashtbl.length deltas_tbl));
+        Obs.Trace.with_span t.Med.trace "apply" (fun ap_sp ->
+            Obs.Trace.set_attri ap_sp "tables" (List.length !to_apply);
+            List.iter (fun (table, d) -> Table.apply_delta table d) !to_apply);
         (* the tables behind any cached answer in the affected closure
            just changed; answers cached since the announcements arrived
            (computed from pre-update tables) must not be served again *)
@@ -211,14 +229,17 @@ let update_transaction (t : Med.t) =
         t.Med.pending <- Multi_delta.empty;
         (* bounded-history support: versions below what we now reflect
            will never be polled or checked again by this mediator *)
-        if t.Med.config.Med.release_history then
+        if t.Med.config.Med.Config.release_history then
           List.iter
             (fun s ->
               Source_db.release (Med.source t s)
                 ~upto:(Med.reflected_version t s).Med.r_version)
             (Graph.sources t.Med.vdp);
-        t.Med.stats.Med.update_txs <- t.Med.stats.Med.update_txs + 1;
+        Obs.Metrics.incr t.Med.stats.Med.update_txs;
         Med.charge_ops t `Update (Eval.tuple_ops () - ops_before);
+        Obs.Trace.set_attr tx_sp "outcome" "applied";
+        Obs.Metrics.observe t.Med.stats.Med.update_tx_time
+          (Engine.now t.Med.engine -. tx_start);
         Med.log_event t
           (Med.Update_tx
              {
@@ -236,17 +257,17 @@ let update_transaction (t : Med.t) =
              the poll precedes) and let a later tick retry or resync *)
           t.Med.pending <- Multi_delta.empty;
           t.Med.queue <- entries @ t.Med.queue;
-          t.Med.stats.Med.update_deferrals <-
-            t.Med.stats.Med.update_deferrals + 1;
+          Obs.Metrics.incr t.Med.stats.Med.update_deferrals;
+          Obs.Trace.set_attr tx_sp "outcome" "deferred";
+          Obs.Trace.set_attr tx_sp "error" (Printexc.to_string exn);
           Med.Log.warn (fun m ->
               m "update tx deferred @%g: %s" (Engine.now t.Med.engine)
                 (Printexc.to_string exn));
-          false
-      end)
+          false))
 
 let start_flusher (t : Med.t) =
   let rec loop () =
-    Engine.sleep t.Med.engine t.Med.config.Med.flush_interval;
+    Engine.sleep t.Med.engine t.Med.config.Med.Config.flush_interval;
     ignore (update_transaction t);
     loop ()
   in

@@ -5,32 +5,48 @@ open Sim
 open Sources
 open Storage
 
-type config = {
-  flush_interval : float;
-  op_time : float;
-  eca_enabled : bool;
-  key_based_enabled : bool;
-  poll_timeout : float option;
-  poll_retries : int;
-  poll_backoff : float;
-  version_check_interval : float option;
-  release_history : bool;
-  answer_cache_enabled : bool;
-}
-
-let default_config =
-  {
-    flush_interval = 1.0;
-    op_time = 0.0001;
-    eca_enabled = true;
-    key_based_enabled = true;
-    poll_timeout = None;
-    poll_retries = 3;
-    poll_backoff = 0.25;
-    version_check_interval = None;
-    release_history = false;
-    answer_cache_enabled = true;
+module Config = struct
+  type t = {
+    flush_interval : float;
+    op_time : float;
+    eca_enabled : bool;
+    key_based_enabled : bool;
+    poll_timeout : float option;
+    poll_retries : int;
+    poll_backoff : float;
+    version_check_interval : float option;
+    release_history : bool;
+    answer_cache_enabled : bool;
+    trace_enabled : bool;
+    trace_capacity : int;
   }
+
+  let make ?(flush_interval = 1.0) ?(op_time = 0.0001) ?(eca_enabled = true)
+      ?(key_based_enabled = true) ?poll_timeout ?(poll_retries = 3)
+      ?(poll_backoff = 0.25) ?version_check_interval
+      ?(release_history = false) ?(answer_cache_enabled = true)
+      ?(trace_enabled = true) ?(trace_capacity = 4096) () =
+    {
+      flush_interval;
+      op_time;
+      eca_enabled;
+      key_based_enabled;
+      poll_timeout;
+      poll_retries;
+      poll_backoff;
+      version_check_interval;
+      release_history;
+      answer_cache_enabled;
+      trace_enabled;
+      trace_capacity;
+    }
+
+  let default = make ()
+end
+
+type config = Config.t
+
+let default_config = Config.default
 
 type queue_entry = {
   q_source : string;
@@ -70,31 +86,36 @@ type event =
     }
 
 type stats = {
-  mutable update_txs : int;
-  mutable query_txs : int;
-  mutable queries_from_store : int;
-  mutable polls : int;
-  mutable polled_tuples : int;
-  mutable propagated_atoms : int;
-  mutable temps_built : int;
-  mutable key_based_constructions : int;
-  mutable ops_update : int;
-  mutable ops_query : int;
-  mutable ops_migrate : int;
-  mutable migrations : int;
-  mutable messages_received : int;
-  mutable atoms_received : int;
-  mutable poll_retries : int;
-  mutable poll_failures : int;
-  mutable degraded_answers : int;
-  mutable gaps_detected : int;
-  mutable dup_messages_dropped : int;
-  mutable resyncs : int;
-  mutable update_deferrals : int;
-  mutable version_checks : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable cache_invalidations : int;
+  registry : Obs.Metrics.t;
+  update_txs : Obs.Metrics.counter;
+  query_txs : Obs.Metrics.counter;
+  queries_from_store : Obs.Metrics.counter;
+  polls : Obs.Metrics.counter;
+  polled_tuples : Obs.Metrics.counter;
+  propagated_atoms : Obs.Metrics.counter;
+  temps_built : Obs.Metrics.counter;
+  key_based_constructions : Obs.Metrics.counter;
+  ops_update : Obs.Metrics.counter;
+  ops_query : Obs.Metrics.counter;
+  ops_migrate : Obs.Metrics.counter;
+  migrations : Obs.Metrics.counter;
+  messages_received : Obs.Metrics.counter;
+  atoms_received : Obs.Metrics.counter;
+  poll_retries : Obs.Metrics.counter;
+  poll_failures : Obs.Metrics.counter;
+  degraded_answers : Obs.Metrics.counter;
+  gaps_detected : Obs.Metrics.counter;
+  dup_messages_dropped : Obs.Metrics.counter;
+  resyncs : Obs.Metrics.counter;
+  update_deferrals : Obs.Metrics.counter;
+  version_checks : Obs.Metrics.counter;
+  cache_hits : Obs.Metrics.counter;
+  cache_misses : Obs.Metrics.counter;
+  cache_invalidations : Obs.Metrics.counter;
+  update_tx_time : Obs.Metrics.histogram;
+  query_tx_time : Obs.Metrics.histogram;
+  poll_rtt : Obs.Metrics.histogram;
+  queue_depth : Obs.Metrics.gauge;
   node_accesses : (string, int) Hashtbl.t;
   attr_accesses : (string * string, int) Hashtbl.t;
   leaf_update_atoms : (string, int) Hashtbl.t;
@@ -102,36 +123,68 @@ type stats = {
 }
 
 let fresh_stats () =
+  let m = Obs.Metrics.create () in
+  let c ?help name = Obs.Metrics.counter m ?help name in
+  let node_accesses = Hashtbl.create 8 in
+  let attr_accesses = Hashtbl.create 16 in
+  let leaf_update_atoms = Hashtbl.create 8 in
+  let leaf_card = Hashtbl.create 8 in
+  let sample tbl render () =
+    Hashtbl.fold (fun k v acc -> (render k, v) :: acc) tbl []
+  in
+  Obs.Metrics.register_family m "node_accesses"
+    ~help:"query requests per export node"
+    (sample node_accesses Fun.id);
+  Obs.Metrics.register_family m "attr_accesses"
+    ~help:"query requests touching (node, attr)"
+    (sample attr_accesses (fun (n, a) -> n ^ "." ^ a));
+  Obs.Metrics.register_family m "leaf_update_atoms"
+    ~help:"update atoms received per leaf"
+    (sample leaf_update_atoms Fun.id);
+  Obs.Metrics.register_family m "leaf_card"
+    ~help:"per-leaf cardinality estimate"
+    (sample leaf_card Fun.id);
   {
-    update_txs = 0;
-    query_txs = 0;
-    queries_from_store = 0;
-    polls = 0;
-    polled_tuples = 0;
-    propagated_atoms = 0;
-    temps_built = 0;
-    key_based_constructions = 0;
-    ops_update = 0;
-    ops_query = 0;
-    ops_migrate = 0;
-    migrations = 0;
-    messages_received = 0;
-    atoms_received = 0;
-    poll_retries = 0;
-    poll_failures = 0;
-    degraded_answers = 0;
-    gaps_detected = 0;
-    dup_messages_dropped = 0;
-    resyncs = 0;
-    update_deferrals = 0;
-    version_checks = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    cache_invalidations = 0;
-    node_accesses = Hashtbl.create 8;
-    attr_accesses = Hashtbl.create 16;
-    leaf_update_atoms = Hashtbl.create 8;
-    leaf_card = Hashtbl.create 8;
+    registry = m;
+    update_txs = c "update_txs";
+    query_txs = c "query_txs";
+    queries_from_store = c "queries_from_store";
+    polls = c "polls";
+    polled_tuples = c "polled_tuples";
+    propagated_atoms = c "propagated_atoms";
+    temps_built = c "temps_built";
+    key_based_constructions = c "key_based_constructions";
+    ops_update = c "ops_update";
+    ops_query = c "ops_query";
+    ops_migrate = c "ops_migrate";
+    migrations = c "migrations";
+    messages_received = c "messages_received";
+    atoms_received = c "atoms_received";
+    poll_retries = c "poll_retries";
+    poll_failures = c "poll_failures";
+    degraded_answers = c "degraded_answers";
+    gaps_detected = c "gaps_detected";
+    dup_messages_dropped = c "dup_messages_dropped";
+    resyncs = c "resyncs";
+    update_deferrals = c "update_deferrals";
+    version_checks = c "version_checks";
+    cache_hits = c "cache_hits";
+    cache_misses = c "cache_misses";
+    cache_invalidations = c "cache_invalidations";
+    update_tx_time =
+      Obs.Metrics.histogram m "update_tx_time"
+        ~help:"simulated seconds per applied update transaction";
+    query_tx_time =
+      Obs.Metrics.histogram m "query_tx_time"
+        ~help:"simulated seconds per query transaction";
+    poll_rtt =
+      Obs.Metrics.histogram m "poll_rtt"
+        ~help:"simulated seconds per poll incl. retries and backoff";
+    queue_depth = Obs.Metrics.gauge m "queue_depth";
+    node_accesses;
+    attr_accesses;
+    leaf_update_atoms;
+    leaf_card;
   }
 
 let bump tbl key n =
@@ -141,6 +194,7 @@ let bump tbl key n =
 type cached_answer = {
   ca_answer : Bag.t;
   ca_polled : (string * int) list;
+  ca_trace_id : int option;
       (** polled versions of the VAP that produced the answer; replayed
           into the reflect vector on every cache hit *)
 }
@@ -164,6 +218,7 @@ type t = {
   store : Store.t;
   mutex : Engine.Mutex.t;
   config : config;
+  trace : Obs.Trace.t;
   source_tbl : (string, Source_db.t) Hashtbl.t;
   mutable queue : queue_entry list;
   mutable reflected : (string * reflected) list;
@@ -371,10 +426,10 @@ let cache_lookup t ~node ~attrs ~cond =
   if not t.config.answer_cache_enabled then None
   else Hashtbl.find_opt t.answer_cache (node, attrs, cond)
 
-let cache_store t ~node ~attrs ~cond ~polled answer =
+let cache_store t ~node ~attrs ~cond ~polled ?trace_id answer =
   if t.config.answer_cache_enabled then
     Hashtbl.replace t.answer_cache (node, attrs, cond)
-      { ca_answer = answer; ca_polled = polled }
+      { ca_answer = answer; ca_polled = polled; ca_trace_id = trace_id }
 
 let cache_invalidate_nodes t nodes =
   if Hashtbl.length t.answer_cache > 0 && nodes <> [] then begin
@@ -385,13 +440,11 @@ let cache_invalidate_nodes t nodes =
         t.answer_cache []
     in
     List.iter (Hashtbl.remove t.answer_cache) doomed;
-    t.stats.cache_invalidations <-
-      t.stats.cache_invalidations + List.length doomed
+    Obs.Metrics.add t.stats.cache_invalidations (List.length doomed)
   end
 
 let cache_flush t =
-  t.stats.cache_invalidations <-
-    t.stats.cache_invalidations + Hashtbl.length t.answer_cache;
+  Obs.Metrics.add t.stats.cache_invalidations (Hashtbl.length t.answer_cache);
   Hashtbl.reset t.answer_cache
 
 let observe_source_version t src version =
@@ -404,7 +457,7 @@ let observe_source_version t src version =
       cache_invalidate_nodes t (source_closure t src)
   end
 
-let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
+let create ~engine ~vdp ~annotation ?(config = Config.default) ~sources () =
   let source_tbl = Hashtbl.create 8 in
   List.iter (fun s -> Hashtbl.replace source_tbl (Source_db.name s) s) sources;
   (* every VDP source must be present and agree on leaf schemas *)
@@ -454,6 +507,12 @@ let create ~engine ~vdp ~annotation ?(config = default_config) ~sources () =
       store;
       mutex = Engine.Mutex.create ();
       config;
+      trace =
+        Obs.Trace.create
+          ~capacity:config.Config.trace_capacity
+          ~enabled:config.Config.trace_enabled
+          ~now:(fun () -> Engine.now engine)
+          ~ops_counter:Eval.tuple_ops ();
       source_tbl;
       queue = [];
       reflected;
@@ -525,23 +584,39 @@ let mark_dirty t src_name =
 let clear_dirty t = t.dirty <- []
 let dirty_sources t = t.dirty
 
+let gap_event t ~source ~via attrs =
+  Obs.Metrics.incr t.stats.gaps_detected;
+  Obs.Trace.root_event t.trace "gap_detected"
+    ~attrs:((("source", source) :: attrs) @ [ ("via", via) ])
+
 let enqueue t (u : Message.update) =
-  t.stats.messages_received <- t.stats.messages_received + 1;
-  t.stats.atoms_received <-
-    t.stats.atoms_received + Multi_delta.atom_count u.Message.delta;
+  Obs.Metrics.incr t.stats.messages_received;
+  Obs.Metrics.add t.stats.atoms_received (Multi_delta.atom_count u.Message.delta);
   let seen = seen_version t u.Message.source in
-  if u.Message.version <= seen then
+  if u.Message.version <= seen then begin
     (* a duplicated announcement (faulty channel): versions only move
        forward, so anything at or below what we have seen is a replay
        of a delta already queued or reflected — applying it twice would
        double-count *)
-    t.stats.dup_messages_dropped <- t.stats.dup_messages_dropped + 1
+    Obs.Metrics.incr t.stats.dup_messages_dropped;
+    Obs.Trace.root_event t.trace "dup_dropped"
+      ~attrs:
+        [
+          ("source", u.Message.source);
+          ("version", string_of_int u.Message.version);
+        ]
+  end
   else begin
     if u.Message.prev_version > seen then begin
       (* the delta's predecessor never arrived: an announcement was
          lost in transit. The queue no longer composes to the source's
          state, so ECA cannot be trusted — mark the source for resync. *)
-      t.stats.gaps_detected <- t.stats.gaps_detected + 1;
+      gap_event t ~source:u.Message.source ~via:"announcement"
+        [
+          ("prev_version", string_of_int u.Message.prev_version);
+          ("version", string_of_int u.Message.version);
+          ("seen", string_of_int seen);
+        ];
       Log.warn (fun m ->
           m "gap from %s: delta covers (%d, %d] but only v%d seen"
             u.Message.source u.Message.prev_version u.Message.version seen);
@@ -572,12 +647,22 @@ let enqueue t (u : Message.update) =
         q_delta = u.Message.delta;
       }
     in
-    t.queue <- t.queue @ [ entry ]
+    t.queue <- t.queue @ [ entry ];
+    Obs.Metrics.set t.stats.queue_depth (float_of_int (List.length t.queue));
+    Obs.Trace.root_event t.trace "enqueue"
+      ~attrs:
+        [
+          ("source", u.Message.source);
+          ("version", string_of_int u.Message.version);
+          ("atoms", string_of_int (Multi_delta.atom_count u.Message.delta));
+          ("depth", string_of_int (List.length t.queue));
+        ]
   end
 
 let take_queue t =
   let entries = t.queue in
   t.queue <- [];
+  Obs.Metrics.set t.stats.queue_depth 0.0;
   (* guard against messages that predate the initialization snapshot *)
   List.filter
     (fun e -> e.q_version > (reflected_version t e.q_source).r_version)
@@ -605,9 +690,9 @@ let events t = List.rev t.log
 
 let charge_ops t kind ops =
   (match kind with
-  | `Update -> t.stats.ops_update <- t.stats.ops_update + ops
-  | `Query -> t.stats.ops_query <- t.stats.ops_query + ops
-  | `Migrate -> t.stats.ops_migrate <- t.stats.ops_migrate + ops);
+  | `Update -> Obs.Metrics.add t.stats.ops_update ops
+  | `Query -> Obs.Metrics.add t.stats.ops_query ops
+  | `Migrate -> Obs.Metrics.add t.stats.ops_migrate ops);
   if t.config.op_time > 0.0 && ops > 0 then
     Engine.sleep t.engine (float_of_int ops *. t.config.op_time)
 
@@ -624,31 +709,54 @@ let record_leaf_card t leaf n = Hashtbl.replace t.stats.leaf_card leaf n
 let poll_with_retry t src queries =
   let src_name = Source_db.name src in
   let budget = max 1 t.config.poll_retries in
-  let rec attempt n backoff =
-    match Source_db.try_poll src ?timeout:t.config.poll_timeout queries with
-    | Ok a -> a
-    | Error e ->
-      if n >= budget then begin
-        t.stats.poll_failures <- t.stats.poll_failures + 1;
-        Log.warn (fun m ->
-            m "poll of %s failed after %d attempt(s): %s" src_name n
-              (Source_db.poll_error_to_string e));
-        raise
-          (Poll_failed
-             {
-               pe_source = src_name;
-               pe_attempts = n;
-               pe_error = Source_db.poll_error_to_string e;
-             })
-      end
-      else begin
-        t.stats.poll_retries <- t.stats.poll_retries + 1;
-        Log.debug (fun m ->
-            m "poll of %s failed (%s); retry %d/%d after %g" src_name
-              (Source_db.poll_error_to_string e)
-              n (budget - 1) backoff);
-        Engine.sleep t.engine backoff;
-        attempt (n + 1) (backoff *. 2.0)
-      end
-  in
-  attempt 1 t.config.poll_backoff
+  Obs.Trace.with_span t.trace "poll" ~attrs:[ ("source", src_name) ]
+    (fun poll_sp ->
+      let t0 = Engine.now t.engine in
+      let rec attempt n backoff =
+        let outcome =
+          Obs.Trace.with_span t.trace "attempt"
+            ~attrs:[ ("n", string_of_int n) ]
+            (fun sp ->
+              let r =
+                Source_db.try_poll src ?timeout:t.config.poll_timeout queries
+              in
+              (match r with
+              | Ok _ -> Obs.Trace.set_attr sp "result" "ok"
+              | Error e ->
+                Obs.Trace.set_attr sp "result"
+                  (Source_db.poll_error_to_string e));
+              r)
+        in
+        match outcome with
+        | Ok a ->
+          Obs.Trace.set_attri poll_sp "attempts" n;
+          Obs.Metrics.observe t.stats.poll_rtt (Engine.now t.engine -. t0);
+          a
+        | Error e ->
+          if n >= budget then begin
+            Obs.Metrics.incr t.stats.poll_failures;
+            Obs.Trace.set_attri poll_sp "attempts" n;
+            Obs.Trace.set_attr poll_sp "outcome" "exhausted";
+            Obs.Metrics.observe t.stats.poll_rtt (Engine.now t.engine -. t0);
+            Log.warn (fun m ->
+                m "poll of %s failed after %d attempt(s): %s" src_name n
+                  (Source_db.poll_error_to_string e));
+            raise
+              (Poll_failed
+                 {
+                   pe_source = src_name;
+                   pe_attempts = n;
+                   pe_error = Source_db.poll_error_to_string e;
+                 })
+          end
+          else begin
+            Obs.Metrics.incr t.stats.poll_retries;
+            Log.debug (fun m ->
+                m "poll of %s failed (%s); retry %d/%d after %g" src_name
+                  (Source_db.poll_error_to_string e)
+                  n (budget - 1) backoff);
+            Engine.sleep t.engine backoff;
+            attempt (n + 1) (backoff *. 2.0)
+          end
+      in
+      attempt 1 t.config.poll_backoff)

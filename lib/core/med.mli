@@ -15,49 +15,86 @@ open Sim
 open Storage
 open Sources
 
-type config = {
-  flush_interval : float;
-      (** period of the update-queue flusher (the paper's
-          [u_hold_delay] policy knob) *)
-  op_time : float;
-      (** simulated time charged per tuple operation of mediator
-          compute ([u_proc]/[q_proc] of the mediator) *)
-  eca_enabled : bool;
-      (** Eager-Compensation on polled answers; disabling it is the
-          E6 ablation and breaks consistency *)
-  key_based_enabled : bool;
-      (** Example 2.3's key-based construction of temporaries *)
-  poll_timeout : float option;
-      (** give up on a poll after this much simulated time ([None] =
-          wait forever — only safe on fault-free channels) *)
-  poll_retries : int;
-      (** total attempt budget per poll ({!poll_with_retry}); [1]
-          disables retrying *)
-  poll_backoff : float;
-      (** wait before the first retry; doubles on every further one *)
-  version_check_interval : float option;
-      (** when set, the mediator periodically polls each announcing
-          source with an empty query list — an anti-entropy heartbeat:
-          the poll's flush pushes any silently-lost tail announcement
-          again, and a version mismatch in the answer marks the source
-          for resync. Needed for convergence when the {e last}
-          announcement of a run can be dropped; without it nothing
-          later would reveal the gap. *)
-  release_history : bool;
-      (** after each update transaction, advance every source's release
-          watermark ({!Source_db.release}) to the reflected version so
-          snapshot history stays bounded. Incompatible with running a
-          {!Correctness.Checker} afterwards, which replays history. *)
-  answer_cache_enabled : bool;
-      (** cache query answers keyed by (node, attrs, cond) and serve
-          repeats of unchanged nodes without re-polling or re-reading
-          the store; delta arrivals invalidate the announcing source's
-          upward closure. Also extends the anti-entropy heartbeat to
-          virtual contributors so cached virtual answers notice
-          silently dropped announcements. *)
-}
+(** Mediator configuration. Build values with {!Config.make} — the
+    smart constructor defaults every knob, so construction sites name
+    only what they change and new knobs never break callers. *)
+module Config : sig
+  type t = {
+    flush_interval : float;
+        (** period of the update-queue flusher (the paper's
+            [u_hold_delay] policy knob) *)
+    op_time : float;
+        (** simulated time charged per tuple operation of mediator
+            compute ([u_proc]/[q_proc] of the mediator) *)
+    eca_enabled : bool;
+        (** Eager-Compensation on polled answers; disabling it is the
+            E6 ablation and breaks consistency *)
+    key_based_enabled : bool;
+        (** Example 2.3's key-based construction of temporaries *)
+    poll_timeout : float option;
+        (** give up on a poll after this much simulated time ([None] =
+            wait forever — only safe on fault-free channels) *)
+    poll_retries : int;
+        (** total attempt budget per poll ({!poll_with_retry}); [1]
+            disables retrying *)
+    poll_backoff : float;
+        (** wait before the first retry; doubles on every further one *)
+    version_check_interval : float option;
+        (** when set, the mediator periodically polls each announcing
+            source with an empty query list — an anti-entropy
+            heartbeat: the poll's flush pushes any silently-lost tail
+            announcement again, and a version mismatch in the answer
+            marks the source for resync. Needed for convergence when
+            the {e last} announcement of a run can be dropped; without
+            it nothing later would reveal the gap. *)
+    release_history : bool;
+        (** after each update transaction, advance every source's
+            release watermark ({!Source_db.release}) to the reflected
+            version so snapshot history stays bounded. Incompatible
+            with running a {!Correctness.Checker} afterwards, which
+            replays history. *)
+    answer_cache_enabled : bool;
+        (** cache query answers keyed by (node, attrs, cond) and serve
+            repeats of unchanged nodes without re-polling or re-reading
+            the store; delta arrivals invalidate the announcing
+            source's upward closure. Also extends the anti-entropy
+            heartbeat to virtual contributors so cached virtual answers
+            notice silently dropped announcements. *)
+    trace_enabled : bool;
+        (** record {!Obs.Trace} span trees for every transaction;
+            disable to measure instrumentation overhead (bench e16) *)
+    trace_capacity : int;
+        (** ring-buffer retention: how many closed root spans the
+            trace keeps before overwriting the oldest *)
+  }
+
+  val make :
+    ?flush_interval:float ->
+    ?op_time:float ->
+    ?eca_enabled:bool ->
+    ?key_based_enabled:bool ->
+    ?poll_timeout:float ->
+    ?poll_retries:int ->
+    ?poll_backoff:float ->
+    ?version_check_interval:float ->
+    ?release_history:bool ->
+    ?answer_cache_enabled:bool ->
+    ?trace_enabled:bool ->
+    ?trace_capacity:int ->
+    unit ->
+    t
+  (** Defaults: [flush_interval 1.0], [op_time 1e-4], ECA and
+      key-based construction on, no poll timeout, [poll_retries 3],
+      [poll_backoff 0.25], no heartbeat, history retained, answer
+      cache on, tracing on with capacity 4096. *)
+
+  val default : t
+end
+
+type config = Config.t
 
 val default_config : config
+  [@@ocaml.deprecated "Use Med.Config.default (or Med.Config.make ())."]
 
 type queue_entry = {
   q_source : string;
@@ -117,42 +154,60 @@ type event =
     }
 
 type stats = {
-  mutable update_txs : int;
-  mutable query_txs : int;
-  mutable queries_from_store : int;  (** answered without any polling *)
-  mutable polls : int;
-  mutable polled_tuples : int;
-  mutable propagated_atoms : int;
-  mutable temps_built : int;
-  mutable key_based_constructions : int;
-  mutable ops_update : int;
-  mutable ops_query : int;
-  mutable ops_migrate : int;
+  registry : Obs.Metrics.t;
+      (** the registry every handle below lives in; snapshot it for
+          rendering ([squirrel profile] / [squirrel metrics]) *)
+  update_txs : Obs.Metrics.counter;
+  query_txs : Obs.Metrics.counter;
+  queries_from_store : Obs.Metrics.counter;
+      (** answered without any polling *)
+  polls : Obs.Metrics.counter;
+  polled_tuples : Obs.Metrics.counter;
+  propagated_atoms : Obs.Metrics.counter;
+  temps_built : Obs.Metrics.counter;
+  key_based_constructions : Obs.Metrics.counter;
+  ops_update : Obs.Metrics.counter;
+  ops_query : Obs.Metrics.counter;
+  ops_migrate : Obs.Metrics.counter;
       (** tuple operations spent rebuilding tables during live
           re-annotations (the {!Adapt} subsystem) *)
-  mutable migrations : int;  (** live re-annotations applied *)
-  mutable messages_received : int;
-  mutable atoms_received : int;
+  migrations : Obs.Metrics.counter;  (** live re-annotations applied *)
+  messages_received : Obs.Metrics.counter;
+  atoms_received : Obs.Metrics.counter;
       (** total update atoms arriving in announcements *)
-  mutable poll_retries : int;  (** retry attempts beyond the first *)
-  mutable poll_failures : int;  (** polls that exhausted their budget *)
-  mutable degraded_answers : int;  (** queries served with [Stale] markers *)
-  mutable gaps_detected : int;
+  poll_retries : Obs.Metrics.counter;
+      (** retry attempts beyond the first *)
+  poll_failures : Obs.Metrics.counter;
+      (** polls that exhausted their budget *)
+  degraded_answers : Obs.Metrics.counter;
+      (** queries served with [Stale] markers *)
+  gaps_detected : Obs.Metrics.counter;
       (** announcements whose [prev_version] exceeded what was seen *)
-  mutable dup_messages_dropped : int;
+  dup_messages_dropped : Obs.Metrics.counter;
       (** duplicated announcements discarded by version monotonicity *)
-  mutable resyncs : int;  (** snapshot rebuilds triggered by gaps *)
-  mutable update_deferrals : int;
+  resyncs : Obs.Metrics.counter;
+      (** snapshot rebuilds triggered by gaps *)
+  update_deferrals : Obs.Metrics.counter;
       (** update transactions aborted and requeued on poll failure *)
-  mutable version_checks : int;  (** anti-entropy heartbeat polls *)
-  mutable cache_hits : int;
+  version_checks : Obs.Metrics.counter;
+      (** anti-entropy heartbeat polls *)
+  cache_hits : Obs.Metrics.counter;
       (** queries served from the answer cache without recomputation *)
-  mutable cache_misses : int;
+  cache_misses : Obs.Metrics.counter;
       (** cache-enabled queries that had to compute their answer *)
-  mutable cache_invalidations : int;
+  cache_invalidations : Obs.Metrics.counter;
       (** cached answers dropped by deltas, resyncs, or migrations *)
+  update_tx_time : Obs.Metrics.histogram;
+      (** simulated seconds per applied update transaction *)
+  query_tx_time : Obs.Metrics.histogram;
+      (** simulated seconds per query transaction *)
+  poll_rtt : Obs.Metrics.histogram;
+      (** simulated seconds per poll, retries and backoff included *)
+  queue_depth : Obs.Metrics.gauge;
+      (** update-queue depth after the latest enqueue/flush *)
   node_accesses : (string, int) Hashtbl.t;
-      (** workload monitor: query requests per node *)
+      (** workload monitor: query requests per node (exposed as the
+          [node_accesses] family in the registry) *)
   attr_accesses : (string * string, int) Hashtbl.t;
       (** workload monitor: query requests touching (node, attr) —
           projection and condition attributes alike *)
@@ -168,6 +223,10 @@ type cached_answer = {
   ca_polled : (string * int) list;
       (** polled versions of the VAP that produced the answer; replayed
           into the reflect vector on every cache hit *)
+  ca_trace_id : int option;
+      (** query_tx span that computed the answer — hits are stamped
+          with this provenance id instead of recording a span of their
+          own, keeping the hit path free of trace allocation *)
 }
 
 type derived
@@ -186,6 +245,9 @@ type t = {
   store : Store.t;
   mutex : Engine.Mutex.t;
   config : config;
+  trace : Obs.Trace.t;
+      (** per-transaction span trees on the simulated clock; every
+          processor opens spans here (see docs/OBSERVABILITY.md) *)
   source_tbl : (string, Source_db.t) Hashtbl.t;
   mutable queue : queue_entry list;  (** arrival order *)
   mutable reflected : (string * reflected) list;
@@ -295,6 +357,11 @@ val mark_dirty : t -> string -> unit
 val clear_dirty : t -> unit
 val dirty_sources : t -> string list
 
+val gap_event : t -> source:string -> via:string -> (string * string) list -> unit
+(** Count a detected announcement gap and record a ["gap_detected"]
+    root event in the trace. [via] names the detector
+    (["announcement"], ["heartbeat"], ["poll"]). *)
+
 val enqueue : t -> Message.update -> unit
 (** Queue an arriving announcement — after fault screening: a version
     at or below the seen version is a duplicate and is dropped
@@ -385,6 +452,7 @@ val cache_store :
   attrs:string list ->
   cond:Predicate.t ->
   polled:(string * int) list ->
+  ?trace_id:int ->
   Bag.t ->
   unit
 (** No-op when disabled by config. Only [Fresh] answers may be

@@ -36,7 +36,7 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
      announcements reveals a silently dropped one and marks the source
      for resync. Without it, a dropped FINAL announcement would never
      be discovered — nothing later arrives to reveal the gap. *)
-  match t.Med.config.Med.version_check_interval with
+  match t.Med.config.Med.Config.version_check_interval with
   | None -> ()
   | Some period ->
     let rec checker () =
@@ -46,7 +46,7 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
           (fun src_name ->
             match Med.contributor_kind t src_name with
             | Med.Virtual_contributor
-              when not t.Med.config.Med.answer_cache_enabled ->
+              when not t.Med.config.Med.Config.answer_cache_enabled ->
               (* staleness of a purely virtual source is resolved by
                  polling at query time — unless cached answers can be
                  served without polling, in which case the heartbeat
@@ -55,12 +55,11 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
             | Med.Virtual_contributor -> (
               let src = Med.source t src_name in
               match
-                Source_db.try_poll src ?timeout:t.Med.config.Med.poll_timeout
-                  []
+                Source_db.try_poll src
+                  ?timeout:t.Med.config.Med.Config.poll_timeout []
               with
               | Ok a ->
-                t.Med.stats.Med.version_checks <-
-                  t.Med.stats.Med.version_checks + 1;
+                Obs.Metrics.incr t.Med.stats.Med.version_checks;
                 (* no dirty marking: there is no ECA baseline to
                    repair, only cached answers to invalidate *)
                 Med.observe_source_version t src_name
@@ -69,18 +68,21 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
             | Med.Materialized_contributor | Med.Hybrid_contributor -> (
               let src = Med.source t src_name in
               match
-                Source_db.try_poll src ?timeout:t.Med.config.Med.poll_timeout
-                  []
+                Source_db.try_poll src
+                  ?timeout:t.Med.config.Med.Config.poll_timeout []
               with
               | Ok a ->
-                t.Med.stats.Med.version_checks <-
-                  t.Med.stats.Med.version_checks + 1;
+                Obs.Metrics.incr t.Med.stats.Med.version_checks;
                 Med.observe_source_version t src_name
                   a.Message.answer_version;
                 if a.Message.answer_version <> Med.seen_version t src_name
                 then begin
-                  t.Med.stats.Med.gaps_detected <-
-                    t.Med.stats.Med.gaps_detected + 1;
+                  Med.gap_event t ~source:src_name ~via:"heartbeat"
+                    [
+                      ( "answer_version",
+                        string_of_int a.Message.answer_version );
+                      ("seen", string_of_int (Med.seen_version t src_name));
+                    ];
                   Med.Log.warn (fun m ->
                       m "version check: %s answers v%d but v%d seen" src_name
                         a.Message.answer_version
@@ -179,7 +181,11 @@ let enable_source_filtering (t : Med.t) =
     (Graph.leaves t.Med.vdp)
 
 let query = Qp.query
-let query_ex = Qp.query_ex
+
+let query_ex = Qp.query
+(* deprecated alias of [query]; kept one release for callers of the
+   old split API *)
+
 let query_many = Qp.query_many
 let process_updates = Iup.update_transaction
 let dirty_sources = Med.dirty_sources
@@ -191,6 +197,8 @@ let vdp (t : Med.t) = t.Med.vdp
 let annotation (t : Med.t) = t.Med.ann
 let events = Med.events
 let stats (t : Med.t) = t.Med.stats
+let trace (t : Med.t) = t.Med.trace
+let metrics (t : Med.t) = t.Med.stats.Med.registry
 let contributor_kind = Med.contributor_kind
 
 let reflected_version (t : Med.t) src =

@@ -58,8 +58,17 @@ val initialize : t -> unit
     version guards. *)
 
 val query :
-  t -> node:string -> ?attrs:string list -> ?cond:Predicate.t -> unit -> Bag.t
-(** One query transaction against an export relation (see {!Qp}). *)
+  t ->
+  node:string ->
+  ?attrs:string list ->
+  ?cond:Predicate.t ->
+  unit ->
+  Qp.answer
+(** One query transaction against an export relation. The answer
+    record carries the tuples, the answer quality ([Stale] marks a
+    degraded answer served from the materialized store because a
+    source was unreachable), the reflect vector, and the id of the
+    transaction's trace span (see {!Qp.query}). *)
 
 val query_ex :
   t ->
@@ -67,10 +76,8 @@ val query_ex :
   ?attrs:string list ->
   ?cond:Predicate.t ->
   unit ->
-  Qp.rich_answer
-(** Like {!query} but reporting answer quality: [Stale] marks a
-    degraded answer served from the materialized store because a
-    source was unreachable (see {!Qp.query_ex}). *)
+  Qp.answer
+  [@@ocaml.deprecated "Use Mediator.query — it returns the full answer record."]
 
 val query_many :
   t ->
@@ -104,6 +111,17 @@ val vdp : t -> Graph.t
 val annotation : t -> Annotation.t
 val events : t -> Med.event list
 val stats : t -> Med.stats
+
+val trace : t -> Obs.Trace.t
+(** The mediator's span recorder: every update/query transaction, poll
+    (with per-attempt children), migration, and resync appears here as
+    a span tree on the simulated clock. Render with {!Obs.Trace.render}
+    or export with {!Obs.Trace.to_jsonl}. *)
+
+val metrics : t -> Obs.Metrics.t
+(** The registry behind {!stats} — snapshot it for [squirrel metrics]
+    or serialization. *)
+
 val contributor_kind : t -> string -> Med.contributor_kind
 val reflected_version : t -> string -> int
 val store_bytes : t -> int

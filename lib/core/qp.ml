@@ -19,7 +19,12 @@ let dedup attrs = List.sort_uniq String.compare attrs
 
 type quality = Fresh | Stale of Med.staleness list
 
-type rich_answer = { answer : Bag.t; quality : quality }
+type answer = {
+  tuples : Bag.t;
+  quality : quality;
+  reflect : (string * Med.reflect_entry) list;
+  trace_id : int option;
+}
 
 let staleness_of (t : Med.t) srcs =
   let now = Engine.now t.Med.engine in
@@ -43,7 +48,7 @@ let base_stale (t : Med.t) =
   match Med.dirty_sources t with [] -> [] | dirty -> staleness_of t dirty
 
 let key_based_plan (t : Med.t) ~node ~needed =
-  if not t.Med.config.Med.key_based_enabled then None
+  if not t.Med.config.Med.Config.key_based_enabled then None
   else
     let mat = Med.mat_attrs t node in
     let virtual_needed = List.filter (fun a -> not (List.mem a mat)) needed in
@@ -85,6 +90,14 @@ let query_many (t : Med.t) requests =
   in
   Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
       pre_repair t;
+      Obs.Trace.with_span t.Med.trace "query_tx"
+        ~attrs:
+          [
+            ("kind", "multi");
+            ("nodes", String.concat "," (List.map (fun (n, _, _) -> n) requests));
+          ]
+        (fun tx_sp ->
+      let tx_start = Engine.now t.Med.engine in
       let ops_before = Eval.tuple_ops () in
       List.iter
         (fun (node, attrs, cond) ->
@@ -137,8 +150,7 @@ let query_many (t : Med.t) requests =
               let needed = dedup (attrs @ Predicate.attrs cond) in
               match Med.node_table t node with
               | Some table when Med.is_covered t ~node ~attrs:needed ->
-                t.Med.stats.Med.queries_from_store <-
-                  t.Med.stats.Med.queries_from_store + 1;
+                Obs.Metrics.incr t.Med.stats.Med.queries_from_store;
                 (node, Bag.project attrs (Bag.select cond (Table.contents table)))
               | Some table -> (
                 (* fresh data unreachable: degrade to the materialized
@@ -167,10 +179,14 @@ let query_many (t : Med.t) requests =
          one commit instant *)
       let reflect = reflect_vector t ~polled:vap_result.Vap.polled_versions in
       let time = Engine.now t.Med.engine in
-      t.Med.stats.Med.query_txs <- t.Med.stats.Med.query_txs + 1;
-      if stale <> [] then
-        t.Med.stats.Med.degraded_answers <- t.Med.stats.Med.degraded_answers + 1;
+      Obs.Metrics.incr t.Med.stats.Med.query_txs;
+      if stale <> [] then begin
+        Obs.Metrics.incr t.Med.stats.Med.degraded_answers;
+        Obs.Trace.set_attr tx_sp "degraded" "true"
+      end;
       Med.charge_ops t `Query (Eval.tuple_ops () - ops_before);
+      Obs.Metrics.observe t.Med.stats.Med.query_tx_time
+        (Engine.now t.Med.engine -. tx_start);
       List.iter2
         (fun (node, attrs, cond) (_, answer) ->
           Med.log_event t
@@ -185,20 +201,13 @@ let query_many (t : Med.t) requests =
                  qt_stale = stale;
                }))
         requests answers;
-      answers)
+      answers))
 
-let query_ex (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
-  let n = Graph.node t.Med.vdp node in
-  if not n.Graph.export then Med.err "%S is not an export relation" node;
-  let schema = n.Graph.schema in
-  let attrs = match attrs with Some a -> a | None -> Schema.attrs schema in
-  List.iter
-    (fun a ->
-      if not (Schema.mem schema a) then
-        Med.err "export %S has no attribute %S" node a)
-    (attrs @ Predicate.attrs cond);
+let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
+  let attrs = validate_request t node attrs cond in
   Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
       pre_repair t;
+      let tx_start = Engine.now t.Med.engine in
       let ops_before = Eval.tuple_ops () in
       let needed = dedup (attrs @ Predicate.attrs cond) in
       Med.record_access t ~node ~attrs:needed;
@@ -207,13 +216,22 @@ let query_ex (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
          any node the answer can see — serve it as Fresh. The reflect
          vector is recomputed at serve time from the entry's recorded
          polled versions: entries for sources the answer does not
-         depend on stay monotone with the mediator's current state. *)
+         depend on stay monotone with the mediator's current state.
+         A hit records no span of its own — the whole path is two hash
+         lookups, and trace allocation must not dominate it (e16); the
+         answer instead carries the id of the query_tx span that
+         originally computed it, and the hit shows up in the
+         cache_hits counter and the query_tx_time histogram. *)
       let cached =
         match Med.cache_lookup t ~node ~attrs ~cond with
         | Some ca ->
-          t.Med.stats.Med.cache_hits <- t.Med.stats.Med.cache_hits + 1;
-          t.Med.stats.Med.query_txs <- t.Med.stats.Med.query_txs + 1;
+          Obs.Metrics.incr t.Med.stats.Med.cache_hits;
+          Obs.Metrics.incr t.Med.stats.Med.query_txs;
           Med.charge_ops t `Query (Eval.tuple_ops () - ops_before);
+          Obs.Metrics.observe t.Med.stats.Med.query_tx_time
+            (Engine.now t.Med.engine -. tx_start);
+          let trace_id = ca.Med.ca_trace_id in
+          let reflect = reflect_vector t ~polled:ca.Med.ca_polled in
           Med.log_event t
             (Med.Query_tx
                {
@@ -222,24 +240,29 @@ let query_ex (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
                  qt_attrs = attrs;
                  qt_cond = cond;
                  qt_answer = ca.Med.ca_answer;
-                 qt_reflect = reflect_vector t ~polled:ca.Med.ca_polled;
+                 qt_reflect = reflect;
                  qt_stale = [];
                });
-          Some { answer = ca.Med.ca_answer; quality = Fresh }
+          Some { tuples = ca.Med.ca_answer; quality = Fresh; reflect; trace_id }
         | None ->
-          if t.Med.config.Med.answer_cache_enabled then
-            t.Med.stats.Med.cache_misses <- t.Med.stats.Med.cache_misses + 1;
+          if t.Med.config.Med.Config.answer_cache_enabled then
+            Obs.Metrics.incr t.Med.stats.Med.cache_misses;
           None
       in
       match cached with
       | Some hit -> hit
       | None ->
-      let finish ?(stale = []) answer polled =
-        t.Med.stats.Med.query_txs <- t.Med.stats.Med.query_txs + 1;
-        if stale <> [] then
-          t.Med.stats.Med.degraded_answers <-
-            t.Med.stats.Med.degraded_answers + 1;
+      Obs.Trace.with_span t.Med.trace "query_tx" ~attrs:[ ("node", node) ]
+        (fun tx_sp ->
+      let trace_id = Obs.Trace.span_id tx_sp in
+      let finish ?(stale = []) ~served answer polled =
+        Obs.Metrics.incr t.Med.stats.Med.query_txs;
+        if stale <> [] then Obs.Metrics.incr t.Med.stats.Med.degraded_answers;
         Med.charge_ops t `Query (Eval.tuple_ops () - ops_before);
+        Obs.Trace.set_attr tx_sp "served" served;
+        Obs.Metrics.observe t.Med.stats.Med.query_tx_time
+          (Engine.now t.Med.engine -. tx_start);
+        let reflect = reflect_vector t ~polled in
         Med.log_event t
           (Med.Query_tx
              {
@@ -248,13 +271,19 @@ let query_ex (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
                qt_attrs = attrs;
                qt_cond = cond;
                qt_answer = answer;
-               qt_reflect = reflect_vector t ~polled;
+               qt_reflect = reflect;
                qt_stale = stale;
              });
         (* only answers the checker may hold to full validity are
            worth replaying; degraded answers must be recomputed *)
-        if stale = [] then Med.cache_store t ~node ~attrs ~cond ~polled answer;
-        { answer; quality = (if stale = [] then Fresh else Stale stale) }
+        if stale = [] then
+          Med.cache_store t ~node ~attrs ~cond ~polled ?trace_id answer;
+        {
+          tuples = answer;
+          quality = (if stale = [] then Fresh else Stale stale);
+          reflect;
+          trace_id;
+        }
       in
       (* fresh data unreachable: serve what the store has — the
          materialized subset of the requested attributes, under the
@@ -269,7 +298,8 @@ let query_ex (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
               m "degraded answer for %s @%g: %s" node
                 (Engine.now t.Med.engine)
                 (Printexc.to_string exn));
-          finish ~stale:(staleness_of t srcs)
+          Obs.Trace.set_attr tx_sp "error" (Printexc.to_string exn);
+          finish ~stale:(staleness_of t srcs) ~served:"degraded"
             (Bag.project avail
                (Bag.select (Predicate.restrict_to cond mat) (Table.contents table)))
             []
@@ -290,10 +320,9 @@ let query_ex (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
             node);
       if Med.is_covered t ~node ~attrs:needed then begin
         let table = Option.get (Med.node_table t node) in
-        t.Med.stats.Med.queries_from_store <-
-          t.Med.stats.Med.queries_from_store + 1;
+        Obs.Metrics.incr t.Med.stats.Med.queries_from_store;
         Eval.charge_tuple_ops (Table.support_cardinal table);
-        finish ~stale:(base_stale t)
+        finish ~stale:(base_stale t) ~served:"store"
           (Bag.project attrs (Bag.select cond (Table.contents table)))
           []
       end
@@ -350,9 +379,8 @@ let query_ex (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
             | None -> Med.err "key-based plan on unmaterialized node %S" node
           in
           let joined = Bag.join own c_part in
-          t.Med.stats.Med.key_based_constructions <-
-            t.Med.stats.Med.key_based_constructions + 1;
-          finish ~stale:(base_stale t)
+          Obs.Metrics.incr t.Med.stats.Med.key_based_constructions;
+          finish ~stale:(base_stale t) ~served:"key_based"
             (Bag.project attrs (Bag.select cond joined))
             polled
         end
@@ -362,10 +390,9 @@ let query_ex (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
               [ { Vap.r_node = node; r_attrs = needed; r_cond = cond } ]
           in
           let temp = List.assoc node res.Vap.temps in
-          finish ~stale:(base_stale t)
+          finish ~stale:(base_stale t) ~served:"vap"
             (Bag.project attrs (Bag.select cond temp))
             res.Vap.polled_versions
-      end)
+      end))
 
-let query (t : Med.t) ~node ?attrs ?cond () =
-  (query_ex t ~node ?attrs ?cond ()).answer
+let query_ex = query

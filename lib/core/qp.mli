@@ -27,16 +27,26 @@ type quality =
           result was served from the materialized store (restricted to
           materialized attributes) as of the reflected versions *)
 
-type rich_answer = { answer : Bag.t; quality : quality }
+type answer = {
+  tuples : Bag.t;  (** the answer relation *)
+  quality : quality;
+  reflect : (string * Med.reflect_entry) list;
+      (** which source versions the answer corresponds to (one entry
+          per VDP source) *)
+  trace_id : int option;
+      (** id of the transaction's [query_tx] root span in
+          [t.Med.trace], [None] when tracing is disabled *)
+}
 
-val query_ex :
+val query :
   Med.t ->
   node:string ->
   ?attrs:string list ->
   ?cond:Predicate.t ->
   unit ->
-  rich_answer
-(** Like {!query} but reporting answer quality.
+  answer
+(** One query transaction. Defaults: all attributes, no condition.
+    Must run inside a simulation process.
 
     When the answer cache is enabled (config), a [Fresh] answer for
     the exact (node, attrs, cond) triple is stored after computation
@@ -45,23 +55,26 @@ val query_ex :
     it; hits are logged as full query transactions with a reflect
     vector recomputed from the entry's recorded polled versions.
 
-    When fresh data is
-    needed and its source cannot be polled within the config's retry
-    budget, the QP degrades instead of failing: the answer carries
-    only the materialized subset of the requested attributes, applies
-    only the conditions expressible over them, and is marked [Stale]
-    with the age of the data served. The correctness checker exempts
-    stale-marked transactions from validity checking.
+    When fresh data is needed and its source cannot be polled within
+    the config's retry budget, the QP degrades instead of failing: the
+    answer carries only the materialized subset of the requested
+    attributes, applies only the conditions expressible over them, and
+    is marked [Stale] with the age of the data served. The correctness
+    checker exempts stale-marked transactions from validity checking.
+    @raise Med.Mediator_error for a non-export node or unknown
+    attributes.
     @raise Med.Poll_failed when degradation is impossible too (the
     node has no materialized portion covering any requested
     attribute). *)
 
-val query :
-  Med.t -> node:string -> ?attrs:string list -> ?cond:Predicate.t -> unit -> Bag.t
-(** Defaults: all attributes, no condition. Must run inside a
-    simulation process. [(query_ex ...).answer].
-    @raise Med.Mediator_error for a non-export node or unknown
-    attributes. *)
+val query_ex :
+  Med.t ->
+  node:string ->
+  ?attrs:string list ->
+  ?cond:Predicate.t ->
+  unit ->
+  answer
+  [@@ocaml.deprecated "Use Qp.query — it returns the full answer record."]
 
 val query_many :
   Med.t ->

@@ -13,7 +13,10 @@ open Storage
    Two-phase so a mid-way poll failure leaves the mediator untouched:
    all polls complete before any state mutates — otherwise a partially
    advanced reflect vector would disagree with tables never rebuilt. *)
-let snapshot (t : Med.t) =
+let snapshot ?(trigger = "init") (t : Med.t) =
+  Obs.Trace.with_span t.Med.trace "snapshot"
+    ~attrs:[ ("trigger", trigger) ]
+    (fun _sp ->
   let answers =
     List.filter_map
       (fun src_name ->
@@ -23,7 +26,7 @@ let snapshot (t : Med.t) =
         else begin
           let queries = List.map (fun l -> (l, Expr.base l)) leaves in
           let answer = Med.poll_with_retry t src queries in
-          t.Med.stats.Med.polls <- t.Med.stats.Med.polls + 1;
+          Obs.Metrics.incr t.Med.stats.Med.polls;
           Some (src_name, answer)
         end)
       (Graph.sources t.Med.vdp)
@@ -98,7 +101,7 @@ let snapshot (t : Med.t) =
              (fun s -> (s, (Med.reflected_version t s).Med.r_version))
              (Graph.sources t.Med.vdp);
          ut_atoms = 0;
-       })
+       }))
 
 let resync_if_dirty (t : Med.t) =
   match Med.dirty_sources t with
@@ -108,5 +111,7 @@ let resync_if_dirty (t : Med.t) =
         m "resync @%g: announcement gap(s) from %s"
           (Engine.now t.Med.engine)
           (String.concat ", " dirty));
-    t.Med.stats.Med.resyncs <- t.Med.stats.Med.resyncs + 1;
-    snapshot t
+    Obs.Metrics.incr t.Med.stats.Med.resyncs;
+    Obs.Trace.with_span t.Med.trace "resync"
+      ~attrs:[ ("sources", String.concat "," (List.sort String.compare dirty)) ]
+      (fun _sp -> snapshot ~trigger:"gap" t)

@@ -10,16 +10,18 @@
     recovery mechanism this reproduction adds for when that assumption
     is relaxed. *)
 
-val snapshot : Med.t -> unit
+val snapshot : ?trigger:string -> Med.t -> unit
 (** Rebuild all materialized tables from fresh source polls. Polls run
     with the config's retry/timeout budget ({!Med.poll_with_retry}) and
     complete {e before} any mediator state mutates, so a failure
     ([Med.Poll_failed]) leaves the previous consistent state intact.
     Caller must hold the mediator mutex (or be initializing). Clears
     the dirty set and logs an [Update_tx] marking the new reflect
-    vector. *)
+    vector. Records a ["snapshot"] span whose [trigger] attribute
+    (default ["init"]) names what forced it. *)
 
 val resync_if_dirty : Med.t -> unit
 (** {!snapshot} when any source is marked dirty (counted in
-    [stats.resyncs]); no-op otherwise. Same locking and failure
+    [stats.resyncs] and recorded as a ["resync"] span containing the
+    [trigger=gap] snapshot); no-op otherwise. Same locking and failure
     contract as {!snapshot}. *)

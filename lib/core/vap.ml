@@ -108,8 +108,14 @@ let rec filter_delta ~node expr d =
     Med.shape_err ~node ~kind:"Diff"
       "leaf-parent definitions must be select/project/rename chains"
 
-let build (t : Med.t) ~kind:_ requests =
-  let reqs = closure t requests in
+let build_inner (t : Med.t) requests =
+  let reqs =
+    Obs.Trace.with_span t.Med.trace "closure" (fun sp ->
+        let reqs = closure t requests in
+        Obs.Trace.set_attri sp "requests" (List.length requests);
+        Obs.Trace.set_attri sp "closed" (List.length reqs);
+        reqs)
+  in
   let is_leaf_parent node =
     List.exists (Graph.is_leaf t.Med.vdp) (Graph.children t.Med.vdp node)
   in
@@ -152,12 +158,11 @@ let build (t : Med.t) ~kind:_ requests =
           m "VAP polls %s for %s" src_name
             (String.concat ", " (List.map fst queries)));
       let answer = Med.poll_with_retry t src queries in
-      t.Med.stats.Med.polls <- t.Med.stats.Med.polls + 1;
-      t.Med.stats.Med.polled_tuples <-
-        t.Med.stats.Med.polled_tuples
-        + List.fold_left
-            (fun acc (_, b) -> acc + Bag.cardinal b)
-            0 answer.Message.results;
+      Obs.Metrics.incr t.Med.stats.Med.polls;
+      Obs.Metrics.add t.Med.stats.Med.polled_tuples
+        (List.fold_left
+           (fun acc (_, b) -> acc + Bag.cardinal b)
+           0 answer.Message.results);
       (* any polled answer is an observation of the source's current
          version; an advance past the high-water mark invalidates
          cached answers in the source's closure *)
@@ -192,25 +197,32 @@ let build (t : Med.t) ~kind:_ requests =
           let value =
             if
               contributor <> Med.Virtual_contributor
-              && t.Med.config.Med.eca_enabled
-            then begin
-              (* Eager Compensation: roll the polled answer back to the
-                 reflected state *)
-              let unseen = Med.unseen_delta t ~source:src_name ~leaf in
-              Med.Log.debug (fun m ->
-                  m "ECA compensation for %s/%s: %d unseen atoms" src_name
-                    leaf (Rel_delta.atom_count unseen));
-              let comp = Rel_delta.inverse unseen in
-              let through_def =
-                filter_delta ~node:r.r_node (Graph.def t.Med.vdp r.r_node) comp
-              in
-              let through_req =
-                Rel_delta.project r.r_attrs
-                  (if Predicate.equal r.r_cond Predicate.True then through_def
-                   else Rel_delta.select r.r_cond through_def)
-              in
-              Rel_delta.apply polled through_req
-            end
+              && t.Med.config.Med.Config.eca_enabled
+            then
+              Obs.Trace.with_span t.Med.trace "eca"
+                ~attrs:[ ("source", src_name); ("node", r.r_node) ]
+                (fun sp ->
+                  (* Eager Compensation: roll the polled answer back to
+                     the reflected state *)
+                  let unseen = Med.unseen_delta t ~source:src_name ~leaf in
+                  Obs.Trace.set_attri sp "unseen_atoms"
+                    (Rel_delta.atom_count unseen);
+                  Med.Log.debug (fun m ->
+                      m "ECA compensation for %s/%s: %d unseen atoms" src_name
+                        leaf (Rel_delta.atom_count unseen));
+                  let comp = Rel_delta.inverse unseen in
+                  let through_def =
+                    filter_delta ~node:r.r_node
+                      (Graph.def t.Med.vdp r.r_node)
+                      comp
+                  in
+                  let through_req =
+                    Rel_delta.project r.r_attrs
+                      (if Predicate.equal r.r_cond Predicate.True then
+                         through_def
+                       else Rel_delta.select r.r_cond through_def)
+                  in
+                  Rel_delta.apply polled through_req)
             else polled
           in
           Hashtbl.replace temps r.r_node value)
@@ -225,26 +237,37 @@ let build (t : Med.t) ~kind:_ requests =
   List.iter
     (fun node ->
       let r = List.find (fun r -> String.equal r.r_node node) inner_reqs in
-      let env name =
-        match Hashtbl.find_opt temps name with
-        | Some b -> Some b
-        | None -> Med.store_env t name
-      in
-      let def =
-        Derived_from.restrict_def t.Med.vdp ~node ~attrs:r.r_attrs
-          ~cond:r.r_cond
-      in
-      let with_sel =
-        if Predicate.equal r.r_cond Predicate.True then def
-        else Expr.select r.r_cond def
-      in
-      let value = Eval.eval ~env (Expr.project r.r_attrs with_sel) in
-      Hashtbl.replace temps node value)
+      Obs.Trace.with_span t.Med.trace "temp" ~attrs:[ ("node", node) ]
+        (fun sp ->
+          let env name =
+            match Hashtbl.find_opt temps name with
+            | Some b -> Some b
+            | None -> Med.store_env t name
+          in
+          let def =
+            Derived_from.restrict_def t.Med.vdp ~node ~attrs:r.r_attrs
+              ~cond:r.r_cond
+          in
+          let with_sel =
+            if Predicate.equal r.r_cond Predicate.True then def
+            else Expr.select r.r_cond def
+          in
+          let value = Eval.eval ~env (Expr.project r.r_attrs with_sel) in
+          Obs.Trace.set_attri sp "tuples" (Bag.cardinal value);
+          Hashtbl.replace temps node value))
     inner_in_topo;
-  t.Med.stats.Med.temps_built <-
-    t.Med.stats.Med.temps_built + Hashtbl.length temps;
+  Obs.Metrics.add t.Med.stats.Med.temps_built (Hashtbl.length temps);
   {
     temps = Hashtbl.fold (fun k v acc -> (k, v) :: acc) temps [];
     polled_versions = !polled_versions;
     polled_times = !polled_times;
   }
+
+let build (t : Med.t) ~kind requests =
+  Obs.Trace.with_span t.Med.trace "vap"
+    ~attrs:
+      [ ("kind", match kind with `Query -> "query" | `Update -> "update") ]
+    (fun sp ->
+      let r = build_inner t requests in
+      Obs.Trace.set_attri sp "temps" (List.length r.temps);
+      r)

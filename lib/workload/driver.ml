@@ -96,7 +96,11 @@ let query_process ?(start = 0.0) ~rng ~med load =
             Mediator.query med ~node:load.q_node ~attrs ~cond ()
           in
           records :=
-            { qr_time = Engine.now engine; qr_attrs = attrs; qr_answer = answer }
+            {
+              qr_time = Engine.now engine;
+              qr_attrs = attrs;
+              qr_answer = answer.Qp.tuples;
+            }
             :: !records
       done);
   records

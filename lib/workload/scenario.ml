@@ -242,7 +242,7 @@ let () =
     | _ -> None)
 
 let run_to_quiescence env med =
-  let slice = 2.0 *. (med : Mediator.t).Med.config.Med.flush_interval in
+  let slice = 2.0 *. (med : Mediator.t).Med.config.Med.Config.flush_interval in
   let rec go rounds stable last_msgs =
     if rounds > 100_000 then
       raise
@@ -258,7 +258,7 @@ let run_to_quiescence env med =
              nq_pending_events = Engine.pending env.engine;
            });
     Engine.run env.engine ~until:(Engine.now env.engine +. slice);
-    let msgs = (Mediator.stats med).Med.messages_received in
+    let msgs = Obs.Metrics.value (Mediator.stats med).Med.messages_received in
     let quiet = Mediator.queue_length med = 0 && msgs = last_msgs in
     if quiet && stable >= 2 then ()
     else go (rounds + 1) (if quiet then stable + 1 else 0) msgs

@@ -251,10 +251,10 @@ let migration_sequence () =
   migrate_to env med (Annotation.fully_materialized vdp)
     ~what:"after promote-all";
   Alcotest.(check int) "three migrations applied" 3
-    (Mediator.stats med).Med.migrations;
+    (Obs.Metrics.value (Mediator.stats med).Med.migrations);
   (* a final query and the whole event log agree with ground truth *)
   let answer =
-    in_process env (fun () -> Mediator.query med ~node:"T" ())
+    in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples)
   in
   if not (Bag.equal answer (recompute env "T")) then
     Alcotest.fail "final answer diverges from recompute";
@@ -294,7 +294,7 @@ let migration_during_churn () =
       ignore (Adapt.Migrate.apply med plan));
   Scenario.run_to_quiescence env med;
   Alcotest.(check int) "two migrations applied" 2
-    (Mediator.stats med).Med.migrations;
+    (Obs.Metrics.value (Mediator.stats med).Med.migrations);
   check_store env med ~what:"mid-churn migration";
   check_consistent env med ~what:"mid-churn migration"
 

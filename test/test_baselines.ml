@@ -110,7 +110,7 @@ let test_shipper_differential_vs_squirrel () =
   List.iter
     (fun node ->
       let squirrel_answer =
-        in_process env (fun () -> Mediator.query med ~node ())
+        in_process env (fun () -> (Mediator.query med ~node ()).Qp.tuples)
       in
       Tutil.check_bag
         (node ^ ": Squirrel agrees with ground truth at quiescence")
@@ -147,7 +147,7 @@ let test_warehouse_runs_correctly () =
   in
   Source_db.commit db1 (Driver.single_insert db1 "R" fresh);
   Scenario.run_to_quiescence env med;
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "warehouse maintains T" (recompute env "T") answer;
   Alcotest.(check bool)
     "maintenance required polling (aux virtual)" true
@@ -161,7 +161,7 @@ let test_virtual_annotation_runs_correctly () =
       ()
   in
   in_process env (fun () -> Mediator.initialize med);
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "fully virtual Squirrel = recompute" (recompute env "T") answer;
   Alcotest.(check int)
     "nothing stored" 0

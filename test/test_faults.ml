@@ -33,12 +33,7 @@ let recompute env node =
   Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)
 
 let fault_config =
-  {
-    Med.default_config with
-    Med.poll_timeout = Some 0.5;
-    poll_retries = 4;
-    poll_backoff = 0.5;
-  }
+  Med.Config.make ~poll_timeout:0.5 ~poll_retries:4 ~poll_backoff:0.5 ()
 
 let setup ?(config = fault_config) () =
   let env = Scenario.make_fig1 () in
@@ -77,12 +72,12 @@ let test_gap_triggers_resync_and_converges () =
   Engine.run env.Scenario.engine ~until:(Engine.now env.Scenario.engine +. 5.0);
   Scenario.run_to_quiescence env med;
   let s = Mediator.stats med in
-  Alcotest.(check bool) "gap detected" true (s.Med.gaps_detected >= 1);
-  Alcotest.(check bool) "resync ran" true (s.Med.resyncs >= 1);
+  Alcotest.(check bool) "gap detected" true ((Obs.Metrics.value s.Med.gaps_detected) >= 1);
+  Alcotest.(check bool) "resync ran" true ((Obs.Metrics.value s.Med.resyncs) >= 1);
   Alcotest.(check (list string)) "dirty repaired" [] (Mediator.dirty_sources med);
   let answer =
     in_process env (fun () ->
-        Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+        (Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ()).Qp.tuples)
   in
   Tutil.check_bag "view converged to the lost update"
     (Bag.project [ "r1"; "s1" ] (recompute env "T"))
@@ -97,7 +92,7 @@ let test_outage_degrades_to_stale_answer () =
   Source_db.set_outages db1 [ (now, now +. 1000.0) ];
   let rich =
     in_process env (fun () ->
-        Mediator.query_ex med ~node:"T" ~attrs:[ "r1"; "r3" ] ())
+        Mediator.query med ~node:"T" ~attrs:[ "r1"; "r3" ] ())
   in
   (match rich.Qp.quality with
   | Qp.Fresh -> Alcotest.fail "expected a stale-marked answer"
@@ -108,13 +103,13 @@ let test_outage_degrades_to_stale_answer () =
   (* degraded to the materialized subset: r3 is gone, r1 survives *)
   Alcotest.(check (list string))
     "materialized attributes only" [ "r1" ]
-    (Schema.attrs (Bag.schema rich.Qp.answer));
+    (Schema.attrs (Bag.schema rich.Qp.tuples));
   Tutil.check_bag "served from the store"
     (Bag.project [ "r1" ] (recompute env "T"))
-    rich.Qp.answer;
+    rich.Qp.tuples;
   let s = Mediator.stats med in
-  Alcotest.(check bool) "poll budget exhausted" true (s.Med.poll_failures >= 1);
-  Alcotest.(check int) "degraded answer counted" 1 s.Med.degraded_answers
+  Alcotest.(check bool) "poll budget exhausted" true ((Obs.Metrics.value s.Med.poll_failures) >= 1);
+  Alcotest.(check int) "degraded answer counted" 1 (Obs.Metrics.value s.Med.degraded_answers)
 
 let test_retry_survives_transient_blackhole () =
   let env, med = setup () in
@@ -125,17 +120,17 @@ let test_retry_survives_transient_blackhole () =
   Source_db.set_outages db1 ~mode:Source_db.Black_hole [ (now, now +. 0.3) ];
   let rich =
     in_process env (fun () ->
-        Mediator.query_ex med ~node:"T" ~attrs:[ "r1"; "r3" ] ())
+        Mediator.query med ~node:"T" ~attrs:[ "r1"; "r3" ] ())
   in
   (match rich.Qp.quality with
   | Qp.Fresh -> ()
   | Qp.Stale _ -> Alcotest.fail "retry should have produced a fresh answer");
   Tutil.check_bag "fresh answer after retry"
     (Bag.project [ "r1"; "r3" ] (recompute env "T"))
-    rich.Qp.answer;
+    rich.Qp.tuples;
   let s = Mediator.stats med in
-  Alcotest.(check bool) "a retry happened" true (s.Med.poll_retries >= 1);
-  Alcotest.(check int) "no budget exhaustion" 0 s.Med.poll_failures
+  Alcotest.(check bool) "a retry happened" true ((Obs.Metrics.value s.Med.poll_retries) >= 1);
+  Alcotest.(check int) "no budget exhaustion" 0 (Obs.Metrics.value s.Med.poll_failures)
 
 let () =
   Alcotest.run "faults"

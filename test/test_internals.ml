@@ -131,7 +131,7 @@ let test_key_based_plan_respects_config () =
   let med =
     Scenario.mediator env
       ~annotation:(Scenario.ann_ex23 env.Scenario.vdp)
-      ~config:{ Med.default_config with Med.key_based_enabled = false }
+      ~config:(Med.Config.make ~key_based_enabled:false ())
       ()
   in
   Alcotest.(check bool)

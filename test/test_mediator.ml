@@ -62,7 +62,7 @@ let setup_fig1 ?config ?delays annotation_of =
 
 let test_init_matches_direct () =
   let env, med = setup_fig1 Scenario.ann_ex21 in
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "initial view = direct evaluation" (recompute env "T") answer;
   Alcotest.(check bool) "answer non-empty" false (Bag.is_empty answer)
 
@@ -108,7 +108,7 @@ let test_ex21_incremental () =
   commit_fresh_r env ~r1:5001 ~r2:2 ~r3:8 ~r4:200;
   commit_fresh_s env ~s1:6000 ~s2:9 ~s3:10;
   Scenario.run_to_quiescence env med;
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "incrementally maintained = recompute" (recompute env "T")
     answer;
   ignore (check_consistent env med)
@@ -117,19 +117,19 @@ let test_ex21_no_polling () =
   (* fully materialized support: after initialization, maintenance
      never touches the sources (Example 2.1's "without polling") *)
   let env, med = setup_fig1 Scenario.ann_ex21 in
-  let polls_after_init = (Mediator.stats med).Med.polls in
+  let polls_after_init = (Obs.Metrics.value (Mediator.stats med).Med.polls) in
   for i = 0 to 20 do
     commit_fresh_r env ~r1:(7000 + i) ~r2:(i mod 40) ~r3:i ~r4:100
   done;
   Scenario.run_to_quiescence env med;
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "maintained correctly" (recompute env "T") answer;
   Alcotest.(check int)
     "no polls beyond initialization" polls_after_init
-    (Mediator.stats med).Med.polls;
+    (Obs.Metrics.value (Mediator.stats med).Med.polls);
   Alcotest.(check bool)
     "updates were propagated incrementally" true
-    ((Mediator.stats med).Med.propagated_atoms > 0)
+    ((Obs.Metrics.value (Mediator.stats med).Med.propagated_atoms) > 0)
 
 let test_ex21_deletions () =
   let env, med = setup_fig1 Scenario.ann_ex21 in
@@ -143,7 +143,7 @@ let test_ex21_deletions () =
   | victim :: _ -> Source_db.commit db1 (Driver.single_delete db1 "R" victim)
   | [] -> Alcotest.fail "expected a contributing row");
   Scenario.run_to_quiescence env med;
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "deletion propagated" (recompute env "T") answer;
   ignore (check_consistent env med)
 
@@ -162,7 +162,7 @@ let test_ex22_r_updates_no_polls () =
   Alcotest.(check int)
     "R updates processed without polling db1" polls0
     (Source_db.polls_served db1);
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "T maintained" (recompute env "T") answer;
   ignore (check_consistent env med)
 
@@ -178,7 +178,7 @@ let test_ex22_s_update_polls_r () =
   Alcotest.(check bool)
     "db1 polled to process the S update" true
     (Source_db.polls_served db1 > polls0);
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "T maintained" (recompute env "T") answer;
   ignore (check_consistent env med)
 
@@ -191,17 +191,17 @@ let test_eca_compensation_same_batch () =
   commit_fresh_r env ~r1:9000 ~r2:777 ~r3:1 ~r4:100;
   commit_fresh_s env ~s1:777 ~s2:2 ~s3:3;
   Scenario.run_to_quiescence env med;
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "cross term counted exactly once" (recompute env "T") answer;
   ignore (check_consistent env med)
 
 let test_eca_ablation_breaks_consistency () =
-  let config = { Med.default_config with Med.eca_enabled = false } in
+  let config = Med.Config.make ~eca_enabled:false () in
   let env, med = setup_fig1 ~config Scenario.ann_ex22 in
   commit_fresh_r env ~r1:9100 ~r2:778 ~r3:1 ~r4:100;
   commit_fresh_s env ~s1:778 ~s2:2 ~s3:3;
   Scenario.run_to_quiescence env med;
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Alcotest.(check bool)
     "without ECA the answer is wrong" false
     (Bag.equal (recompute env "T") answer);
@@ -211,18 +211,18 @@ let test_eca_ablation_breaks_consistency () =
 
 let test_ex23_materialized_query_from_store () =
   let env, med = setup_fig1 Scenario.ann_ex23 in
-  let polls0 = (Mediator.stats med).Med.polls in
+  let polls0 = (Obs.Metrics.value (Mediator.stats med).Med.polls) in
   let answer =
     in_process env (fun () ->
-        Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+        (Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ()).Qp.tuples)
   in
   Tutil.check_bag "π(r1,s1) answered from the store"
     (Bag.project [ "r1"; "s1" ] (recompute env "T"))
     answer;
-  Alcotest.(check int) "no polls" polls0 (Mediator.stats med).Med.polls;
+  Alcotest.(check int) "no polls" polls0 (Obs.Metrics.value (Mediator.stats med).Med.polls);
   Alcotest.(check bool)
     "counted as store-answered" true
-    ((Mediator.stats med).Med.queries_from_store > 0)
+    ((Obs.Metrics.value (Mediator.stats med).Med.queries_from_store) > 0)
 
 let test_ex23_virtual_attr_key_based () =
   (* query π_{r3,s1} σ_{r3<100} T: r3 is virtual, determined by the
@@ -234,14 +234,14 @@ let test_ex23_virtual_attr_key_based () =
   let cond = Predicate.(lt (attr "r3") (int 100)) in
   let answer =
     in_process env (fun () ->
-        Mediator.query med ~node:"T" ~attrs:[ "r3"; "s1" ] ~cond ())
+        (Mediator.query med ~node:"T" ~attrs:[ "r3"; "s1" ] ~cond ()).Qp.tuples)
   in
   Tutil.check_bag "key-based answer correct"
     (Bag.project [ "r3"; "s1" ] (Bag.select cond (recompute env "T")))
     answer;
   Alcotest.(check bool)
     "used key-based construction" true
-    ((Mediator.stats med).Med.key_based_constructions > 0);
+    ((Obs.Metrics.value (Mediator.stats med).Med.key_based_constructions) > 0);
   Alcotest.(check bool) "db1 polled" true (Source_db.polls_served db1 > p1);
   Alcotest.(check int)
     "db2 NOT polled (S' not needed)" p2
@@ -249,13 +249,13 @@ let test_ex23_virtual_attr_key_based () =
   ignore (check_consistent env med)
 
 let test_ex23_key_based_disabled_polls_both () =
-  let config = { Med.default_config with Med.key_based_enabled = false } in
+  let config = Med.Config.make ~key_based_enabled:false () in
   let env, med = setup_fig1 ~config Scenario.ann_ex23 in
   let db2 = Scenario.source env "db2" in
   let p2 = Source_db.polls_served db2 in
   let answer =
     in_process env (fun () ->
-        Mediator.query med ~node:"T" ~attrs:[ "r3"; "s1" ] ())
+        (Mediator.query med ~node:"T" ~attrs:[ "r3"; "s1" ] ()).Qp.tuples)
   in
   Tutil.check_bag "general construction also correct"
     (Bag.project [ "r3"; "s1" ] (recompute env "T"))
@@ -272,7 +272,7 @@ let test_ex23_maintenance_with_updates () =
   done;
   Scenario.run_to_quiescence env med;
   let answer =
-    in_process env (fun () -> Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+    in_process env (fun () -> (Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ()).Qp.tuples)
   in
   Tutil.check_bag "hybrid T maintained under updates"
     (Bag.project [ "r1"; "s1" ] (recompute env "T"))
@@ -293,10 +293,10 @@ let setup_ex51 () =
 
 let test_ex51_init_and_queries () =
   let env, med = setup_ex51 () in
-  let g = in_process env (fun () -> Mediator.query med ~node:"G" ()) in
+  let g = in_process env (fun () -> (Mediator.query med ~node:"G" ()).Qp.tuples) in
   Tutil.check_bag "G = πE − F" (recompute env "G") g;
   let e_mat =
-    in_process env (fun () -> Mediator.query med ~node:"E" ~attrs:[ "a1"; "b1" ] ())
+    in_process env (fun () -> (Mediator.query med ~node:"E" ~attrs:[ "a1"; "b1" ] ()).Qp.tuples)
   in
   Tutil.check_bag "E's materialized attributes"
     (Bag.project [ "a1"; "b1" ] (recompute env "E"))
@@ -318,9 +318,9 @@ let test_ex51_maintenance () =
         })
     [ ("dbA", "A"); ("dbB", "B"); ("dbC", "C"); ("dbD", "D") ];
   Scenario.run_to_quiescence env med;
-  let g = in_process env (fun () -> Mediator.query med ~node:"G" ()) in
+  let g = in_process env (fun () -> (Mediator.query med ~node:"G" ()).Qp.tuples) in
   Tutil.check_bag "G maintained through difference node" (recompute env "G") g;
-  let e = in_process env (fun () -> Mediator.query med ~node:"E" ()) in
+  let e = in_process env (fun () -> (Mediator.query med ~node:"E" ()).Qp.tuples) in
   Tutil.check_bag "E (with virtual a2) queried correctly" (recompute env "E") e;
   ignore (check_consistent env med)
 
@@ -361,7 +361,7 @@ let test_federated_rename_end_to_end () =
   in
   Mediator.enable_source_filtering med;
   in_process env (fun () -> Mediator.initialize med);
-  let all0 = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  let all0 = in_process env (fun () -> (Mediator.query med ~node:"AllOrders" ()).Qp.tuples) in
   Alcotest.(check int) "both regions aligned" 50 (Bag.cardinal all0);
   (* updates on both sides, in their native schemas *)
   let west = Scenario.source env "dbWest" in
@@ -375,7 +375,7 @@ let test_federated_rename_end_to_end () =
        (Tuple.of_list
           [ ("oid", Value.Int 999); ("cust", Value.Int 9); ("amt", Value.Int 55) ]));
   Scenario.run_to_quiescence env med;
-  let all = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  let all = in_process env (fun () -> (Mediator.query med ~node:"AllOrders" ()).Qp.tuples) in
   Tutil.check_bag "renamed updates propagate" (recompute env "AllOrders") all;
   Alcotest.(check bool)
     "west row visible under aligned names" true
@@ -399,7 +399,7 @@ let test_federated_rename_virtual () =
     (Driver.single_insert west "OrdersW"
        (Tuple.of_list
           [ ("wid", Value.Int 123457); ("client", Value.Int 3); ("amount", Value.Int 42) ]));
-  let all = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  let all = in_process env (fun () -> (Mediator.query med ~node:"AllOrders" ()).Qp.tuples) in
   Tutil.check_bag "virtual union through rename" (recompute env "AllOrders") all;
   ignore (check_consistent env med)
 
@@ -508,7 +508,7 @@ let test_multi_relation_atomic_commit () =
   in
   in_process env (fun () -> Mediator.initialize med);
   let db = Scenario.source env "db" in
-  let msgs0 = (Mediator.stats med).Med.messages_received in
+  let msgs0 = (Obs.Metrics.value (Mediator.stats med).Med.messages_received) in
   (* one transaction touching both R and S: a matching pair *)
   let delta =
     Delta.Multi_delta.add
@@ -530,8 +530,8 @@ let test_multi_relation_atomic_commit () =
   Scenario.run_to_quiescence env med;
   Alcotest.(check int)
     "one undividable message" 1
-    ((Mediator.stats med).Med.messages_received - msgs0);
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+    ((Obs.Metrics.value (Mediator.stats med).Med.messages_received) - msgs0);
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "cross-relation pair joined exactly once"
     (recompute env "T") answer;
   Alcotest.(check int)
@@ -571,7 +571,7 @@ let test_multi_relation_hybrid_eca () =
             ("r4", Value.Int 100);
           ]));
   Scenario.run_to_quiescence env med;
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "single-source ECA exact" (recompute env "T") answer;
   ignore (check_consistent env med)
 
@@ -591,10 +591,10 @@ let test_source_filtering_end_to_end () =
         ~r4:(if i mod 2 = 0 then 100 else 200)
     done;
     Scenario.run_to_quiescence env med;
-    let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+    let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
     Tutil.check_bag "maintained correctly" (recompute env "T") answer;
     ignore (check_consistent env med);
-    (Mediator.stats med).Med.atoms_received
+    (Obs.Metrics.value (Mediator.stats med).Med.atoms_received)
   in
   let unfiltered = run ~filtering:false in
   let filtered = run ~filtering:true in
@@ -616,7 +616,7 @@ let test_source_filtering_with_eca () =
   (* plus an irrelevant R commit in the same window *)
   commit_fresh_r env ~r1:9301 ~r2:882 ~r3:1 ~r4:200;
   Scenario.run_to_quiescence env med;
-  let answer = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "cross term exact under filtering + ECA"
     (recompute env "T") answer;
   ignore (check_consistent env med)
@@ -655,15 +655,15 @@ let test_retail_union_structure () =
 
 let test_retail_init_and_union_query () =
   let env, med = setup_retail Scenario.ann_retail_hybrid in
-  let all = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  let all = in_process env (fun () -> (Mediator.query med ~node:"AllOrders" ()).Qp.tuples) in
   Tutil.check_bag "union export = recompute" (recompute env "AllOrders") all;
   Alcotest.(check int) "both regions present" 80 (Bag.cardinal all);
-  let premium = in_process env (fun () -> Mediator.query med ~node:"Premium" ()) in
+  let premium = in_process env (fun () -> (Mediator.query med ~node:"Premium" ()).Qp.tuples) in
   Tutil.check_bag "joined export = recompute" (recompute env "Premium") premium
 
 let test_retail_union_maintenance () =
   let env, med = setup_retail Scenario.ann_retail_hybrid in
-  let polls0 = (Mediator.stats med).Med.polls in
+  let polls0 = (Obs.Metrics.value (Mediator.stats med).Med.polls) in
   (* orders from both regions, plus a customer status flip *)
   commit_order env ~src_name:"dbEast" ~rel:"OrdersE" ~oid:500 ~cust:1 ~amt:99;
   commit_order env ~src_name:"dbWest" ~rel:"OrdersW" ~oid:100500 ~cust:1 ~amt:10;
@@ -674,13 +674,13 @@ let test_retail_union_maintenance () =
   in
   Source_db.commit cust_db (Driver.single_insert cust_db "Cust" flipped);
   Scenario.run_to_quiescence env med;
-  let premium = in_process env (fun () -> Mediator.query med ~node:"Premium" ()) in
+  let premium = in_process env (fun () -> (Mediator.query med ~node:"Premium" ()).Qp.tuples) in
   Tutil.check_bag "Premium maintained through the union"
     (recompute env "Premium") premium;
   (* the virtual AllOrders is derivable from materialized regional
      copies: even the Cust-side rule needs no polling *)
   Alcotest.(check int)
-    "no polls during maintenance" polls0 (Mediator.stats med).Med.polls;
+    "no polls during maintenance" polls0 (Obs.Metrics.value (Mediator.stats med).Med.polls);
   ignore (check_consistent env med)
 
 let test_retail_union_deletion_multiplicity () =
@@ -693,12 +693,12 @@ let test_retail_union_deletion_multiplicity () =
   let dup = Tuple.of_list
       [ ("oid", Value.Int 600); ("cust", Value.Int 3); ("amt", Value.Int 77) ]
   in
-  let all = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  let all = in_process env (fun () -> (Mediator.query med ~node:"AllOrders" ()).Qp.tuples) in
   Alcotest.(check int) "multiplicity 2 in the union" 2 (Bag.mult all dup);
   let east = Scenario.source env "dbEast" in
   Source_db.commit east (Driver.single_delete east "OrdersE" dup);
   Scenario.run_to_quiescence env med;
-  let all = in_process env (fun () -> Mediator.query med ~node:"AllOrders" ()) in
+  let all = in_process env (fun () -> (Mediator.query med ~node:"AllOrders" ()).Qp.tuples) in
   Alcotest.(check int) "one copy survives" 1 (Bag.mult all dup);
   Tutil.check_bag "still equals recompute" (recompute env "AllOrders") all;
   ignore (check_consistent env med)
@@ -720,7 +720,7 @@ let test_retail_fully_materialized () =
   Scenario.run_to_quiescence env med;
   List.iter
     (fun node ->
-      let answer = in_process env (fun () -> Mediator.query med ~node ()) in
+      let answer = in_process env (fun () -> (Mediator.query med ~node ()).Qp.tuples) in
       Tutil.check_bag (node ^ " maintained") (recompute env node) answer)
     [ "AllOrders"; "Premium" ];
   ignore (check_consistent env med)
@@ -797,7 +797,7 @@ let test_theorem_7_2_staleness_bounded () =
   let med =
     Scenario.mediator env
       ~annotation:(Scenario.ann_ex21 env.Scenario.vdp)
-      ~config:{ Med.default_config with Med.flush_interval = flush; op_time = 0.0 }
+      ~config:(Med.Config.make ~flush_interval:flush ~op_time:0.0 ())
       ~delays:(fun _ -> { Mediator.comm_delay = comm; q_proc_delay = qproc })
       ()
   in

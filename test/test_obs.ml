@@ -1,0 +1,287 @@
+(* The observability layer (PR 5): exact log-scale histogram buckets,
+   trace determinism under a fixed seed, and span nesting across
+   update transactions, deferral, and gap-triggered resync. *)
+
+open Relalg
+open Sim
+open Sources
+open Squirrel
+open Workload
+
+(* ---- metrics: exact histogram bucket boundaries ---------------------- *)
+
+let test_bucket_boundaries () =
+  let chk msg expected v =
+    Alcotest.(check (float 0.0)) msg expected (Obs.Metrics.bucket_boundary v)
+  in
+  (* base 2: the boundary is the smallest 2^k >= v, computed by exact
+     repeated doubling/halving — never log/exp *)
+  chk "1.0 is its own boundary" 1.0 1.0;
+  chk "1.5 rounds up to 2" 2.0 1.5;
+  chk "2.0 is exact" 2.0 2.0;
+  chk "2.0 + eps rounds up to 4" 4.0 2.000001;
+  chk "3.0 rounds up to 4" 4.0 3.0;
+  chk "1024 is exact" 1024.0 1024.0;
+  chk "sub-one values get fractional buckets" 0.5 0.5;
+  chk "0.3 rounds up to 0.5" 0.5 0.3;
+  chk "0.25 is exact" 0.25 0.25;
+  chk "zero lands in the zero bucket" 0.0 0.0;
+  chk "negative lands in the zero bucket" 0.0 (-3.0);
+  Alcotest.(check (float 0.0))
+    "base 10: 7 rounds up to 10" 10.0
+    (Obs.Metrics.bucket_boundary ~base:10.0 7.0);
+  Alcotest.(check (float 0.0))
+    "base 10: 100 is exact" 100.0
+    (Obs.Metrics.bucket_boundary ~base:10.0 100.0)
+
+let test_histogram_observe () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "t" in
+  List.iter (Obs.Metrics.observe h) [ 0.0; 0.3; 0.5; 1.5; 1.5; 3.0; 100.0 ];
+  Alcotest.(check int) "count" 7 (Obs.Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9))
+    "sum" 106.8
+    (Obs.Metrics.histogram_sum h);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "buckets are exact boundaries, sorted"
+    [ (0.0, 1); (0.5, 2); (2.0, 2); (4.0, 1); (128.0, 1) ]
+    (Obs.Metrics.histogram_buckets h)
+
+let test_counter_registry () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "hits" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  (* register-or-retrieve: same name, same cell *)
+  let c' = Obs.Metrics.counter reg "hits" in
+  Obs.Metrics.incr c';
+  Alcotest.(check int) "shared cell" 6 (Obs.Metrics.value c);
+  let snap = Obs.Metrics.snapshot reg in
+  Alcotest.(check (list (pair string int)))
+    "snapshot" [ ("hits", 6) ]
+    snap.Obs.Metrics.counters
+
+(* ---- traces --------------------------------------------------------- *)
+
+let run_workload ~seed () =
+  let env = Scenario.make_fig1 ~seed () in
+  let med =
+    Scenario.mediator env
+      ~annotation:(Scenario.ann_ex23 env.Scenario.vdp)
+      ()
+  in
+  Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
+  Engine.run env.Scenario.engine ~until:1.0;
+  let rng = Datagen.state (seed * 31) in
+  List.iter
+    (fun (src, rel) ->
+      Driver.update_process ~rng ~src:(Scenario.source env src)
+        {
+          Driver.u_relation = rel;
+          u_interval = 0.3;
+          u_count = 8;
+          u_delete_fraction = 0.25;
+          u_specs = Scenario.fig1_update_specs rel;
+        })
+    [ ("db1", "R"); ("db2", "S") ];
+  let _ =
+    Driver.query_process ~rng ~med
+      {
+        Driver.q_node = "T";
+        q_interval = 0.7;
+        q_count = 5;
+        q_attr_sets = [ ([ "r1"; "r3"; "s1" ], Predicate.True) ];
+      }
+  in
+  Scenario.run_to_quiescence env med;
+  med
+
+let test_trace_determinism () =
+  (* identical seeds must yield identical span trees — ids, names,
+     nesting, simulated times, op counts, and attributes. The render
+     includes all of them, so string equality is the strongest check *)
+  let t1 = Obs.Trace.render (Mediator.trace (run_workload ~seed:5 ())) in
+  let t2 = Obs.Trace.render (Mediator.trace (run_workload ~seed:5 ())) in
+  Alcotest.(check bool) "traces are non-trivial" true (String.length t1 > 200);
+  Alcotest.(check string) "same seed, same trace" t1 t2;
+  let t3 = Obs.Trace.render (Mediator.trace (run_workload ~seed:6 ())) in
+  Alcotest.(check bool) "different seed, different trace" true (t1 <> t3)
+
+let test_trace_simulated_time_only () =
+  (* every recorded time must be a simulated-clock value well under
+     the run horizon — wall-clock stamps would be ~1.7e9 *)
+  let med = run_workload ~seed:5 () in
+  Obs.Trace.iter_spans
+    (fun sp ->
+      if sp.Obs.Trace.start_time > 1e6 || sp.Obs.Trace.end_time > 1e6 then
+        Alcotest.failf "span %s carries a wall-clock-sized timestamp"
+          sp.Obs.Trace.name;
+      if sp.Obs.Trace.end_time < sp.Obs.Trace.start_time then
+        Alcotest.failf "span %s closes before it starts" sp.Obs.Trace.name)
+    (Mediator.trace med)
+
+let test_update_tx_nesting () =
+  let med = run_workload ~seed:5 () in
+  let txs = Obs.Trace.find (Mediator.trace med) ~name:"update_tx" in
+  Alcotest.(check bool) "update transactions traced" true (txs <> []);
+  List.iter
+    (fun tx ->
+      let names =
+        List.map (fun c -> c.Obs.Trace.name) tx.Obs.Trace.children
+      in
+      Alcotest.(check bool)
+        "temp determination child" true
+        (List.mem "temp_determination" names);
+      Alcotest.(check bool) "kernel pass child" true
+        (List.mem "kernel_pass" names);
+      Alcotest.(check bool) "apply child" true (List.mem "apply" names);
+      match Obs.Trace.attr tx "outcome" with
+      | Some "applied" -> ()
+      | other ->
+        Alcotest.failf "fault-free update_tx outcome = %s"
+          (Option.value other ~default:"<none>"))
+    txs;
+  let queries = Obs.Trace.find (Mediator.trace med) ~name:"query_tx" in
+  Alcotest.(check bool) "queries traced" true (queries <> [])
+
+let test_deferral_and_resync_spans () =
+  (* the test_faults gap scenario, replayed against the trace: a lost
+     announcement surfaces as a gap event, triggers a resync span, and
+     any deferred update_tx is eventually followed by an applied one
+     or a snapshot rebuild *)
+  let env = Scenario.make_fig1 () in
+  let config =
+    Med.Config.make ~poll_timeout:0.5 ~poll_retries:2 ~poll_backoff:0.25 ()
+  in
+  let med =
+    Scenario.mediator env
+      ~annotation:(Scenario.ann_ex23 env.Scenario.vdp)
+      ~config ()
+  in
+  Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
+  Engine.run env.Scenario.engine ~until:1.0;
+  let db1 = Scenario.source env "db1" in
+  let commit_r i =
+    let tuple =
+      Tuple.of_list
+        [
+          ("r1", Value.Int (9000 + i));
+          ("r2", Value.Int (i mod 40));
+          ("r3", Value.Int (i * 10));
+          ("r4", Value.Int 100);
+        ]
+    in
+    Source_db.commit db1 (Driver.single_insert db1 "R" tuple)
+  in
+  let at d f = Engine.schedule env.Scenario.engine ~delay:d f in
+  at 1.0 (fun () -> commit_r 1);
+  (* this announcement dies on the wire; the next commit's
+     prev_version exposes the loss *)
+  at 2.0 (fun () -> Source_db.set_link_up db1 false);
+  at 2.1 (fun () -> commit_r 2);
+  at 3.0 (fun () -> Source_db.set_link_up db1 true);
+  at 3.1 (fun () -> commit_r 3);
+  Engine.run env.Scenario.engine ~until:(Engine.now env.Scenario.engine +. 5.0);
+  Scenario.run_to_quiescence env med;
+  let trace = Mediator.trace med in
+  let roots = Obs.Trace.roots trace in
+  let starts name =
+    List.filter_map
+      (fun sp ->
+        if String.equal sp.Obs.Trace.name name then
+          Some sp.Obs.Trace.start_time
+        else None)
+      roots
+  in
+  let gaps = starts "gap_detected" in
+  let resyncs = starts "resync" in
+  Alcotest.(check bool) "gap event recorded" true (gaps <> []);
+  Alcotest.(check bool) "resync span recorded" true (resyncs <> []);
+  List.iter
+    (fun rt ->
+      Alcotest.(check bool)
+        "resync preceded by a gap event" true
+        (List.exists (fun gt -> gt <= rt) gaps))
+    resyncs;
+  (* the resync span wraps the snapshot rebuild *)
+  List.iter
+    (fun sp ->
+      if String.equal sp.Obs.Trace.name "resync" then
+        Alcotest.(check bool)
+          "snapshot nested under resync" true
+          (List.exists
+             (fun c -> String.equal c.Obs.Trace.name "snapshot")
+             sp.Obs.Trace.children))
+    roots
+
+let test_disabled_trace_records_nothing () =
+  let env = Scenario.make_fig1 () in
+  let med =
+    Scenario.mediator env
+      ~annotation:(Scenario.ann_ex23 env.Scenario.vdp)
+      ~config:(Med.Config.make ~trace_enabled:false ())
+      ()
+  in
+  Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
+  Engine.run env.Scenario.engine ~until:1.0;
+  Scenario.run_to_quiescence env med;
+  Alcotest.(check int)
+    "no spans" 0
+    (Obs.Trace.spans_recorded (Mediator.trace med))
+
+let test_ring_retention () =
+  let now = ref 0.0 in
+  let t = Obs.Trace.create ~capacity:4 ~now:(fun () -> !now) () in
+  for i = 1 to 10 do
+    now := float_of_int i;
+    Obs.Trace.root_event t "tick" ~attrs:[ ("n", string_of_int i) ]
+  done;
+  Alcotest.(check int) "all recorded" 10 (Obs.Trace.spans_recorded t);
+  Alcotest.(check int) "overflow counted" 6 (Obs.Trace.dropped_roots t);
+  let kept =
+    List.filter_map (fun sp -> Obs.Trace.attr sp "n") (Obs.Trace.roots t)
+  in
+  Alcotest.(check (list string))
+    "ring keeps the most recent roots, oldest first"
+    [ "7"; "8"; "9"; "10" ] kept
+
+let test_jsonl_export () =
+  let med = run_workload ~seed:5 () in
+  let jsonl = Obs.Trace.to_jsonl (Mediator.trace med) in
+  let lines =
+    List.filter (fun l -> String.length l > 0) (String.split_on_char '\n' jsonl)
+  in
+  let retained = ref 0 in
+  Obs.Trace.iter_spans (fun _ -> incr retained) (Mediator.trace med);
+  Alcotest.(check int) "one line per retained span" !retained
+    (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        "line is a JSON object" true
+        (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+          Alcotest.test_case "counter registry" `Quick test_counter_registry;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "determinism" `Quick test_trace_determinism;
+          Alcotest.test_case "simulated time only" `Quick
+            test_trace_simulated_time_only;
+          Alcotest.test_case "update_tx nesting" `Quick test_update_tx_nesting;
+          Alcotest.test_case "deferral + resync spans" `Quick
+            test_deferral_and_resync_spans;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_trace_records_nothing;
+          Alcotest.test_case "ring retention" `Quick test_ring_retention;
+          Alcotest.test_case "jsonl export" `Quick test_jsonl_export;
+        ] );
+    ]

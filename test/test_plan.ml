@@ -248,14 +248,9 @@ let test_renamer () =
 (* ---- the answer cache --------------------------------------------------- *)
 
 let fault_config =
-  {
-    Med.default_config with
-    Med.poll_timeout = Some 0.5;
-    poll_retries = 4;
-    poll_backoff = 0.5;
-  }
+  Med.Config.make ~poll_timeout:0.5 ~poll_retries:4 ~poll_backoff:0.5 ()
 
-let setup ?(config = Med.default_config) () =
+let setup ?(config = Med.Config.default) () =
   let env = Scenario.make_fig1 () in
   let med =
     Scenario.mediator env
@@ -283,15 +278,15 @@ let test_repeat_query_hits_cache () =
   (* r3 is virtual under Example 2.3: the uncached path must poll *)
   let q () =
     in_process env (fun () ->
-        Mediator.query med ~node:"T" ~attrs:[ "r1"; "r3" ] ())
+        (Mediator.query med ~node:"T" ~attrs:[ "r1"; "r3" ] ()).Qp.tuples)
   in
   let a1 = q () in
   let s = Mediator.stats med in
-  let polls_after_first = s.Med.polls in
+  let polls_after_first = (Obs.Metrics.value s.Med.polls) in
   Alcotest.(check bool) "first query polled" true (polls_after_first >= 1);
   let a2 = q () in
-  Alcotest.(check bool) "hit recorded" true (s.Med.cache_hits >= 1);
-  Alcotest.(check int) "no polls on the hit" polls_after_first s.Med.polls;
+  Alcotest.(check bool) "hit recorded" true ((Obs.Metrics.value s.Med.cache_hits) >= 1);
+  Alcotest.(check int) "no polls on the hit" polls_after_first (Obs.Metrics.value s.Med.polls);
   Tutil.check_bag "replayed answer equals the original" a1 a2;
   Tutil.check_bag "and equals recomputation"
     (Bag.project [ "r1"; "r3" ] (recompute env "T"))
@@ -301,14 +296,14 @@ let test_update_invalidates_cached_answer () =
   let env, med = setup () in
   let q () =
     in_process env (fun () ->
-        Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+        (Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ()).Qp.tuples)
   in
   ignore (q () : Bag.t);
   commit_r env 1;
   Scenario.run_to_quiescence env med;
   let s = Mediator.stats med in
   Alcotest.(check bool) "the update invalidated" true
-    (s.Med.cache_invalidations >= 1);
+    ((Obs.Metrics.value s.Med.cache_invalidations) >= 1);
   Tutil.check_bag "post-update answer equals recomputation"
     (Bag.project [ "r1"; "s1" ] (recompute env "T"))
     (q ())
@@ -317,7 +312,7 @@ let test_migration_flushes_cache () =
   let env, med = setup () in
   let q () =
     in_process env (fun () ->
-        Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+        (Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ()).Qp.tuples)
   in
   ignore (q () : Bag.t);
   let vdp = env.Scenario.vdp in
@@ -329,7 +324,7 @@ let test_migration_flushes_cache () =
   ignore (in_process env (fun () -> Adapt.Migrate.apply med plan) : int);
   let s = Mediator.stats med in
   Alcotest.(check bool) "migration flushed the cache" true
-    (s.Med.cache_invalidations >= 1);
+    ((Obs.Metrics.value s.Med.cache_invalidations) >= 1);
   Tutil.check_bag "post-migration answer equals recomputation"
     (Bag.project [ "r1"; "s1" ] (recompute env "T"))
     (q ())
@@ -339,7 +334,7 @@ let test_resync_flushes_cache () =
   let db1 = Scenario.source env "db1" in
   let q () =
     in_process env (fun () ->
-        Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ())
+        (Mediator.query med ~node:"T" ~attrs:[ "r1"; "s1" ] ()).Qp.tuples)
   in
   ignore (q () : Bag.t);
   let at d f = Engine.schedule env.Scenario.engine ~delay:d f in
@@ -353,9 +348,9 @@ let test_resync_flushes_cache () =
   Engine.run env.Scenario.engine ~until:(Engine.now env.Scenario.engine +. 5.0);
   Scenario.run_to_quiescence env med;
   let s = Mediator.stats med in
-  Alcotest.(check bool) "resync ran" true (s.Med.resyncs >= 1);
+  Alcotest.(check bool) "resync ran" true ((Obs.Metrics.value s.Med.resyncs) >= 1);
   Alcotest.(check bool) "cached answers were dropped" true
-    (s.Med.cache_invalidations >= 1);
+    ((Obs.Metrics.value s.Med.cache_invalidations) >= 1);
   Tutil.check_bag "post-resync answer equals recomputation"
     (Bag.project [ "r1"; "s1" ] (recompute env "T"))
     (q ())
