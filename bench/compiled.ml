@@ -250,24 +250,26 @@ let json path rows cw =
   p "}\n";
   close_out oc
 
+(* also rerun by E17 after the physical join chooser, to show the
+   compiled rows did not regress and where the n-ary delta rule moved
+   them *)
+let measure_rows () =
+  List.map
+    (fun (name, setup) ->
+      Gc.compact ();
+      let units, interp, compiled = setup () in
+      (* compile + warm outside the clock *)
+      compiled ();
+      let i_ns = Micro.seconds_per_call interp *. 1e9 /. float_of_int units in
+      let c_ns =
+        Micro.seconds_per_call compiled *. 1e9 /. float_of_int units
+      in
+      (name, i_ns, c_ns))
+    (micro_benchmarks ())
+
 let run () =
   Tables.section "E15  compiled plans vs interpreters; QP answer cache";
-  let rows =
-    List.map
-      (fun (name, setup) ->
-        Gc.compact ();
-        let units, interp, compiled = setup () in
-        (* compile + warm outside the clock *)
-        compiled ();
-        let i_ns =
-          Micro.seconds_per_call interp *. 1e9 /. float_of_int units
-        in
-        let c_ns =
-          Micro.seconds_per_call compiled *. 1e9 /. float_of_int units
-        in
-        (name, i_ns, c_ns))
-      (micro_benchmarks ())
-  in
+  let rows = measure_rows () in
   Tables.print ~title:"per-tuple cost, interpreted vs compiled"
     ~header:[ "operation"; "interp ns"; "compiled ns"; "speedup" ]
     (List.map

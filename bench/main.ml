@@ -27,6 +27,7 @@ let experiments =
     ("e14", Chaos.run);
     ("e15", Compiled.run);
     ("e16", Obs_overhead.run);
+    ("e17", Wcoj.run);
     ("figs", Experiments.figs);
   ]
 

@@ -652,6 +652,21 @@ let profile_cmd =
           (v s.Med.cache_invalidations)
           (Relalg.Plan.compiled_plans ())
           (Delta.Delta_plan.compiled_plans ());
+        let store = med.Med.store in
+        let table_names =
+          List.sort compare (Storage.Store.table_names store)
+        in
+        if table_names <> [] then begin
+          Printf.printf "\n-- table statistics --\n";
+          List.iter
+            (fun n ->
+              match Storage.Store.table_opt store n with
+              | Some tb ->
+                Format.printf "%-14s %a@." n Storage.Table.pp_stats
+                  (Storage.Table.stats tb)
+              | None -> ())
+            table_names
+        end;
         Printf.printf "\n-- metrics registry --\n";
         print_string (Obs.Metrics.render (Obs.Metrics.snapshot (Mediator.metrics med)));
         Ok ())

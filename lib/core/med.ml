@@ -120,6 +120,7 @@ type stats = {
   attr_accesses : (string * string, int) Hashtbl.t;
   leaf_update_atoms : (string, int) Hashtbl.t;
   leaf_card : (string, int) Hashtbl.t;
+  join_chosen : (string, int) Hashtbl.t;
 }
 
 let fresh_stats () =
@@ -129,6 +130,7 @@ let fresh_stats () =
   let attr_accesses = Hashtbl.create 16 in
   let leaf_update_atoms = Hashtbl.create 8 in
   let leaf_card = Hashtbl.create 8 in
+  let join_chosen = Hashtbl.create 4 in
   let sample tbl render () =
     Hashtbl.fold (fun k v acc -> (render k, v) :: acc) tbl []
   in
@@ -144,6 +146,9 @@ let fresh_stats () =
   Obs.Metrics.register_family m "leaf_card"
     ~help:"per-leaf cardinality estimate"
     (sample leaf_card Fun.id);
+  Obs.Metrics.register_family m "join_chosen"
+    ~help:"physical join executions per chosen operator"
+    (sample join_chosen Fun.id);
   {
     registry = m;
     update_txs = c "update_txs";
@@ -185,6 +190,7 @@ let fresh_stats () =
     attr_accesses;
     leaf_update_atoms;
     leaf_card;
+    join_chosen;
   }
 
 let bump tbl key n =
@@ -396,6 +402,9 @@ let source_closure t src =
    as a value plan and as a delta plan. Per-request VAP restrictions
    compile on first use through the same memo. *)
 let warm_plans t =
+  (* annotation changes re-shape stored tables and indexes, moving the
+     statistics under every cached physical join decision *)
+  Joinopt.bump_epoch ();
   List.iter
     (fun node ->
       match node.Graph.kind with
@@ -456,6 +465,41 @@ let observe_source_version t src version =
     if t.config.answer_cache_enabled then
       cache_invalidate_nodes t (source_closure t src)
   end
+
+(* Feed the physical join chooser: statistics from the stored tables
+   (leaf cardinality estimates as the fallback for unstored leaves),
+   decisions surfaced as trace events under the enclosing transaction
+   span and counted in the [join_chosen] family. The chooser side is
+   process-global; the most recently created mediator feeds it. *)
+let install_joinopt_hooks t =
+  Joinopt.stats :=
+    (fun name ->
+      match Store.table_opt t.store name with
+      | Some tb ->
+        let s = Table.stats tb in
+        let ds =
+          List.filter_map
+            (fun ix ->
+              match ix.Table.ix_on with
+              | [ a ] -> Some (a, ix.Table.ix_distinct, ix.Table.ix_max_chain)
+              | _ -> None)
+            s.Table.st_indexes
+        in
+        Some (s.Table.st_support, ds)
+      | None -> (
+        match Hashtbl.find_opt t.stats.leaf_card name with
+        | Some card -> Some (card, [])
+        | None -> None));
+  Joinopt.notify :=
+    (fun d ->
+      Obs.Trace.event t.trace "join"
+        ~attrs:
+          [
+            ("op", Joinopt.op_name d.Joinopt.op);
+            ("vars", String.concat "," d.Joinopt.var_order);
+            ("est_cost", Printf.sprintf "%.0f" d.Joinopt.est_cost);
+          ];
+      bump t.stats.join_chosen (Joinopt.op_name d.Joinopt.op) 1)
 
 let create ~engine ~vdp ~annotation ?(config = Config.default) ~sources () =
   let source_tbl = Hashtbl.create 8 in
@@ -527,6 +571,7 @@ let create ~engine ~vdp ~annotation ?(config = Config.default) ~sources () =
       polled_hw = Hashtbl.create 8;
     }
   in
+  install_joinopt_hooks t;
   warm_plans t;
   ignore (derived t : derived);
   t

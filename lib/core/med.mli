@@ -216,6 +216,10 @@ type stats = {
   leaf_card : (string, int) Hashtbl.t;
       (** per-leaf cardinality estimate: initialization snapshot size
           plus the net signed atom count of later announcements *)
+  join_chosen : (string, int) Hashtbl.t;
+      (** physical join executions per chosen operator
+          (nested_loop / hash / leapfrog), exposed as the
+          [join_chosen] family in the registry *)
 }
 
 type cached_answer = {

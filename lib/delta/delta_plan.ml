@@ -19,17 +19,14 @@ type step =
 type prog =
   | Source of string
   | Fused of step array * prog (* steps innermost-first *)
-  | Join of join
+  | Join of njoin
   | Union of prog * prog
   | Diff of diff
 
-and join = {
-  on : Predicate.t;
-  test : (Tuple.t -> bool) option; (* compiled [on]; None = True *)
-  left : prog;
-  right : prog;
-  left_expr : Expr.t; (* old-value side reads for the fired rules *)
-  right_expr : Expr.t;
+and njoin = {
+  on : Predicate.t; (* conjunction over the collapsed join chain *)
+  conjs : Predicate.t list;
+  inputs : (prog * Expr.t) array; (* compiled + old-value-side reads *)
 }
 
 and diff = {
@@ -56,23 +53,32 @@ let rec peel acc = function
   | Expr.Rename (m, e) -> peel (Remap (m, Tuple.renamer m) :: acc) e
   | e -> (acc, e)
 
+(* collapse a chain of joins into its inputs (left-to-right) and the
+   conjuncts of every predicate along the chain — valid for inner
+   joins, where predicates commute past join boundaries *)
+let rec flatten_join = function
+  | Expr.Join (a, p, b) ->
+    let ia, pa = flatten_join a in
+    let ib, pb = flatten_join b in
+    (ia @ ib, pa @ Predicate.conjuncts p @ pb)
+  | e -> ([ e ], [])
+
 let rec compile_prog expr =
   match expr with
   | Expr.Base n -> Source n
   | Expr.Select _ | Expr.Project _ | Expr.Rename _ ->
     let steps, sub = peel [] expr in
     Fused (Array.of_list steps, compile_prog sub)
-  | Expr.Join (a, p, b) ->
+  | Expr.Join _ ->
+    let inputs, conj_list = flatten_join expr in
+    let conjs =
+      List.filter (fun p -> not (Predicate.equal p Predicate.True)) conj_list
+    in
     Join
       {
-        on = p;
-        test =
-          (if Predicate.equal p Predicate.True then None
-           else Some (Predicate.compile p));
-        left = compile_prog a;
-        right = compile_prog b;
-        left_expr = a;
-        right_expr = b;
+        on = Predicate.conj conjs;
+        conjs;
+        inputs = Array.of_list (List.map (fun e -> (compile_prog e, e)) inputs);
       }
   | Expr.Union (a, b) -> Union (compile_prog a, compile_prog b)
   | Expr.Diff (a, b) ->
@@ -81,18 +87,6 @@ let rec compile_prog expr =
 let eval_old ~env e = Eval.eval ~env e
 
 let run ?indexed_join ~env ~deltas p =
-  (* [d ⋈ base]: probe the base's persistent index when the caller
-     provides one, otherwise hash-join against its pre-update value
-     with the compiled residual test *)
-  let join_side ~on ~test d side =
-    let generic () =
-      Rel_delta.join_bag ~on ?test d (eval_old ~env side)
-    in
-    match (indexed_join, side) with
-    | Some probe, Expr.Base name -> (
-      match probe ~name ~on d with Some part -> part | None -> generic ())
-    | _ -> generic ()
-  in
   let rec exec prog =
     match prog with
     | Source name -> (
@@ -129,49 +123,153 @@ let run ?indexed_join ~env ~deltas p =
       let out = Rel_delta.transform schema (go 0) d in
       Eval.charge_tuple_ops !ops;
       out
-    | Join j ->
-      let da = exec j.left in
-      let db = exec j.right in
-      (* schema from the (possibly empty) child deltas, NOT from env
-         values: a virtual child whose delta filtered out entirely has
-         no stored value and no temporary (see the interpreter) *)
-      if Rel_delta.is_empty da && Rel_delta.is_empty db then
-        Rel_delta.empty
-          (Schema.join (Rel_delta.schema da) (Rel_delta.schema db))
-      else if Rel_delta.is_empty db then begin
-        let part = join_side ~on:j.on ~test:j.test da j.right_expr in
-        Eval.charge_tuple_ops
-          (Rel_delta.support_cardinal da + Rel_delta.support_cardinal part);
-        part
-      end
-      else if Rel_delta.is_empty da then begin
-        (* the natural join is symmetric, so the delta may probe the
-           left side *)
-        let part = join_side ~on:j.on ~test:j.test db j.left_expr in
-        Eval.charge_tuple_ops
-          (Rel_delta.support_cardinal db + Rel_delta.support_cardinal part);
-        part
-      end
-      else begin
-        (* Example 6.1, without materializing B_new:
-           Δ(A ⋈ B) = ΔA ⋈ B_old + ΔA ⋈ ΔB + A_old ⋈ ΔB. *)
-        let part1 = join_side ~on:j.on ~test:j.test da j.right_expr in
-        let part2 = join_side ~on:j.on ~test:j.test db j.left_expr in
-        let cross = Rel_delta.join ~on:j.on ?test:j.test da db in
-        Eval.charge_tuple_ops
-          (Rel_delta.support_cardinal da + Rel_delta.support_cardinal db
-          + Rel_delta.support_cardinal part1
-          + Rel_delta.support_cardinal part2
-          + Rel_delta.support_cardinal cross);
-        Rel_delta.smash (Rel_delta.smash part1 part2) cross
-      end
+    | Join j -> exec_njoin j
     | Union (a, b) ->
       let da = exec a in
       let db = exec b in
       Eval.charge_tuple_ops
         (Rel_delta.support_cardinal da + Rel_delta.support_cardinal db);
       Rel_delta.smash da db
-    | Diff d ->
+    | Diff d -> exec_diff d
+  (* the n-ary telescoped join rule — Example 6.1 generalized:
+       Δ(e1 ⋈ … ⋈ en) = Σ_i new_1 ⋈ … ⋈ new_{i-1} ⋈ Δi ⋈ old_{i+1} ⋈ … ⋈ old_n
+     Each term binds its delta FIRST and then probes the remaining
+     inputs greedily (key-sharing, index-probeable inputs preferred),
+     so a term's cost tracks the delta's size, not the stored bags'.
+     New-value sides never materialize: acc ⋈ new_j distributes into
+     acc ⋈ old_j ⊎ acc ⋈ Δj (join is bilinear over signed bags). Old
+     values are evaluated at most once per input per transaction. *)
+  and exec_njoin j =
+    let n = Array.length j.inputs in
+    let ds = Array.map (fun (p, _) -> exec p) j.inputs in
+    (* schema from the (possibly empty) child deltas, NOT from env
+       values: a virtual child whose delta filtered out entirely has
+       no stored value and no temporary (see the interpreter); the
+       canonical schema folds the inputs in original order, the order
+       every term is normalized back to *)
+    let canonical =
+      let s = ref (Rel_delta.schema ds.(0)) in
+      for k = 1 to n - 1 do
+        s := Schema.join !s (Rel_delta.schema ds.(k))
+      done;
+      !s
+    in
+    if Array.for_all Rel_delta.is_empty ds then Rel_delta.empty canonical
+    else begin
+      let canon_attrs = Schema.attrs canonical in
+      (* conjuncts outside even the full output schema still evaluate
+         on the output, raising as the interpreter would *)
+      let leftovers =
+        List.filter
+          (fun c ->
+            not
+              (List.for_all
+                 (fun a -> List.mem a canon_attrs)
+                 (Predicate.attrs c)))
+          j.conjs
+      in
+      let olds = Array.make n None in
+      let old_of k =
+        match olds.(k) with
+        | Some b -> b
+        | None ->
+          let b = eval_old ~env (snd j.inputs.(k)) in
+          olds.(k) <- Some b;
+          b
+      in
+      (* an input whose old value can be index-probed in place: a bare
+         base, or selections over one (pushed down as a probe filter) *)
+      let probe_target k =
+        let rec filters_only acc = function
+          | [] -> Some acc
+          | Filter f :: rest -> filters_only (f :: acc) rest
+          | (Gather _ | Remap _) :: _ -> None
+        in
+        match fst j.inputs.(k) with
+        | Source name -> Some (name, None)
+        | Fused (steps, Source name) -> (
+          match filters_only [] (Array.to_list steps) with
+          | Some fs ->
+            let fs = Array.of_list fs in
+            Some (name, Some (fun t -> Array.for_all (fun f -> f t) fs))
+          | None -> None)
+        | _ -> None
+      in
+      let join_old acc k pj test =
+        let generic () = Rel_delta.join_bag ~on:pj ?test acc (old_of k) in
+        match (indexed_join, probe_target k) with
+        | Some probe, Some (name, filter) -> (
+          match probe ~name ~on:pj ?filter acc with
+          | Some part -> part
+          | None -> generic ())
+        | _ -> generic ()
+      in
+      let charged = ref 0 in
+      let terms = ref [] in
+      for i = 0 to n - 1 do
+        if not (Rel_delta.is_empty ds.(i)) then begin
+          let remaining = ref (List.filter (fun k -> k <> i) (List.init n Fun.id)) in
+          let acc = ref ds.(i) in
+          charged := !charged + Rel_delta.support_cardinal !acc;
+          while !remaining <> [] do
+            let acc_schema = Rel_delta.schema !acc in
+            let score k =
+              let lk, _ =
+                Bag.join_keys acc_schema (Rel_delta.schema ds.(k)) j.on
+              in
+              ( (if lk <> [] then 0 else 1),
+                (if probe_target k <> None then 0 else 1),
+                k )
+            in
+            let best =
+              List.fold_left
+                (fun b k -> if score k < score b then k else b)
+                (List.hd !remaining) (List.tl !remaining)
+            in
+            remaining := List.filter (fun k -> k <> best) !remaining;
+            let merged = Schema.join acc_schema (Rel_delta.schema ds.(best)) in
+            let mattrs = Schema.attrs merged in
+            let pj =
+              Predicate.conj
+                (List.filter
+                   (fun c ->
+                     List.for_all
+                       (fun a -> List.mem a mattrs)
+                       (Predicate.attrs c))
+                   j.conjs)
+            in
+            let test =
+              if Predicate.equal pj Predicate.True then None
+              else Some (Predicate.compile pj)
+            in
+            let part_old = join_old !acc best pj test in
+            acc :=
+              (if best < i && not (Rel_delta.is_empty ds.(best)) then
+                 Rel_delta.smash part_old
+                   (Rel_delta.join ~on:pj ?test !acc ds.(best))
+               else part_old);
+            charged := !charged + Rel_delta.support_cardinal !acc
+          done;
+          let term = !acc in
+          let term =
+            if leftovers = [] then term
+            else
+              Rel_delta.transform (Rel_delta.schema term)
+                (fun t ->
+                  if List.for_all (fun c -> Predicate.eval c t) leftovers then
+                    Some t
+                  else None)
+                term
+          in
+          terms := Rel_delta.transform canonical (fun t -> Some t) term :: !terms
+        end
+      done;
+      Eval.charge_tuple_ops !charged;
+      match !terms with
+      | [] -> Rel_delta.empty canonical
+      | t0 :: rest -> List.fold_left Rel_delta.smash t0 rest
+    end
+  and exec_diff d =
       let da = exec d.d_left in
       let db = exec d.d_right in
       if Rel_delta.is_empty da && Rel_delta.is_empty db then

@@ -28,7 +28,11 @@ val expr : t -> Expr.t
 
 val run :
   ?indexed_join:
-    (name:string -> on:Predicate.t -> Rel_delta.t -> Rel_delta.t option) ->
+    (name:string ->
+    on:Predicate.t ->
+    ?filter:(Tuple.t -> bool) ->
+    Rel_delta.t ->
+    Rel_delta.t option) ->
   env:(string -> Bag.t option) ->
   deltas:(string -> Rel_delta.t option) ->
   t ->
@@ -40,7 +44,11 @@ val run :
 
 val delta_of_expr :
   ?indexed_join:
-    (name:string -> on:Predicate.t -> Rel_delta.t -> Rel_delta.t option) ->
+    (name:string ->
+    on:Predicate.t ->
+    ?filter:(Tuple.t -> bool) ->
+    Rel_delta.t ->
+    Rel_delta.t option) ->
   env:(string -> Bag.t option) ->
   deltas:(string -> Rel_delta.t option) ->
   Expr.t ->

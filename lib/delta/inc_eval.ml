@@ -16,7 +16,9 @@ let rec delta_of_expr_interp ?indexed_join ~env ~deltas expr =
     let generic () = Rel_delta.join_bag ~on d (eval_old ~env side) in
     match indexed_join, side with
     | Some probe, Expr.Base name -> (
-      match probe ~name ~on d with Some part -> part | None -> generic ())
+      match probe ~name ~on ?filter:None d with
+      | Some part -> part
+      | None -> generic ())
     | _ -> generic ()
   in
   match expr with
@@ -48,20 +50,27 @@ let rec delta_of_expr_interp ?indexed_join ~env ~deltas expr =
        values: a virtual child whose delta filtered out entirely has no
        stored value and no temporary, so an env schema lookup here
        would fail on a no-op delta *)
+    (* every branch normalizes to the canonical left-then-right
+       schema: the probe-the-other-side rules naturally build their
+       result in firing order, which must not leak into the output *)
+    let canonical =
+      Schema.join (Rel_delta.schema da) (Rel_delta.schema db)
+    in
+    let canon d = Rel_delta.transform canonical (fun t -> Some t) d in
     if Rel_delta.is_empty da && Rel_delta.is_empty db then
-      Rel_delta.empty (Schema.join (Rel_delta.schema da) (Rel_delta.schema db))
+      Rel_delta.empty canonical
     else if Rel_delta.is_empty db then begin
       let part = join_side ~on:p da b in
       Eval.charge_tuple_ops
         (Rel_delta.support_cardinal da + Rel_delta.support_cardinal part);
-      part
+      canon part
     end
     else if Rel_delta.is_empty da then begin
       (* the natural join is symmetric, so the delta may probe [a] *)
       let part = join_side ~on:p db a in
       Eval.charge_tuple_ops
         (Rel_delta.support_cardinal db + Rel_delta.support_cardinal part);
-      part
+      canon part
     end
     else begin
       (* Example 6.1, without materializing B_new:
@@ -74,7 +83,7 @@ let rec delta_of_expr_interp ?indexed_join ~env ~deltas expr =
         + Rel_delta.support_cardinal part1
         + Rel_delta.support_cardinal part2
         + Rel_delta.support_cardinal cross);
-      Rel_delta.smash (Rel_delta.smash part1 part2) cross
+      canon (Rel_delta.smash (Rel_delta.smash part1 part2) cross)
     end
   | Expr.Union (a, b) ->
     let da = delta_of_expr ~env ~deltas a in

@@ -17,7 +17,11 @@ open Relalg
 
 val delta_of_expr :
   ?indexed_join:
-    (name:string -> on:Predicate.t -> Rel_delta.t -> Rel_delta.t option) ->
+    (name:string ->
+    on:Predicate.t ->
+    ?filter:(Tuple.t -> bool) ->
+    Rel_delta.t ->
+    Rel_delta.t option) ->
   env:(string -> Bag.t option) ->
   deltas:(string -> Rel_delta.t option) ->
   Expr.t ->
@@ -42,7 +46,11 @@ val delta_of_expr :
 
 val delta_of_expr_interp :
   ?indexed_join:
-    (name:string -> on:Predicate.t -> Rel_delta.t -> Rel_delta.t option) ->
+    (name:string ->
+    on:Predicate.t ->
+    ?filter:(Tuple.t -> bool) ->
+    Rel_delta.t ->
+    Rel_delta.t option) ->
   env:(string -> Bag.t option) ->
   deltas:(string -> Rel_delta.t option) ->
   Expr.t ->

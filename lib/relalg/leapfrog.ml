@@ -1,0 +1,77 @@
+(* Leapfrog triejoin (Veldhuizen 2014): worst-case optimal multi-way
+   join over sorted trie iterators.
+
+   Variables are bound one at a time in a fixed global order. At each
+   level the iterators of the inputs containing that variable leapfrog
+   — repeatedly seek the laggards up to the current maximum key —
+   until all sit on a common key (a match) or one exhausts its range.
+   On a match the search recurses into the next level; at the deepest
+   level the matching runs of all inputs are cross-combined into
+   output tuples. Each input's trie levels are its variables in the
+   global order, so an input simply opens a level whenever a variable
+   it contains is being bound. *)
+
+(* all iterators open at the current level and none at_end: position
+   all on the least common key; false when none remains *)
+let search iters =
+  let k = Array.length iters in
+  let rec settle max_key =
+    (* seek every iterator to [max_key]; track the new maximum *)
+    let changed = ref false and max_key = ref max_key in
+    (try
+       for i = 0 to k - 1 do
+         let it = iters.(i) in
+         if Value.compare (Trie_iter.key it) !max_key < 0 then begin
+           Trie_iter.seek it !max_key;
+           if Trie_iter.at_end it then raise Exit;
+           if Value.compare (Trie_iter.key it) !max_key > 0 then begin
+             max_key := Trie_iter.key it;
+             changed := true
+           end
+         end
+         else if Value.compare (Trie_iter.key it) !max_key > 0 then begin
+           max_key := Trie_iter.key it;
+           changed := true
+         end
+       done;
+       true
+     with Exit -> false)
+    && (if !changed then settle !max_key else true)
+  in
+  settle (Trie_iter.key iters.(0))
+
+let run ~nvars ~participants ~tries ~residual ~emit =
+  let ninputs = Array.length tries in
+  (* cross-combine the matching runs at a full variable binding *)
+  let emit_matches () =
+    let rec cross i acc accm =
+      if i >= ninputs then begin
+        if residual acc then emit acc accm
+      end
+      else
+        Trie_iter.iter_matches tries.(i) (fun t m ->
+            match Tuple.concat acc t with
+            | None -> () (* inputs sharing a non-variable attribute *)
+            | Some merged -> cross (i + 1) merged (accm * m))
+    in
+    cross 0 Tuple.empty 1
+  in
+  let rec enum lvl =
+    if lvl >= nvars then emit_matches ()
+    else begin
+      let iters = participants.(lvl) in
+      Array.iter Trie_iter.open_ iters;
+      if (not (Array.exists Trie_iter.at_end iters)) && search iters then begin
+        let continue = ref true in
+        while !continue do
+          enum (lvl + 1);
+          Trie_iter.next iters.(0);
+          if Trie_iter.at_end iters.(0) then continue := false
+          else if not (search iters) then continue := false
+        done
+      end;
+      Array.iter Trie_iter.up iters
+    end
+  in
+  if ninputs > 0 && not (Array.exists (fun t -> Trie_iter.length t = 0) tries)
+  then enum 0

@@ -1,0 +1,21 @@
+(** Leapfrog triejoin: worst-case optimal multi-way equi-join over
+    {!Trie_iter} sorted trie iterators.
+
+    The caller fixes a global variable order (see
+    {!Joinopt.order_vars}), builds one trie per input whose key vector
+    is that input's variables in the global order, and provides for
+    each variable level the iterators of the inputs containing it. *)
+
+val run :
+  nvars:int ->
+  participants:Trie_iter.t array array ->
+  tries:Trie_iter.t array ->
+  residual:(Tuple.t -> bool) ->
+  emit:(Tuple.t -> int -> unit) ->
+  unit
+(** Enumerate the join: bind variables level by level via leapfrog
+    search, and at each full binding cross-combine the matching runs
+    of all inputs through {!Tuple.concat} (multiplicities multiply),
+    emitting merged tuples that pass [residual]. [participants.(l)]
+    must list, for every level [l < nvars], the tries of exactly the
+    inputs whose key vectors include level [l]'s variable. *)

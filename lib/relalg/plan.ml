@@ -8,15 +8,26 @@
    ({!Predicate.compile}, {!Tuple.projector}, {!Tuple.renamer}): after
    the first tuple of each descriptor no attribute-name lookup happens
    on the hot path. Execution streams tuples from sources through the
-   fused stages into one output builder; joins build a key index over
-   the streamed right side and probe it with the left, emitting merged
-   tuples straight into the downstream stage.
+   fused stages into one output builder.
+
+   Chains of joins collapse into a single n-ary join group carrying
+   the conjunction of every join predicate (selections commute with
+   inner joins, so where each conjunct is applied is a physical
+   choice). At execution the group consults the cost-based chooser
+   ({!Joinopt}) — statistics come from the environment's bags, from
+   the mediator's stats hook for stored leaves, and from a capped
+   distinct-count scan otherwise — and runs as either a left-deep
+   streaming hash cascade, a worst-case optimal leapfrog triejoin
+   ({!Leapfrog}) over sorted tries, or a nested loop (pure theta
+   joins). Decisions are cached per group, keyed by the chooser epoch
+   and a shape signature, so repeat executions skip the statistics
+   pass until a migration bumps the epoch or the input shape moves.
 
    Schemas are resolved at execution time from the environment's bags,
    NOT at compile time from static declarations: the same node
    definition runs over full leaf relations, materialized projections,
    and VAP temporaries carrying only the requested attributes, and
-   natural-join keys depend on the attribute sets actually present. A
+   join variables depend on the attribute sets actually present. A
    plan is therefore schema-polymorphic — keyed by the expression
    alone — and every stage re-derives its slot plans per descriptor
    through the one-entry memos of the physical layer.
@@ -24,10 +35,10 @@
    The interpretive evaluator ({!Eval.eval_interp}) stays as the
    differential-test oracle; plans must agree with it on values.
    Operation charging mirrors the interpreter's per-operator input
-   cardinalities, with one documented deviation: a fused stage charges
-   per tuple streamed into it, so a duplicate-merging projection below
-   another stage charges the pre-merge count where the interpreter
-   charges the materialized (merged) support. *)
+   cardinalities, with documented deviations: a fused stage charges
+   per tuple streamed into it, and a collapsed join group charges its
+   streamed input, build sides, intermediate results and output rather
+   than the sum over the original binary nodes. *)
 
 exception Unbound_relation of string
 
@@ -47,16 +58,25 @@ type step =
 type prog =
   | Source of string
   | Fused of step array * prog (* steps innermost-first *)
-  | Join of join
+  | Join of njoin
   | Union of prog * prog
   | Diff of prog * prog
 
-and join = {
-  on : Predicate.t;
+and njoin = {
+  on : Predicate.t; (* conjunction over the collapsed join chain *)
   test : (Tuple.t -> bool) option; (* compiled [on]; None = True *)
-  has_equi : bool; (* equi_pairs on <> [], for cost parity *)
-  left : prog;
-  right : prog;
+  conjs : conjunct array; (* compiled conjuncts, conjunction order *)
+  inputs : prog array; (* >= 2, original left-to-right order *)
+  mutable dec : dec_entry option; (* cached chooser decision *)
+}
+
+and conjunct = { c_attrs : string list; c_test : Tuple.t -> bool }
+
+and dec_entry = {
+  de_epoch : int;
+  de_force : Joinopt.op option;
+  de_sig : int;
+  de_decision : Joinopt.decision;
 }
 
 type t = { expr : Expr.t; prog : prog }
@@ -72,22 +92,39 @@ let rec peel acc = function
   | Expr.Rename (m, e) -> peel (Remap (m, Tuple.renamer m) :: acc) e
   | e -> (acc, e)
 
+(* collapse a chain of joins into its inputs (left-to-right) and the
+   conjuncts of every predicate along the chain — valid for inner
+   joins, where predicates commute past join boundaries *)
+let rec flatten_join = function
+  | Expr.Join (a, p, b) ->
+    let ia, pa = flatten_join a in
+    let ib, pb = flatten_join b in
+    (ia @ ib, pa @ Predicate.conjuncts p @ pb)
+  | e -> ([ e ], [])
+
 let rec compile_prog expr =
   match expr with
   | Expr.Base n -> Source n
   | Expr.Select _ | Expr.Project _ | Expr.Rename _ ->
     let steps, sub = peel [] expr in
     Fused (Array.of_list steps, compile_prog sub)
-  | Expr.Join (a, p, b) ->
+  | Expr.Join _ ->
+    let inputs, conj_list = flatten_join expr in
+    let conj_list =
+      List.filter (fun p -> not (Predicate.equal p Predicate.True)) conj_list
+    in
+    let on = Predicate.conj conj_list in
     Join
       {
-        on = p;
-        test =
-          (if Predicate.equal p Predicate.True then None
-           else Some (Predicate.compile p));
-        has_equi = Predicate.equi_pairs p <> [];
-        left = compile_prog a;
-        right = compile_prog b;
+        on;
+        test = (if conj_list = [] then None else Some (Predicate.compile on));
+        conjs =
+          Array.of_list
+            (List.map
+               (fun p -> { c_attrs = Predicate.attrs p; c_test = Predicate.compile p })
+               conj_list);
+        inputs = Array.of_list (List.map compile_prog inputs);
+        dec = None;
       }
   | Expr.Union (a, b) -> Union (compile_prog a, compile_prog b)
   | Expr.Diff (a, b) -> Diff (compile_prog a, compile_prog b)
@@ -116,7 +153,11 @@ let rec out_schema prog ~env =
           Expr.schema_of (fun _ -> s) (Expr.Rename (m, Expr.Base "_")))
       s steps
   | Join j ->
-    Schema.join (out_schema j.left ~env) (out_schema j.right ~env)
+    let s = ref (out_schema j.inputs.(0) ~env) in
+    for i = 1 to Array.length j.inputs - 1 do
+      s := Schema.join !s (out_schema j.inputs.(i) ~env)
+    done;
+    !s
   | Union (a, b) ->
     let sa = out_schema a ~env and sb = out_schema b ~env in
     if not (Schema.union_compatible sa sb) then
@@ -130,7 +171,7 @@ let rec out_schema prog ~env =
         (Schema.to_string sa) (Schema.to_string sb);
     sa
 
-(* key tables for the streaming hash join, over Value's own
+(* key tables for the streaming hash joins, over Value's own
    equality/hash (Int 1 and Float 1. compare equal and must collide) *)
 module VKey_table = Hashtbl.Make (struct
   type t = Value.t
@@ -145,6 +186,169 @@ module Key_table = Hashtbl.Make (struct
   let equal = List.equal Value.equal
   let hash key = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 key
 end)
+
+(* a join-group input at execution time. Materialization is lazy: a
+   consumer that streams an input exactly once (cascade build/probe,
+   trie load) never buffers it — only exact row counts (cost model on
+   a decision-cache miss) and repeated iteration (nested loop) force a
+   buffer. [v_sig_rows] is the cheap signature cardinality: exact for
+   a source leaf, the underlying leaf total for derived inputs. *)
+type view = {
+  v_name : string option;
+  v_schema : Schema.t;
+  v_sig_rows : int;
+  v_stream : (Tuple.t -> int -> unit) -> unit;
+  mutable v_mat : (Tuple.t * int) list option;
+  mutable v_rows : int; (* exact support; -1 until known *)
+}
+
+let materialize v =
+  match v.v_mat with
+  | Some l -> l
+  | None ->
+    let buf = ref [] and c = ref 0 in
+    v.v_stream (fun t m ->
+        incr c;
+        buf := (t, m) :: !buf);
+    let l = !buf in
+    v.v_mat <- Some l;
+    v.v_rows <- !c;
+    l
+
+let v_rows v = if v.v_rows >= 0 then v.v_rows else (ignore (materialize v); v.v_rows)
+
+(* one streaming pass, reusing a buffer when one already exists *)
+let stream_once v f =
+  match v.v_mat with
+  | Some l -> List.iter (fun (t, m) -> f t m) l
+  | None -> v.v_stream f
+
+(* repeatable iteration: source bags re-iterate in place, everything
+   else buffers on first use *)
+let v_iter v f =
+  match v.v_mat with
+  | Some l -> List.iter (fun (t, m) -> f t m) l
+  | None ->
+    if v.v_name <> None then v.v_stream f
+    else List.iter (fun (t, m) -> f t m) (materialize v)
+
+(* one cascade step: the key table built over a join input plus the
+   probe keyer from the accumulated prefix and the conjuncts that
+   become checkable after this merge *)
+type cstep =
+  | C1 of
+      (Tuple.t * int) VKey_table.t
+      * (Tuple.t -> Value.t)
+      * (Tuple.t -> bool) array
+  | CN of
+      (Tuple.t * int) Key_table.t
+      * (Tuple.t -> Value.t list)
+      * (Tuple.t -> bool) array
+
+let passes checks t =
+  let k = Array.length checks in
+  let rec go i = i >= k || ((Array.unsafe_get checks i) t && go (i + 1)) in
+  go 0
+
+let log2_bucket n =
+  let rec go n b = if n <= 1 then b else go (n lsr 1) (b + 1) in
+  go (max 1 n) 0
+
+let scan_cap = 2048
+
+(* capped distinct-count and frequency-moment scan for inputs without
+   stored statistics. Distinct counts extrapolate linearly to the full
+   row count; the second moment F2 uses the unbiased Bernoulli-sample
+   estimator sum(c^2 - (1-p)c)/p^2 (sample rate p), whose correction
+   term keeps near-unique keys from reading as phantom hubs *)
+let scan_distincts v my =
+  if my = [] then ([], [])
+  else begin
+    let cells =
+      List.map (fun (var, a) -> (var, Tuple.keyer1 a, VKey_table.create 64)) my
+    in
+    let seen = ref 0 in
+    (try
+       v_iter v (fun t _ ->
+           if !seen >= scan_cap then raise Exit;
+           incr seen;
+           List.iter
+             (fun (_, k, tbl) ->
+               let key = k t in
+               let c =
+                 match VKey_table.find_opt tbl key with
+                 | Some c -> c
+                 | None -> 0
+               in
+               VKey_table.replace tbl key (c + 1))
+             cells)
+     with Exit -> ());
+    let rows = v_rows v in
+    let per_cell f = List.map (fun (var, _, tbl) -> (var, f tbl)) cells in
+    let ds =
+      per_cell (fun tbl ->
+          let d = VKey_table.length tbl in
+          let d =
+            if rows > !seen && 2 * d > !seen then d * rows / max 1 !seen else d
+          in
+          max 1 d)
+    in
+    let f2s =
+      let p = float_of_int (max 1 !seen) /. float_of_int (max 1 rows) in
+      per_cell (fun tbl ->
+          let est =
+            VKey_table.fold
+              (fun _ c acc ->
+                let c = float_of_int c in
+                acc +. ((c *. c) -. ((1.0 -. p) *. c)))
+              tbl 0.0
+            /. (p *. p)
+          in
+          Float.max (float_of_int rows) est)
+    in
+    (ds, f2s)
+  end
+
+let stats_of v attrs i classes =
+  (* (variable name, this input's attribute) per class it belongs to *)
+  let my =
+    List.filter_map
+      (fun vc ->
+        if List.mem i vc.Joinopt.vc_inputs then
+          match Joinopt.class_attr_in vc attrs with
+          | Some a -> Some (List.hd vc.Joinopt.vc_attrs, a)
+          | None -> None
+        else None)
+      classes
+  in
+  let in_distinct, in_f2 =
+    match Option.bind v.v_name !Joinopt.stats with
+    | Some (_, ds) when ds <> [] ->
+      let rows = v_rows v in
+      let pick f =
+        List.filter_map
+          (fun (var, a) ->
+            match List.find_opt (fun (n, _, _) -> n = a) ds with
+            | Some (_, d, mc) -> Some (var, f d mc)
+            | None -> None)
+          my
+      in
+      ( pick (fun d _ -> min d (max 1 rows)),
+        (* two-bucket F2 from index stats: the longest chain squared
+           plus the remaining rows spread over the remaining keys *)
+        pick (fun d mc ->
+            let mc = float_of_int (max 1 (min mc rows)) in
+            let rest = float_of_int rows -. mc in
+            (mc *. mc) +. (rest *. rest /. float_of_int (max 1 (d - 1)))) )
+    | _ -> scan_distincts v my
+  in
+  {
+    Joinopt.in_name = v.v_name;
+    in_rows = v_rows v;
+    in_vars = List.map fst my;
+    in_distinct;
+    in_f2;
+  }
 
 let rec stream prog ~env ~(emit : Tuple.t -> int -> unit) =
   match prog with
@@ -163,7 +367,7 @@ let rec stream prog ~env ~(emit : Tuple.t -> int -> unit) =
           end
         in
         go 0 t)
-  | Join j -> exec_join j ~env ~emit
+  | Join j -> exec_nary j ~env ~emit
   | Union (a, b) ->
     ignore (out_schema prog ~env : Schema.t);
     let pass t m =
@@ -189,62 +393,263 @@ let rec stream prog ~env ~(emit : Tuple.t -> int -> unit) =
           if not (Tuple.Tbl.mem in_b t) then emit t 1
         end)
 
-and exec_join j ~env ~emit =
-  let sa = out_schema j.left ~env and sb = out_schema j.right ~env in
-  let left_keys, right_keys = Bag.join_keys sa sb j.on in
-  let shared =
-    List.exists (fun n -> Schema.mem sb n) (Schema.attrs sa)
+and exec_nary j ~env ~emit =
+  let rec leaf_rows p =
+    match p with
+    | Source name -> Bag.support_cardinal (resolve env name)
+    | Fused (_, sub) -> leaf_rows sub
+    | Join g -> Array.fold_left (fun a q -> a + leaf_rows q) 0 g.inputs
+    | Union (a, b) | Diff (a, b) -> leaf_rows a + leaf_rows b
+  in
+  let views =
+    Array.map
+      (fun p ->
+        match p with
+        | Source name ->
+          let b = resolve env name in
+          let n = Bag.support_cardinal b in
+          {
+            v_name = Some name;
+            v_schema = Bag.schema b;
+            v_sig_rows = n;
+            v_stream = (fun f -> Bag.iter f b);
+            v_mat = None;
+            v_rows = n;
+          }
+        | _ ->
+          {
+            v_name = None;
+            v_schema = out_schema p ~env;
+            v_sig_rows = leaf_rows p;
+            v_stream = (fun f -> stream p ~env ~emit:f);
+            v_mat = None;
+            v_rows = -1;
+          })
+      j.inputs
+  in
+  (* join-variable classes over the RUNTIME schemas; equi-pairs are
+     kept only when both attributes actually occur, so key planning
+     matches what the interpreter's per-node join_keys would see over
+     narrowed env bags *)
+  let attr_lists = Array.map (fun v -> Schema.attrs v.v_schema) views in
+  let present a = Array.exists (List.mem a) attr_lists in
+  let equi =
+    List.filter (fun (a, b) -> present a && present b) (Predicate.equi_pairs j.on)
+  in
+  let classes = Joinopt.classes ~attrs:attr_lists ~equi in
+  let decision = decide j views attr_lists classes in
+  !Joinopt.notify decision;
+  match decision.Joinopt.op with
+  | Joinopt.Hash -> exec_cascade j views attr_lists classes decision ~emit
+  | Joinopt.Leapfrog -> exec_leapfrog j views attr_lists classes decision ~emit
+  | Joinopt.Nested_loop -> exec_nested j views ~emit
+
+(* chooser decision, cached per (epoch, force, shape signature): the
+   statistics pass runs once per epoch and shape, not per execution *)
+and decide j views attr_lists classes =
+  let n = Array.length views in
+  let key =
+    Hashtbl.hash
+      (Array.to_list
+         (Array.map
+            (fun v ->
+              (v.v_name, Schema.attrs v.v_schema, log2_bucket v.v_sig_rows))
+            views))
+  in
+  match j.dec with
+  | Some de
+    when de.de_epoch = Joinopt.epoch ()
+         && de.de_force = !Joinopt.force
+         && de.de_sig = key
+         && Array.length de.de_decision.Joinopt.order = n ->
+    de.de_decision
+  | _ ->
+    let inputs = Array.mapi (fun i v -> stats_of v attr_lists.(i) i classes) views in
+    let d = Joinopt.choose inputs in
+    j.dec <-
+      Some
+        {
+          de_epoch = Joinopt.epoch ();
+          de_force = !Joinopt.force;
+          de_sig = key;
+          de_decision = d;
+        };
+    d
+
+(* left-deep streaming hash cascade in the chooser's input order: key
+   tables over every input but the first, the first streamed through
+   the probe chain. Each conjunct is applied at the first step whose
+   merged schema covers its attributes; conjuncts never covered are
+   still evaluated on the output (raising exactly as the interpreter
+   would on a dangling attribute). *)
+and exec_cascade j views attr_lists classes decision ~emit =
+  let order = decision.Joinopt.order in
+  let n = Array.length order in
+  let nconjs = Array.length j.conjs in
+  let applied = Array.make nconjs false in
+  let take_applicable schema =
+    let out = ref [] in
+    for c = nconjs - 1 downto 0 do
+      if
+        (not applied.(c))
+        && List.for_all (fun a -> Schema.mem schema a) j.conjs.(c).c_attrs
+      then begin
+        applied.(c) <- true;
+        out := j.conjs.(c).c_test :: !out
+      end
+    done;
+    Array.of_list !out
+  in
+  let first = order.(0) in
+  let merged = ref views.(first).v_schema in
+  let first_checks = take_applicable !merged in
+  let charged = ref 0 in
+  let steps =
+    Array.init (n - 1) (fun k ->
+        let i = order.(k + 1) in
+        let si = views.(i).v_schema in
+        let shared =
+          List.filter_map
+            (fun vc ->
+              match
+                ( Joinopt.class_attr_in vc (Schema.attrs !merged),
+                  Joinopt.class_attr_in vc attr_lists.(i) )
+              with
+              | Some la, Some ra -> Some (la, ra)
+              | _ -> None)
+            classes
+        in
+        let merged' = Schema.join !merged si in
+        let checks = take_applicable merged' in
+        merged := merged';
+        match shared with
+        | [ (la, ra) ] ->
+          let tbl = VKey_table.create 64 in
+          let kb = Tuple.keyer1 ra in
+          stream_once views.(i) (fun t m ->
+              incr charged;
+              VKey_table.add tbl (kb t) (t, m));
+          C1 (tbl, Tuple.keyer1 la, checks)
+        | _ ->
+          let tbl = Key_table.create 64 in
+          let kb = Tuple.keyer (List.map snd shared) in
+          stream_once views.(i) (fun t m ->
+              incr charged;
+              Key_table.add tbl (kb t) (t, m));
+          CN (tbl, Tuple.keyer (List.map fst shared), checks))
+  in
+  let leftovers =
+    let out = ref [] in
+    for c = nconjs - 1 downto 0 do
+      if not applied.(c) then out := j.conjs.(c).c_test :: !out
+    done;
+    Array.of_list !out
+  in
+  let nsteps = n - 1 in
+  let rec go idx t m =
+    if idx >= nsteps then begin
+      if passes leftovers t then begin
+        incr charged;
+        emit t m
+      end
+    end
+    else begin
+      let continue checks tb mb =
+        match Tuple.concat t tb with
+        | None -> ()
+        | Some merged ->
+          if passes checks merged then begin
+            if idx + 1 < nsteps then incr charged;
+            go (idx + 1) merged (m * mb)
+          end
+      in
+      match Array.unsafe_get steps idx with
+      | C1 (tbl, key, checks) ->
+        List.iter
+          (fun (tb, mb) -> continue checks tb mb)
+          (VKey_table.find_all tbl (key t))
+      | CN (tbl, key, checks) ->
+        List.iter
+          (fun (tb, mb) -> continue checks tb mb)
+          (Key_table.find_all tbl (key t))
+    end
+  in
+  stream_once views.(first) (fun t m ->
+      incr charged;
+      if passes first_checks t then go 0 t m);
+  charge_tuple_ops !charged
+
+(* worst-case optimal leapfrog triejoin: one sorted trie per input
+   (keyed by its variables in the global order, filtered by its
+   single-input conjuncts), enumerated by {!Leapfrog.run}; the full
+   compiled predicate re-checks every output (cheap relative to the
+   output, and it preserves the interpreter's behavior on conjuncts
+   over attributes the runtime schemas do not carry) *)
+and exec_leapfrog j views attr_lists classes decision ~emit =
+  let cls_of_var v =
+    List.find (fun vc -> List.hd vc.Joinopt.vc_attrs = v) classes
+  in
+  let ordered = List.map cls_of_var decision.Joinopt.var_order in
+  let nvars = List.length ordered in
+  let n = Array.length views in
+  let charged = ref 0 in
+  let tries =
+    Array.init n (fun i ->
+        let attrs = attr_lists.(i) in
+        let keyers =
+          Array.of_list
+            (List.filter_map
+               (fun vc ->
+                 Option.map Tuple.keyer1 (Joinopt.class_attr_in vc attrs))
+               ordered)
+        in
+        let local_checks =
+          let out = ref [] in
+          for c = Array.length j.conjs - 1 downto 0 do
+            if List.for_all (fun a -> List.mem a attrs) j.conjs.(c).c_attrs
+            then out := j.conjs.(c).c_test :: !out
+          done;
+          Array.of_list !out
+        in
+        let entries = ref [] in
+        stream_once views.(i) (fun t m ->
+            incr charged;
+            if passes local_checks t then
+              entries := (Array.map (fun k -> k t) keyers, t, m) :: !entries);
+        Trie_iter.build ~depth:(Array.length keyers) !entries)
+  in
+  let participants =
+    Array.of_list
+      (List.map
+         (fun vc ->
+           Array.of_list
+             (List.map (fun i -> tries.(i)) vc.Joinopt.vc_inputs))
+         ordered)
   in
   let residual = match j.test with Some f -> f | None -> fun _ -> true in
-  let trivially_true = j.test = None in
-  let na = ref 0 and nb = ref 0 and nout = ref 0 in
-  let combine ta ma tb mb =
-    match Tuple.concat ta tb with
-    | None -> ()
-    | Some merged ->
-      if trivially_true || residual merged then begin
-        incr nout;
-        emit merged (ma * mb)
-      end
+  Leapfrog.run ~nvars ~participants ~tries ~residual ~emit:(fun t m ->
+      incr charged;
+      emit t m);
+  charge_tuple_ops !charged
+
+(* pure theta join (or a forced override): product of the inputs with
+   the full residual; charges the product bound like the interpreter *)
+and exec_nested j views ~emit =
+  let n = Array.length views in
+  let residual = match j.test with Some f -> f | None -> fun _ -> true in
+  let product = Array.fold_left (fun p v -> p * v_rows v) 1 views in
+  let rec loop idx acc accm =
+    if idx >= n then begin
+      if residual acc then emit acc accm
+    end
+    else
+      v_iter views.(idx) (fun t m ->
+          match Tuple.concat acc t with
+          | None -> ()
+          | Some merged -> loop (idx + 1) merged (accm * m))
   in
-  (match left_keys, right_keys with
-  | [], _ | _, [] ->
-    (* pure theta join: nested loops over the materialized right *)
-    let right = ref [] in
-    stream j.right ~env ~emit:(fun t m ->
-        incr nb;
-        right := (t, m) :: !right);
-    let right = !right in
-    stream j.left ~env ~emit:(fun ta ma ->
-        incr na;
-        List.iter (fun (tb, mb) -> combine ta ma tb mb) right)
-  | [ lk ], [ rk ] ->
-    let key_of_b = Tuple.keyer1 rk and key_of_a = Tuple.keyer1 lk in
-    let index = VKey_table.create 64 in
-    stream j.right ~env ~emit:(fun tb mb ->
-        incr nb;
-        VKey_table.add index (key_of_b tb) (tb, mb));
-    stream j.left ~env ~emit:(fun ta ma ->
-        incr na;
-        List.iter
-          (fun (tb, mb) -> combine ta ma tb mb)
-          (VKey_table.find_all index (key_of_a ta)))
-  | _ ->
-    let key_of_b = Tuple.keyer right_keys
-    and key_of_a = Tuple.keyer left_keys in
-    let index = Key_table.create 64 in
-    stream j.right ~env ~emit:(fun tb mb ->
-        incr nb;
-        Key_table.add index (key_of_b tb) (tb, mb));
-    stream j.left ~env ~emit:(fun ta ma ->
-        incr na;
-        List.iter
-          (fun (tb, mb) -> combine ta ma tb mb)
-          (Key_table.find_all index (key_of_a ta))));
-  (* interpreter cost parity: hash joins are linear in inputs plus
-     output, theta-only joins quadratic (the product bound) *)
-  charge_tuple_ops
-    (if shared || j.has_equi then !na + !nb + !nout else !na * !nb)
+  loop 0 Tuple.empty 1;
+  charge_tuple_ops product
 
 let run p ~env =
   match p.prog with

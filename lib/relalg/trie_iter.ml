@@ -1,0 +1,124 @@
+(* Sorted trie iterators for the leapfrog triejoin.
+
+   An iterator presents a relation as a trie of key values: level l
+   holds the distinct values of the l-th join variable, grouped under
+   the binding of levels 0..l-1. Physically there is no trie — the
+   entries live in three parallel arrays sorted lexicographically by
+   key vector, and a level is a half-open index range [lo, hi) with a
+   cursor. [open_] narrows to the run of entries sharing the current
+   key, [next] hops to the start of the next run, [seek] binary-
+   searches forward within the range. The hot path touches only
+   integer ranges and {!Value.compare} — no per-tuple allocation. *)
+
+type t = {
+  depth : int;
+  keys : Value.t array array; (* keys.(e) = entry e's key vector *)
+  tuples : Tuple.t array;
+  mults : int array;
+  lo : int array; (* per level: current range, cursor *)
+  hi : int array;
+  pos : int array;
+  mutable level : int; (* -1 = root *)
+}
+
+let depth t = t.depth
+let length t = Array.length t.tuples
+
+let compare_keys a b =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then 0
+    else
+      match Value.compare (Array.unsafe_get a i) (Array.unsafe_get b i) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+let build ~depth entries =
+  let entries = Array.of_list entries in
+  Array.sort (fun (ka, _, _) (kb, _, _) -> compare_keys ka kb) entries;
+  let n = Array.length entries in
+  {
+    depth;
+    keys = Array.map (fun (k, _, _) -> k) entries;
+    tuples = Array.map (fun (_, t, _) -> t) entries;
+    mults = Array.map (fun (_, _, m) -> m) entries;
+    lo = Array.make (max 1 depth) 0;
+    hi = Array.make (max 1 depth) n;
+    pos = Array.make (max 1 depth) 0;
+    level = -1;
+  }
+
+let at_end t = t.pos.(t.level) >= t.hi.(t.level)
+
+let key t = t.keys.(t.pos.(t.level)).(t.level)
+
+(* first index in [from, til) whose key at [lvl] is >= v (entries are
+   sorted, so within a parent run level-lvl keys are nondecreasing) *)
+let lower_bound t lvl from til v =
+  let lo = ref from and hi = ref til in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare t.keys.(mid).(lvl) v < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* end of the run of entries sharing the level-lvl key of entry [from] *)
+let run_end t lvl from til =
+  let v = t.keys.(from).(lvl) in
+  (* gallop then binary search: runs are usually short *)
+  let step = ref 1 and probe = ref (from + 1) in
+  while !probe < til && Value.compare t.keys.(!probe).(lvl) v = 0 do
+    probe := !probe + !step;
+    step := !step * 2
+  done;
+  let lo = !probe - (!step / 2) in
+  let hi = min !probe til in
+  let lo = ref (max lo (from + 1)) and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare t.keys.(mid).(lvl) v = 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+let open_ t =
+  let l = t.level + 1 in
+  if l >= t.depth then invalid_arg "Trie_iter.open_: below deepest level";
+  if l = 0 then begin
+    t.lo.(0) <- 0;
+    t.hi.(0) <- Array.length t.tuples;
+    t.pos.(0) <- 0
+  end
+  else begin
+    let p = t.pos.(l - 1) in
+    t.lo.(l) <- p;
+    t.hi.(l) <- run_end t (l - 1) p t.hi.(l - 1);
+    t.pos.(l) <- p
+  end;
+  t.level <- l
+
+let up t =
+  if t.level < 0 then invalid_arg "Trie_iter.up: at root";
+  t.level <- t.level - 1
+
+let next t =
+  let l = t.level in
+  t.pos.(l) <- run_end t l t.pos.(l) t.hi.(l)
+
+let seek t v =
+  let l = t.level in
+  t.pos.(l) <- lower_bound t l t.pos.(l) t.hi.(l) v
+
+(* all entries under the current binding: the run at the current level
+   (the whole relation at the root — the depth-0 degenerate case) *)
+let iter_matches t f =
+  let from, til =
+    if t.level < 0 then (0, Array.length t.tuples)
+    else (t.pos.(t.level), run_end t t.level t.pos.(t.level) t.hi.(t.level))
+  in
+  for e = from to til - 1 do
+    f t.tuples.(e) t.mults.(e)
+  done

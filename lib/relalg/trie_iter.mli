@@ -1,0 +1,48 @@
+(** Sorted trie iterators over relation snapshots — the per-relation
+    access path of the leapfrog triejoin ({!Leapfrog}).
+
+    The relation's entries are key vectors (its values for the join
+    variables it contains, in the global variable order) with their
+    tuple and multiplicity, sorted lexicographically. The iterator
+    walks them as a trie: one level per variable, each level
+    enumerating the distinct values under the current prefix binding.
+    All state is integer ranges over arrays built once — the hot path
+    ([seek]/[next]/[open_]/[up]) allocates nothing per tuple. *)
+
+type t
+
+val build : depth:int -> (Value.t array * Tuple.t * int) list -> t
+(** [build ~depth entries] sorts [(key vector, tuple, multiplicity)]
+    entries lexicographically by {!Value.compare}. Every key vector
+    must have length [depth]. *)
+
+val depth : t -> int
+val length : t -> int
+
+val open_ : t -> unit
+(** Descend to the first key of the next level, under the current
+    binding (from the root, the whole relation).
+    @raise Invalid_argument when already at the deepest level. *)
+
+val up : t -> unit
+(** Return to the parent level. @raise Invalid_argument at the root. *)
+
+val at_end : t -> bool
+(** No keys remain at the current level. *)
+
+val key : t -> Value.t
+(** Current key at the current level (undefined when [at_end]). *)
+
+val next : t -> unit
+(** Advance to the next distinct key at the current level (possibly
+    to the end). *)
+
+val seek : t -> Value.t -> unit
+(** Position at the least key [>= v] at the current level (or the
+    end). [v] must be [>=] the current key: the iterator only moves
+    forward. *)
+
+val iter_matches : t -> (Tuple.t -> int -> unit) -> unit
+(** Iterate the entries under the current full binding: the run of
+    entries sharing every key up to the current level (the whole
+    relation at the root). *)

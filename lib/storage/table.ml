@@ -242,7 +242,7 @@ let lookup t attrs values =
    generic hash join. Sound during IUP propagation because table
    mutations are deferred until after the kernel pass, so probes see
    the pre-update state. *)
-let delta_join ?(on = Predicate.True) d t =
+let delta_join ?(on = Predicate.True) ?filter d t =
   let dschema = Rel_delta.schema d in
   let left_keys, right_keys = Bag.join_keys dschema t.schema on in
   if right_keys = [] then None
@@ -251,7 +251,10 @@ let delta_join ?(on = Predicate.True) d t =
     | None -> None
   | Some ix ->
     let out = ref (Rel_delta.empty (Schema.join dschema t.schema)) in
+    let keep = match filter with Some f -> f | None -> fun _ -> true in
     let combine ta ma tb mb =
+      if not (keep tb) then ()
+      else
       match Tuple.concat ta tb with
       | None -> ()
       | Some merged ->
@@ -279,6 +282,37 @@ let delta_join ?(on = Predicate.True) d t =
           probe t right_keys (keyer ta) (fun tb mb -> combine ta ma tb mb))
         d ());
     Some !out
+
+type index_stats = { ix_on : string list; ix_distinct : int; ix_max_chain : int }
+type stats = { st_rows : int; st_support : int; st_indexes : index_stats list }
+
+let index_stats ix =
+  let chain = function One _ -> 1 | Many tb -> Tuple.Tbl.length tb in
+  let distinct, max_chain =
+    match ix.entries with
+    | Single { stbl; _ } ->
+      ( VKey_table.length stbl,
+        VKey_table.fold (fun _ c m -> max m (chain c)) stbl 0 )
+    | Multi { mtbl; _ } ->
+      ( Key_table.length mtbl,
+        Key_table.fold (fun _ c m -> max m (chain c)) mtbl 0 )
+  in
+  { ix_on = ix.on; ix_distinct = distinct; ix_max_chain = max_chain }
+
+let stats t =
+  {
+    st_rows = Bag.cardinal t.bag;
+    st_support = Bag.support_cardinal t.bag;
+    st_indexes = List.map index_stats t.indexes;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "rows=%d support=%d" s.st_rows s.st_support;
+  List.iter
+    (fun ix ->
+      Format.fprintf fmt " idx(%s){distinct=%d max_chain=%d}"
+        (String.concat "," ix.ix_on) ix.ix_distinct ix.ix_max_chain)
+    s.st_indexes
 
 let bytes_estimate t =
   Bag.cardinal t.bag * Schema.arity t.schema * 8

@@ -59,12 +59,41 @@ val probe : t -> string list -> Value.t list -> (Tuple.t -> int -> unit) -> unit
 val probe1 : t -> string -> Value.t -> (Tuple.t -> int -> unit) -> unit
 (** Single-attribute {!probe} without the key-list allocation. *)
 
-val delta_join : ?on:Predicate.t -> Rel_delta.t -> t -> Rel_delta.t option
+val delta_join :
+  ?on:Predicate.t ->
+  ?filter:(Tuple.t -> bool) ->
+  Rel_delta.t ->
+  t ->
+  Rel_delta.t option
 (** [delta_join d t]: the signed join [d ⋈ contents t], computed by
     probing [t]'s persistent join-key index — one probe per delta atom
     instead of a key table rebuilt over the whole stored bag. [None]
     when no index matches the join keys of [on]; callers fall back to
-    the generic hash join. *)
+    the generic hash join. [filter] (default: keep all) screens stored
+    tuples before they are combined — the push-down of a selection
+    sitting over the table in the joined expression. *)
+
+(** {1 Statistics}
+
+    Table statistics feed the cost-based join chooser ({!Joinopt} via
+    the mediator's stats hook) and the CLI profile report. *)
+
+type index_stats = {
+  ix_on : string list;  (** indexed attributes, in order *)
+  ix_distinct : int;  (** distinct key values currently present *)
+  ix_max_chain : int;  (** longest per-key chain (distinct tuples) *)
+}
+
+type stats = {
+  st_rows : int;  (** bag cardinality, multiplicities included *)
+  st_support : int;  (** distinct tuples *)
+  st_indexes : index_stats list;
+}
+
+val stats : t -> stats
+(** O(distinct keys) per index: cells are counted, not tuples. *)
+
+val pp_stats : Format.formatter -> stats -> unit
 
 val bytes_estimate : t -> int
 (** Rough space estimate (for the space-vs-performance tables of the

@@ -245,6 +245,187 @@ let test_renamer () =
     (Tuple.of_list [ ("z", Value.Int 5); ("d", Value.Int 6) ])
     (r t2)
 
+(* ---- the physical join layer ------------------------------------------- *)
+
+let with_force op f =
+  let saved = !Joinopt.force in
+  Joinopt.force := op;
+  Fun.protect ~finally:(fun () -> Joinopt.force := saved) f
+
+(* differential fuzz of the n-ary join executors: leapfrog, the hash
+   cascade and the nested loop must agree bag-for-bag with the
+   interpretive oracle on random join chains — random schemas over a
+   shared typed pool (cross-type Int/Float keys included), skewed
+   multiplicities, an always-empty relation in the mix, and chains
+   long enough to exercise multi-variable orders *)
+let test_njoin_strategies_agree () =
+  for seed = 0 to 149 do
+    let rng = Random.State.make [| 0x1F40; seed |] in
+    let pool = random_pool rng in
+    let bases =
+      List.map
+        (fun name ->
+          let schema = random_schema rng pool in
+          let bag =
+            if String.equal name "E" then Bag.empty schema
+            else random_bag rng schema
+          in
+          (name, schema, bag))
+        [ "P"; "Q"; "N"; "E" ]
+    in
+    let env = env_of_bases bases in
+    let pick () = List.nth bases (Random.State.int rng (List.length bases)) in
+    let rec chain i (e, s) =
+      if i = 0 then (e, s)
+      else begin
+        let name, s2, _ = pick () in
+        let s' = Schema.join s s2 in
+        let e' =
+          if Random.State.int rng 3 = 0 then
+            Expr.join ~on:(random_pred rng s') e (Expr.base name)
+          else Expr.join e (Expr.base name)
+        in
+        chain (i - 1) (e', s')
+      end
+    in
+    let name0, s0, _ = pick () in
+    let e, _ = chain (1 + Random.State.int rng 3) (Expr.base name0, s0) in
+    let oracle = Eval.eval_interp ~env e in
+    List.iter
+      (fun (label, op) ->
+        with_force op (fun () ->
+            Tutil.check_bag
+              (Printf.sprintf "seed %d [%s]: %s" seed label (Expr.to_string e))
+              oracle (Eval.eval ~env e)))
+      [
+        ("auto", None);
+        ("hash", Some Joinopt.Hash);
+        ("leapfrog", Some Joinopt.Leapfrog);
+        ("nested_loop", Some Joinopt.Nested_loop);
+      ]
+  done
+
+let test_trie_iter_seek () =
+  let v i = Value.Int i in
+  let tup x y = Tuple.of_list [ ("x", v x); ("y", v y) ] in
+  let entry x y m = ([| v x; v y |], tup x y, m) in
+  let tr =
+    Trie_iter.build ~depth:2
+      [ entry 4 5 1; entry 1 3 2; entry 1 1 1; entry 2 2 1; entry 4 1 3 ]
+  in
+  Alcotest.(check int) "length counts entries" 5 (Trie_iter.length tr);
+  Trie_iter.open_ tr;
+  Alcotest.(check bool) "first key" true (Value.equal (v 1) (Trie_iter.key tr));
+  Trie_iter.seek tr (v 1);
+  Alcotest.(check bool) "seek to current key does not move" true
+    (Value.equal (v 1) (Trie_iter.key tr));
+  Trie_iter.seek tr (v 3);
+  Alcotest.(check bool) "seek lands on the least key >= v" true
+    (Value.equal (v 4) (Trie_iter.key tr));
+  (* into the run under x = 4: y runs 1 then 5 *)
+  Trie_iter.open_ tr;
+  Alcotest.(check bool) "child level starts at the first y" true
+    (Value.equal (v 1) (Trie_iter.key tr));
+  let got = ref [] in
+  Trie_iter.iter_matches tr (fun t m -> got := (t, m) :: !got);
+  Alcotest.(check (list (pair Tutil.tuple int)))
+    "iter_matches yields the (4,1) run with its multiplicity"
+    [ (tup 4 1, 3) ] !got;
+  Trie_iter.next tr;
+  Alcotest.(check bool) "next hops the run" true
+    (Value.equal (v 5) (Trie_iter.key tr));
+  Trie_iter.next tr;
+  Alcotest.(check bool) "exhausts the child range" true (Trie_iter.at_end tr);
+  Trie_iter.up tr;
+  Trie_iter.seek tr (v 9);
+  Alcotest.(check bool) "seek past the last key ends" true (Trie_iter.at_end tr);
+  (* numeric cross-type: Int and Float keys compare equal and share runs *)
+  let trf =
+    Trie_iter.build ~depth:1
+      [
+        ([| Value.Int 2 |], Tuple.of_list [ ("x", Value.Int 2) ], 1);
+        ([| Value.Float 2.0 |], Tuple.of_list [ ("x", Value.Float 2.0) ], 1);
+      ]
+  in
+  Trie_iter.open_ trf;
+  let n = ref 0 in
+  Trie_iter.iter_matches trf (fun _ _ -> incr n);
+  Alcotest.(check int) "Int 2 and Float 2. share one run" 2 !n;
+  Trie_iter.next trf;
+  Alcotest.(check bool) "one distinct key in total" true (Trie_iter.at_end trf)
+
+let test_order_vars () =
+  let input name rows vars ds =
+    {
+      Joinopt.in_name = Some name;
+      in_rows = rows;
+      in_vars = vars;
+      in_distinct = ds;
+      in_f2 = [];
+    }
+  in
+  (* ascending minimum distinct count across containing inputs *)
+  Alcotest.(check (list string))
+    "most selective variable first" [ "v"; "u" ]
+    (Joinopt.order_vars
+       [|
+         input "A" 100 [ "u"; "v" ] [ ("u", 50); ("v", 2) ];
+         input "B" 100 [ "u"; "v" ] [ ("u", 10); ("v", 90) ];
+       |]);
+  (* distinct tie: the variable touching more inputs goes first *)
+  Alcotest.(check (list string))
+    "wider variable wins the tie" [ "u"; "v" ]
+    (Joinopt.order_vars
+       [|
+         input "A" 10 [ "u" ] [ ("u", 5) ];
+         input "B" 10 [ "u"; "v" ] [ ("u", 5); ("v", 5) ];
+         input "C" 10 [ "v" ] [ ("v", 5) ];
+         input "D" 10 [ "u" ] [ ("u", 5) ];
+       |]);
+  (* full tie: name order keeps the result deterministic *)
+  Alcotest.(check (list string))
+    "name breaks the full tie" [ "p"; "q" ]
+    (Joinopt.order_vars
+       [|
+         input "A" 10 [ "q"; "p" ] [ ("q", 3); ("p", 3) ];
+         input "B" 10 [ "q"; "p" ] [ ("q", 3); ("p", 3) ];
+       |])
+
+(* the chooser must never pick leapfrog when an input has no join
+   variable (no sorted trie can constrain it) — even when forced *)
+let test_leapfrog_guard () =
+  let mk name rows vars =
+    {
+      Joinopt.in_name = Some name;
+      in_rows = rows;
+      in_vars = vars;
+      in_distinct = [];
+      in_f2 = [];
+    }
+  in
+  with_force (Some Joinopt.Leapfrog) (fun () ->
+      let d =
+        Joinopt.choose [| mk "A" 10 [ "x" ]; mk "B" 10 [ "x" ]; mk "C" 10 [] |]
+      in
+      Alcotest.(check string)
+        "forced leapfrog degrades to hash on a var-less input" "hash"
+        (Joinopt.op_name d.Joinopt.op);
+      let d2 = Joinopt.choose [| mk "A" 10 [ "x" ]; mk "B" 10 [ "x" ] |] in
+      Alcotest.(check string)
+        "forced leapfrog honored when usable" "leapfrog"
+        (Joinopt.op_name d2.Joinopt.op));
+  (* end-to-end: a pure cross product under the force still agrees *)
+  let sa = Schema.make [ ("a", Value.TInt) ]
+  and sb = Schema.make [ ("b", Value.TInt) ] in
+  let ba = Bag.add (Bag.add (Bag.empty sa) (Tuple.of_list [ ("a", Value.Int 1) ]))
+      (Tuple.of_list [ ("a", Value.Int 2) ])
+  and bb = Bag.add (Bag.empty sb) (Tuple.of_list [ ("b", Value.Int 7) ]) in
+  let env = function "A" -> Some ba | "B" -> Some bb | _ -> None in
+  let e = Expr.join (Expr.base "A") (Expr.base "B") in
+  with_force (Some Joinopt.Leapfrog) (fun () ->
+      Tutil.check_bag "cross product off the trie path"
+        (Eval.eval_interp ~env e) (Eval.eval ~env e))
+
 (* ---- the answer cache --------------------------------------------------- *)
 
 let fault_config =
@@ -380,6 +561,14 @@ let () =
           Alcotest.test_case "value plans agree" `Quick test_value_plans_agree;
           Alcotest.test_case "delta plans agree" `Quick test_delta_plans_agree;
           Alcotest.test_case "tuple renamer" `Quick test_renamer;
+        ] );
+      ( "physical-join",
+        [
+          Alcotest.test_case "join strategies agree" `Quick
+            test_njoin_strategies_agree;
+          Alcotest.test_case "trie iterator seek" `Quick test_trie_iter_seek;
+          Alcotest.test_case "variable ordering ties" `Quick test_order_vars;
+          Alcotest.test_case "leapfrog guard" `Quick test_leapfrog_guard;
         ] );
       ( "answer-cache",
         [
