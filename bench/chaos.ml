@@ -30,7 +30,8 @@
 
 open Chaos_run
 
-let json path runs ~summary:(all_pass, retry, degraded, resync, traced) =
+let json path runs fed_runs ~summary:(all_pass, retry, degraded, resync, traced)
+    ~fed_pass =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -63,6 +64,22 @@ let json path runs ~summary:(all_pass, retry, degraded, resync, traced) =
         (if i = n - 1 then "" else ","))
     runs;
   p "  ],\n";
+  p "  \"federation\": [\n";
+  let nf = List.length fed_runs in
+  List.iteri
+    (fun i (r : fed_run) ->
+      p
+        "    {\"profile\": %S, \"seed\": %d, \"pass\": %b, \"shards\": %d, \
+         \"victim\": %d, \"outage_queries\": %d, \"outage_stale\": %d, \
+         \"bad_markers\": %d, \"shard_resyncs\": %d, \"final_fresh\": %b, \
+         \"converged\": %b, \"note\": %S}%s\n"
+        r.f_profile r.f_seed (fed_passed r) r.f_shards r.f_victim
+        r.f_outage_queries r.f_outage_stale r.f_bad_markers r.f_resyncs
+        r.f_final_fresh r.f_converged r.f_note
+        (if i = nf - 1 then "" else ","))
+    fed_runs;
+  p "  ],\n";
+  p "  \"federation_pass\": %b,\n" fed_pass;
   p "  \"all_pass\": %b,\n" all_pass;
   p "  \"exercised_retry\": %b,\n" retry;
   p "  \"exercised_degraded_answers\": %b,\n" degraded;
@@ -117,6 +134,39 @@ let run () =
   in
   Tables.print ~title:"seed × profile × scenario (counters are per run)"
     ~header (List.map row runs);
+  (* federation profile: a 4-shard federation loses one shard
+     mid-workload (kill: the router knows; partition: it does not),
+     must degrade naming only the victim, and reconverge to the
+     fault-free reference after resync *)
+  let fed_runs =
+    List.concat_map
+      (fun profile ->
+        List.map (fun seed -> run_federation ~profile ~seed) seeds)
+      fed_profiles
+  in
+  Tables.print ~title:"federation: one shard lost mid-workload, then healed"
+    ~header:
+      [
+        "profile"; "seed"; "pass"; "shards"; "victim"; "outage q"; "stale";
+        "bad mark"; "resync"; "final fresh"; "converged"; "note";
+      ]
+    (List.map
+       (fun (r : fed_run) ->
+         [
+           Tables.S r.f_profile;
+           I r.f_seed;
+           B (fed_passed r);
+           I r.f_shards;
+           I r.f_victim;
+           I r.f_outage_queries;
+           I r.f_outage_stale;
+           I r.f_bad_markers;
+           I r.f_resyncs;
+           B r.f_final_fresh;
+           B r.f_converged;
+           S r.f_note;
+         ])
+       fed_runs);
   let all_pass = List.for_all passed runs in
   let retry = List.exists (fun r -> r.c_retries > 0) runs in
   let degraded = List.exists (fun r -> r.c_degraded > 0) runs in
@@ -128,8 +178,12 @@ let run () =
     && List.exists (fun r -> r.c_degraded_spans > 0) runs
     && List.exists (fun r -> r.c_resync_spans > 0) runs
   in
+  let fed_pass = List.for_all fed_passed fed_runs in
   Tables.note "all cells pass (quiesce + converge + consistent): %s\n"
     (if all_pass then "yes" else "NO");
+  Tables.note
+    "federation cells (degrade naming only the victim, reconverge): %s\n"
+    (if fed_pass then "yes" else "NO");
   Tables.note
     "recovery coverage — retries: %s, degraded answers: %s, resyncs: %s\n"
     (if retry then "yes" else "NO")
@@ -146,8 +200,10 @@ let run () =
     | Some p -> p
     | None -> "BENCH_3.json"
   in
-  json path runs ~summary:(all_pass, retry, degraded, resync, traced);
+  json path runs fed_runs
+    ~summary:(all_pass, retry, degraded, resync, traced)
+    ~fed_pass;
   Tables.note "wrote %s\n" path;
-  if not (all_pass && retry && degraded && resync && traced) then (
+  if not (all_pass && retry && degraded && resync && traced && fed_pass) then (
     Tables.note "E14 FAILED\n";
     exit 1)

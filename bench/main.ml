@@ -28,6 +28,7 @@ let experiments =
     ("e15", Compiled.run);
     ("e16", Obs_overhead.run);
     ("e17", Wcoj.run);
+    ("e18", Federation.run);
     ("figs", Experiments.figs);
   ]
 

@@ -10,6 +10,9 @@
                 print migrations and the final annotation
      profile    run a scenario under load and print the measured
                 workload profile
+     federation run the sharded federation under a mixed workload and
+                print topology, routing counters, and a sample
+                scatter-gather answer's merged guarantee
      scenarios  list available scenarios
 
    Examples:
@@ -920,6 +923,138 @@ let chaos_cmd =
           e14 benchmark by its coordinates)")
     term
 
+(* --- federation ------------------------------------------------------------ *)
+
+let federation_cmd =
+  let run shards keys txs seed verbose =
+    setup_verbose verbose;
+    if shards <= 0 then Error (`Msg "shards must be >= 1")
+    else begin
+      let engine = Engine.create () in
+      let config = Med.Config.make ~op_time:0.0 () in
+      let fed =
+        Fed.Coordinator.create ~engine
+          ~vdp:(Fed.Fed_scenario.fed_vdp ())
+          ~key:Fed.Fed_scenario.partition_key ~shards
+          ~make_sources:(fun ~shard:_ ->
+            Fed.Fed_scenario.make_sources ~engine ())
+          ~config ()
+      in
+      let groups = 8 in
+      let spec =
+        {
+          Fed.Fed_workload.default_spec with
+          w_seed = seed;
+          w_keys = keys;
+          w_groups = groups;
+          w_txs = txs;
+          w_queries = 16;
+          w_commit_horizon = 2.0;
+          w_query_horizon = 2.0;
+        }
+      in
+      let items, tags = Fed.Fed_scenario.base_bags ~seed ~keys ~groups in
+      Fed.Coordinator.load fed "Items" items;
+      Fed.Coordinator.load fed "Tags" tags;
+      Engine.spawn engine (fun () -> Fed.Coordinator.initialize fed);
+      Engine.run engine ~until:spec.Fed.Fed_workload.w_commit_start;
+      let out =
+        Fed.Fed_workload.run ~engine ~spec (Fed.Fed_workload.of_fed fed)
+      in
+      print_string (Fed.Coordinator.describe fed);
+      let c name =
+        Obs.Metrics.value
+          (Obs.Metrics.counter (Fed.Coordinator.metrics fed) name)
+      in
+      let fresh_answers =
+        Array.fold_left
+          (fun n (_, a) ->
+            match a.Qp.quality with Qp.Fresh -> n + 1 | Qp.Stale _ -> n)
+          0 out.Fed.Fed_workload.o_answers
+      in
+      Printf.printf
+        "\nworkload          %d update txs routed (%d atoms), %d queries \
+         (%d/%d fresh)\n"
+        (c "fed_routed_txs") (c "fed_routed_atoms") (c "fed_queries")
+        fresh_answers
+        (Array.length out.Fed.Fed_workload.o_answers);
+      Printf.printf
+        "routing           %d scatter fan-outs, %d single-shard fast paths\n"
+        (c "fed_fanouts") (c "fed_single_shard");
+      Printf.printf "answer cache      %d hits, %d misses\n"
+        (c "fed_cache_hits") (c "fed_cache_misses");
+      Printf.printf "degraded answers  %d (shard resyncs %d)\n"
+        (c "fed_degraded_answers") (c "fed_shard_resyncs");
+      (* one more scatter query, spelled out: show the merged guarantee *)
+      let sample = ref None in
+      Engine.spawn engine (fun () ->
+          sample :=
+            Some
+              (Fed.Coordinator.query fed ~node:"Enriched"
+                 ~cond:Relalg.Predicate.(eq (attr "grp") (int 0))
+                 ()));
+      Engine.run engine ~until:(Engine.now engine +. 5.0);
+      match !sample with
+      | None -> Error (`Msg "sample query did not complete")
+      | Some ans ->
+        let entry = function
+          | Med.Version v -> Printf.sprintf "v%d" v
+          | Med.Current -> "current"
+        in
+        Printf.printf
+          "\nsample scatter query: Enriched where grp = 0 (fans to all %d \
+           shard%s)\n"
+          shards
+          (if shards = 1 then "" else "s");
+        Printf.printf "  tuples   %d\n" (Relalg.Bag.cardinal ans.Qp.tuples);
+        Printf.printf "  quality  %s\n"
+          (match ans.Qp.quality with
+          | Qp.Fresh -> "fresh"
+          | Qp.Stale ss ->
+            Printf.sprintf "stale (%s)"
+              (String.concat ", " (List.map (fun s -> s.Med.st_source) ss)));
+        Printf.printf "  reflect  %s   (meet across shard vectors)\n"
+          (String.concat ", "
+             (List.map
+                (fun (src, e) -> Printf.sprintf "%s=%s" src (entry e))
+                ans.Qp.reflect));
+        (match ans.Qp.trace_id with
+        | Some id -> Printf.printf "  trace    fed_query_tx span #%d\n" id
+        | None -> ());
+        Ok ()
+    end
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards"; "n" ] ~docv:"N" ~doc:"Number of mediator shards.")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "keys" ] ~docv:"K"
+          ~doc:"Distinct partition-key values in the base relations.")
+  in
+  let txs_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "txs"; "u" ] ~docv:"N"
+          ~doc:"Single-key update transactions to route through the workload.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ shards_arg $ keys_arg $ txs_arg $ seed_arg $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "federation"
+       ~doc:
+         "Run the canonical federated scenario (Enriched/Hot hash-partitioned \
+          by key) across N mediator shards under a small mixed workload, then \
+          print the shard topology, routing and cache counters, and the \
+          merged reflect vector of a sample scatter-gather query")
+    term
+
 (* --- scenarios ------------------------------------------------------------ *)
 
 let scenarios_cmd =
@@ -945,6 +1080,6 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [
          describe_cmd; advise_cmd; simulate_cmd; query_cmd; adapt_cmd;
-         profile_cmd; trace_cmd; metrics_cmd; chaos_cmd; dot_cmd;
+         profile_cmd; trace_cmd; metrics_cmd; chaos_cmd; federation_cmd; dot_cmd;
          scenarios_cmd;
        ]))

@@ -326,3 +326,152 @@ let run_one sc profile seed =
     c_trace_ok = trace_ok;
     c_note = String.concat "; " (note @ diverged @ violations @ trace_problems);
   }
+
+(* --- federation profile ------------------------------------------------ *)
+
+let fed_profiles = [ "kill"; "partition" ]
+
+type fed_run = {
+  f_profile : string;
+  f_seed : int;
+  f_shards : int;
+  f_victim : int;
+  f_outage_queries : int;
+  f_outage_stale : int;
+  f_bad_markers : int;
+  f_resyncs : int;
+  f_final_fresh : bool;
+  f_converged : bool;
+  f_note : string;
+}
+
+let fed_passed r =
+  r.f_converged && r.f_final_fresh && r.f_resyncs >= 1 && r.f_bad_markers = 0
+  && (not (String.equal r.f_profile "kill") || r.f_outage_stale >= 1)
+
+(* fault-free federation reference: every shard's partition evaluated
+   directly over its sources' current states, unioned *)
+let fed_reference fed name =
+  let vdp = Fed.Coordinator.vdp fed in
+  let part i =
+    let sh = Fed.Coordinator.shard fed i in
+    let leaf_env leaf =
+      match Graph.node_opt vdp leaf with
+      | Some { Graph.kind = Graph.Leaf { source }; _ } ->
+        (match List.assoc_opt source sh.Fed.Coordinator.sh_sources with
+        | Some src -> Some (Source_db.current src leaf)
+        | None -> None)
+      | Some _ | None -> None
+    in
+    Eval.eval ~env:leaf_env (Graph.expanded_def vdp name)
+  in
+  let rec go acc i =
+    if i >= Fed.Coordinator.shard_count fed then acc
+    else go (Bag.union acc (part i)) (i + 1)
+  in
+  go (part 0) 1
+
+let run_federation ~profile ~seed =
+  if not (List.mem profile fed_profiles) then
+    invalid_arg ("Chaos_run.run_federation: unknown profile " ^ profile);
+  let shards = 4 and victim = 2 in
+  let outage_from = 4.0 and outage_to = 10.0 in
+  let engine = Engine.create () in
+  let fed =
+    Fed.Coordinator.create ~engine
+      ~vdp:(Fed.Fed_scenario.fed_vdp ())
+      ~key:Fed.Fed_scenario.partition_key ~shards
+      ~make_sources:(fun ~shard:_ -> Fed.Fed_scenario.make_sources ~engine ())
+      ~config ()
+  in
+  let spec =
+    {
+      Fed.Fed_workload.w_seed = seed;
+      w_keys = 512;
+      w_groups = 8;
+      w_txs = 160;
+      w_queries = 32;
+      w_commit_start = 1.0;
+      w_commit_horizon = 12.0;
+      w_query_start = 1.5;
+      w_query_horizon = 12.0;
+    }
+  in
+  let items, tags =
+    Fed.Fed_scenario.base_bags ~seed ~keys:spec.Fed.Fed_workload.w_keys
+      ~groups:spec.Fed.Fed_workload.w_groups
+  in
+  Fed.Coordinator.load fed "Items" items;
+  Fed.Coordinator.load fed "Tags" tags;
+  Engine.spawn engine (fun () -> Fed.Coordinator.initialize fed);
+  Engine.run engine ~until:1.0;
+  (match profile with
+  | "kill" ->
+    Engine.schedule_at engine ~time:outage_from (fun () ->
+        Fed.Coordinator.kill fed victim);
+    Engine.schedule_at engine ~time:outage_to (fun () ->
+        Fed.Coordinator.revive fed victim)
+  | _ ->
+    Engine.schedule_at engine ~time:outage_from (fun () ->
+        Fed.Coordinator.partition_links fed victim false);
+    Engine.schedule_at engine ~time:outage_to (fun () ->
+        Fed.Coordinator.partition_links fed victim true));
+  let out = Fed.Fed_workload.run ~engine ~spec (Fed.Fed_workload.of_fed fed) in
+  let Fed.Fed_workload.{ o_answers; o_finals; _ } = out in
+  (* classify queries by their scheduled start time (completion is
+     effectively instantaneous under op_time 0) *)
+  let qdt =
+    spec.Fed.Fed_workload.w_query_horizon
+    /. float_of_int (max 1 spec.Fed.Fed_workload.w_queries)
+  in
+  let slack = 0.2 in
+  let victim_prefix = Printf.sprintf "shard%d:" victim in
+  let outage_q = ref 0 and outage_stale = ref 0 and bad = ref 0 in
+  Array.iteri
+    (fun j ((_ : Fed.Fed_workload.query_kind), (a : Qp.answer)) ->
+      let tq =
+        spec.Fed.Fed_workload.w_query_start +. (float_of_int j *. qdt) +. 0.0037
+      in
+      if tq > outage_from +. slack && tq < outage_to -. slack then begin
+        incr outage_q;
+        match a.Qp.quality with
+        | Qp.Fresh -> ()
+        | Qp.Stale markers ->
+          incr outage_stale;
+          (* with the shard dead, degraded answers must name it — and
+             only it; a silent network partition makes no such claim *)
+          if String.equal profile "kill" then
+            List.iter
+              (fun (m : Med.staleness) ->
+                if
+                  not
+                    (String.starts_with ~prefix:victim_prefix m.Med.st_source)
+                then incr bad)
+              markers
+      end)
+    o_answers;
+  let final_fresh =
+    List.for_all (fun (_, (a : Qp.answer)) -> a.Qp.quality = Qp.Fresh) o_finals
+  in
+  let diverged =
+    List.filter_map
+      (fun (name, (a : Qp.answer)) ->
+        if Bag.equal a.Qp.tuples (fed_reference fed name) then None
+        else Some (name ^ " diverged"))
+      o_finals
+  in
+  {
+    f_profile = profile;
+    f_seed = seed;
+    f_shards = shards;
+    f_victim = victim;
+    f_outage_queries = !outage_q;
+    f_outage_stale = !outage_stale;
+    f_bad_markers = !bad;
+    f_resyncs =
+      Obs.Metrics.value
+        (Obs.Metrics.counter (Fed.Coordinator.metrics fed) "fed_shard_resyncs");
+    f_final_fresh = final_fresh;
+    f_converged = diverged = [];
+    f_note = String.concat "; " diverged;
+  }

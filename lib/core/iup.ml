@@ -235,6 +235,30 @@ let update_transaction (t : Med.t) =
               Source_db.release (Med.source t s)
                 ~upto:(Med.reflected_version t s).Med.r_version)
             (Graph.sources t.Med.vdp);
+        (* mediator-as-source: surface the export relations' deltas to
+           downstream subscribers (the federation coordinator) now that
+           the tables reflect them *)
+        if t.Med.export_subs <> [] then begin
+          let ee_deltas =
+            List.filter_map
+              (fun (n : Graph.node) ->
+                match Hashtbl.find_opt deltas_tbl n.Graph.name with
+                | Some d when not (Rel_delta.is_empty d) ->
+                  Some (n.Graph.name, d)
+                | _ -> None)
+              (Graph.exports t.Med.vdp)
+          in
+          Med.notify_exports t
+            (Med.Export_delta
+               {
+                 ee_time = Engine.now t.Med.engine;
+                 ee_reflect =
+                   List.map
+                     (fun s -> (s, (Med.reflected_version t s).Med.r_version))
+                     (Graph.sources t.Med.vdp);
+                 ee_deltas;
+               })
+        end;
         Obs.Metrics.incr t.Med.stats.Med.update_txs;
         Med.charge_ops t `Update (Eval.tuple_ops () - ops_before);
         Obs.Trace.set_attr tx_sp "outcome" "applied";

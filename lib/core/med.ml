@@ -205,6 +205,14 @@ type cached_answer = {
           into the reflect vector on every cache hit *)
 }
 
+type export_event =
+  | Export_delta of {
+      ee_time : float;
+      ee_reflect : (string * int) list;
+      ee_deltas : (string * Rel_delta.t) list;
+    }
+  | Export_snapshot of { es_time : float }
+
 type derived = {
   d_relevant : string list;
       (** nodes whose delta the IUP must compute: materialized
@@ -237,6 +245,7 @@ type t = {
   mutable derived : derived option;
   answer_cache : (string * string list * Predicate.t, cached_answer) Hashtbl.t;
   polled_hw : (string, int) Hashtbl.t;
+  mutable export_subs : (export_event -> unit) list;
 }
 
 let log_src = Logs.Src.create "squirrel.mediator" ~doc:"Squirrel mediator internals"
@@ -569,6 +578,7 @@ let create ~engine ~vdp ~annotation ?(config = Config.default) ~sources () =
       derived = None;
       answer_cache = Hashtbl.create 32;
       polled_hw = Hashtbl.create 8;
+      export_subs = [];
     }
   in
   install_joinopt_hooks t;
@@ -580,6 +590,19 @@ let source t name =
   match Hashtbl.find_opt t.source_tbl name with
   | Some s -> s
   | None -> err "no source %S" name
+
+(* Mediator-as-source (the paper's composability claim): downstream
+   tiers — the federation coordinator in particular — subscribe to
+   learn when export relations changed (post-apply deltas) or were
+   rebuilt wholesale (resync snapshot), without reaching into the
+   transaction internals. Subscribers run synchronously inside the
+   transaction and must not block. *)
+let subscribe_exports t f = t.export_subs <- t.export_subs @ [ f ]
+
+let notify_exports t ev = List.iter (fun f -> f ev) t.export_subs
+
+let export_schemas t =
+  List.map (fun n -> (n.Graph.name, n.Graph.schema)) (Graph.exports t.vdp)
 
 let is_covered t ~node ~attrs =
   let mat = mat_attrs t node in

@@ -233,6 +233,24 @@ type cached_answer = {
           own, keeping the hit path free of trace allocation *)
 }
 
+type export_event =
+  | Export_delta of {
+      ee_time : float;
+      ee_reflect : (string * int) list;
+          (** source versions the export relations reflect after the
+              transaction — the announcement version a downstream
+              consumer would chain on *)
+      ee_deltas : (string * Rel_delta.t) list;
+          (** non-empty full-width deltas of export nodes, in
+              {!Vdp.Graph.exports} order *)
+    }
+  | Export_snapshot of { es_time : float }
+      (** the store was rebuilt wholesale (resync): any derived state a
+          consumer holds over the exports is void and must re-read *)
+(** What a downstream consumer of this mediator's export relations —
+    another mediator, per the paper's composability claim — observes:
+    the change stream of the exports. *)
+
 type derived
 (** Annotation-dependent topology computed once per annotation epoch:
     the IUP's relevant set, parent tables for affected-closure walks,
@@ -277,6 +295,8 @@ type t = {
       (** highest source version observed per source (announcements and
           poll answers alike); an advance invalidates the source's
           closure in the answer cache *)
+  mutable export_subs : (export_event -> unit) list;
+      (** mediator-as-source consumers, notified in subscription order *)
 }
 
 val log_src : Logs.src
@@ -335,6 +355,20 @@ val create :
     [Source_db], or a leaf's schema disagrees with the source's. *)
 
 val source : t -> string -> Source_db.t
+
+val subscribe_exports : t -> (export_event -> unit) -> unit
+(** Register a consumer of the export change stream ({!export_event}).
+    Subscribers run synchronously inside the producing transaction (in
+    subscription order) and must not block. *)
+
+val notify_exports : t -> export_event -> unit
+(** Deliver an event to every subscriber — called by the IUP after its
+    apply phase and by {!Resync.snapshot}. *)
+
+val export_schemas : t -> (string * Schema.t) list
+(** The export relations this mediator offers downstream, with their
+    full schemas. *)
+
 val mat_attrs : t -> string -> string list
 val is_covered : t -> node:string -> attrs:string list -> bool
 (** All the attributes are materialized on the node. *)

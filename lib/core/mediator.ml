@@ -181,12 +181,9 @@ let enable_source_filtering (t : Med.t) =
     (Graph.leaves t.Med.vdp)
 
 let query = Qp.query
-
-let query_ex = Qp.query
-(* deprecated alias of [query]; kept one release for callers of the
-   old split API *)
-
 let query_many = Qp.query_many
+let subscribe_exports = Med.subscribe_exports
+let export_schemas = Med.export_schemas
 let process_updates = Iup.update_transaction
 let dirty_sources = Med.dirty_sources
 

@@ -70,15 +70,6 @@ val query :
     source was unreachable), the reflect vector, and the id of the
     transaction's trace span (see {!Qp.query}). *)
 
-val query_ex :
-  t ->
-  node:string ->
-  ?attrs:string list ->
-  ?cond:Predicate.t ->
-  unit ->
-  Qp.answer
-  [@@ocaml.deprecated "Use Mediator.query — it returns the full answer record."]
-
 val query_many :
   t ->
   (string * string list option * Predicate.t) list ->
@@ -104,6 +95,20 @@ val process_updates : t -> bool
 val commit_at_source : t -> source:string -> Multi_delta.t -> unit
 (** Convenience: commit a transaction at a source database (goes
     through the source, not around it). *)
+
+(** {1 Mediator as source}
+
+    The paper's composability claim: a mediator's export relations can
+    themselves serve as sources to another tier (the federation
+    coordinator in [lib/fed]). *)
+
+val subscribe_exports : t -> (Med.export_event -> unit) -> unit
+(** Observe the change stream of the export relations: post-apply
+    deltas after every update transaction, and snapshot markers after
+    resync rebuilds. See {!Med.subscribe_exports}. *)
+
+val export_schemas : t -> (string * Schema.t) list
+(** Export relation names and full schemas, in graph order. *)
 
 (** {1 Introspection} *)
 

@@ -394,5 +394,3 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
             (Bag.project attrs (Bag.select cond temp))
             res.Vap.polled_versions
       end))
-
-let query_ex = query

@@ -67,15 +67,6 @@ val query :
     node has no materialized portion covering any requested
     attribute). *)
 
-val query_ex :
-  Med.t ->
-  node:string ->
-  ?attrs:string list ->
-  ?cond:Predicate.t ->
-  unit ->
-  answer
-  [@@ocaml.deprecated "Use Qp.query — it returns the full answer record."]
-
 val query_many :
   Med.t ->
   (string * string list option * Predicate.t) list ->

@@ -101,7 +101,13 @@ let snapshot ?(trigger = "init") (t : Med.t) =
              (fun s -> (s, (Med.reflected_version t s).Med.r_version))
              (Graph.sources t.Med.vdp);
          ut_atoms = 0;
-       }))
+       });
+  (* mediator-as-source: the exports were rebuilt wholesale, so any
+     downstream state derived from their change stream is void. The
+     initialization snapshot is exempt — subscribers start from a full
+     read anyway, so only post-init rebuilds are change events. *)
+  if t.Med.initialized then
+    Med.notify_exports t (Med.Export_snapshot { es_time = Engine.now t.Med.engine }))
 
 let resync_if_dirty (t : Med.t) =
   match Med.dirty_sources t with

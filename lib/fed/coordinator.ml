@@ -1,0 +1,396 @@
+open Relalg
+open Delta
+open Vdp
+open Sim
+open Sources
+open Squirrel
+
+type shard = {
+  sh_id : int;
+  sh_sources : (string * Source_db.t) list;
+  sh_med : Mediator.t;
+  mutable sh_alive : bool;
+}
+
+type t = {
+  f_engine : Engine.t;
+  f_vdp : Graph.t;
+  f_key : string;
+  f_config : Med.config;
+  f_shards : shard array;
+  f_mutex : Engine.Mutex.t;
+      (* serializes fed-level query transactions so the trace's open
+         stack sees one fed_query_tx at a time; the scatter inside a
+         transaction still overlaps across shards *)
+  f_trace : Obs.Trace.t;
+  f_metrics : Obs.Metrics.t;
+  f_queries : Obs.Metrics.counter;
+  f_fanouts : Obs.Metrics.counter;
+  f_single_shard : Obs.Metrics.counter;
+  f_degraded : Obs.Metrics.counter;
+  f_routed_txs : Obs.Metrics.counter;
+  f_routed_atoms : Obs.Metrics.counter;
+  f_cache_hits : Obs.Metrics.counter;
+  f_cache_misses : Obs.Metrics.counter;
+  f_shard_resyncs : Obs.Metrics.counter;
+  f_cache : (string * string list * Predicate.t, Qp.answer) Hashtbl.t;
+  f_cache_enabled : bool;
+}
+
+let err fmt = Format.kasprintf failwith fmt
+
+let cache_flush t = Hashtbl.reset t.f_cache
+
+let cache_invalidate_nodes t nodes =
+  if Hashtbl.length t.f_cache > 0 && nodes <> [] then begin
+    let doomed =
+      Hashtbl.fold
+        (fun ((n, _, _) as key) _ acc ->
+          if List.exists (String.equal n) nodes then key :: acc else acc)
+        t.f_cache []
+    in
+    List.iter (Hashtbl.remove t.f_cache) doomed
+  end
+
+let create ~engine ~vdp ~key ~shards ~make_sources
+    ?(annotation = Annotation.fully_materialized)
+    ?(config = Med.Config.default) ?delays ?(answer_cache = true) () =
+  if shards <= 0 then err "Coordinator.create: shards must be positive";
+  List.iter
+    (fun (leaf : Graph.node) ->
+      if not (Schema.mem leaf.Graph.schema key) then
+        err "Coordinator.create: leaf %S lacks partition key %S" leaf.Graph.name
+          key)
+    (Graph.leaves vdp);
+  let metrics = Obs.Metrics.create () in
+  let c name = Obs.Metrics.counter metrics name in
+  let t =
+    {
+      f_engine = engine;
+      f_vdp = vdp;
+      f_key = key;
+      f_config = config;
+      f_shards = [||];
+      f_mutex = Engine.Mutex.create ();
+      f_trace =
+        Obs.Trace.create
+          ~capacity:config.Med.Config.trace_capacity
+          ~enabled:config.Med.Config.trace_enabled
+          ~now:(fun () -> Engine.now engine)
+          ();
+      f_metrics = metrics;
+      f_queries = c "fed_queries";
+      f_fanouts = c "fed_fanouts";
+      f_single_shard = c "fed_single_shard";
+      f_degraded = c "fed_degraded_answers";
+      f_routed_txs = c "fed_routed_txs";
+      f_routed_atoms = c "fed_routed_atoms";
+      f_cache_hits = c "fed_cache_hits";
+      f_cache_misses = c "fed_cache_misses";
+      f_shard_resyncs = c "fed_shard_resyncs";
+      f_cache = Hashtbl.create 32;
+      f_cache_enabled = answer_cache;
+    }
+  in
+  let annotation = annotation vdp in
+  let mk_shard i =
+    let sources = make_sources ~shard:i in
+    let med =
+      Mediator.create ~engine ~vdp ~annotation ~config ~sources ()
+    in
+    Mediator.connect med ?delays ();
+    (* mediator-as-source: each shard's export change stream drives the
+       coordinator's cache invalidation and resync bookkeeping *)
+    Mediator.subscribe_exports med (function
+      | Med.Export_delta { ee_deltas; _ } ->
+        cache_invalidate_nodes t (List.map fst ee_deltas)
+      | Med.Export_snapshot _ ->
+        Obs.Metrics.incr t.f_shard_resyncs;
+        Obs.Trace.root_event t.f_trace "shard_resync"
+          ~attrs:[ ("shard", string_of_int i) ];
+        cache_flush t);
+    {
+      sh_id = i;
+      sh_sources =
+        List.map (fun s -> (Source_db.name s, s)) sources;
+      sh_med = med;
+      sh_alive = true;
+    }
+  in
+  let t = { t with f_shards = Array.init shards mk_shard } in
+  Obs.Metrics.register_family metrics "shard_queue_depth"
+    ~help:"update-queue depth per mediator shard" (fun () ->
+      Array.to_list
+        (Array.map
+           (fun sh ->
+             (Printf.sprintf "shard%d" sh.sh_id, Mediator.queue_length sh.sh_med))
+           t.f_shards));
+  t
+
+let shard_count t = Array.length t.f_shards
+let shard t i = t.f_shards.(i)
+let mediator t i = t.f_shards.(i).sh_med
+let trace t = t.f_trace
+let metrics t = t.f_metrics
+let vdp t = t.f_vdp
+let partition_key t = t.f_key
+
+let shard_source sh name =
+  match List.assoc_opt name sh.sh_sources with
+  | Some s -> s
+  | None -> err "shard %d has no source %S" sh.sh_id name
+
+let alive t i = t.f_shards.(i).sh_alive
+
+let queue_depths t =
+  Array.to_list
+    (Array.map (fun sh -> Mediator.queue_length sh.sh_med) t.f_shards)
+
+let load t relation bag =
+  let shards = Array.length t.f_shards in
+  let src_name = Graph.source_of_leaf t.f_vdp relation in
+  Array.iteri
+    (fun i part -> Source_db.load (shard_source t.f_shards.(i) src_name) relation part)
+    (Partition.split_bag ~shards ~key:t.f_key bag)
+
+let initialize t =
+  ignore
+    (Engine.parallel t.f_engine
+       (Array.to_list
+          (Array.map (fun sh () -> Mediator.initialize sh.sh_med) t.f_shards))
+      : unit list)
+
+(* Route an update transaction: split the delta by key ownership and
+   commit each shard's slice at that shard's own source databases.
+   Non-blocking (commits only stage announcements), so the span needs
+   no stack discipline — it records as a root event. *)
+let commit t md =
+  let shards = Array.length t.f_shards in
+  let parts = Partition.split_delta ~shards ~key:t.f_key md in
+  let touched = ref 0 in
+  Array.iteri
+    (fun i part ->
+      if not (Multi_delta.is_empty part) then begin
+        incr touched;
+        (* group the slice's relations by owning source *)
+        let by_source : (string, Multi_delta.t ref) Hashtbl.t =
+          Hashtbl.create 4
+        in
+        List.iter
+          (fun (rel, d) ->
+            let src = Graph.source_of_leaf t.f_vdp rel in
+            match Hashtbl.find_opt by_source src with
+            | Some md -> md := Multi_delta.add !md rel d
+            | None -> Hashtbl.add by_source src (ref (Multi_delta.singleton rel d)))
+          (Multi_delta.bindings part);
+        Hashtbl.iter
+          (fun src md ->
+            Source_db.commit (shard_source t.f_shards.(i) src) !md)
+          by_source
+      end)
+    parts;
+  Obs.Metrics.incr t.f_routed_txs;
+  Obs.Metrics.add t.f_routed_atoms (Multi_delta.atom_count md);
+  Obs.Trace.root_event t.f_trace "route_update"
+    ~attrs:
+      [
+        ("shards", string_of_int !touched);
+        ("atoms", string_of_int (Multi_delta.atom_count md));
+      ]
+
+(* Staleness markers standing in for a dead shard: the coordinator can
+   say exactly which versions of the shard's sources the federation
+   answer still covers (what the shard had reflected when it died) —
+   prefixed with the shard id so a degraded answer names the lost
+   shard, not the healthy ones. *)
+let dead_markers t sh =
+  let now = Engine.now t.f_engine in
+  List.map
+    (fun src ->
+      let r = Med.reflected_version sh.sh_med src in
+      {
+        Med.st_source = Printf.sprintf "shard%d:%s" sh.sh_id src;
+        st_version = r.Med.r_version;
+        st_age = now -. r.Med.r_commit_time;
+      })
+    (Graph.sources t.f_vdp)
+
+let validate t node attrs cond =
+  let n = Graph.node t.f_vdp node in
+  if not n.Graph.export then err "%S is not an export relation" node;
+  let schema = n.Graph.schema in
+  let attrs = match attrs with Some a -> a | None -> Schema.attrs schema in
+  List.iter
+    (fun a ->
+      if not (Schema.mem schema a) then
+        err "export %S has no attribute %S" node a)
+    (attrs @ Predicate.attrs cond);
+  (attrs, Schema.project schema attrs)
+
+let query t ~node ?attrs ?(cond = Predicate.True) () =
+  let attrs, out_schema = validate t node attrs cond in
+  Engine.Mutex.with_lock t.f_engine t.f_mutex (fun () ->
+      Obs.Metrics.incr t.f_queries;
+      match
+        if t.f_cache_enabled then Hashtbl.find_opt t.f_cache (node, attrs, cond)
+        else None
+      with
+      | Some answer ->
+        Obs.Metrics.incr t.f_cache_hits;
+        Obs.Trace.root_event t.f_trace "fed_cache_hit" ~attrs:[ ("node", node) ];
+        answer
+      | None ->
+        if t.f_cache_enabled then Obs.Metrics.incr t.f_cache_misses;
+        Obs.Trace.with_span t.f_trace "fed_query_tx"
+          ~attrs:[ ("node", node) ]
+          (fun fed_sp ->
+            let shards = Array.length t.f_shards in
+            let target_ids =
+              match Partition.targets ~shards ~key:t.f_key cond with
+              | Partition.All_shards -> List.init shards Fun.id
+              | Partition.Some_shards ids -> ids
+            in
+            let alive, dead =
+              List.partition (fun i -> t.f_shards.(i).sh_alive) target_ids
+            in
+            Obs.Trace.set_attri fed_sp "targets" (List.length target_ids);
+            Obs.Trace.set_attri fed_sp "dead" (List.length dead);
+            let ask i () =
+              let sh = t.f_shards.(i) in
+              let sp =
+                Obs.Trace.fork_span t.f_trace ~parent:fed_sp "shard_query"
+                  ~attrs:[ ("shard", string_of_int i) ]
+              in
+              let a = Mediator.query sh.sh_med ~node ~attrs ~cond () in
+              Obs.Trace.set_attri sp "tuples" (Bag.cardinal a.Qp.tuples);
+              (match a.Qp.trace_id with
+              | Some id -> Obs.Trace.set_attri sp "shard_trace_id" id
+              | None -> ());
+              Obs.Trace.join_span t.f_trace sp;
+              a
+            in
+            let answers =
+              match alive with
+              | [] -> []
+              | [ i ] ->
+                Obs.Metrics.incr t.f_single_shard;
+                [ ask i () ]
+              | _ ->
+                Obs.Metrics.incr t.f_fanouts;
+                Engine.parallel t.f_engine (List.map ask alive)
+            in
+            let tuples =
+              List.fold_left
+                (fun acc (a : Qp.answer) -> Bag.union acc a.Qp.tuples)
+                (Bag.empty out_schema) answers
+            in
+            let dead_stale =
+              List.concat_map (fun i -> dead_markers t t.f_shards.(i)) dead
+            in
+            let quality =
+              Merge.merge_quality
+                ((if dead_stale = [] then Qp.Fresh else Qp.Stale dead_stale)
+                :: List.map (fun (a : Qp.answer) -> a.Qp.quality) answers)
+            in
+            let reflect =
+              Merge.merge_reflect
+                (List.map (fun (a : Qp.answer) -> a.Qp.reflect) answers)
+            in
+            Obs.Trace.set_attri fed_sp "tuples" (Bag.cardinal tuples);
+            let answer =
+              {
+                Qp.tuples;
+                quality;
+                reflect;
+                trace_id = Obs.Trace.span_id fed_sp;
+              }
+            in
+            (match quality with
+            | Qp.Fresh ->
+              if t.f_cache_enabled && dead = [] then
+                Hashtbl.replace t.f_cache (node, attrs, cond) answer
+            | Qp.Stale _ ->
+              Obs.Metrics.incr t.f_degraded;
+              Obs.Trace.set_attr fed_sp "degraded" "true");
+            answer))
+
+(* --- failure injection ------------------------------------------------ *)
+
+let set_links sh up =
+  List.iter (fun (_, s) -> Source_db.set_link_up s up) sh.sh_sources
+
+let kill t i =
+  let sh = t.f_shards.(i) in
+  if sh.sh_alive then begin
+    sh.sh_alive <- false;
+    set_links sh false;
+    cache_flush t;
+    Obs.Trace.root_event t.f_trace "shard_down"
+      ~attrs:[ ("shard", string_of_int i) ]
+  end
+
+let revive t i =
+  let sh = t.f_shards.(i) in
+  if not sh.sh_alive then begin
+    sh.sh_alive <- true;
+    set_links sh true;
+    cache_flush t;
+    Obs.Trace.root_event t.f_trace "shard_up"
+      ~attrs:[ ("shard", string_of_int i) ]
+  end
+
+let partition_links t i up =
+  let sh = t.f_shards.(i) in
+  set_links sh up;
+  cache_flush t;
+  Obs.Trace.root_event t.f_trace
+    (if up then "shard_link_up" else "shard_link_down")
+    ~attrs:[ ("shard", string_of_int i) ]
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+let messages_received t =
+  Array.fold_left
+    (fun acc sh ->
+      acc + Obs.Metrics.value (Mediator.stats sh.sh_med).Med.messages_received)
+    0 t.f_shards
+
+let quiesced t =
+  Array.for_all (fun sh -> Mediator.queue_length sh.sh_med = 0) t.f_shards
+
+exception No_quiescence of { nq_rounds : int; nq_time : float }
+
+let run_to_quiescence t =
+  let slice = 2.0 *. t.f_config.Med.Config.flush_interval in
+  let rec go rounds stable last_msgs =
+    if rounds > 100_000 then
+      raise
+        (No_quiescence { nq_rounds = rounds; nq_time = Engine.now t.f_engine });
+    Engine.run t.f_engine ~until:(Engine.now t.f_engine +. slice);
+    let msgs = messages_received t in
+    let quiet = quiesced t && msgs = last_msgs in
+    if quiet && stable >= 2 then ()
+    else go (rounds + 1) (if quiet then stable + 1 else 0) msgs
+  in
+  go 0 0 (-1)
+
+let describe t =
+  let buf = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string buf)
+    "federation: %d shard(s), partition key %S\n"
+    (Array.length t.f_shards) t.f_key;
+  Array.iter
+    (fun sh ->
+      let s = Mediator.stats sh.sh_med in
+      Printf.ksprintf (Buffer.add_string buf)
+        "  shard%d [%s] sources=%s queue=%d update_txs=%d query_txs=%d \
+         store=%dB\n"
+        sh.sh_id
+        (if sh.sh_alive then "up" else "down")
+        (String.concat "," (List.map fst sh.sh_sources))
+        (Mediator.queue_length sh.sh_med)
+        (Obs.Metrics.value s.Med.update_txs)
+        (Obs.Metrics.value s.Med.query_txs)
+        (Mediator.store_bytes sh.sh_med))
+    t.f_shards;
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+open Squirrel
+
+(* The merge of per-shard reflect entries is a meet-semilattice with
+   [Current] as top: a federation answer can only promise what its
+   weakest contributing shard promises. *)
+let meet_entry a b =
+  match (a, b) with
+  | Med.Current, e | e, Med.Current -> e
+  | Med.Version v, Med.Version w -> Med.Version (min v w)
+
+let merge_reflect vectors =
+  let tbl : (string, Med.reflect_entry) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (List.iter (fun (src, e) ->
+         match Hashtbl.find_opt tbl src with
+         | None -> Hashtbl.replace tbl src e
+         | Some e' -> Hashtbl.replace tbl src (meet_entry e e')))
+    vectors;
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun src e acc -> (src, e) :: acc) tbl [])
+
+(* One marker per source, keeping the weakest claim (lowest reflected
+   version; oldest data on a tie), sorted for determinism. *)
+let normalize_stale stale =
+  let tbl : (string, Med.staleness) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Med.staleness) ->
+      match Hashtbl.find_opt tbl s.Med.st_source with
+      | None -> Hashtbl.replace tbl s.Med.st_source s
+      | Some s' ->
+        if
+          s.Med.st_version < s'.Med.st_version
+          || (s.Med.st_version = s'.Med.st_version
+             && s.Med.st_age > s'.Med.st_age)
+        then Hashtbl.replace tbl s.Med.st_source s)
+    stale;
+  List.sort
+    (fun (a : Med.staleness) b -> String.compare a.Med.st_source b.Med.st_source)
+    (Hashtbl.fold (fun _ s acc -> s :: acc) tbl [])
+
+let merge_quality qualities =
+  let stale =
+    List.concat_map
+      (function Qp.Fresh -> [] | Qp.Stale markers -> markers)
+      qualities
+  in
+  match stale with [] -> Qp.Fresh | _ -> Qp.Stale (normalize_stale stale)

@@ -1,0 +1,32 @@
+(** Merging per-shard consistency guarantees into one federation-wide
+    guarantee.
+
+    A scatter-gather answer is only as consistent as its weakest
+    contributing shard: reflect entries combine under a
+    meet-semilattice ([Current] on top, versions meeting at their
+    minimum) and staleness markers accumulate, normalized to the
+    weakest claim per source. The semilattice laws (commutativity,
+    associativity, idempotence, identity of the empty contribution)
+    are what make the merge independent of gather order — tested in
+    [test_fed]. *)
+
+open Squirrel
+
+val meet_entry : Med.reflect_entry -> Med.reflect_entry -> Med.reflect_entry
+(** [Current] is the identity; two versions meet at their minimum. *)
+
+val merge_reflect :
+  (string * Med.reflect_entry) list list -> (string * Med.reflect_entry) list
+(** Merge per-shard reflect vectors: union of the mentioned sources,
+    entries combined with {!meet_entry} (a source absent from a vector
+    contributes the identity). Result sorted by source name — the
+    canonical form, so merges of the same information are structurally
+    equal regardless of shard order. *)
+
+val normalize_stale : Med.staleness list -> Med.staleness list
+(** One marker per source, keeping the weakest claim (lowest reflected
+    version, oldest age on ties), sorted by source name. *)
+
+val merge_quality : Qp.quality list -> Qp.quality
+(** [Fresh] only when every contribution is fresh; otherwise the
+    normalized union of staleness markers. *)

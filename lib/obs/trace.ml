@@ -97,6 +97,31 @@ let with_span t ?(attrs = []) name f =
       Printexc.raise_with_backtrace exn bt
   end
 
+(* Concurrently running child spans cannot go through the open stack:
+   two forked children may overlap and close out of order, which the
+   stack discipline of [with_span] would mis-nest. A forked span is
+   attached under its explicit parent at fork time and closed by
+   [join_span]; between fork and join the span's [ops] field holds the
+   ops counter at open (same trick [close] plays via the stack). *)
+let fork_span t ?(attrs = []) ~parent name =
+  if not t.enabled then None
+  else
+    match parent with
+    | None -> None
+    | Some (p : span) ->
+      let sp = fresh t ~parent:(Some p.id) name attrs in
+      p.children <- sp :: p.children;
+      sp.ops <- t.ops_counter ();
+      Some sp
+
+let join_span t sp =
+  match sp with
+  | None -> ()
+  | Some sp ->
+    sp.end_time <- t.now ();
+    sp.ops <- t.ops_counter () - sp.ops;
+    sp.children <- List.rev sp.children
+
 let root_event t ?(attrs = []) name =
   if t.enabled then push_root t (fresh t ~parent:None name attrs)
 

@@ -50,6 +50,25 @@ val with_span :
     one). The callback receives [None] when tracing is disabled. The
     span is closed even if the function raises. *)
 
+val fork_span :
+  t ->
+  ?attrs:(string * string) list ->
+  parent:span option ->
+  string ->
+  span option
+(** Open a span under an explicit parent, bypassing the open stack —
+    for concurrent children (the federation coordinator's scatter
+    phase) whose lifetimes overlap and would mis-nest under the stack
+    discipline. The parent must still be open; close the child with
+    {!join_span} before the parent closes. Returns [None] when tracing
+    is disabled or [parent] is [None]. *)
+
+val join_span : t -> span option -> unit
+(** Close a span opened with {!fork_span}: stamps its end time, its op
+    count since the fork (note: ops of siblings running concurrently
+    in simulated time are attributed to every overlapping span), and
+    fixes child order. No-op on [None]. *)
+
 val root_event : t -> ?attrs:(string * string) list -> string -> unit
 (** Record an instantaneous root span regardless of any open spans —
     for asynchronous arrivals that do not belong to the transaction

@@ -131,6 +131,36 @@ module Ivar = struct
       (match iv.state with Full v -> Some v | Empty _ -> None)
 end
 
+(* Fork/join: run every thunk as its own process, block the caller
+   until the last one finishes. Results come back in input order, so
+   deterministic scatter-gather (the federation coordinator fanning a
+   query out to shards) needs no per-call bookkeeping. *)
+let parallel t thunks =
+  match thunks with
+  | [] -> []
+  | _ ->
+    let n = List.length thunks in
+    let results = Array.make n None in
+    let all_done = Ivar.create () in
+    let remaining = ref n in
+    List.iteri
+      (fun i thunk ->
+        spawn t (fun () ->
+            let r =
+              try Ok (thunk ())
+              with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Ivar.fill t all_done ()))
+      thunks;
+    Ivar.read t all_done;
+    List.init n (fun i ->
+        match results.(i) with
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+
 module Mutex = struct
   type t = { mutable locked : bool; waiters : (unit -> unit) Queue.t }
 

@@ -42,6 +42,14 @@ val run : ?until:float -> t -> unit
 val pending : t -> int
 (** Number of queued events. *)
 
+val parallel : t -> (unit -> 'a) list -> 'a list
+(** Fork/join: run every thunk as its own process (in list order, so
+    simultaneous events stay deterministic) and block the calling
+    process until all of them have finished; results are returned in
+    input order. A thunk's exception is re-raised from [parallel]
+    (first by input order) once every thunk has completed. Blocks only
+    if some thunk blocks — otherwise usable outside a process too. *)
+
 (** Write-once cells for cross-process synchronization. *)
 module Ivar : sig
   type engine := t
