@@ -39,6 +39,7 @@ let policy_config =
     cooldown = 8.0;
     min_gain = 0.05;
     smoothing = 0.6;
+    self_maintain = false;
     advisor =
       { Advisor.default_config with Advisor.update_pressure_weight = 1.0 };
   }

@@ -30,8 +30,8 @@
 
 open Chaos_run
 
-let json path runs fed_runs ~summary:(all_pass, retry, degraded, resync, traced)
-    ~fed_pass =
+let json path runs fed_runs
+    ~summary:(all_pass, retry, degraded, resync, traced, bounds) ~fed_pass =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -54,13 +54,14 @@ let json path runs fed_runs ~summary:(all_pass, retry, degraded, resync, traced)
          %d, \"dup_messages_dropped\": %d, \"resyncs\": %d, \
          \"update_deferrals\": %d, \"version_checks\": %d, \
          \"retry_spans\": %d, \"degraded_spans\": %d, \"resync_spans\": \
-         %d, \"trace_ok\": %b, \"note\": %S}%s\n"
+         %d, \"trace_ok\": %b, \"bound_violations\": %d, \"bounds_ok\": %b, \
+         \"note\": %S}%s\n"
         r.c_scenario r.c_profile r.c_seed (passed r) r.c_quiesced r.c_converged
         r.c_consistent r.c_fresh r.c_stale r.c_refused r.c_sent r.c_delivered
         r.c_dropped r.c_duplicated r.c_polls r.c_retries r.c_poll_failures
         r.c_degraded r.c_gaps r.c_dups_dropped r.c_resyncs r.c_deferrals
         r.c_heartbeats r.c_retry_spans r.c_degraded_spans r.c_resync_spans
-        r.c_trace_ok r.c_note
+        r.c_trace_ok r.c_bound_violations r.c_bounds_ok r.c_note
         (if i = n - 1 then "" else ","))
     runs;
   p "  ],\n";
@@ -84,7 +85,8 @@ let json path runs fed_runs ~summary:(all_pass, retry, degraded, resync, traced)
   p "  \"exercised_retry\": %b,\n" retry;
   p "  \"exercised_degraded_answers\": %b,\n" degraded;
   p "  \"exercised_resync\": %b,\n" resync;
-  p "  \"trace_spans_cover_recovery\": %b\n" traced;
+  p "  \"trace_spans_cover_recovery\": %b,\n" traced;
+  p "  \"bound_respected\": %b\n" bounds;
   p "}\n";
   close_out oc
 
@@ -111,6 +113,7 @@ let row r =
     I r.c_gaps;
     I r.c_resyncs;
     I r.c_deferrals;
+    I r.c_bound_violations;
     S r.c_note;
   ]
 
@@ -118,7 +121,7 @@ let header =
   [
     "scenario"; "profile"; "seed"; "pass"; "fresh"; "stale"; "refused";
     "drop"; "dup"; "retry"; "pfail"; "degr"; "gaps"; "resync"; "defer";
-    "note";
+    "bviol"; "note";
   ]
 
 let run () =
@@ -179,8 +182,13 @@ let run () =
     && List.exists (fun r -> r.c_resync_spans > 0) runs
   in
   let fed_pass = List.for_all fed_passed fed_runs in
+  (* the online freshness bounds attached to every answer must never
+     be overrun by the checker-measured staleness — in any cell *)
+  let bounds = List.for_all (fun r -> r.c_bounds_ok) runs in
   Tables.note "all cells pass (quiesce + converge + consistent): %s\n"
     (if all_pass then "yes" else "NO");
+  Tables.note "observed staleness <= reported bound in every cell: %s\n"
+    (if bounds then "yes" else "NO");
   Tables.note
     "federation cells (degrade naming only the victim, reconverge): %s\n"
     (if fed_pass then "yes" else "NO");
@@ -201,9 +209,11 @@ let run () =
     | None -> "BENCH_3.json"
   in
   json path runs fed_runs
-    ~summary:(all_pass, retry, degraded, resync, traced)
+    ~summary:(all_pass, retry, degraded, resync, traced, bounds)
     ~fed_pass;
   Tables.note "wrote %s\n" path;
-  if not (all_pass && retry && degraded && resync && traced && fed_pass) then (
+  if
+    not (all_pass && retry && degraded && resync && traced && bounds && fed_pass)
+  then (
     Tables.note "E14 FAILED\n";
     exit 1)

@@ -29,6 +29,7 @@ let experiments =
     ("e16", Obs_overhead.run);
     ("e17", Wcoj.run);
     ("e18", Federation.run);
+    ("e19", Freshness.run);
     ("figs", Experiments.figs);
   ]
 

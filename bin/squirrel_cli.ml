@@ -732,7 +732,7 @@ let run_observed spec ann_of ~updates ~queries ~seed =
       }
   in
   Scenario.run_to_quiescence env med;
-  med
+  (env, med)
 
 let updates_arg =
   Arg.(
@@ -753,7 +753,7 @@ let trace_cmd =
       match find_annotation spec annotation with
       | Error e -> Error e
       | Ok ann_of ->
-        let med = run_observed spec ann_of ~updates ~queries ~seed in
+        let _env, med = run_observed spec ann_of ~updates ~queries ~seed in
         let trace = Mediator.trace med in
         (match jsonl with
         | "" -> print_string (Obs.Trace.render trace)
@@ -801,7 +801,7 @@ let metrics_cmd =
       match find_annotation spec annotation with
       | Error e -> Error e
       | Ok ann_of ->
-        let med = run_observed spec ann_of ~updates ~queries ~seed in
+        let _env, med = run_observed spec ann_of ~updates ~queries ~seed in
         let snap = Obs.Metrics.snapshot (Mediator.metrics med) in
         if json then print_endline (Obs.Metrics.to_json snap)
         else print_string (Obs.Metrics.render snap);
@@ -848,6 +848,111 @@ let dot_cmd =
   Cmd.v
     (Cmd.info "dot"
        ~doc:"Emit the annotated VDP as Graphviz (the paper's Figures 1/4)")
+    term
+
+(* --- freshness -------------------------------------------------------------- *)
+
+let freshness_cmd =
+  let run scenario annotation updates queries seed max_staleness verbose =
+    setup_verbose verbose;
+    match find_scenario scenario with
+    | Error e -> Error e
+    | Ok spec -> (
+      match find_annotation spec annotation with
+      | Error e -> Error e
+      | Ok ann_of ->
+        let env, med = run_observed spec ann_of ~updates ~queries ~seed in
+        let vdp = env.Scenario.vdp in
+        Printf.printf
+          "-- analytic Theorem 7.2 bounds (f-bar per contributing source, \
+           measured delays) --\n";
+        List.iter
+          (fun (n : Vdp.Graph.node) ->
+            let fb = Mediator.freshness_bound med ~node:n.Vdp.Graph.name in
+            Printf.printf "  %-12s %s\n" n.Vdp.Graph.name
+              (String.concat "  "
+                 (List.map
+                    (fun (s, f) -> Printf.sprintf "%s:%.3f" s f)
+                    fb)))
+          (Vdp.Graph.non_leaves vdp);
+        let node = spec.sc_query_node in
+        Printf.printf "\n-- sample query on %s%s --\n" node
+          (match max_staleness with
+          | Some s -> Printf.sprintf " (max_staleness %.3f)" s
+          | None -> " (no SLO)");
+        let cell = ref None in
+        Engine.spawn env.Scenario.engine (fun () ->
+            cell :=
+              Some
+                (match Mediator.query med ~node ?max_staleness () with
+                | a -> Ok a
+                | exception Qp.Slo_unsatisfiable m -> Error m));
+        let rec drive n =
+          match !cell with
+          | Some v -> Ok v
+          | None when n > 1000 -> Error (`Msg "query did not complete")
+          | None ->
+            Engine.run env.Scenario.engine
+              ~until:(Engine.now env.Scenario.engine +. 1.0);
+            drive (n + 1)
+        in
+        (match drive 0 with
+        | Error e -> Error e
+        | Ok (Ok a) ->
+          Printf.printf "  answer: %d tuples, %s\n"
+            (Relalg.Bag.cardinal a.Qp.tuples)
+            (match a.Qp.quality with
+            | Qp.Fresh -> "fresh"
+            | Qp.Stale ms ->
+              Printf.sprintf "stale (%s)"
+                (String.concat ", "
+                   (List.map (fun m -> m.Med.st_source) ms)));
+          Printf.printf "  online bound: %s\n"
+            (String.concat "  "
+               (List.map
+                  (fun (s, b) -> Printf.sprintf "%s:%.3f" s b)
+                  a.Qp.bound));
+          let s = Mediator.stats med in
+          Printf.printf "  slo polls: %d, slo refusals: %d\n"
+            (Obs.Metrics.value s.Med.slo_polls)
+            (Obs.Metrics.value s.Med.slo_refusals);
+          Ok ()
+        | Ok (Error m) ->
+          Printf.printf
+            "  REFUSED: no strategy meets max_staleness %.3f on %s\n"
+            m.Qp.sm_slo m.Qp.sm_node;
+          Printf.printf "  best bound: %s\n"
+            (String.concat "  "
+               (List.map
+                  (fun (s, b) -> Printf.sprintf "%s:%.3f" s b)
+                  m.Qp.sm_bound));
+          Ok ()))
+  in
+  let max_staleness =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-staleness"; "s" ] ~docv:"SECONDS"
+          ~doc:
+            "Freshness SLO for the sample query: the answer's per-source \
+             staleness bound must not exceed $(docv); the QP escalates to \
+             forced source polls if needed and refuses when even that \
+             cannot satisfy it.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ scenario_arg
+        $ annotation_arg "ex23"
+        $ updates_arg $ queries_arg $ seed_arg $ max_staleness $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "freshness"
+       ~doc:
+         "Run a scenario under load, print each derived node's analytic \
+          Theorem 7.2 freshness bound (from measured delays), then issue one \
+          query — optionally under a max-staleness SLO — and show its online \
+          per-source bound or typed refusal")
     term
 
 (* --- chaos ----------------------------------------------------------------- *)
@@ -900,6 +1005,9 @@ let chaos_cmd =
           r.Chaos_run.c_retry_spans r.Chaos_run.c_degraded_spans
           r.Chaos_run.c_resync_spans
           (b r.Chaos_run.c_trace_ok);
+        Printf.printf "freshness bounds  %d violations, respected %s\n"
+          r.Chaos_run.c_bound_violations
+          (b r.Chaos_run.c_bounds_ok);
         if Chaos_run.passed r then Ok () else Error (`Msg "chaos cell failed"))
   in
   let profile =
@@ -1080,6 +1188,7 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [
          describe_cmd; advise_cmd; simulate_cmd; query_cmd; adapt_cmd;
-         profile_cmd; trace_cmd; metrics_cmd; chaos_cmd; federation_cmd; dot_cmd;
+         profile_cmd; trace_cmd; metrics_cmd; freshness_cmd; chaos_cmd;
+         federation_cmd; dot_cmd;
          scenarios_cmd;
        ]))

@@ -26,6 +26,14 @@ type config = {
   min_gain : float;
       (** required relative predicted-cost improvement (default 0.05) *)
   smoothing : float;  (** monitor EMA weight (default 0.5) *)
+  self_maintain : bool;
+      (** extend every target with {!Selfmaint.target}'s auxiliary
+          views, so materialized nodes maintain themselves without
+          source polls. The extension is not cost-gated (it trades
+          store space for poll-freedom, which the cost model does not
+          price) and is torn down statelessly: a node the advisor
+          stops materializing stops generating its auxiliaries, and
+          the next diff demotes them. Default [false]. *)
   advisor : Advisor.config;
       (** default: {!Advisor.default_config} with
           [update_pressure_weight = 1.0], so measured update pressure
@@ -38,13 +46,22 @@ type event = {
   e_time : float;
   e_plan : Migrate.plan;
   e_ops : int;  (** tuple operations the migration cost *)
-  e_gain : float;  (** predicted relative gain that justified it *)
+  e_gain : float;
+      (** predicted relative gain that justified the advisor part; 0.0
+          for a pure auxiliary-view migration *)
+  e_aux : (string * string list) list;
+      (** auxiliary attributes materialized by the selfmaint extension
+          after this migration *)
 }
 
 type t
 
 val create : ?config:config -> Med.t -> t
 val monitor : t -> Monitor.t
+
+val aux_views : t -> (string * string list) list
+(** The auxiliary attributes currently materialized on selfmaint's
+    behalf (beyond the advisor's own target). *)
 
 val tick : t -> event option
 (** One observation + decision + (possibly) migration. Must run inside

@@ -116,10 +116,15 @@ type run = {
   c_degraded_spans : int;  (** query_tx spans marked degraded *)
   c_resync_spans : int;  (** resync spans in the trace *)
   c_trace_ok : bool;  (** trace invariants held (see {!trace_invariants}) *)
+  c_bound_violations : int;
+      (** answers whose observed staleness exceeded their reported bound *)
+  c_bounds_ok : bool;  (** no answer overran its online freshness bound *)
   c_note : string;
 }
 
-let passed r = r.c_quiesced && r.c_converged && r.c_consistent && r.c_trace_ok
+let passed r =
+  r.c_quiesced && r.c_converged && r.c_consistent && r.c_trace_ok
+  && r.c_bounds_ok
 
 (* Trace invariants the fault model must preserve:
    1. a deferred update transaction is not the end of the story — some
@@ -283,9 +288,11 @@ let run_one sc profile seed =
         | `Freshness _ -> None
         | `Validity -> Some (Printf.sprintf "validity@%g" v.Checker.v_time)
         | `Chronology -> Some (Printf.sprintf "chronology@%g" v.Checker.v_time)
-        | `Order -> Some (Printf.sprintf "order@%g" v.Checker.v_time))
+        | `Order -> Some (Printf.sprintf "order@%g" v.Checker.v_time)
+        | `Bound _ -> Some (Printf.sprintf "bound@%g" v.Checker.v_time))
       report.Checker.violations
   in
+  let bound_violations = List.length (Checker.bound_violations report) in
   let sum f =
     List.fold_left
       (fun acc s ->
@@ -324,6 +331,8 @@ let run_one sc profile seed =
     c_degraded_spans = degraded_spans;
     c_resync_spans = resync_spans;
     c_trace_ok = trace_ok;
+    c_bound_violations = bound_violations;
+    c_bounds_ok = bound_violations = 0;
     c_note = String.concat "; " (note @ diverged @ violations @ trace_problems);
   }
 

@@ -56,12 +56,16 @@ type run = {
   c_degraded_spans : int;  (** query_tx spans marked degraded *)
   c_resync_spans : int;  (** resync spans in the trace *)
   c_trace_ok : bool;  (** trace invariants held *)
+  c_bound_violations : int;
+      (** answers whose observed staleness exceeded their reported bound *)
+  c_bounds_ok : bool;  (** no answer overran its online freshness bound *)
   c_note : string;
 }
 
 val passed : run -> bool
 (** Quiesced, converged to the fault-free reference, transaction
-    framework consistent, trace invariants held. *)
+    framework consistent, trace invariants held, and every answer's
+    observed staleness within its reported online bound. *)
 
 val run_one : scenario -> Faults.profile -> int -> run
 (** Run one (scenario, fault profile, seed) cell end to end. *)

@@ -26,8 +26,11 @@ let leaf_parent_delta (t : Med.t) node (delta : Multi_delta.t) =
     let filtered = Vap.filter_delta ~node (Graph.def t.Med.vdp node) d in
     if Rel_delta.is_empty filtered then None else Some filtered
 
-let update_transaction (t : Med.t) =
-  Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
+(* The transaction body, caller-locked: [update_transaction] wraps it
+   in the mediator mutex; the QP calls it directly under its own lock
+   when an SLO forces a queue drain mid-query (the engine mutex is not
+   reentrant). *)
+let run (t : Med.t) =
       (* a detected announcement gap makes the queue unusable for the
          affected source — rebuild from a snapshot before processing.
          If the source is still unreachable, keep deferring: a later
@@ -261,6 +264,14 @@ let update_transaction (t : Med.t) =
         end;
         Obs.Metrics.incr t.Med.stats.Med.update_txs;
         Med.charge_ops t `Update (Eval.tuple_ops () - ops_before);
+        (* a transaction that propagated real deltas through derived
+           nodes without a single VAP request touched no source: the
+           store (auxiliary views included) covered every value the
+           fired rules read — the view maintained itself *)
+        if process <> [] && requests = [] then begin
+          Obs.Metrics.incr t.Med.stats.Med.self_maintained_txs;
+          Obs.Trace.set_attr tx_sp "served" "self_maintained"
+        end;
         Obs.Trace.set_attr tx_sp "outcome" "applied";
         Obs.Metrics.observe t.Med.stats.Med.update_tx_time
           (Engine.now t.Med.engine -. tx_start);
@@ -287,7 +298,10 @@ let update_transaction (t : Med.t) =
           Med.Log.warn (fun m ->
               m "update tx deferred @%g: %s" (Engine.now t.Med.engine)
                 (Printexc.to_string exn));
-          false))
+          false)
+
+let update_transaction (t : Med.t) =
+  Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () -> run t)
 
 let start_flusher (t : Med.t) =
   let rec loop () =

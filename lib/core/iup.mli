@@ -30,6 +30,12 @@ val update_transaction : Med.t -> bool
     queue is empty). Must run inside a simulation process; takes the
     mediator mutex. *)
 
+val run : Med.t -> bool
+(** The transaction body of {!update_transaction} without the lock —
+    for callers that already hold the mediator mutex (the QP draining
+    the queue to satisfy a freshness SLO; the engine mutex is not
+    reentrant). *)
+
 val start_flusher : Med.t -> unit
 (** Spawn the periodic process that runs an update transaction every
     [flush_interval] (the paper's policy of how often the mediator

@@ -83,6 +83,7 @@ type event =
       qt_answer : Bag.t;
       qt_reflect : (string * reflect_entry) list;
       qt_stale : staleness list;
+      qt_bound : (string * float) list;
     }
 
 type stats = {
@@ -103,6 +104,11 @@ type stats = {
   atoms_received : Obs.Metrics.counter;
   poll_retries : Obs.Metrics.counter;
   poll_failures : Obs.Metrics.counter;
+  self_maintained_txs : Obs.Metrics.counter;
+  slo_polls : Obs.Metrics.counter;
+  slo_refusals : Obs.Metrics.counter;
+  aux_promotions : Obs.Metrics.counter;
+  aux_demotions : Obs.Metrics.counter;
   degraded_answers : Obs.Metrics.counter;
   gaps_detected : Obs.Metrics.counter;
   dup_messages_dropped : Obs.Metrics.counter;
@@ -167,6 +173,18 @@ let fresh_stats () =
     atoms_received = c "atoms_received";
     poll_retries = c "poll_retries";
     poll_failures = c "poll_failures";
+    self_maintained_txs =
+      c "self_maintained_txs"
+        ~help:"update transactions applied without any source poll";
+    slo_polls =
+      c "slo_polls" ~help:"forced polls issued to satisfy a freshness SLO";
+    slo_refusals =
+      c "slo_refusals" ~help:"queries refused: no strategy met max_staleness";
+    aux_promotions =
+      c "aux_promotions"
+        ~help:"auxiliary-view attributes materialized for self-maintenance";
+    aux_demotions =
+      c "aux_demotions" ~help:"auxiliary-view attributes dropped again";
     degraded_answers = c "degraded_answers";
     gaps_detected = c "gaps_detected";
     dup_messages_dropped = c "dup_messages_dropped";
@@ -200,9 +218,11 @@ let bump tbl key n =
 type cached_answer = {
   ca_answer : Bag.t;
   ca_polled : (string * int) list;
+  ca_polled_times : (string * float) list;
   ca_trace_id : int option;
-      (** polled versions of the VAP that produced the answer; replayed
-          into the reflect vector on every cache hit *)
+      (** polled versions (and their poll state times — the freshness
+          witnesses) of the VAP that produced the answer; replayed into
+          the reflect vector and bound on every cache hit *)
 }
 
 type export_event =
@@ -444,10 +464,16 @@ let cache_lookup t ~node ~attrs ~cond =
   if not t.config.answer_cache_enabled then None
   else Hashtbl.find_opt t.answer_cache (node, attrs, cond)
 
-let cache_store t ~node ~attrs ~cond ~polled ?trace_id answer =
+let cache_store t ~node ~attrs ~cond ~polled ?(polled_times = []) ?trace_id
+    answer =
   if t.config.answer_cache_enabled then
     Hashtbl.replace t.answer_cache (node, attrs, cond)
-      { ca_answer = answer; ca_polled = polled; ca_trace_id = trace_id }
+      {
+        ca_answer = answer;
+        ca_polled = polled;
+        ca_polled_times = polled_times;
+        ca_trace_id = trace_id;
+      }
 
 let cache_invalidate_nodes t nodes =
   if Hashtbl.length t.answer_cache > 0 && nodes <> [] then begin
@@ -770,6 +796,82 @@ let record_access t ~node ~attrs =
 
 let record_leaf_card t leaf n = Hashtbl.replace t.stats.leaf_card leaf n
 
+(* --- Theorem 7.2, online ----------------------------------------------
+
+   Per-answer freshness bound: for each source, an instant w (the
+   freshness {e witness}) at which the served data is known to have
+   been current at that source; the reported bound is [now - w].
+   Witnesses:
+
+   - a source polled during this transaction: the poll answer's
+     [state_time] (ECA compensation preserves exactly that state);
+   - an announcing (materialized/hybrid) contributor: the reflected
+     version's [r_send_time] — at flush time the flushed version was
+     the source's current version;
+   - an unpolled virtual contributor: the reflect entry is [Current],
+     which carries no staleness by construction (bound 0);
+   - a stale-marked source of a degraded answer: the reflected
+     version's commit time (the marker's age), the honest worst case.
+
+   The source commit superseding the witnessed version can only happen
+   at or after w, so the checker's measured staleness
+   [now - next_commit] never exceeds the reported [now - w]. *)
+let answer_bound t ?(polled_times = []) ?(stale = []) () =
+  let now = Engine.now t.engine in
+  List.map
+    (fun src ->
+      match List.assoc_opt src polled_times with
+      | Some w -> (src, Float.max 0.0 (now -. w))
+      | None ->
+        if List.exists (fun m -> String.equal m.st_source src) stale then
+          (src, Float.max 0.0 (now -. (reflected_version t src).r_commit_time))
+        else (
+          match contributor_kind t src with
+          | Virtual_contributor -> (src, 0.0)
+          | Materialized_contributor | Hybrid_contributor ->
+            (src, Float.max 0.0 (now -. (reflected_version t src).r_send_time))))
+    (Graph.sources t.vdp)
+
+(* The a-priori Theorem 7.2 vector f̄ for a node, assembled from the
+   delays the simulation actually models: announcement holding (the
+   period for [Periodic] sources, infinity for never-announcing ones),
+   channel and source query-processing delays fixed at [connect],
+   the mediator's flush interval, and observed mean transaction
+   processing times. Mirrors [Checker.theorem_7_2_bound]: the polling
+   term ranges over the node's non-materialized contributors only. *)
+let freshness_bound t ~node =
+  let node_sources =
+    List.sort_uniq String.compare
+      (List.map
+         (Graph.source_of_leaf t.vdp)
+         (List.filter (Graph.is_leaf t.vdp) (Graph.descendants t.vdp node)))
+  in
+  let mean h =
+    let n = Obs.Metrics.histogram_count h in
+    if n = 0 then 0.0 else Obs.Metrics.histogram_sum h /. float_of_int n
+  in
+  let polling_term =
+    List.fold_left
+      (fun acc k ->
+        if contributor_kind t k = Materialized_contributor then acc
+        else
+          let db = source t k in
+          acc +. Source_db.q_proc_delay db +. Source_db.comm_delay db)
+      0.0 node_sources
+  in
+  List.map
+    (fun s ->
+      let db = source t s in
+      match contributor_kind t s with
+      | Materialized_contributor | Hybrid_contributor ->
+        ( s,
+          Source_db.ann_delay db +. Source_db.comm_delay db
+          +. t.config.flush_interval
+          +. mean t.stats.update_tx_time +. polling_term )
+      | Virtual_contributor ->
+        (s, polling_term +. mean t.stats.query_tx_time))
+    node_sources
+
 (* Poll with bounded retry and exponential backoff. [config.poll_retries]
    is the total attempt budget; each failed attempt doubles the wait,
    starting from [config.poll_backoff]. Exhaustion raises {!Poll_failed}
@@ -819,10 +921,14 @@ let poll_with_retry t src queries =
           end
           else begin
             Obs.Metrics.incr t.stats.poll_retries;
+            (* counted in attempts, like [pe_attempts] and the trace
+               span's "attempts" attr — not in retries, which would be
+               off by one against both *)
             Log.debug (fun m ->
-                m "poll of %s failed (%s); retry %d/%d after %g" src_name
+                m "poll of %s failed (%s); attempt %d/%d, backoff %g"
+                  src_name
                   (Source_db.poll_error_to_string e)
-                  n (budget - 1) backoff);
+                  n budget backoff);
             Engine.sleep t.engine backoff;
             attempt (n + 1) (backoff *. 2.0)
           end

@@ -151,6 +151,11 @@ type event =
           (** empty for a normal answer; non-empty marks a degraded
               answer (restricted to materialized attributes) whose
               validity the checker must not enforce *)
+      qt_bound : (string * float) list;
+          (** the online Theorem 7.2 bound reported with the answer:
+              per source, an upper bound on how stale the served data
+              can be ({!answer_bound}); the checker verifies measured
+              staleness never exceeds it *)
     }
 
 type stats = {
@@ -179,6 +184,22 @@ type stats = {
       (** retry attempts beyond the first *)
   poll_failures : Obs.Metrics.counter;
       (** polls that exhausted their budget *)
+  self_maintained_txs : Obs.Metrics.counter;
+      (** update transactions whose delta propagation needed no source
+          poll at all (every needed child attribute was covered by the
+          store, auxiliary views included) *)
+  slo_polls : Obs.Metrics.counter;
+      (** forced polls issued by the QP to satisfy a [max_staleness]
+          SLO (empty poll → announcement flush → queue drain) *)
+  slo_refusals : Obs.Metrics.counter;
+      (** queries refused with {!Qp.Slo_unsatisfiable}: no strategy
+          could meet the requested bound *)
+  aux_promotions : Obs.Metrics.counter;
+      (** auxiliary-view attributes materialized by the
+          self-maintenance extension of the policy loop *)
+  aux_demotions : Obs.Metrics.counter;
+      (** auxiliary-view attributes dropped again when the underlying
+          advisor target no longer needs them *)
   degraded_answers : Obs.Metrics.counter;
       (** queries served with [Stale] markers *)
   gaps_detected : Obs.Metrics.counter;
@@ -227,6 +248,10 @@ type cached_answer = {
   ca_polled : (string * int) list;
       (** polled versions of the VAP that produced the answer; replayed
           into the reflect vector on every cache hit *)
+  ca_polled_times : (string * float) list;
+      (** poll state times of those versions — the freshness witnesses
+          from which a hit recomputes its {!answer_bound} at serve
+          time *)
   ca_trace_id : int option;
       (** query_tx span that computed the answer — hits are stamped
           with this provenance id instead of recording a span of their
@@ -433,6 +458,33 @@ val record_leaf_card : t -> string -> int -> unit
 (** Workload monitor feed: reset a leaf's cardinality estimate (the
     initialization snapshot; announcements adjust it incrementally). *)
 
+(** {1 Theorem 7.2 online: freshness bounds} *)
+
+val answer_bound :
+  t ->
+  ?polled_times:(string * float) list ->
+  ?stale:staleness list ->
+  unit ->
+  (string * float) list
+(** The per-source freshness bound an answer served {e now} can
+    honestly report. For each source the bound is [now - w] where [w]
+    is a witness instant at which the served data was current at the
+    source: the poll answer's [state_time] for sources in
+    [polled_times], the reflected version's send time for announcing
+    contributors, the reflected commit time for sources in [stale]
+    (degraded answers), and [0] (i.e. bound 0) for unpolled virtual
+    contributors whose reflect entry is [Current]. The checker's
+    measured staleness never exceeds this bound. *)
+
+val freshness_bound : t -> node:string -> (string * float) list
+(** The a-priori Theorem 7.2 vector f̄ for [node], from the delays the
+    simulation models: per announcing contributor,
+    [ann + comm + flush_interval + mean u_proc + polling_term]; per
+    virtual contributor, [polling_term + mean q_proc]; the polling
+    term sums [q_proc + comm] over the node's non-materialized
+    contributors. [infinity] marks a materialized node over a source
+    that never announces. *)
+
 val poll_with_retry :
   t -> Source_db.t -> (string * Expr.t) list -> Message.answer
 (** {!Source_db.try_poll} under the config's timeout, retried up to
@@ -490,6 +542,7 @@ val cache_store :
   attrs:string list ->
   cond:Predicate.t ->
   polled:(string * int) list ->
+  ?polled_times:(string * float) list ->
   ?trace_id:int ->
   Bag.t ->
   unit

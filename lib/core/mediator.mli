@@ -62,13 +62,23 @@ val query :
   node:string ->
   ?attrs:string list ->
   ?cond:Predicate.t ->
+  ?max_staleness:float ->
   unit ->
   Qp.answer
 (** One query transaction against an export relation. The answer
     record carries the tuples, the answer quality ([Stale] marks a
     degraded answer served from the materialized store because a
-    source was unreachable), the reflect vector, and the id of the
-    transaction's trace span (see {!Qp.query}). *)
+    source was unreachable), the reflect vector, the online Theorem
+    7.2 freshness bound, and the id of the transaction's trace span
+    (see {!Qp.query}). [max_staleness] demands a freshness SLO the QP
+    must satisfy — by strategy choice or a forced poll — or refuse
+    with {!Qp.Slo_unsatisfiable}. *)
+
+val freshness_bound : t -> node:string -> (string * float) list
+(** The a-priori Theorem 7.2 staleness-bound vector f̄ for a node,
+    assembled from the delays the simulation models (announcement
+    period, channel and processing delays, flush interval). See
+    {!Med.freshness_bound}. *)
 
 val query_many :
   t ->

@@ -1,6 +1,7 @@
 open Relalg
 open Vdp
 open Sim
+open Sources
 open Storage
 
 let reflect_vector (t : Med.t) ~polled =
@@ -23,8 +24,31 @@ type answer = {
   tuples : Bag.t;
   quality : quality;
   reflect : (string * Med.reflect_entry) list;
+  bound : (string * float) list;
   trace_id : int option;
 }
+
+type slo_miss = {
+  sm_node : string;
+  sm_slo : float;
+  sm_bound : (string * float) list;
+}
+
+exception Slo_unsatisfiable of slo_miss
+
+let () =
+  Printexc.register_printer (function
+    | Slo_unsatisfiable m ->
+      Some
+        (Printf.sprintf "Slo_unsatisfiable(%s: slo %g, achievable %s)"
+           m.sm_node m.sm_slo
+           (String.concat ", "
+              (List.map
+                 (fun (s, b) -> Printf.sprintf "%s=%g" s b)
+                 m.sm_bound)))
+    | _ -> None)
+
+let bound_ok bound slo = List.for_all (fun (_, b) -> b <= slo +. 1e-9) bound
 
 let staleness_of (t : Med.t) srcs =
   let now = Engine.now t.Med.engine in
@@ -69,6 +93,76 @@ let key_based_plan (t : Med.t) ~node ~needed =
             then Some (child, key)
             else None)
           (Graph.children t.Med.vdp node)
+
+(* SLO escalation: any announcing contributor whose reflected send
+   time already lags beyond the requested bound gets an {e empty}
+   poll — the source flushes pending announcements before answering
+   and the channel is FIFO, so by the time the answer is back every
+   outstanding delta is enqueued — after which the update queue is
+   drained in place (the mediator mutex is held, so this calls the
+   unlocked transaction body). Virtual contributors need no escalation:
+   the ladder below polls them anyway.
+
+   Returns [(escalated, witnesses)]: for every polled source whose
+   version the drained queue actually caught up to, the poll's
+   [state_time] is a fresh freshness witness (at that instant the
+   source had nothing newer than what we now reflect). A source the
+   drain could NOT catch up to (lost announcements, resync deferred)
+   gets no witness — its bound must stay honest about the old
+   reflected state. *)
+let slo_prepoll (t : Med.t) ~slo =
+  let now = Engine.now t.Med.engine in
+  let laggards =
+    List.filter
+      (fun s ->
+        match Med.contributor_kind t s with
+        | Med.Virtual_contributor -> false
+        | Med.Materialized_contributor | Med.Hybrid_contributor ->
+          now -. (Med.reflected_version t s).Med.r_send_time > slo)
+      (Graph.sources t.Med.vdp)
+  in
+  if laggards = [] then (false, [])
+  else begin
+    let polled =
+      Obs.Trace.with_span t.Med.trace "slo_poll"
+        ~attrs:[ ("sources", String.concat "," laggards) ]
+        (fun _sp ->
+          let polled =
+            List.filter_map
+              (fun src_name ->
+                match Med.poll_with_retry t (Med.source t src_name) [] with
+                | a ->
+                  Obs.Metrics.incr t.Med.stats.Med.slo_polls;
+                  if a.Message.answer_version > Med.seen_version t src_name
+                  then begin
+                    (* the flush's announcements were lost in transit —
+                       the heartbeat idiom: mark for resync *)
+                    Med.gap_event t ~source:src_name ~via:"slo_poll"
+                      [ ("version", string_of_int a.Message.answer_version) ];
+                    Med.mark_dirty t src_name
+                  end;
+                  Med.observe_source_version t src_name
+                    a.Message.answer_version;
+                  Some
+                    (src_name, a.Message.state_time, a.Message.answer_version)
+                | exception (Med.Poll_failed _ | Med.Desync _) ->
+                  (* unreachable source: let the ladder degrade and the
+                     final bound check refuse *)
+                  None)
+              laggards
+          in
+          ignore (Iup.run t : bool);
+          polled)
+    in
+    let witnesses =
+      List.filter_map
+        (fun (src, w, v) ->
+          if (Med.reflected_version t src).Med.r_version >= v then Some (src, w)
+          else None)
+        polled
+    in
+    (true, witnesses)
+  end
 
 let validate_request (t : Med.t) node attrs cond =
   let n = Graph.node t.Med.vdp node in
@@ -178,6 +272,9 @@ let query_many (t : Med.t) requests =
       (* one transaction: every answer shares one reflect vector and
          one commit instant *)
       let reflect = reflect_vector t ~polled:vap_result.Vap.polled_versions in
+      let bound =
+        Med.answer_bound t ~polled_times:vap_result.Vap.polled_times ~stale ()
+      in
       let time = Engine.now t.Med.engine in
       Obs.Metrics.incr t.Med.stats.Med.query_txs;
       if stale <> [] then begin
@@ -199,15 +296,37 @@ let query_many (t : Med.t) requests =
                  qt_answer = answer;
                  qt_reflect = reflect;
                  qt_stale = stale;
+                 qt_bound = bound;
                }))
         requests answers;
       answers))
 
-let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
+let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) ?max_staleness ()
+    =
   let attrs = validate_request t node attrs cond in
   Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () ->
       pre_repair t;
+      (* the transaction clock starts before SLO escalation: a forced
+         flush-and-drain is part of serving this query, and its
+         round-trips must show up in query_tx_time *)
       let tx_start = Engine.now t.Med.engine in
+      (* freshness SLO, step 1: announcing contributors whose reflected
+         state already lags beyond the bound are force-flushed and the
+         queue drained before any strategy is considered *)
+      let escalated, prepoll_times =
+        match max_staleness with
+        | None -> (false, [])
+        | Some slo -> slo_prepoll t ~slo
+      in
+      (* strategy-supplied witnesses win over prepoll witnesses: the
+         bound takes the first entry per source, and a strategy's own
+         poll is always at least as recent *)
+      let with_prepoll polled_times = polled_times @ prepoll_times in
+      let slo_met bound =
+        match max_staleness with
+        | None -> true
+        | Some slo -> bound_ok bound slo
+      in
       let ops_before = Eval.tuple_ops () in
       let needed = dedup (attrs @ Predicate.attrs cond) in
       Med.record_access t ~node ~attrs:needed;
@@ -224,7 +343,12 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
          cache_hits counter and the query_tx_time histogram. *)
       let cached =
         match Med.cache_lookup t ~node ~attrs ~cond with
-        | Some ca ->
+        | Some ca
+          when slo_met
+                 (Med.answer_bound t
+                    ~polled_times:(with_prepoll ca.Med.ca_polled_times)
+                    ())
+          ->
           Obs.Metrics.incr t.Med.stats.Med.cache_hits;
           Obs.Metrics.incr t.Med.stats.Med.query_txs;
           Med.charge_ops t `Query (Eval.tuple_ops () - ops_before);
@@ -232,6 +356,14 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
             (Engine.now t.Med.engine -. tx_start);
           let trace_id = ca.Med.ca_trace_id in
           let reflect = reflect_vector t ~polled:ca.Med.ca_polled in
+          (* the bound is recomputed at serve time: witnesses are the
+             entry's recorded poll times and the current reflected
+             send times, exactly as for a computed answer *)
+          let bound =
+            Med.answer_bound t
+              ~polled_times:(with_prepoll ca.Med.ca_polled_times)
+              ()
+          in
           Med.log_event t
             (Med.Query_tx
                {
@@ -242,9 +374,19 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
                  qt_answer = ca.Med.ca_answer;
                  qt_reflect = reflect;
                  qt_stale = [];
+                 qt_bound = bound;
                });
-          Some { tuples = ca.Med.ca_answer; quality = Fresh; reflect; trace_id }
-        | None ->
+          Some
+            {
+              tuples = ca.Med.ca_answer;
+              quality = Fresh;
+              reflect;
+              bound;
+              trace_id;
+            }
+        | Some _ | None ->
+          (* a surviving entry that cannot meet the SLO is bypassed,
+             not evicted: the computed answer below will overwrite it *)
           if t.Med.config.Med.Config.answer_cache_enabled then
             Obs.Metrics.incr t.Med.stats.Med.cache_misses;
           None
@@ -255,11 +397,26 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
       Obs.Trace.with_span t.Med.trace "query_tx" ~attrs:[ ("node", node) ]
         (fun tx_sp ->
       let trace_id = Obs.Trace.span_id tx_sp in
-      let finish ?(stale = []) ~served answer polled =
+      let finish ?(stale = []) ?(polled_times = []) ~served answer polled =
+        let polled_times = with_prepoll polled_times in
+        let bound = Med.answer_bound t ~polled_times ~stale () in
+        (* freshness SLO, step 2: the chosen strategy's answer must
+           actually meet the bound — if even a forced poll could not
+           (source down, or the round-trip itself exceeds the SLO),
+           refuse with a typed error rather than serve a lie *)
+        (match max_staleness with
+        | Some slo when not (bound_ok bound slo) ->
+          Obs.Metrics.incr t.Med.stats.Med.slo_refusals;
+          Obs.Trace.set_attr tx_sp "served" "refused";
+          raise
+            (Slo_unsatisfiable
+               { sm_node = node; sm_slo = slo; sm_bound = bound })
+        | Some _ | None -> ());
         Obs.Metrics.incr t.Med.stats.Med.query_txs;
         if stale <> [] then Obs.Metrics.incr t.Med.stats.Med.degraded_answers;
         Med.charge_ops t `Query (Eval.tuple_ops () - ops_before);
-        Obs.Trace.set_attr tx_sp "served" served;
+        Obs.Trace.set_attr tx_sp "served"
+          (if escalated then "slo_poll" else served);
         Obs.Metrics.observe t.Med.stats.Med.query_tx_time
           (Engine.now t.Med.engine -. tx_start);
         let reflect = reflect_vector t ~polled in
@@ -273,15 +430,18 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
                qt_answer = answer;
                qt_reflect = reflect;
                qt_stale = stale;
+               qt_bound = bound;
              });
         (* only answers the checker may hold to full validity are
            worth replaying; degraded answers must be recomputed *)
         if stale = [] then
-          Med.cache_store t ~node ~attrs ~cond ~polled ?trace_id answer;
+          Med.cache_store t ~node ~attrs ~cond ~polled ~polled_times
+            ?trace_id answer;
         {
           tuples = answer;
           quality = (if stale = [] then Fresh else Stale stale);
           reflect;
+          bound;
           trace_id;
         }
       in
@@ -354,18 +514,19 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
               @ List.filter (fun a -> Schema.mem cs a) (Predicate.attrs cond))
           in
           let c_cond = Predicate.restrict_to cond (Schema.attrs cs) in
-          let c_part, polled =
+          let c_part, (polled, polled_times) =
             if Med.is_covered t ~node:child ~attrs:c_needed then begin
               let table = Option.get (Med.node_table t child) in
               ( Bag.project c_needed (Bag.select c_cond (Table.contents table)),
-                [] )
+                ([], []) )
             end
             else begin
               let res =
                 Vap.build t ~kind:`Query
                   [ { Vap.r_node = child; r_attrs = c_needed; r_cond = c_cond } ]
               in
-              (List.assoc child res.Vap.temps, res.Vap.polled_versions)
+              ( List.assoc child res.Vap.temps,
+                (res.Vap.polled_versions, res.Vap.polled_times) )
             end
           in
           let own_attrs =
@@ -380,7 +541,7 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
           in
           let joined = Bag.join own c_part in
           Obs.Metrics.incr t.Med.stats.Med.key_based_constructions;
-          finish ~stale:(base_stale t) ~served:"key_based"
+          finish ~stale:(base_stale t) ~polled_times ~served:"key_based"
             (Bag.project attrs (Bag.select cond joined))
             polled
         end
@@ -390,7 +551,8 @@ let query (t : Med.t) ~node ?attrs ?(cond = Predicate.True) () =
               [ { Vap.r_node = node; r_attrs = needed; r_cond = cond } ]
           in
           let temp = List.assoc node res.Vap.temps in
-          finish ~stale:(base_stale t) ~served:"vap"
+          finish ~stale:(base_stale t) ~polled_times:res.Vap.polled_times
+            ~served:"vap"
             (Bag.project attrs (Bag.select cond temp))
             res.Vap.polled_versions
       end))

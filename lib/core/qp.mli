@@ -33,20 +33,50 @@ type answer = {
   reflect : (string * Med.reflect_entry) list;
       (** which source versions the answer corresponds to (one entry
           per VDP source) *)
+  bound : (string * float) list;
+      (** the online Theorem 7.2 freshness bound: per source, an upper
+          bound on the staleness of the data served
+          ({!Med.answer_bound}); the correctness checker verifies the
+          measured staleness never exceeds it *)
   trace_id : int option;
       (** id of the transaction's [query_tx] root span in
           [t.Med.trace], [None] when tracing is disabled *)
 }
+
+type slo_miss = {
+  sm_node : string;
+  sm_slo : float;  (** the requested [max_staleness] *)
+  sm_bound : (string * float) list;
+      (** the best bound the chosen strategy could achieve *)
+}
+
+exception Slo_unsatisfiable of slo_miss
+(** No strategy — cache, store, key-based, VAP, or a forced poll —
+    could produce an answer within the requested [max_staleness]. *)
 
 val query :
   Med.t ->
   node:string ->
   ?attrs:string list ->
   ?cond:Predicate.t ->
+  ?max_staleness:float ->
   unit ->
   answer
 (** One query transaction. Defaults: all attributes, no condition.
     Must run inside a simulation process.
+
+    [max_staleness] demands a freshness SLO: the answer's reported
+    {!answer.bound} must not exceed it for any source. The QP walks
+    its strategy ladder under the SLO — a cached answer is bypassed
+    when its recomputed bound misses; announcing contributors whose
+    reflected state already lags get a forced empty poll (flushing
+    their pending announcements) followed by an in-place drain of the
+    update queue before planning; and the usual store / key-based /
+    VAP choice then runs against refreshed state. Forced polls show as
+    [slo_poll] spans and in the [slo_polls] counter.
+    @raise Slo_unsatisfiable when even the escalated strategy cannot
+    meet the bound (a source is down, or the poll round-trip itself
+    exceeds the SLO).
 
     When the answer cache is enabled (config), a [Fresh] answer for
     the exact (node, attrs, cond) triple is stored after computation

@@ -170,6 +170,11 @@ let build_inner (t : Med.t) requests =
       let contributor = Med.contributor_kind t src_name in
       (match contributor with
       | Med.Virtual_contributor ->
+        (* [state_time] is the instant the answered version was current
+           at the source — the freshness witness {!Med.answer_bound}
+           reports against. Announcing contributors are deliberately
+           not recorded here: ECA compensates their temporaries back to
+           the reflected state, whose witness is [r_send_time]. *)
         polled_versions :=
           (src_name, answer.Message.answer_version) :: !polled_versions;
         polled_times :=
@@ -184,6 +189,14 @@ let build_inner (t : Med.t) requests =
            compensation would corrupt the view. *)
         let seen = Med.seen_version t src_name in
         if answer.Message.answer_version <> seen then begin
+          (* the repair this triggers must be attributable in the
+             trace: every resync needs a preceding gap_detected *)
+          Med.gap_event t ~source:src_name ~via:"desync"
+            [
+              ("answer_version",
+               string_of_int answer.Message.answer_version);
+              ("seen", string_of_int seen);
+            ];
           Med.mark_dirty t src_name;
           raise
             (Med.Desync

@@ -5,7 +5,12 @@ open Squirrel
 
 type violation = {
   v_time : float;
-  v_kind : [ `Validity | `Chronology | `Order | `Freshness of string * float ];
+  v_kind :
+    [ `Validity
+    | `Chronology
+    | `Order
+    | `Freshness of string * float
+    | `Bound of string * float ];
   v_detail : string;
 }
 
@@ -18,7 +23,12 @@ type report = {
 
 let consistent r =
   List.for_all
-    (fun v -> match v.v_kind with `Freshness _ -> true | _ -> false)
+    (fun v ->
+      match v.v_kind with `Freshness _ | `Bound _ -> true | _ -> false)
+    r.violations
+
+let bound_violations r =
+  List.filter (fun v -> match v.v_kind with `Bound _ -> true | _ -> false)
     r.violations
 
 type delay_profile = {
@@ -31,11 +41,20 @@ type delay_profile = {
 }
 
 let theorem_7_2_bound ~vdp ~contributor profile src =
-  let sources = Graph.sources vdp in
+  (* Only sources the VAP actually polls contribute to the polling
+     term: materialized contributors are served from the store, so a
+     query never waits on their round-trip.  Summing over all of
+     [Graph.sources] (as a previous version did) inflates f̄ for every
+     mixed M/V scenario. *)
+  let polled =
+    List.filter
+      (fun k -> contributor k <> Med.Materialized_contributor)
+      (Graph.sources vdp)
+  in
   let polling_term =
     List.fold_left
       (fun acc k -> acc +. profile.q_proc_delay k +. profile.comm_delay k)
-      0.0 sources
+      0.0 polled
   in
   match contributor src with
   | Med.Materialized_contributor | Med.Hybrid_contributor ->
@@ -87,20 +106,26 @@ let check ~vdp ~sources ~events () =
   let violate time kind detail =
     violations := { v_time = time; v_kind = kind; v_detail = detail } :: !violations
   in
-  let prev_vector : (string * int) list ref = ref [] in
   let checked = ref 0 in
   let degraded = ref 0 in
+  (* Per-source running max: a source omitted from one event's vector
+     must keep its high-water mark, or a later backwards move slips
+     through (replacing the whole vector, as a previous version did,
+     forgot marks on every omission). *)
+  let high_water : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let check_monotone time vector =
     List.iter
       (fun (src, v) ->
-        match List.assoc_opt src !prev_vector with
+        (match Hashtbl.find_opt high_water src with
         | Some prev when v < prev ->
           violate time `Order
             (Printf.sprintf
                "reflect(%s) moved backwards: version %d after %d" src v prev)
-        | Some _ | None -> ())
-      vector;
-    prev_vector := vector
+        | Some _ | None -> ());
+        match Hashtbl.find_opt high_water src with
+        | Some prev when prev >= v -> ()
+        | Some _ | None -> Hashtbl.replace high_water src v)
+      vector
   in
   List.iter
     (fun event ->
@@ -108,7 +133,16 @@ let check ~vdp ~sources ~events () =
       | Med.Update_tx { ut_time; ut_reflect; _ } ->
         check_monotone ut_time ut_reflect
       | Med.Query_tx
-          { qt_time; qt_node; qt_attrs; qt_cond; qt_answer; qt_reflect; qt_stale }
+          {
+            qt_time;
+            qt_node;
+            qt_attrs;
+            qt_cond;
+            qt_answer;
+            qt_reflect;
+            qt_stale;
+            qt_bound;
+          }
         ->
         incr checked;
         let time = qt_time in
@@ -154,13 +188,25 @@ let check ~vdp ~sources ~events () =
                   expected %a@;got %a"
                  qt_node time Bag.pp expected Bag.pp qt_answer)
         end;
-        (* staleness bookkeeping *)
+        (* staleness bookkeeping + online-bound validation: when the
+           answer carried a per-source bound (Theorem 7.2 brought
+           online), the independently measured staleness must never
+           exceed it — a smaller self-reported bound is a lie about
+           freshness *)
         List.iter
           (fun (src_name, v) ->
             let src = Hashtbl.find src_tbl src_name in
             let s = staleness src v time in
             if s > Hashtbl.find max_stale src_name then
-              Hashtbl.replace max_stale src_name s)
+              Hashtbl.replace max_stale src_name s;
+            match List.assoc_opt src_name qt_bound with
+            | Some b when s > b +. 1e-9 ->
+              violate time (`Bound (src_name, s))
+                (Printf.sprintf
+                   "query at %g: observed staleness %g of %s exceeds the \
+                    answer's reported bound %g"
+                   time s src_name b)
+            | Some _ | None -> ())
           resolved)
     events;
   {

@@ -29,7 +29,16 @@ open Squirrel
 
 type violation = {
   v_time : float;
-  v_kind : [ `Validity | `Chronology | `Order | `Freshness of string * float ];
+  v_kind :
+    [ `Validity
+    | `Chronology
+    | `Order
+    | `Freshness of string * float
+    | `Bound of string * float ];
+      (** [`Bound (src, observed)]: a query transaction's self-reported
+          per-source freshness bound ([qt_bound]) was smaller than the
+          staleness the checker measured from the source history — the
+          online Theorem 7.2 bound was violated. *)
   v_detail : string;
 }
 
@@ -47,7 +56,12 @@ type report = {
 }
 
 val consistent : report -> bool
-(** No validity/chronology/order violations. *)
+(** No validity/chronology/order violations ([`Freshness] and
+    [`Bound] violations are reported but judged separately). *)
+
+val bound_violations : report -> violation list
+(** The [`Bound] violations of a report: query transactions whose
+    measured staleness exceeded their self-reported online bound. *)
 
 val check :
   vdp:Graph.t ->
@@ -81,7 +95,10 @@ val theorem_7_2_bound :
   float
 (** [f_i] per source: for materialized- and hybrid-contributors,
     [ann + comm + u_hold + u_proc + Σ_k (q_proc_k + comm_k)]; for
-    virtual contributors, [Σ_k (q_proc_k + comm_k) + q_proc_med]. *)
+    virtual contributors, [Σ_k (q_proc_k + comm_k) + q_proc_med] —
+    where [k] ranges over the {e polled} sources only (those whose
+    contributor kind is not [Materialized_contributor]), since the
+    VAP never waits on a round-trip to a store-served source. *)
 
 (** {1 Search-based checkers (Remark 3.1 / Figure 2)}
 

@@ -296,12 +296,17 @@ let query t ~node ?attrs ?(cond = Predicate.True) () =
               Merge.merge_reflect
                 (List.map (fun (a : Qp.answer) -> a.Qp.reflect) answers)
             in
+            let bound =
+              Merge.merge_bound ~stale:dead_stale
+                (List.map (fun (a : Qp.answer) -> a.Qp.bound) answers)
+            in
             Obs.Trace.set_attri fed_sp "tuples" (Bag.cardinal tuples);
             let answer =
               {
                 Qp.tuples;
                 quality;
                 reflect;
+                bound;
                 trace_id = Obs.Trace.span_id fed_sp;
               }
             in

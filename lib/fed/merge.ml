@@ -39,6 +39,22 @@ let normalize_stale stale =
     (fun (a : Med.staleness) b -> String.compare a.Med.st_source b.Med.st_source)
     (Hashtbl.fold (fun _ s acc -> s :: acc) tbl [])
 
+(* Freshness bounds join dually to reflect entries: the federation can
+   only promise the weakest (largest) bound any contributing shard
+   reported, plus the age of every dead-shard marker. *)
+let merge_bound ?(stale = []) bounds =
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let take src b =
+    match Hashtbl.find_opt tbl src with
+    | None -> Hashtbl.replace tbl src b
+    | Some b' -> if b > b' then Hashtbl.replace tbl src b
+  in
+  List.iter (List.iter (fun (src, b) -> take src b)) bounds;
+  List.iter (fun (s : Med.staleness) -> take s.Med.st_source s.Med.st_age) stale;
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun src b acc -> (src, b) :: acc) tbl [])
+
 let merge_quality qualities =
   let stale =
     List.concat_map

@@ -30,3 +30,13 @@ val normalize_stale : Med.staleness list -> Med.staleness list
 val merge_quality : Qp.quality list -> Qp.quality
 (** [Fresh] only when every contribution is fresh; otherwise the
     normalized union of staleness markers. *)
+
+val merge_bound :
+  ?stale:Med.staleness list ->
+  (string * float) list list ->
+  (string * float) list
+(** Merge per-shard online freshness bounds: per source the {e
+    largest} reported bound survives (dual of {!merge_reflect} — the
+    federation can only promise what its weakest shard promises), and
+    dead-shard staleness markers contribute their age. Sorted by
+    source name. *)

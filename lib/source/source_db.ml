@@ -73,6 +73,22 @@ let create ~engine ~name ~relations ~announce () =
 let name t = t.name
 let engine t = t.engine
 let relation_names t = List.map fst t.schemas
+let announce_mode t = t.announce
+let announces t = t.announce <> Never
+
+(* Delay accessors for the Theorem 7.2 bound: the a-priori f̄ is built
+   from exactly the delays this simulation models. *)
+let ann_delay t =
+  match t.announce with
+  | Immediate -> 0.0
+  | Periodic p -> p
+  | Never -> Float.infinity
+
+let comm_delay t =
+  match t.link with Some l -> l.comm_delay | None -> 0.0
+
+let q_proc_delay t =
+  match t.link with Some l -> l.q_proc_delay | None -> 0.0
 
 let schema t rel =
   match List.assoc_opt rel t.schemas with

@@ -72,6 +72,26 @@ val engine : t -> Engine.t
 val schema : t -> string -> Schema.t
 val relation_names : t -> string list
 
+val announce_mode : t -> announce_mode
+(** The announcement mode the source was created with. *)
+
+val announces : t -> bool
+(** [true] unless the mode is [Never] — i.e. the source's deltas do
+    eventually reach the mediator without polling, the precondition
+    for self-maintained views over it. *)
+
+val ann_delay : t -> float
+(** Worst-case announcement holding delay ([d_ann] of Theorem 7.2):
+    [0] for [Immediate], the period for [Periodic], and [infinity]
+    for [Never] (deltas are never pushed). *)
+
+val comm_delay : t -> float
+(** The channel delay set at {!connect} ([0] when unconnected). *)
+
+val q_proc_delay : t -> float
+(** The query-processing delay set at {!connect} ([0] when
+    unconnected). *)
+
 val load : t -> string -> Bag.t -> unit
 (** Set a relation's initial (version 0) contents. Only before the
     first commit. @raise Source_error otherwise. *)

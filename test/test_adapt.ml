@@ -443,6 +443,116 @@ let policy_workload_shift () =
   check_store env med ~what:"workload shift";
   check_consistent env med ~what:"workload shift"
 
+(* ---- self-maintenance --------------------------------------------------- *)
+
+let always _ = true
+
+let selfmaint_detector_ex23 () =
+  let env = Scenario.make_fig1 ~seed:7 () in
+  let vdp = env.Scenario.vdp in
+  (* Ex. 2.1 (fully materialized) is already self-maintaining *)
+  let reports =
+    Adapt.Selfmaint.analyze vdp (Scenario.ann_ex21 vdp) ~announces:always
+  in
+  Alcotest.(check bool) "Ex. 2.1 self-maintains" true
+    (List.for_all (fun r -> r.Adapt.Selfmaint.sm_self) reports);
+  (* Ex. 2.3: T's delta step reads R' and S' values, and both are
+     fully virtual — the detector must propose exactly the attributes
+     the propagation rules read *)
+  let reports =
+    Adapt.Selfmaint.analyze vdp (Scenario.ann_ex23 vdp) ~announces:always
+  in
+  (match
+     List.find_opt (fun r -> r.Adapt.Selfmaint.sm_node = "T") reports
+   with
+  | None -> Alcotest.fail "no report for T"
+  | Some r ->
+    Alcotest.(check bool) "T not self-maintaining under Ex. 2.3" false
+      r.Adapt.Selfmaint.sm_self;
+    Alcotest.(check (list (pair string (list string))))
+      "auxiliary views cover the uncovered reads"
+      [ ("R'", [ "r1"; "r2"; "r3" ]); ("S'", [ "s1"; "s2" ]) ]
+      r.Adapt.Selfmaint.sm_aux);
+  (* a never-announcing source blocks poll-freedom: no deltas would
+     arrive to maintain the auxiliaries *)
+  let blocked =
+    Adapt.Selfmaint.analyze vdp (Scenario.ann_ex23 vdp)
+      ~announces:(fun s -> s <> "db2")
+  in
+  (match
+     List.find_opt (fun r -> r.Adapt.Selfmaint.sm_node = "T") blocked
+   with
+  | Some r ->
+    Alcotest.(check bool) "db2 blocks" true (r.Adapt.Selfmaint.sm_blocked <> [])
+  | None -> Alcotest.fail "no report for T");
+  (* the extended annotation is a fixed point: analyzing it finds
+     nothing left to promote *)
+  let ext =
+    Adapt.Selfmaint.target vdp (Scenario.ann_ex23 vdp) ~announces:always
+  in
+  Alcotest.(check bool) "extension self-maintains" true
+    (List.for_all
+       (fun r -> r.Adapt.Selfmaint.sm_self)
+       (Adapt.Selfmaint.analyze vdp ext ~announces:always));
+  Alcotest.(check (list (pair string (list string))))
+    "added reports the promotions"
+    [ ("R'", [ "r1"; "r2"; "r3" ]); ("S'", [ "s1"; "s2" ]) ]
+    (List.sort compare
+       (Adapt.Selfmaint.added vdp ~base:(Scenario.ann_ex23 vdp) ~ext))
+
+let selfmaint_zero_polls () =
+  (* under the selfmaint-extended Ex. 2.3 annotation, steady-state
+     update transactions touch no source at all; the plain Ex. 2.3
+     baseline polls on every one *)
+  let run ann_of =
+    let env = Scenario.make_fig1 ~seed:13 () in
+    let med = Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp) () in
+    in_process env (fun () -> Mediator.initialize med);
+    let s = Mediator.stats med in
+    let polls0 = Obs.Metrics.value s.Med.polls in
+    burst env med (Datagen.state 131) 15;
+    (env, med, Obs.Metrics.value s.Med.polls - polls0)
+  in
+  let env, med, poll_free =
+    run (fun vdp ->
+        Adapt.Selfmaint.target vdp (Scenario.ann_ex23 vdp) ~announces:always)
+  in
+  Alcotest.(check int) "steady-state update txs poll nothing" 0 poll_free;
+  Alcotest.(check bool) "self-maintained txs counted" true
+    (Obs.Metrics.value (Mediator.stats med).Med.self_maintained_txs >= 1);
+  check_store env med ~what:"selfmaint steady state";
+  check_consistent env med ~what:"selfmaint steady state";
+  let _, _, baseline_polls = run Scenario.ann_ex23 in
+  Alcotest.(check bool) "plain Ex. 2.3 does poll" true (baseline_polls >= 1)
+
+let policy_selfmaint_migrates () =
+  let env = Scenario.make_fig1 ~seed:17 () in
+  let med =
+    Scenario.mediator env ~annotation:(Scenario.ann_ex23 env.Scenario.vdp) ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  (* impossible min_gain: the advisor can never move, so the migration
+     below is the ungated selfmaint extension alone *)
+  let config =
+    {
+      Adapt.Policy.default_config with
+      Adapt.Policy.warmup = 0.0;
+      cooldown = 0.0;
+      min_gain = 2.0;
+      self_maintain = true;
+    }
+  in
+  let p = Adapt.Policy.create ~config med in
+  (match in_process env (fun () -> Adapt.Policy.tick p) with
+  | Some ev ->
+    Alcotest.(check bool) "aux promoted" true (ev.Adapt.Policy.e_aux <> [])
+  | None -> Alcotest.fail "selfmaint extension caused no migration");
+  Alcotest.(check bool) "aux promotions counted" true
+    (Obs.Metrics.value (Mediator.stats med).Med.aux_promotions >= 1);
+  Alcotest.(check bool) "aux views tracked" true (Adapt.Policy.aux_views p <> []);
+  check_store env med ~what:"selfmaint migration";
+  check_consistent env med ~what:"selfmaint migration"
+
 (* ---- randomized migration fuzz ----------------------------------------- *)
 
 type fuzz_scenario = {
@@ -575,6 +685,15 @@ let () =
           Alcotest.test_case "warmup blocks" `Quick policy_warmup_blocks;
           Alcotest.test_case "min_gain blocks" `Quick policy_min_gain_blocks;
           Alcotest.test_case "cooldown blocks" `Quick policy_cooldown_blocks;
+        ] );
+      ( "self-maintenance",
+        [
+          Alcotest.test_case "detector on Example 2.3" `Quick
+            selfmaint_detector_ex23;
+          Alcotest.test_case "steady state polls nothing" `Slow
+            selfmaint_zero_polls;
+          Alcotest.test_case "policy applies the extension" `Quick
+            policy_selfmaint_migrates;
         ] );
       ( "end to end",
         [

@@ -105,7 +105,7 @@ let synthetic_setup () =
   Engine.run engine;
   (vdp, src)
 
-let query_event ?(stale = []) ~time ~answer ~version () =
+let query_event ?(stale = []) ?(bound = []) ~time ~answer ~version () =
   Med.Query_tx
     {
       qt_time = time;
@@ -115,6 +115,7 @@ let query_event ?(stale = []) ~time ~answer ~version () =
       qt_answer = answer;
       qt_reflect = [ ("db", Med.Version version) ];
       qt_stale = stale;
+      qt_bound = bound;
     }
 
 let test_checker_accepts_honest_log () =
@@ -193,7 +194,8 @@ let test_theorem_bound_formula () =
       q_proc_delay_med = 0.0625;
     }
   in
-  (* one source: polling term = 0.25 + 0.5 = 0.75 *)
+  (* a materialized contributor is never polled, so with every source
+     materialized the polling term vanishes *)
   let f_mat =
     Checker.theorem_7_2_bound ~vdp
       ~contributor:(fun _ -> Med.Materialized_contributor)
@@ -201,14 +203,105 @@ let test_theorem_bound_formula () =
   in
   Alcotest.(check (float 1e-9))
     "materialized-contributor bound"
-    (1.0 +. 0.5 +. 2.0 +. 0.125 +. 0.75)
+    (1.0 +. 0.5 +. 2.0 +. 0.125)
     f_mat;
+  (* one virtual source: polling term = 0.25 + 0.5 = 0.75 *)
   let f_virt =
     Checker.theorem_7_2_bound ~vdp
       ~contributor:(fun _ -> Med.Virtual_contributor)
       profile "db"
   in
   Alcotest.(check (float 1e-9)) "virtual-contributor bound" (0.75 +. 0.0625) f_virt
+
+let test_theorem_bound_mixed () =
+  (* two sources, db materialized and db2 virtual: the polling term
+     must cover db2 only — the regression the satellite fix guards
+     against summed db's round-trip into it as well *)
+  let schema_s = Schema.make [ ("q1", Value.TInt) ] in
+  let b =
+    Builder.create
+      ~source_of:(function
+        | "R" -> Some "db" | "S" -> Some "db2" | _ -> None)
+      ~schema_of:(function
+        | "R" -> Some schema_r2 | "S" -> Some schema_s | _ -> None)
+      ()
+  in
+  Builder.add_export b ~name:"V" Expr.(join (base "R") (base "S"));
+  let vdp = Builder.build b in
+  let profile =
+    {
+      Checker.ann_delay = (fun _ -> 1.0);
+      comm_delay = (fun _ -> 0.5);
+      q_proc_delay = (fun _ -> 0.25);
+      u_hold_delay = 2.0;
+      u_proc_delay = 0.125;
+      q_proc_delay_med = 0.0625;
+    }
+  in
+  let contributor = function
+    | "db" -> Med.Materialized_contributor
+    | _ -> Med.Virtual_contributor
+  in
+  let f_db = Checker.theorem_7_2_bound ~vdp ~contributor profile "db" in
+  (* announcement path for db + the one polled source's round-trip *)
+  Alcotest.(check (float 1e-9))
+    "materialized source, mixed polling term"
+    (1.0 +. 0.5 +. 2.0 +. 0.125 +. (0.25 +. 0.5))
+    f_db;
+  let f_db2 = Checker.theorem_7_2_bound ~vdp ~contributor profile "db2" in
+  Alcotest.(check (float 1e-9))
+    "virtual source, mixed polling term"
+    (0.25 +. 0.5 +. 0.0625)
+    f_db2
+
+let test_monotone_drop_readd () =
+  (* a source omitted from one reflect vector must keep its high-water
+     mark: dropping "db" from the middle event and re-adding it at a
+     lower version is a backwards move the checker must flag *)
+  let vdp, src = synthetic_setup () in
+  let update_event ~time vector =
+    Med.Update_tx { ut_time = time; ut_reflect = vector; ut_atoms = 0 }
+  in
+  let events =
+    [
+      query_event ~time:4.5 ~answer:(v_state 0) ~version:3 ();
+      update_event ~time:5.0 [];
+      (* vector omits db entirely *)
+      query_event ~time:6.5 ~answer:(v_state 1) ~version:1 () (* backwards *);
+    ]
+  in
+  let report = Checker.check ~vdp ~sources:[ src ] ~events () in
+  Alcotest.(check bool)
+    "backwards move across an omission detected" true
+    (List.exists (fun v -> v.Checker.v_kind = `Order) report.Checker.violations)
+
+let test_checker_detects_bound_violation () =
+  let vdp, src = synthetic_setup () in
+  (* at 6.5 reflecting version 2 the observed staleness is 2.5; an
+     answer claiming a 1.0 bound lied about its freshness *)
+  let events =
+    [
+      query_event ~time:6.5 ~answer:(v_state 0) ~version:2
+        ~bound:[ ("db", 1.0) ] ();
+    ]
+  in
+  let report = Checker.check ~vdp ~sources:[ src ] ~events () in
+  Alcotest.(check int)
+    "one bound violation" 1
+    (List.length (Checker.bound_violations report));
+  (* bound violations degrade freshness, not consistency *)
+  Alcotest.(check bool) "still consistent" true (Checker.consistent report);
+  (* an honest bound of 3.0 passes *)
+  let honest =
+    [
+      query_event ~time:6.5 ~answer:(v_state 0) ~version:2
+        ~bound:[ ("db", 3.0) ] ();
+    ]
+  in
+  let report = Checker.check ~vdp ~sources:[ src ] ~events:honest () in
+  Alcotest.(check int)
+    "honest bound accepted" 0
+    (List.length (Checker.bound_violations report))
 
 let () =
   Alcotest.run "correctness"
@@ -226,5 +319,8 @@ let () =
           Alcotest.test_case "detects order violation" `Quick test_checker_detects_order_violation;
           Alcotest.test_case "measures staleness" `Quick test_checker_staleness_measured;
           Alcotest.test_case "Theorem 7.2 bound formula" `Quick test_theorem_bound_formula;
+          Alcotest.test_case "Theorem 7.2 bound, mixed M/V" `Quick test_theorem_bound_mixed;
+          Alcotest.test_case "monotone across omitted sources" `Quick test_monotone_drop_readd;
+          Alcotest.test_case "detects bound violation" `Quick test_checker_detects_bound_violation;
         ] );
     ]

@@ -132,6 +132,31 @@ let test_retry_survives_transient_blackhole () =
   Alcotest.(check bool) "a retry happened" true ((Obs.Metrics.value s.Med.poll_retries) >= 1);
   Alcotest.(check int) "no budget exhaustion" 0 (Obs.Metrics.value s.Med.poll_failures)
 
+(* property: under every fault profile, no served answer's observed
+   staleness (checker-measured against source commit history) ever
+   exceeds the online bound the answer reported — the bound may be
+   loose, never a lie *)
+let test_chaos_bounds_respected () =
+  let sc =
+    match Chaos_run.scenario_by_name "fig1" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "fig1 chaos scenario missing"
+  in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun seed ->
+          let r = Chaos_run.run_one sc profile seed in
+          if not r.Chaos_run.c_bounds_ok then
+            Alcotest.failf "profile %s seed %d: %d answers overran their bound"
+              (Faults.name profile) seed r.Chaos_run.c_bound_violations;
+          Alcotest.(check bool)
+            (Printf.sprintf "profile %s seed %d passes" (Faults.name profile)
+               seed)
+            true (Chaos_run.passed r))
+        [ 1; 2 ])
+    Faults.all
+
 let () =
   Alcotest.run "faults"
     [
@@ -143,5 +168,10 @@ let () =
             test_outage_degrades_to_stale_answer;
           Alcotest.test_case "transient black hole -> retry" `Quick
             test_retry_survives_transient_blackhole;
+        ] );
+      ( "freshness bounds",
+        [
+          Alcotest.test_case "observed staleness <= reported bound" `Slow
+            test_chaos_bounds_respected;
         ] );
     ]

@@ -850,6 +850,152 @@ let test_theorem_7_2_staleness_bounded () =
        (fun v -> v.Checker.v_detail)
        (Checker.check_freshness report ~bound))
 
+(* --- freshness SLOs (online Theorem 7.2 bounds) ------------------------- *)
+
+let slo_env ?(announce = Source_db.Immediate) annotation_of =
+  let env = Scenario.make_fig1 ~announce () in
+  let med =
+    Scenario.mediator env
+      ~annotation:(annotation_of env.Scenario.vdp)
+      ~config:(Med.Config.make ~op_time:0.0 ())
+      ~delays:(fun _ -> { Mediator.comm_delay = 0.02; q_proc_delay = 0.01 })
+      ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  (env, med)
+
+let slo_churn env =
+  let rng = Datagen.state 99 in
+  List.iter
+    (fun (src_name, rel) ->
+      Driver.update_process ~rng ~src:(Scenario.source env src_name)
+        {
+          Driver.u_relation = rel;
+          u_interval = 0.3;
+          u_count = 6;
+          u_delete_fraction = 0.25;
+          u_specs = Scenario.fig1_update_specs rel;
+        })
+    [ ("db1", "R"); ("db2", "S") ]
+
+let test_slo_answer_carries_bound () =
+  let env, med = slo_env Scenario.ann_ex21 in
+  slo_churn env;
+  Scenario.run_to_quiescence env med;
+  let a = in_process env (fun () -> Mediator.query med ~node:"T" ()) in
+  List.iter
+    (fun src ->
+      match List.assoc_opt src a.Qp.bound with
+      | Some b ->
+        Alcotest.(check bool)
+          (src ^ " bound finite and non-negative")
+          true
+          (Float.is_finite b && b >= 0.0)
+      | None -> Alcotest.failf "no bound entry for %s" src)
+    [ "db1"; "db2" ];
+  ignore (check_consistent env med)
+
+let test_slo_prepoll_flushes_laggards () =
+  (* announcements are held for 50 time units: without escalation the
+     mediator's reflected state lags far beyond any reasonable SLO.
+     The prepoll's empty query makes the source flush first (FIFO), so
+     the drained store is current and the answer meets the bound. *)
+  let env, med =
+    slo_env ~announce:(Source_db.Periodic 50.0) Scenario.ann_ex21
+  in
+  slo_churn env;
+  Engine.run env.Scenario.engine ~until:10.0;
+  let before = Obs.Metrics.value (Mediator.stats med).Med.slo_polls in
+  let a =
+    in_process env (fun () ->
+        Mediator.query med ~node:"T" ~max_staleness:0.5 ())
+  in
+  Alcotest.(check bool)
+    "slo poll fired" true
+    (Obs.Metrics.value (Mediator.stats med).Med.slo_polls > before);
+  List.iter
+    (fun (src, b) ->
+      if b > 0.5 +. 1e-9 then Alcotest.failf "%s bound %.3f exceeds SLO" src b)
+    a.Qp.bound;
+  Tutil.check_bag "escalated answer is current" (recompute env "T")
+    a.Qp.tuples;
+  ignore (check_consistent env med)
+
+let test_slo_quiescent_not_refused () =
+  (* regression: a long quiet stretch makes the last announcement's
+     send time recede, but the sources have nothing new — a confirming
+     empty poll must advance the freshness witness, not refuse *)
+  let env, med = slo_env Scenario.ann_ex21 in
+  slo_churn env;
+  Scenario.run_to_quiescence env med;
+  Engine.run env.Scenario.engine
+    ~until:(Engine.now env.Scenario.engine +. 60.0);
+  let r =
+    in_process env (fun () ->
+        match Mediator.query med ~node:"T" ~max_staleness:1.0 () with
+        | a -> Ok a
+        | exception Qp.Slo_unsatisfiable m -> Error m)
+  in
+  match r with
+  | Error m ->
+    Alcotest.failf "refused despite quiescent sources (bound %s)"
+      (String.concat ", "
+         (List.map
+            (fun (s, b) -> Printf.sprintf "%s:%.2f" s b)
+            m.Qp.sm_bound))
+  | Ok a ->
+    Alcotest.(check bool)
+      "slo poll fired" true
+      (Obs.Metrics.value (Mediator.stats med).Med.slo_polls > 0);
+    List.iter
+      (fun (src, b) ->
+        if b > 1.0 +. 1e-9 then
+          Alcotest.failf "%s bound %.3f exceeds SLO" src b)
+      a.Qp.bound;
+    Tutil.check_bag "answer current" (recompute env "T") a.Qp.tuples;
+    ignore (check_consistent env med)
+
+let test_slo_refusal_source_down () =
+  let env, med = slo_env Scenario.ann_ex21 in
+  slo_churn env;
+  Scenario.run_to_quiescence env med;
+  let t_q = Engine.now env.Scenario.engine in
+  Source_db.set_outages (Scenario.source env "db1") [ (t_q, t_q +. 1000.0) ];
+  Engine.run env.Scenario.engine ~until:(t_q +. 30.0);
+  let r =
+    in_process env (fun () ->
+        match Mediator.query med ~node:"T" ~max_staleness:1.0 () with
+        | _ -> None
+        | exception Qp.Slo_unsatisfiable m -> Some m)
+  in
+  match r with
+  | None -> Alcotest.fail "expected Slo_unsatisfiable"
+  | Some m ->
+    Alcotest.(check string) "refused node" "T" m.Qp.sm_node;
+    (match List.assoc_opt "db1" m.Qp.sm_bound with
+    | Some b ->
+      Alcotest.(check bool) "db1 bound exceeds slo" true (b > 1.0)
+    | None -> Alcotest.fail "no db1 entry in refused bound");
+    Alcotest.(check bool)
+      "refusal counted" true
+      (Obs.Metrics.value (Mediator.stats med).Med.slo_refusals > 0)
+
+let test_freshness_bound_reported () =
+  let env, med = slo_env Scenario.ann_ex21 in
+  slo_churn env;
+  Scenario.run_to_quiescence env med;
+  let fb = Mediator.freshness_bound med ~node:"T" in
+  List.iter
+    (fun src ->
+      match List.assoc_opt src fb with
+      | Some f ->
+        Alcotest.(check bool)
+          (src ^ " f-bar finite positive")
+          true
+          (Float.is_finite f && f > 0.0)
+      | None -> Alcotest.failf "no f-bar entry for %s" src)
+    [ "db1"; "db2" ]
+
 (* --- determinism --------------------------------------------------------- *)
 
 let test_runs_are_deterministic () =
@@ -944,5 +1090,13 @@ let () =
         [
           Alcotest.test_case "7.1: consistency (randomized)" `Slow test_theorem_7_1_randomized;
           Alcotest.test_case "7.2: staleness bounded" `Quick test_theorem_7_2_staleness_bounded;
+        ] );
+      ( "freshness SLOs",
+        [
+          Alcotest.test_case "answer carries bound" `Quick test_slo_answer_carries_bound;
+          Alcotest.test_case "prepoll flushes laggards" `Quick test_slo_prepoll_flushes_laggards;
+          Alcotest.test_case "quiescent source not refused" `Quick test_slo_quiescent_not_refused;
+          Alcotest.test_case "refusal when source down" `Quick test_slo_refusal_source_down;
+          Alcotest.test_case "f-bar reported per source" `Quick test_freshness_bound_reported;
         ] );
     ]
