@@ -31,7 +31,8 @@
 open Chaos_run
 
 let json path runs fed_runs
-    ~summary:(all_pass, retry, degraded, resync, traced, bounds) ~fed_pass =
+    ~summary:(all_pass, retry, degraded, resync, traced, bounds) ~fed_pass
+    ~batch_coalesced =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -55,13 +56,14 @@ let json path runs fed_runs
          \"update_deferrals\": %d, \"version_checks\": %d, \
          \"retry_spans\": %d, \"degraded_spans\": %d, \"resync_spans\": \
          %d, \"trace_ok\": %b, \"bound_violations\": %d, \"bounds_ok\": %b, \
-         \"note\": %S}%s\n"
+         \"batches\": %d, \"batched_txs\": %d, \"note\": %S}%s\n"
         r.c_scenario r.c_profile r.c_seed (passed r) r.c_quiesced r.c_converged
         r.c_consistent r.c_fresh r.c_stale r.c_refused r.c_sent r.c_delivered
         r.c_dropped r.c_duplicated r.c_polls r.c_retries r.c_poll_failures
         r.c_degraded r.c_gaps r.c_dups_dropped r.c_resyncs r.c_deferrals
         r.c_heartbeats r.c_retry_spans r.c_degraded_spans r.c_resync_spans
-        r.c_trace_ok r.c_bound_violations r.c_bounds_ok r.c_note
+        r.c_trace_ok r.c_bound_violations r.c_bounds_ok r.c_batches
+        r.c_batched_txs r.c_note
         (if i = n - 1 then "" else ","))
     runs;
   p "  ],\n";
@@ -86,6 +88,7 @@ let json path runs fed_runs
   p "  \"exercised_degraded_answers\": %b,\n" degraded;
   p "  \"exercised_resync\": %b,\n" resync;
   p "  \"trace_spans_cover_recovery\": %b,\n" traced;
+  p "  \"batching_coalesced_under_faults\": %b,\n" batch_coalesced;
   p "  \"bound_respected\": %b\n" bounds;
   p "}\n";
   close_out oc
@@ -137,6 +140,39 @@ let run () =
   in
   Tables.print ~title:"seed × profile × scenario (counters are per run)"
     ~header (List.map row runs);
+  (* batching sub-matrix: the same cells with a small group-commit cap,
+     under the profiles that tear announcement streams apart (drops and
+     the everything-at-once chaos mix).  A gap landing mid-batch must
+     split the batch at the missing version — the contiguous prefix
+     still applies, the rest waits for resync — and the cell must still
+     converge with every freshness bound respected. *)
+  let batch_profiles =
+    List.filter
+      (fun p -> List.mem (Faults.name p) [ "drop"; "chaos" ])
+      Faults.all
+  in
+  let batch_runs =
+    List.concat_map
+      (fun sc ->
+        List.concat_map
+          (fun profile ->
+            List.map (run_one ~max_batch:4 ~tag:"+b4" sc profile) seeds)
+          batch_profiles)
+      scenarios
+  in
+  Tables.print
+    ~title:"group-commit batching under faults (max_batch=4, cap tag +b4)"
+    ~header
+    (List.map row batch_runs);
+  let batch_coalesced =
+    List.exists (fun r -> r.c_batches > 0 && r.c_batched_txs > r.c_batches)
+      batch_runs
+  in
+  Tables.note
+    "batched cells: %d, some batch actually coalesced >1 tx: %s\n"
+    (List.length batch_runs)
+    (if batch_coalesced then "yes" else "NO");
+  let runs = runs @ batch_runs in
   (* federation profile: a 4-shard federation loses one shard
      mid-workload (kill: the router knows; partition: it does not),
      must degrade naming only the victim, and reconverge to the
@@ -210,10 +246,12 @@ let run () =
   in
   json path runs fed_runs
     ~summary:(all_pass, retry, degraded, resync, traced, bounds)
-    ~fed_pass;
+    ~fed_pass ~batch_coalesced;
   Tables.note "wrote %s\n" path;
   if
-    not (all_pass && retry && degraded && resync && traced && bounds && fed_pass)
+    not
+      (all_pass && retry && degraded && resync && traced && bounds && fed_pass
+     && batch_coalesced)
   then (
     Tables.note "E14 FAILED\n";
     exit 1)

@@ -30,6 +30,7 @@ let experiments =
     ("e17", Wcoj.run);
     ("e18", Federation.run);
     ("e19", Freshness.run);
+    ("e20", Batching.run);
     ("figs", Experiments.figs);
   ]
 

@@ -138,6 +138,13 @@ let seed_arg =
   let doc = "PRNG seed (runs are fully deterministic per seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let max_batch_arg =
+  let doc =
+    "Group-commit cap: queued announcements coalesced into one kernel pass \
+     (1 = paper-faithful one transaction per pass)."
+  in
+  Arg.(value & opt int 64 & info [ "max-batch" ] ~docv:"N" ~doc)
+
 let setup_verbose verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
@@ -605,7 +612,7 @@ let adapt_cmd =
 (* --- profile ---------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run scenario annotation updates queries seed verbose =
+  let run scenario annotation updates queries max_batch seed verbose =
     setup_verbose verbose;
     match find_scenario scenario with
     | Error e -> Error e
@@ -615,7 +622,9 @@ let profile_cmd =
       | Ok ann_of ->
         let env = spec.sc_make seed in
         let med =
-          Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp) ()
+          Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp)
+            ~config:(Med.Config.make ~max_batch ())
+            ()
         in
         Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
         Engine.run env.Scenario.engine ~until:1.0;
@@ -655,6 +664,14 @@ let profile_cmd =
           (v s.Med.cache_invalidations)
           (Relalg.Plan.compiled_plans ())
           (Delta.Delta_plan.compiled_plans ());
+        Printf.printf
+          "\n\
+           -- batching (max_batch %d) --\n\
+           %d batches over %d update txs (mean %.2f tx/batch), %d \
+           annihilated +/- pairs\n"
+          max_batch (v s.Med.batches) (v s.Med.coalesced_txs)
+          (Adapt.Monitor.mean_batch med)
+          (v s.Med.annihilated_pairs);
         let store = med.Med.store in
         let table_names =
           List.sort compare (Storage.Store.table_names store)
@@ -689,7 +706,7 @@ let profile_cmd =
       term_result
         (const run $ scenario_arg
         $ annotation_arg "ex21"
-        $ updates $ queries $ seed_arg $ verbose_arg))
+        $ updates $ queries $ max_batch_arg $ seed_arg $ verbose_arg))
   in
   Cmd.v
     (Cmd.info "profile"
@@ -703,9 +720,13 @@ let profile_cmd =
 (* Shared driver for the observability commands: a scenario under the
    standard update/query load, quiesced, with the mediator handed back
    so the caller can export its trace or metrics registry. *)
-let run_observed spec ann_of ~updates ~queries ~seed =
+let run_observed spec ann_of ~updates ~queries ~max_batch ~seed =
   let env = spec.sc_make seed in
-  let med = Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp) () in
+  let med =
+    Scenario.mediator env ~annotation:(ann_of env.Scenario.vdp)
+      ~config:(Med.Config.make ~max_batch ())
+      ()
+  in
   Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
   Engine.run env.Scenario.engine ~until:1.0;
   let rng = Datagen.state (seed * 31) in
@@ -745,7 +766,7 @@ let queries_arg =
     & info [ "queries"; "q" ] ~docv:"N" ~doc:"Queries against the main export.")
 
 let trace_cmd =
-  let run scenario annotation updates queries seed jsonl verbose =
+  let run scenario annotation updates queries max_batch seed jsonl verbose =
     setup_verbose verbose;
     match find_scenario scenario with
     | Error e -> Error e
@@ -753,7 +774,9 @@ let trace_cmd =
       match find_annotation spec annotation with
       | Error e -> Error e
       | Ok ann_of ->
-        let _env, med = run_observed spec ann_of ~updates ~queries ~seed in
+        let _env, med =
+          run_observed spec ann_of ~updates ~queries ~max_batch ~seed
+        in
         let trace = Mediator.trace med in
         (match jsonl with
         | "" -> print_string (Obs.Trace.render trace)
@@ -782,7 +805,8 @@ let trace_cmd =
       term_result
         (const run $ scenario_arg
         $ annotation_arg "ex21"
-        $ updates_arg $ queries_arg $ seed_arg $ jsonl $ verbose_arg))
+        $ updates_arg $ queries_arg $ max_batch_arg $ seed_arg $ jsonl
+        $ verbose_arg))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -793,7 +817,7 @@ let trace_cmd =
     term
 
 let metrics_cmd =
-  let run scenario annotation updates queries seed json verbose =
+  let run scenario annotation updates queries max_batch seed json verbose =
     setup_verbose verbose;
     match find_scenario scenario with
     | Error e -> Error e
@@ -801,7 +825,9 @@ let metrics_cmd =
       match find_annotation spec annotation with
       | Error e -> Error e
       | Ok ann_of ->
-        let _env, med = run_observed spec ann_of ~updates ~queries ~seed in
+        let _env, med =
+          run_observed spec ann_of ~updates ~queries ~max_batch ~seed
+        in
         let snap = Obs.Metrics.snapshot (Mediator.metrics med) in
         if json then print_endline (Obs.Metrics.to_json snap)
         else print_string (Obs.Metrics.render snap);
@@ -817,7 +843,8 @@ let metrics_cmd =
       term_result
         (const run $ scenario_arg
         $ annotation_arg "ex21"
-        $ updates_arg $ queries_arg $ seed_arg $ json $ verbose_arg))
+        $ updates_arg $ queries_arg $ max_batch_arg $ seed_arg $ json
+        $ verbose_arg))
   in
   Cmd.v
     (Cmd.info "metrics"
@@ -861,7 +888,9 @@ let freshness_cmd =
       match find_annotation spec annotation with
       | Error e -> Error e
       | Ok ann_of ->
-        let env, med = run_observed spec ann_of ~updates ~queries ~seed in
+        let env, med =
+          run_observed spec ann_of ~updates ~queries ~max_batch:64 ~seed
+        in
         let vdp = env.Scenario.vdp in
         Printf.printf
           "-- analytic Theorem 7.2 bounds (f-bar per contributing source, \
@@ -958,7 +987,7 @@ let freshness_cmd =
 (* --- chaos ----------------------------------------------------------------- *)
 
 let chaos_cmd =
-  let run scenario profile seed verbose =
+  let run scenario profile max_batch seed verbose =
     setup_verbose verbose;
     match Chaos_run.scenario_by_name scenario with
     | None ->
@@ -974,7 +1003,7 @@ let chaos_cmd =
              (Printf.sprintf "unknown fault profile %S (try: %s)" profile
                 (String.concat ", " Faults.names)))
       | Some p ->
-        let r = Chaos_run.run_one sc p seed in
+        let r = Chaos_run.run_one ~max_batch sc p seed in
         let b v = if v then "yes" else "NO" in
         Printf.printf "-- chaos cell %s/%s seed %d --\n" r.Chaos_run.c_scenario
           r.Chaos_run.c_profile r.Chaos_run.c_seed;
@@ -999,6 +1028,8 @@ let chaos_cmd =
           r.Chaos_run.c_dups_dropped;
         Printf.printf "degraded answers  %d\n" r.Chaos_run.c_degraded;
         Printf.printf "version checks    %d\n" r.Chaos_run.c_heartbeats;
+        Printf.printf "batching          %d batches over %d update txs\n"
+          r.Chaos_run.c_batches r.Chaos_run.c_batched_txs;
         Printf.printf
           "trace             %d retry spans, %d degraded query spans, \
            %d resync spans, invariants %s\n"
@@ -1020,7 +1051,10 @@ let chaos_cmd =
              reorder, chaos.")
   in
   let term =
-    Term.(term_result (const run $ scenario_arg $ profile $ seed_arg $ verbose_arg))
+    Term.(
+      term_result
+        (const run $ scenario_arg $ profile $ max_batch_arg $ seed_arg
+        $ verbose_arg))
   in
   Cmd.v
     (Cmd.info "chaos"

@@ -159,7 +159,12 @@ let apply (t : Med.t) plan =
               | None -> Engine.now t.Med.engine
             in
             Med.set_reflected t src
-              { Med.r_version = v; r_commit_time = time; r_send_time = time }
+              {
+                Med.r_version = v;
+                r_from_version = (Med.reflected_version t src).Med.r_version;
+                r_commit_time = time;
+                r_send_time = time;
+              }
           end)
         vap.Vap.polled_versions;
       t.Med.queue <-

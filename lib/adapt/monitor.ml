@@ -89,6 +89,11 @@ let profile t =
     selectivity = Cost.default_selectivity;
   }
 
+let mean_batch (med : Med.t) =
+  let h = med.Med.stats.Med.batch_size in
+  let n = Obs.Metrics.histogram_count h in
+  if n = 0 then 1.0 else Obs.Metrics.histogram_sum h /. float_of_int n
+
 let to_assoc tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
 
 let cumulative_profile ?(default_cardinality = 100) (med : Med.t) =

@@ -35,6 +35,11 @@ val cumulative_profile : ?default_cardinality:int -> Med.t -> Cost.profile
 (** Whole-run profile straight from the mediator's counters via
     {!Cost.measured_profile}, over the window [now - 0]. *)
 
+val mean_batch : Med.t -> float
+(** Observed mean group-commit batch size from the mediator's
+    [batch_size] histogram ([1.0] before any batch has been applied) —
+    the amortization factor {!Cost.estimate}'s [?batch] expects. *)
+
 val render : t -> string
 (** Human-readable dump of the smoothed rates (exports first, then
     leaves). *)

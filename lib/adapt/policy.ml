@@ -77,8 +77,12 @@ let tick t =
     (* the advisor's move is cost-gated as before; the selfmaint
        extension is not — it trades store space for poll-freedom,
        which the analytic cost model does not price *)
-    let current = Cost.total (Cost.estimate vdp t.med.Med.ann profile) in
-    let proposed = Cost.total (Cost.estimate vdp advisor_target profile) in
+    (* maintenance costs are amortized over the realized mean batch
+       size: the policy compares annotations under the update cadence
+       the group-commit layer actually delivers, not per-announcement *)
+    let batch = Monitor.mean_batch t.med in
+    let current = Cost.total (Cost.estimate ~batch vdp t.med.Med.ann profile) in
+    let proposed = Cost.total (Cost.estimate ~batch vdp advisor_target profile) in
     let gain = (current -. proposed) /. Float.max current 1e-9 in
     let advisor_ok =
       (not

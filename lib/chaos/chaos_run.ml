@@ -23,9 +23,12 @@ let query_count = 20
 (* Timeouts and the heartbeat are what make faults survivable at all:
    a dropped answer only surfaces as a timeout, and a dropped FINAL
    announcement only surfaces through the version check. *)
-let config =
+let make_config ?max_batch () =
   Med.Config.make ~op_time:0.0 ~poll_timeout:2.0 ~poll_retries:4
-    ~poll_backoff:0.1 ~version_check_interval:2.0 ~trace_capacity:16384 ()
+    ~poll_backoff:0.1 ~version_check_interval:2.0 ~trace_capacity:16384
+    ?max_batch ()
+
+let config = make_config ()
 
 type scenario = {
   sc_name : string;
@@ -119,6 +122,8 @@ type run = {
   c_bound_violations : int;
       (** answers whose observed staleness exceeded their reported bound *)
   c_bounds_ok : bool;  (** no answer overran its online freshness bound *)
+  c_batches : int;  (** group-commit batches applied *)
+  c_batched_txs : int;  (** constituent announcements folded into them *)
   c_note : string;
 }
 
@@ -127,11 +132,14 @@ let passed r =
   && r.c_bounds_ok
 
 (* Trace invariants the fault model must preserve:
-   1. a deferred update transaction is not the end of the story — some
-      applied update_tx or snapshot rebuild starts at-or-after it
+   1. a deferred batch transaction is not the end of the story — some
+      applied batch_tx or snapshot rebuild starts at-or-after it
       (otherwise deferred work was silently dropped);
    2. every resync span was triggered by an observed gap: some
-      gap_detected event precedes it. *)
+      gap_detected event precedes it;
+   3. every applied batch_tx's [entries] attribute equals the number
+      of update_tx children it wraps — the batch frame never claims
+      constituents it did not trace. *)
 let trace_invariants trace =
   let roots = Obs.Trace.roots trace in
   let starts name pred =
@@ -146,8 +154,8 @@ let trace_invariants trace =
     match Obs.Trace.attr sp "outcome" with Some x -> String.equal x v | None -> false
   in
   let any _ = true in
-  let deferred = starts "update_tx" (outcome "deferred") in
-  let applied = starts "update_tx" (outcome "applied") in
+  let deferred = starts "batch_tx" (outcome "deferred") in
+  let applied = starts "batch_tx" (outcome "applied") in
   let snapshots = starts "snapshot" any in
   let resyncs = starts "resync" any in
   let gaps = starts "gap_detected" any in
@@ -155,16 +163,33 @@ let trace_invariants trace =
     List.exists (fun t -> t >= t0) applied
     || List.exists (fun t -> t >= t0) snapshots
   in
+  let batch_frames_ok =
+    List.for_all
+      (fun (sp : Obs.Trace.span) ->
+        (not (String.equal sp.Obs.Trace.name "batch_tx"))
+        ||
+        let children =
+          List.length
+            (List.filter
+               (fun (c : Obs.Trace.span) ->
+                 String.equal c.Obs.Trace.name "update_tx")
+               sp.Obs.Trace.children)
+        in
+        Obs.Trace.attr sp "entries" = Some (string_of_int children))
+      roots
+  in
   let problems =
     (if List.for_all closed_after deferred then []
-     else [ "deferred update_tx never followed by applied/snapshot" ])
+     else [ "deferred batch_tx never followed by applied/snapshot" ])
+    @ (if
+         List.for_all
+           (fun rt -> List.exists (fun gt -> gt <= rt) gaps)
+           resyncs
+       then []
+       else [ "resync without a preceding gap_detected event" ])
     @
-    if
-      List.for_all
-        (fun rt -> List.exists (fun gt -> gt <= rt) gaps)
-        resyncs
-    then []
-    else [ "resync without a preceding gap_detected event" ]
+    if batch_frames_ok then []
+    else [ "batch_tx entries attribute disagrees with update_tx children" ]
   in
   (problems = [], problems)
 
@@ -200,11 +225,13 @@ let reference_answer env name =
   in
   Eval.eval ~env:leaf_env (Graph.expanded_def vdp name)
 
-let run_one sc profile seed =
+let run_one ?max_batch ?(tag = "") sc profile seed =
   let env = sc.sc_make ~seed in
   let engine = env.Scenario.engine in
   let med =
-    Scenario.mediator env ~annotation:(sc.sc_ann env.Scenario.vdp) ~config ()
+    Scenario.mediator env
+      ~annotation:(sc.sc_ann env.Scenario.vdp)
+      ~config:(make_config ?max_batch ()) ()
   in
   Engine.spawn engine (fun () -> Mediator.initialize med);
   Engine.run engine ~until:update_start;
@@ -306,7 +333,7 @@ let run_one sc profile seed =
   let retry_spans, degraded_spans, resync_spans = span_coverage trace in
   {
     c_scenario = sc.sc_name;
-    c_profile = Faults.name profile;
+    c_profile = Faults.name profile ^ tag;
     c_seed = seed;
     c_quiesced = quiesced;
     c_converged = converged;
@@ -333,6 +360,8 @@ let run_one sc profile seed =
     c_trace_ok = trace_ok;
     c_bound_violations = bound_violations;
     c_bounds_ok = bound_violations = 0;
+    c_batches = v s.Med.batches;
+    c_batched_txs = v s.Med.coalesced_txs;
     c_note = String.concat "; " (note @ diverged @ violations @ trace_problems);
   }
 

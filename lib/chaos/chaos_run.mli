@@ -59,6 +59,8 @@ type run = {
   c_bound_violations : int;
       (** answers whose observed staleness exceeded their reported bound *)
   c_bounds_ok : bool;  (** no answer overran its online freshness bound *)
+  c_batches : int;  (** group-commit batches applied *)
+  c_batched_txs : int;  (** constituent announcements folded into them *)
   c_note : string;
 }
 
@@ -67,8 +69,12 @@ val passed : run -> bool
     framework consistent, trace invariants held, and every answer's
     observed staleness within its reported online bound. *)
 
-val run_one : scenario -> Faults.profile -> int -> run
-(** Run one (scenario, fault profile, seed) cell end to end. *)
+val run_one : ?max_batch:int -> ?tag:string -> scenario -> Faults.profile -> int -> run
+(** Run one (scenario, fault profile, seed) cell end to end.
+    [?max_batch] overrides the mediator's group-commit cap (the
+    batching sub-matrix runs with a small cap so fault windows land on
+    batch boundaries); [?tag] is appended to the recorded profile name
+    to keep such cells distinguishable in reports. *)
 
 (** {1 Federation cells}
 

@@ -26,48 +26,77 @@ let leaf_parent_delta (t : Med.t) node (delta : Multi_delta.t) =
     let filtered = Vap.filter_delta ~node (Graph.def t.Med.vdp node) d in
     if Rel_delta.is_empty filtered then None else Some filtered
 
-(* The transaction body, caller-locked: [update_transaction] wraps it
-   in the mediator mutex; the QP calls it directly under its own lock
-   when an SLO forces a queue drain mid-query (the engine mutex is not
-   reentrant). *)
+(* The group-commit transaction body, caller-locked:
+   [update_transaction] wraps {!drain} in the mediator mutex; the QP
+   calls {!drain} directly under its own lock when an SLO forces a
+   queue drain mid-query (the engine mutex is not reentrant). One call
+   applies ONE batch of up to [config.max_batch] contiguous
+   announcements as a single kernel pass. *)
 let run (t : Med.t) =
       (* a detected announcement gap makes the queue unusable for the
          affected source — rebuild from a snapshot before processing.
          If the source is still unreachable, keep deferring: a later
          flusher tick retries after the fault heals. *)
       (try Resync.resync_if_dirty t with Med.Poll_failed _ -> ());
-      let entries = Med.take_queue t in
       (* if the resync could not run (source still unreachable), its
          sources' entries chain onto a lost delta — applying them
          would fabricate states the source never went through. Hold
          them back; clean sources keep flowing. *)
       let still_dirty = Med.dirty_sources t in
-      let deferred, entries =
+      let deferred, clean =
         List.partition
           (fun e -> List.mem e.Med.q_source still_dirty)
-          entries
+          t.Med.queue
       in
+      t.Med.queue <- clean;
+      let entries = Med.take_batch t in
       t.Med.queue <- deferred @ t.Med.queue;
       if entries = [] then false
       else
-        Obs.Trace.with_span t.Med.trace "update_tx"
+        Obs.Trace.with_span t.Med.trace "batch_tx"
           ~attrs:[ ("entries", string_of_int (List.length entries)) ]
           (fun tx_sp ->
         let tx_start = Engine.now t.Med.engine in
+        (* the constituent transactions, each as a child span: the
+           batch is their atomic application *)
+        List.iter
+          (fun e ->
+            Obs.Trace.with_span t.Med.trace "update_tx"
+              ~attrs:
+                [
+                  ("source", e.Med.q_source);
+                  ("version", string_of_int e.Med.q_version);
+                  ("prev_version", string_of_int e.Med.q_prev_version);
+                  ("atoms",
+                   string_of_int (Multi_delta.atom_count e.Med.q_delta));
+                ]
+              (fun _sp -> ()))
+          entries;
         try
         let ops_before = Eval.tuple_ops () in
-        (* (1) smash the whole queue into one delta *)
+        (* (1) smash the batch into one coalesced super-delta; the
+           signed-bag semigroup fold cancels +t/−t churn pairs before
+           any evaluation sees them *)
+        let raw_atoms =
+          List.fold_left
+            (fun acc e -> acc + Multi_delta.atom_count e.Med.q_delta)
+            0 entries
+        in
         let delta =
           List.fold_left
             (fun acc e -> Multi_delta.smash acc e.Med.q_delta)
             Multi_delta.empty entries
         in
+        let coalesced_atoms = Multi_delta.atom_count delta in
+        let annihilated = (raw_atoms - coalesced_atoms) / 2 in
         t.Med.pending <- delta;
-        Obs.Trace.set_attri tx_sp "atoms" (Multi_delta.atom_count delta);
+        Obs.Trace.set_attri tx_sp "atoms" coalesced_atoms;
+        Obs.Trace.set_attri tx_sp "raw_atoms" raw_atoms;
+        Obs.Trace.set_attri tx_sp "annihilated_pairs" annihilated;
         Med.Log.debug (fun m ->
-            m "update tx @%g: %d queue entries, %d atoms"
+            m "batch tx @%g: %d queue entries, %d atoms (%d before coalescing)"
               (Engine.now t.Med.engine) (List.length entries)
-              (Multi_delta.atom_count delta));
+              coalesced_atoms raw_atoms);
         (* (2) IUP Preparation: filter through leaf-parents, close the
            affected set upward, and find the children whose values the
            fired rules will read — among those, the ones not covered by
@@ -192,10 +221,22 @@ let run (t : Med.t) =
                   Derived_from.restrict_def t.Med.vdp ~node
                     ~attrs:(Schema.attrs schema) ~cond:Predicate.True
                 in
+                (* an unchanged child contributes an empty delta over
+                   its DECLARED schema: falling through to the store's
+                   bag would narrow the schema to the materialized
+                   attributes and break the plan's projections when a
+                   batch touches only some of a union's branches *)
+                let child_delta c =
+                  match List.assoc_opt c child_deltas with
+                  | Some d -> Some d
+                  | None -> (
+                    match Graph.node_opt t.Med.vdp c with
+                    | Some n -> Some (Rel_delta.empty n.Graph.schema)
+                    | None -> None)
+                in
                 let d =
                   Inc_eval.delta_of_expr ~indexed_join ~env
-                    ~deltas:(fun c -> List.assoc_opt c child_deltas)
-                    def
+                    ~deltas:child_delta def
                 in
                 Obs.Trace.set_attri d_sp "atoms" (Rel_delta.atom_count d);
                 if not (Rel_delta.is_empty d) then begin
@@ -217,18 +258,41 @@ let run (t : Med.t) =
            (computed from pre-update tables) must not be served again *)
         Med.cache_invalidate_nodes t
           (Hashtbl.fold (fun n () acc -> n :: acc) affected []);
-        (* bookkeeping: advance ref' per source (Sec. 6.1) *)
-        List.iter
-          (fun e ->
-            let current = Med.reflected_version t e.Med.q_source in
-            if e.Med.q_version > current.Med.r_version then
-              Med.set_reflected t e.Med.q_source
-                {
-                  Med.r_version = e.Med.q_version;
-                  r_commit_time = e.Med.q_commit_time;
-                  r_send_time = e.Med.q_send_time;
-                })
-          entries;
+        (* bookkeeping: advance ref' per source (Sec. 6.1) by one
+           version *interval* — (from, to] in a single jump. The
+           freshness witness keeps the OLDEST constituent's commit and
+           send times: every batched transaction is at least that old,
+           so the reported bound stays an over-approximation of the
+           true staleness of anything the batch folded in (Theorem 7.2
+           stays sound under coalescing). *)
+        let per_source =
+          List.fold_left
+            (fun acc e ->
+              match List.assoc_opt e.Med.q_source acc with
+              | Some (first, _) ->
+                (e.Med.q_source, (first, e))
+                :: List.remove_assoc e.Med.q_source acc
+              | None -> (e.Med.q_source, (e, e)) :: acc)
+            [] entries
+        in
+        let intervals =
+          List.rev
+            (List.filter_map
+               (fun (src, (first, last)) ->
+                 let current = Med.reflected_version t src in
+                 if last.Med.q_version > current.Med.r_version then begin
+                   Med.set_reflected t src
+                     {
+                       Med.r_version = last.Med.q_version;
+                       r_from_version = current.Med.r_version;
+                       r_commit_time = first.Med.q_commit_time;
+                       r_send_time = first.Med.q_send_time;
+                     };
+                   Some (src, (current.Med.r_version, last.Med.q_version))
+                 end
+                 else None)
+               per_source)
+        in
         t.Med.pending <- Multi_delta.empty;
         (* bounded-history support: versions below what we now reflect
            will never be polled or checked again by this mediator *)
@@ -263,6 +327,11 @@ let run (t : Med.t) =
                })
         end;
         Obs.Metrics.incr t.Med.stats.Med.update_txs;
+        Obs.Metrics.incr t.Med.stats.Med.batches;
+        Obs.Metrics.add t.Med.stats.Med.coalesced_txs (List.length entries);
+        Obs.Metrics.add t.Med.stats.Med.annihilated_pairs annihilated;
+        Obs.Metrics.observe t.Med.stats.Med.batch_size
+          (float_of_int (List.length entries));
         Med.charge_ops t `Update (Eval.tuple_ops () - ops_before);
         (* a transaction that propagated real deltas through derived
            nodes without a single VAP request touched no source: the
@@ -284,6 +353,8 @@ let run (t : Med.t) =
                    (fun s -> (s, (Med.reflected_version t s).Med.r_version))
                    (Graph.sources t.Med.vdp);
                ut_atoms = Multi_delta.atom_count delta;
+               ut_txs = List.length entries;
+               ut_intervals = intervals;
              });
         true
         with (Med.Poll_failed _ | Med.Desync _) as exn ->
@@ -296,12 +367,19 @@ let run (t : Med.t) =
           Obs.Trace.set_attr tx_sp "outcome" "deferred";
           Obs.Trace.set_attr tx_sp "error" (Printexc.to_string exn);
           Med.Log.warn (fun m ->
-              m "update tx deferred @%g: %s" (Engine.now t.Med.engine)
+              m "batch tx deferred @%g: %s" (Engine.now t.Med.engine)
                 (Printexc.to_string exn));
           false)
 
+(* Empty the queue completely: one [run] per batch until a pass
+   applies nothing (empty queue, or every remaining entry deferred).
+   Returns whether any batch was applied. *)
+let drain (t : Med.t) =
+  let rec go applied = if run t then go true else applied in
+  go false
+
 let update_transaction (t : Med.t) =
-  Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () -> run t)
+  Engine.Mutex.with_lock t.Med.engine t.Med.mutex (fun () -> drain t)
 
 let start_flusher (t : Med.t) =
   let rec loop () =

@@ -1,11 +1,15 @@
-(** The Incremental Update Processor (Sec. 6.4).
+(** The Incremental Update Processor (Sec. 6.4), group-commit style.
 
-    Each update transaction:
+    Each kernel pass applies one {e batch} of up to
+    [Config.max_batch] queued announcements (a version gap within a
+    source splits the batch — see {!Med.take_batch}):
 
     {ol
-    {- {b flushes the queue}: smashes every queued announcement into a
-       single multi-relation delta Δ (the paper's [empty_queue(tᵘ)]
-       moment) and filters it through the leaf-parents' select/project
+    {- {b drains a batch}: smashes up to [max_batch] contiguous
+       announcements into a single coalesced multi-relation delta Δ
+       (the paper's [empty_queue(tᵘ)] moment, amortized over the
+       batch; +t/−t churn pairs annihilate in the signed-bag fold)
+       and filters it through the leaf-parents' select/project
        definitions;}
     {- {b IUP Preparation}: simulates the kernel pass to find which
        nodes will be affected, and which children's relations the
@@ -26,15 +30,21 @@
     nothing on update. *)
 
 val update_transaction : Med.t -> bool
-(** Run one update transaction (no-op returning [false] when the
-    queue is empty). Must run inside a simulation process; takes the
-    mediator mutex. *)
+(** Drain the whole queue, one batch per kernel pass (no-op returning
+    [false] when the queue is empty). Must run inside a simulation
+    process; takes the mediator mutex. *)
 
 val run : Med.t -> bool
-(** The transaction body of {!update_transaction} without the lock —
-    for callers that already hold the mediator mutex (the QP draining
-    the queue to satisfy a freshness SLO; the engine mutex is not
-    reentrant). *)
+(** Apply ONE batch (up to [max_batch] announcements) without the
+    lock; returns [false] when nothing was applied (empty queue, or
+    the pass deferred). One source's reflect entry advances by a whole
+    version interval per call. *)
+
+val drain : Med.t -> bool
+(** Loop {!run} until a pass applies nothing, without the lock — for
+    callers that already hold the mediator mutex (the QP draining the
+    queue to satisfy a freshness SLO; the engine mutex is not
+    reentrant). Returns whether any batch was applied. *)
 
 val start_flusher : Med.t -> unit
 (** Spawn the periodic process that runs an update transaction every

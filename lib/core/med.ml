@@ -19,13 +19,16 @@ module Config = struct
     answer_cache_enabled : bool;
     trace_enabled : bool;
     trace_capacity : int;
+    max_batch : int;
   }
 
   let make ?(flush_interval = 1.0) ?(op_time = 0.0001) ?(eca_enabled = true)
       ?(key_based_enabled = true) ?poll_timeout ?(poll_retries = 3)
       ?(poll_backoff = 0.25) ?version_check_interval
       ?(release_history = false) ?(answer_cache_enabled = true)
-      ?(trace_enabled = true) ?(trace_capacity = 4096) () =
+      ?(trace_enabled = true) ?(trace_capacity = 4096) ?(max_batch = 64) () =
+    if max_batch < 1 then
+      invalid_arg "Med.Config.make: max_batch must be at least 1";
     {
       flush_interval;
       op_time;
@@ -39,6 +42,7 @@ module Config = struct
       answer_cache_enabled;
       trace_enabled;
       trace_capacity;
+      max_batch;
     }
 
   let default = make ()
@@ -58,7 +62,12 @@ type queue_entry = {
   q_delta : Multi_delta.t;
 }
 
-type reflected = { r_version : int; r_commit_time : float; r_send_time : float }
+type reflected = {
+  r_version : int;
+  r_from_version : int;
+  r_commit_time : float;
+  r_send_time : float;
+}
 
 type contributor_kind =
   | Materialized_contributor
@@ -74,6 +83,8 @@ type event =
       ut_time : float;
       ut_reflect : (string * int) list;
       ut_atoms : int;
+      ut_txs : int;
+      ut_intervals : (string * (int * int)) list;
     }
   | Query_tx of {
       qt_time : float;
@@ -118,6 +129,10 @@ type stats = {
   cache_hits : Obs.Metrics.counter;
   cache_misses : Obs.Metrics.counter;
   cache_invalidations : Obs.Metrics.counter;
+  batches : Obs.Metrics.counter;
+  coalesced_txs : Obs.Metrics.counter;
+  annihilated_pairs : Obs.Metrics.counter;
+  batch_size : Obs.Metrics.histogram;
   update_tx_time : Obs.Metrics.histogram;
   query_tx_time : Obs.Metrics.histogram;
   poll_rtt : Obs.Metrics.histogram;
@@ -194,6 +209,17 @@ let fresh_stats () =
     cache_hits = c "cache_hits";
     cache_misses = c "cache_misses";
     cache_invalidations = c "cache_invalidations";
+    batches =
+      c "batches" ~help:"group-commit batches applied (one kernel pass each)";
+    coalesced_txs =
+      c "coalesced_txs"
+        ~help:"constituent update transactions folded into batches";
+    annihilated_pairs =
+      c "annihilated_pairs"
+        ~help:"+t/-t atom pairs cancelled while coalescing batch deltas";
+    batch_size =
+      Obs.Metrics.histogram m "batch_size"
+        ~help:"announcements coalesced per applied batch";
     update_tx_time =
       Obs.Metrics.histogram m "update_tx_time"
         ~help:"simulated seconds per applied update transaction";
@@ -575,7 +601,14 @@ let create ~engine ~vdp ~annotation ?(config = Config.default) ~sources () =
     (Graph.nodes vdp);
   let reflected =
     List.map
-      (fun s -> (s, { r_version = 0; r_commit_time = 0.0; r_send_time = 0.0 }))
+      (fun s ->
+        ( s,
+          {
+            r_version = 0;
+            r_from_version = 0;
+            r_commit_time = 0.0;
+            r_send_time = 0.0;
+          } ))
       (Graph.sources vdp)
   in
   let t =
@@ -761,6 +794,46 @@ let take_queue t =
   List.filter
     (fun e -> e.q_version > (reflected_version t e.q_source).r_version)
     entries
+
+(* Group-commit drain: take up to [config.max_batch] announcements off
+   the head of the queue, in arrival order, provided each source's
+   entries chain gaplessly — the first entry for a source must apply
+   on top of its reflected version, and every later one on top of the
+   previous entry in the batch. A non-chaining entry ends the batch
+   (it stays queued, together with everything behind it, for the next
+   pass after the gap is repaired); entries the initialization or a
+   resync snapshot already covers are silently dropped, as in
+   {!take_queue}. *)
+let take_batch t =
+  let cap = t.config.Config.max_batch in
+  let rec go taken n expected queue =
+    match queue with
+    | [] -> (List.rev taken, [])
+    | e :: rest ->
+      if n >= cap then (List.rev taken, queue)
+      else if e.q_version <= (reflected_version t e.q_source).r_version then
+        (* predates the snapshot: already reflected, drop it *)
+        go taken n expected rest
+      else
+        let chain_from =
+          match List.assoc_opt e.q_source expected with
+          | Some v -> v
+          | None -> (reflected_version t e.q_source).r_version
+        in
+        if e.q_prev_version > chain_from then
+          (* mid-batch gap: the delta does not compose onto what this
+             batch would reflect — close the batch at the boundary *)
+          (List.rev taken, queue)
+        else
+          go (e :: taken) (n + 1)
+            ((e.q_source, e.q_version)
+            :: List.remove_assoc e.q_source expected)
+            rest
+  in
+  let batch, rest = go [] 0 [] t.queue in
+  t.queue <- rest;
+  Obs.Metrics.set t.stats.queue_depth (float_of_int (List.length rest));
+  batch
 
 let unseen_delta t ~source ~leaf =
   let schema = (Graph.node t.vdp leaf).Graph.schema in

@@ -66,6 +66,11 @@ module Config : sig
     trace_capacity : int;
         (** ring-buffer retention: how many closed root spans the
             trace keeps before overwriting the oldest *)
+    max_batch : int;
+        (** group-commit cap: how many queued announcements one IUP
+            pass may coalesce into a single kernel pass ([1] restores
+            the paper's one-transaction-per-pass behaviour; a
+            mid-batch version gap always ends the batch early) *)
   }
 
   val make :
@@ -81,12 +86,14 @@ module Config : sig
     ?answer_cache_enabled:bool ->
     ?trace_enabled:bool ->
     ?trace_capacity:int ->
+    ?max_batch:int ->
     unit ->
     t
   (** Defaults: [flush_interval 1.0], [op_time 1e-4], ECA and
       key-based construction on, no poll timeout, [poll_retries 3],
       [poll_backoff 0.25], no heartbeat, history retained, answer
-      cache on, tracing on with capacity 4096. *)
+      cache on, tracing on with capacity 4096, [max_batch 64].
+      @raise Invalid_argument when [max_batch < 1]. *)
 
   val default : t
 end
@@ -112,8 +119,15 @@ type queue_entry = {
 
 type reflected = {
   r_version : int;
+  r_from_version : int;
+      (** the version reflected before the jump that installed this
+          entry: one applied batch advances a source by the whole
+          interval [(r_from_version, r_version]] at once *)
   r_commit_time : float;
+      (** commit time of the {e oldest} constituent of the jump — the
+          conservative Theorem 7.2 witness under batching *)
   r_send_time : float;
+      (** send time of the oldest constituent (same convention) *)
 }
 
 type contributor_kind =
@@ -139,6 +153,13 @@ type event =
       ut_time : float;
       ut_reflect : (string * int) list;
       ut_atoms : int;
+      ut_txs : int;
+          (** constituent announcements applied atomically by this
+              batch ([0] for a snapshot rebuild) *)
+      ut_intervals : (string * (int * int)) list;
+          (** per advanced source, the version interval [(from, to]]
+              the batch covered in one jump; the checker verifies the
+              intervals of successive events never overlap *)
     }
   | Query_tx of {
       qt_time : float;
@@ -218,6 +239,18 @@ type stats = {
       (** cache-enabled queries that had to compute their answer *)
   cache_invalidations : Obs.Metrics.counter;
       (** cached answers dropped by deltas, resyncs, or migrations *)
+  batches : Obs.Metrics.counter;
+      (** group-commit batches applied — one temp-determination / VAP
+          / kernel-pass / apply cycle each *)
+  coalesced_txs : Obs.Metrics.counter;
+      (** constituent update transactions folded into applied batches
+          (equal to [batches] when [max_batch] is 1) *)
+  annihilated_pairs : Obs.Metrics.counter;
+      (** +t/−t atom pairs that cancelled while smashing a batch's
+          announcements into its coalesced super-delta *)
+  batch_size : Obs.Metrics.histogram;
+      (** announcements coalesced per applied batch (its mean is the
+          observed amortization factor) *)
   update_tx_time : Obs.Metrics.histogram;
       (** simulated seconds per applied update transaction *)
   query_tx_time : Obs.Metrics.histogram;
@@ -433,6 +466,18 @@ val enqueue : t -> Message.update -> unit
     ([gaps_detected]) while still queueing the delta. *)
 
 val take_queue : t -> queue_entry list
+(** Drain the whole queue (minus entries a snapshot already covers),
+    regardless of [max_batch]. Prefer {!take_batch} — this survives
+    for the resync path and tests. *)
+
+val take_batch : t -> queue_entry list
+(** Take up to [config.max_batch] announcements off the head of the
+    queue in arrival order, keeping each source's entries chaining
+    gaplessly: the first entry per source must apply on top of its
+    reflected version, each later one on top of the previous batch
+    member. A non-chaining entry ends the batch at the boundary (it
+    stays queued with everything behind it); entries at or below the
+    reflected version are dropped as in {!take_queue}. *)
 
 val unseen_delta : t -> source:string -> leaf:string -> Rel_delta.t
 (** The smash of all updates from [source] to [leaf] that the

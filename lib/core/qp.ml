@@ -151,7 +151,7 @@ let slo_prepoll (t : Med.t) ~slo =
                   None)
               laggards
           in
-          ignore (Iup.run t : bool);
+          ignore (Iup.drain t : bool);
           polled)
     in
     let witnesses =

@@ -45,6 +45,7 @@ let snapshot ?(trigger = "init") (t : Med.t) =
       Med.set_reflected t src_name
         {
           Med.r_version = answer.Message.answer_version;
+          r_from_version = (Med.reflected_version t src_name).Med.r_version;
           r_commit_time = answer.Message.state_time;
           r_send_time = answer.Message.state_time;
         };
@@ -101,6 +102,8 @@ let snapshot ?(trigger = "init") (t : Med.t) =
              (fun s -> (s, (Med.reflected_version t s).Med.r_version))
              (Graph.sources t.Med.vdp);
          ut_atoms = 0;
+         ut_txs = 0;
+         ut_intervals = [];
        });
   (* mediator-as-source: the exports were rebuilt wholesale, so any
      downstream state derived from their change stream is void. The

@@ -17,6 +17,8 @@ type violation = {
 type report = {
   checked_queries : int;
   degraded_queries : int;
+  update_batches : int;
+  batched_txs : int;
   violations : violation list;
   max_staleness : (string * float) list;
 }
@@ -108,11 +110,16 @@ let check ~vdp ~sources ~events () =
   in
   let checked = ref 0 in
   let degraded = ref 0 in
+  let batches = ref 0 in
+  let batched = ref 0 in
   (* Per-source running max: a source omitted from one event's vector
      must keep its high-water mark, or a later backwards move slips
      through (replacing the whole vector, as a previous version did,
      forgot marks on every omission). *)
   let high_water : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  (* versions actually applied by update transactions (batch intervals
+     and snapshot reflect vectors) — queries never raise this chain *)
+  let applied_water : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let check_monotone time vector =
     List.iter
       (fun (src, v) ->
@@ -130,8 +137,58 @@ let check ~vdp ~sources ~events () =
   List.iter
     (fun event ->
       match event with
-      | Med.Update_tx { ut_time; ut_reflect; _ } ->
-        check_monotone ut_time ut_reflect
+      | Med.Update_tx { ut_time; ut_reflect; ut_txs; ut_intervals; _ } ->
+        (* a batch is its constituent transactions applied atomically:
+           each advertised interval (from, to] must be non-empty and
+           start at or above the versions this mediator already
+           APPLIED — a [from] below the applied chain means some
+           constituent version entered the store twice. The chain is
+           kept separately from [high_water], which queries also raise
+           through [Current] resolution without any application. *)
+        if ut_txs > 0 then begin
+          incr batches;
+          batched := !batched + ut_txs
+        end;
+        List.iter
+          (fun (src, (v_from, v_to)) ->
+            if v_to <= v_from then
+              violate ut_time `Order
+                (Printf.sprintf
+                   "batch advanced %s by an empty interval (%d, %d]" src
+                   v_from v_to);
+            match Hashtbl.find_opt applied_water src with
+            | Some hw when v_from < hw ->
+              violate ut_time `Order
+                (Printf.sprintf
+                   "batch interval (%d, %d] of %s overlaps versions \
+                    already applied (high-water %d)"
+                   v_from v_to src hw)
+            | Some _ | None -> ())
+          ut_intervals;
+        (* the reflect vector itself must be monotone over the APPLIED
+           chain (snapshot rebuilds and migrations advance it without
+           intervals), and it raises the high-water marks later queries
+           are judged against.  It is NOT judged against query-raised
+           marks: a query's virtual poll legitimately observes source
+           versions whose announcements are still queued behind a
+           small [max_batch], so the store's reflect vector lags what
+           queries saw without any misordering of applied updates. *)
+        List.iter
+          (fun (src, v) ->
+            (match Hashtbl.find_opt applied_water src with
+            | Some hw when v < hw ->
+              violate ut_time `Order
+                (Printf.sprintf
+                   "reflect(%s) moved backwards: version %d after %d" src v
+                   hw)
+            | Some _ | None -> ());
+            (match Hashtbl.find_opt applied_water src with
+            | Some hw when hw >= v -> ()
+            | Some _ | None -> Hashtbl.replace applied_water src v);
+            match Hashtbl.find_opt high_water src with
+            | Some hw when hw >= v -> ()
+            | Some _ | None -> Hashtbl.replace high_water src v)
+          ut_reflect
       | Med.Query_tx
           {
             qt_time;
@@ -212,6 +269,8 @@ let check ~vdp ~sources ~events () =
   {
     checked_queries = !checked;
     degraded_queries = !degraded;
+    update_batches = !batches;
+    batched_txs = !batched;
     violations = List.rev !violations;
     max_staleness =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) max_stale []);

@@ -49,6 +49,14 @@ type report = {
           from old materialized data during a fault; chronology and
           order are still checked, validity is not — the answer
           deliberately differs from ν(reflect) *)
+  update_batches : int;
+      (** update transactions with at least one constituent
+          announcement (snapshot/resync markers excluded) — each was
+          applied as one atomic kernel pass *)
+  batched_txs : int;
+      (** total constituent announcements folded into those batches;
+          [batched_txs / update_batches] is the mean realized batch
+          size the log witnessed *)
   violations : violation list;
   max_staleness : (string * float) list;
       (** per source: the largest observed staleness over all query
@@ -70,7 +78,10 @@ val check :
   unit ->
   report
 (** Validate every logged query transaction against the sources'
-    recorded histories. *)
+    recorded histories. Update transactions are validated as batches:
+    each advertised version interval (from, to] must be non-empty and
+    must not overlap versions already reflected (an overlap means a
+    constituent transaction was applied twice). *)
 
 val check_freshness : report -> bound:(string -> float) -> violation list
 (** Compare observed staleness against a per-source bound (e.g. the

@@ -125,6 +125,17 @@ let create ~engine ~vdp ~key ~shards ~make_sources
            (fun sh ->
              (Printf.sprintf "shard%d" sh.sh_id, Mediator.queue_length sh.sh_med))
            t.f_shards));
+  (* each shard batches its own announcement stream independently —
+     surface the per-shard batch counts federation-side so uneven
+     routing shows up as uneven coalescing *)
+  Obs.Metrics.register_family metrics "shard_batches"
+    ~help:"group-commit batches applied per mediator shard" (fun () ->
+      Array.to_list
+        (Array.map
+           (fun sh ->
+             ( Printf.sprintf "shard%d" sh.sh_id,
+               Obs.Metrics.value (Mediator.stats sh.sh_med).Med.batches ))
+           t.f_shards));
   t
 
 let shard_count t = Array.length t.f_shards
@@ -387,15 +398,20 @@ let describe t =
   Array.iter
     (fun sh ->
       let s = Mediator.stats sh.sh_med in
+      let batches = Obs.Metrics.value s.Med.batches in
+      let coalesced = Obs.Metrics.value s.Med.coalesced_txs in
       Printf.ksprintf (Buffer.add_string buf)
         "  shard%d [%s] sources=%s queue=%d update_txs=%d query_txs=%d \
-         store=%dB\n"
+         batches=%d (mean %.2f tx/batch) store=%dB\n"
         sh.sh_id
         (if sh.sh_alive then "up" else "down")
         (String.concat "," (List.map fst sh.sh_sources))
         (Mediator.queue_length sh.sh_med)
         (Obs.Metrics.value s.Med.update_txs)
         (Obs.Metrics.value s.Med.query_txs)
+        batches
+        (if batches = 0 then 0.0
+         else float_of_int coalesced /. float_of_int batches)
         (Mediator.store_bytes sh.sh_med))
     t.f_shards;
   Buffer.contents buf

@@ -142,7 +142,8 @@ let is_expensive_join vdp name =
 
 type estimate = { space_bytes : int; update_cost : float; query_cost : float }
 
-let estimate vdp ann profile =
+let estimate ?(batch = 1.0) vdp ann profile =
+  let batch = Float.max 1.0 batch in
   let card = cardinality vdp profile in
   (* cost to access (a projection of) a node's current relation *)
   let rec access_cost name =
@@ -193,7 +194,10 @@ let estimate vdp ann profile =
           acc
         | Graph.Derived _ ->
           (* each update arriving through child c pays for accessing
-             the sibling relations *)
+             the sibling relations; group-commit batching amortizes
+             that sibling access (one VAP round per batch, not per
+             transaction) over the realized mean batch size, while the
+             per-update constant remains *)
           let children = Graph.children vdp name in
           List.fold_left
             (fun acc c ->
@@ -202,9 +206,9 @@ let estimate vdp ann profile =
                 List.fold_left
                   (fun acc s ->
                     if String.equal s c then acc else acc +. access_cost s)
-                  1.0 children
+                  0.0 children
               in
-              acc +. (rate *. sibling_cost))
+              acc +. (rate *. (1.0 +. (sibling_cost /. batch))))
             acc children)
       0.0 (Graph.nodes vdp)
   in

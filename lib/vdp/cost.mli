@@ -72,13 +72,19 @@ type estimate = {
   query_cost : float;  (** expected query ops per unit time *)
 }
 
-val estimate : Graph.t -> Annotation.t -> profile -> estimate
+val estimate : ?batch:float -> Graph.t -> Annotation.t -> profile -> estimate
 (** Expected costs of operating the mediator under the profile with
     the given annotation: materialized nodes incur maintenance
     proportional to upstream update rates; virtual data touched by
     queries (or by maintenance of materialized ancestors) incurs
     evaluation — plus a polling penalty when the virtual data sits at
-    a leaf-parent. *)
+    a leaf-parent.
+
+    [?batch] (default 1, clamped to ≥ 1) is the observed mean
+    group-commit batch size: the sibling-access component of the
+    maintenance cost — including the remote polling penalty — is paid
+    once per batch rather than once per transaction, so it is divided
+    by [batch] while the per-update constant is kept. *)
 
 val total : estimate -> float
 (** [update_cost + query_cost] — the performance side of the

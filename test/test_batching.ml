@@ -1,0 +1,338 @@
+(* Group-commit batching must be invisible to correctness: a mediator
+   draining its announcement queue in coalesced batches has to end in
+   exactly the state of one applying the same announcements one at a
+   time. We check that differentially — same scenario, same seed, same
+   random annotation, same update/query load, run twice with
+   [max_batch] 1 and 64 — and require identical final answers,
+   identical reflect vectors, and a clean consistency checker on both
+   logs (the batched one validating its advertised version intervals).
+
+   The [Med.take_batch] unit tests pin the queue discipline itself:
+   the cap, stale-entry dropping, per-source version chaining, and the
+   gap-splits-batch boundary. *)
+
+open Relalg
+open Vdp
+open Sim
+open Sources
+open Squirrel
+open Delta
+open Correctness
+open Workload
+
+let in_process env f =
+  let cell = ref None in
+  Engine.spawn env.Scenario.engine (fun () -> cell := Some (f ()));
+  let rec go n =
+    match !cell with
+    | Some v -> v
+    | None ->
+      if n > 100_000 then Alcotest.fail "no result";
+      Engine.run env.Scenario.engine
+        ~until:(Engine.now env.Scenario.engine +. 1.0);
+      go (n + 1)
+  in
+  go 0
+
+let recompute env node =
+  let env_fn leaf =
+    match Graph.node_opt env.Scenario.vdp leaf with
+    | Some { Graph.kind = Graph.Leaf { source }; _ } ->
+      Some (Source_db.current (Scenario.source env source) leaf)
+    | Some _ | None -> None
+  in
+  Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)
+
+let random_annotation rng vdp =
+  Annotation.of_list vdp
+    (List.map
+       (fun node ->
+         ( node.Graph.name,
+           List.map
+             (fun a ->
+               (a, if Random.State.bool rng then Annotation.M else Annotation.V))
+             (Schema.attrs node.Graph.schema) ))
+       (Graph.non_leaves vdp))
+
+type diff_scenario = {
+  f_name : string;
+  f_make : int -> Scenario.env;
+  f_rels : (string * string) list;
+  f_specs : string -> Datagen.column_spec list;
+  f_exports : string list;
+}
+
+(* periodic announcements make sources hold several commits back and
+   release them together, so the batched run sees real queue depth *)
+let scenarios =
+  [
+    {
+      f_name = "fig1";
+      f_make =
+        (fun seed ->
+          Scenario.make_fig1 ~seed ~announce:(Source_db.Periodic 0.9) ());
+      f_rels = [ ("db1", "R"); ("db2", "S") ];
+      f_specs = Scenario.fig1_update_specs;
+      f_exports = [ "T" ];
+    };
+    {
+      f_name = "ex51";
+      f_make =
+        (fun seed ->
+          Scenario.make_ex51 ~seed ~announce:(Source_db.Periodic 0.9) ());
+      f_rels = [ ("dbA", "A"); ("dbB", "B"); ("dbC", "C"); ("dbD", "D") ];
+      f_specs = Scenario.ex51_update_specs;
+      f_exports = [ "E"; "G" ];
+    };
+    {
+      f_name = "retail";
+      f_make =
+        (fun seed ->
+          Scenario.make_retail ~seed ~announce:(Source_db.Periodic 0.9) ());
+      f_rels =
+        [ ("dbEast", "OrdersE"); ("dbWest", "OrdersW"); ("dbCust", "Cust") ];
+      f_specs = Scenario.retail_update_specs;
+      f_exports = [ "AllOrders"; "Premium" ];
+    };
+  ]
+
+type outcome = {
+  o_answers : (string * Bag.t) list;
+  o_reflect : (string * int) list;
+  o_report : Checker.report;
+}
+
+(* one full run at a given batch cap; everything else derives
+   deterministically from the seed so the two runs see the same load *)
+let run_once sc ~seed ~max_batch =
+  let rng = Random.State.make [| seed; 0xBA7C |] in
+  let env = sc.f_make seed in
+  let annotation = random_annotation rng env.Scenario.vdp in
+  let med =
+    Scenario.mediator env ~annotation
+      ~config:(Med.Config.make ~max_batch ())
+      ()
+  in
+  in_process env (fun () -> Mediator.initialize med);
+  let drv_rng = Datagen.state ((seed * 7) + 1) in
+  List.iter
+    (fun (src_name, rel) ->
+      Driver.update_process ~rng:drv_rng ~src:(Scenario.source env src_name)
+        {
+          Driver.u_relation = rel;
+          u_interval = 0.17 +. (0.1 *. float_of_int (seed mod 3));
+          u_count = 8;
+          u_delete_fraction = 0.3;
+          u_specs = sc.f_specs rel;
+        })
+    sc.f_rels;
+  (* the query processes get their own generator: query timing depends
+     on the batch cap, so sharing [drv_rng] would interleave its draws
+     differently per cap and silently fork the update streams *)
+  let qry_rng = Datagen.state ((seed * 13) + 5) in
+  List.iter
+    (fun node ->
+      let schema = (Graph.node env.Scenario.vdp node).Graph.schema in
+      ignore
+        (Driver.query_process ~rng:qry_rng ~med
+           {
+             Driver.q_node = node;
+             q_interval = 0.61;
+             q_count = 4;
+             q_attr_sets = [ (Schema.attrs schema, Predicate.True) ];
+           }))
+    sc.f_exports;
+  Scenario.run_to_quiescence env med;
+  let answers =
+    in_process env (fun () ->
+        Mediator.query_many med
+          (List.map (fun n -> (n, None, Predicate.True)) sc.f_exports))
+  in
+  (* each run must individually agree with direct recomputation over
+     its sources' final states — so a differential mismatch below
+     always names the guilty side first *)
+  List.iter
+    (fun (node, answer) ->
+      if not (Bag.equal answer (recompute env node)) then
+        Alcotest.failf
+          "%s seed %d (max_batch %d): final %s diverges from recompute"
+          sc.f_name seed max_batch node)
+    answers;
+  {
+    o_answers = answers;
+    o_reflect =
+      List.map
+        (fun (src, _) ->
+          (src, (Med.reflected_version med src).Med.r_version))
+        sc.f_rels;
+    o_report =
+      Checker.check ~vdp:env.Scenario.vdp ~sources:env.Scenario.sources
+        ~events:(Mediator.events med) ();
+  }
+
+let require_consistent sc ~seed ~tag report =
+  if not (Checker.consistent report) then
+    Alcotest.failf "%s seed %d (%s): %s" sc.f_name seed tag
+      (String.concat "; "
+         (List.map
+            (fun v -> v.Checker.v_detail)
+            report.Checker.violations))
+
+let diff_case sc =
+  Alcotest.test_case sc.f_name `Slow (fun () ->
+      let coalesced = ref false in
+      for seed = 1 to 6 do
+        let serial = run_once sc ~seed ~max_batch:1 in
+        let batched = run_once sc ~seed ~max_batch:64 in
+        require_consistent sc ~seed ~tag:"serial" serial.o_report;
+        require_consistent sc ~seed ~tag:"batched" batched.o_report;
+        (* the serial run really is one transaction per pass *)
+        Alcotest.(check int)
+          (Printf.sprintf "%s seed %d: serial batches are singletons"
+             sc.f_name seed)
+          serial.o_report.Checker.update_batches
+          serial.o_report.Checker.batched_txs;
+        if
+          batched.o_report.Checker.batched_txs
+          > batched.o_report.Checker.update_batches
+        then coalesced := true;
+        (* identical final stores, observed through every export *)
+        List.iter
+          (fun (node, b_answer) ->
+            let s_answer = List.assoc node serial.o_answers in
+            if not (Bag.equal s_answer b_answer) then
+              Alcotest.failf
+                "%s seed %d: final %s differs between batched and \
+                 one-at-a-time"
+                sc.f_name seed node)
+          batched.o_answers;
+        (* identical reflect vectors *)
+        List.iter
+          (fun (src, v) ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s seed %d: reflect(%s)" sc.f_name seed src)
+              (List.assoc src serial.o_reflect)
+              v)
+          batched.o_reflect
+      done;
+      if not !coalesced then
+        Alcotest.failf
+          "%s: no batch coalesced more than one transaction across any seed \
+           — the differential test never exercised batching"
+          sc.f_name)
+
+(* ---- Med.take_batch queue discipline --------------------------------- *)
+
+let fresh_mediator ?max_batch () =
+  let env = Scenario.make_fig1 () in
+  let config =
+    match max_batch with
+    | Some m -> Med.Config.make ~max_batch:m ()
+    | None -> Med.Config.make ()
+  in
+  let med =
+    Scenario.mediator env
+      ~annotation:(Scenario.ann_ex23 env.Scenario.vdp)
+      ~config ()
+  in
+  (env, med)
+
+let entry env ~source ~rel ~version ~prev =
+  let schema = Source_db.schema (Scenario.source env source) rel in
+  {
+    Med.q_source = source;
+    q_version = version;
+    q_prev_version = prev;
+    q_commit_time = 0.0;
+    q_send_time = 0.0;
+    q_recv_time = 0.0;
+    q_delta = Multi_delta.singleton rel (Rel_delta.empty schema);
+  }
+
+let versions = List.map (fun e -> (e.Med.q_source, e.Med.q_version))
+
+let take_batch_cap () =
+  let env, med = fresh_mediator ~max_batch:4 () in
+  med.Med.queue <-
+    List.map
+      (fun v -> entry env ~source:"db1" ~rel:"R" ~version:v ~prev:(v - 1))
+      [ 1; 2; 3; 4; 5; 6 ];
+  let batch = Med.take_batch med in
+  Alcotest.(check (list (pair string int)))
+    "cap takes the head"
+    [ ("db1", 1); ("db1", 2); ("db1", 3); ("db1", 4) ]
+    (versions batch);
+  Alcotest.(check (list (pair string int)))
+    "remainder stays queued"
+    [ ("db1", 5); ("db1", 6) ]
+    (versions med.Med.queue)
+
+let take_batch_stale_drop () =
+  let env, med = fresh_mediator ~max_batch:8 () in
+  Med.set_reflected med "db1"
+    { Med.r_version = 2; r_from_version = 0; r_commit_time = 0.0;
+      r_send_time = 0.0 };
+  med.Med.queue <-
+    List.map
+      (fun v -> entry env ~source:"db1" ~rel:"R" ~version:v ~prev:(v - 1))
+      [ 1; 2; 3 ];
+  let batch = Med.take_batch med in
+  Alcotest.(check (list (pair string int)))
+    "already-reflected versions are dropped, the rest chains"
+    [ ("db1", 3) ]
+    (versions batch);
+  Alcotest.(check (list (pair string int))) "queue empty" []
+    (versions med.Med.queue)
+
+let take_batch_gap_splits () =
+  let env, med = fresh_mediator ~max_batch:8 () in
+  med.Med.queue <-
+    [
+      entry env ~source:"db1" ~rel:"R" ~version:1 ~prev:0;
+      entry env ~source:"db1" ~rel:"R" ~version:3 ~prev:2;
+      entry env ~source:"db1" ~rel:"R" ~version:4 ~prev:3;
+    ];
+  let batch = Med.take_batch med in
+  Alcotest.(check (list (pair string int)))
+    "batch ends at the missing version"
+    [ ("db1", 1) ]
+    (versions batch);
+  Alcotest.(check (list (pair string int)))
+    "the non-chaining tail stays queued"
+    [ ("db1", 3); ("db1", 4) ]
+    (versions med.Med.queue)
+
+let take_batch_multi_source () =
+  let env, med = fresh_mediator ~max_batch:8 () in
+  med.Med.queue <-
+    [
+      entry env ~source:"db1" ~rel:"R" ~version:1 ~prev:0;
+      entry env ~source:"db2" ~rel:"S" ~version:1 ~prev:0;
+      entry env ~source:"db1" ~rel:"R" ~version:2 ~prev:1;
+    ];
+  let batch = Med.take_batch med in
+  Alcotest.(check (list (pair string int)))
+    "sources chain independently in arrival order"
+    [ ("db1", 1); ("db2", 1); ("db1", 2) ]
+    (versions batch);
+  Alcotest.(check (list (pair string int))) "queue empty" []
+    (versions med.Med.queue)
+
+let unit_cases =
+  [
+    Alcotest.test_case "cap bounds the batch" `Quick take_batch_cap;
+    Alcotest.test_case "stale entries are dropped" `Quick
+      take_batch_stale_drop;
+    Alcotest.test_case "a version gap splits the batch" `Quick
+      take_batch_gap_splits;
+    Alcotest.test_case "sources chain independently" `Quick
+      take_batch_multi_source;
+  ]
+
+let () =
+  Alcotest.run "batching"
+    [
+      ("take_batch queue discipline", unit_cases);
+      ( "batched vs one-at-a-time (differential)",
+        List.map diff_case scenarios );
+    ]

@@ -260,7 +260,14 @@ let test_monotone_drop_readd () =
      lower version is a backwards move the checker must flag *)
   let vdp, src = synthetic_setup () in
   let update_event ~time vector =
-    Med.Update_tx { ut_time = time; ut_reflect = vector; ut_atoms = 0 }
+    Med.Update_tx
+      {
+        ut_time = time;
+        ut_reflect = vector;
+        ut_atoms = 0;
+        ut_txs = 1;
+        ut_intervals = [];
+      }
   in
   let events =
     [

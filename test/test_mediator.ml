@@ -1008,11 +1008,11 @@ let test_runs_are_deterministic () =
   let summarize events =
     List.map
       (function
-        | Med.Update_tx { ut_time; ut_reflect; ut_atoms } ->
-          Printf.sprintf "U %.6f %s %d" ut_time
+        | Med.Update_tx { ut_time; ut_reflect; ut_atoms; ut_txs; _ } ->
+          Printf.sprintf "U %.6f %s %d/%d" ut_time
             (String.concat ","
                (List.map (fun (s, v) -> s ^ ":" ^ string_of_int v) ut_reflect))
-            ut_atoms
+            ut_atoms ut_txs
         | Med.Query_tx { qt_time; qt_node; qt_answer; _ } ->
           Printf.sprintf "Q %.6f %s |%d|" qt_time qt_node
             (Bag.cardinal qt_answer))

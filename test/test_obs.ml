@@ -122,13 +122,24 @@ let test_trace_simulated_time_only () =
 
 let test_update_tx_nesting () =
   let med = run_workload ~seed:5 () in
-  let txs = Obs.Trace.find (Mediator.trace med) ~name:"update_tx" in
-  Alcotest.(check bool) "update transactions traced" true (txs <> []);
+  let txs = Obs.Trace.find (Mediator.trace med) ~name:"batch_tx" in
+  Alcotest.(check bool) "batch transactions traced" true (txs <> []);
   List.iter
     (fun tx ->
       let names =
         List.map (fun c -> c.Obs.Trace.name) tx.Obs.Trace.children
       in
+      (* every constituent announcement appears as an update_tx child,
+         and the count matches the batch's entries attribute *)
+      let constituents =
+        List.length (List.filter (String.equal "update_tx") names)
+      in
+      Alcotest.(check string)
+        "entries attribute counts the update_tx children"
+        (string_of_int constituents)
+        (Option.value (Obs.Trace.attr tx "entries") ~default:"<none>");
+      Alcotest.(check bool) "constituent update_tx children" true
+        (constituents > 0);
       Alcotest.(check bool)
         "temp determination child" true
         (List.mem "temp_determination" names);
@@ -138,7 +149,7 @@ let test_update_tx_nesting () =
       match Obs.Trace.attr tx "outcome" with
       | Some "applied" -> ()
       | other ->
-        Alcotest.failf "fault-free update_tx outcome = %s"
+        Alcotest.failf "fault-free batch_tx outcome = %s"
           (Option.value other ~default:"<none>"))
     txs;
   let queries = Obs.Trace.find (Mediator.trace med) ~name:"query_tx" in
