@@ -40,7 +40,7 @@ let churn_pairs = 48
 (* poll-bound channel: one VAP round costs ~0.4 simulated time units
    against an op_time of 1e-4 per tuple operation, so the per-pass
    fixed cost dwarfs the per-transaction marginal cost *)
-let delays _ = { Mediator.comm_delay = 0.15; q_proc_delay = 0.05 }
+let delays _ = { Med.comm_delay = 0.15; q_proc_delay = 0.05 }
 
 let caps () =
   match Sys.getenv_opt "BENCH_SIZES_MAX" with
@@ -63,8 +63,9 @@ let make_mediator env ~cap =
   Scenario.mediator env
     ~annotation:(Scenario.ann_ex23 env.Scenario.vdp)
     ~config:
-      (Med.Config.make ~op_time:1e-4 ~flush_interval:2.0 ~max_batch:cap ())
-    ~delays ()
+      (Med.Config.make ~op_time:1e-4 ~flush_interval:2.0 ~max_batch:cap
+         ~delays ())
+    ()
 
 let measure env med ~cap ~drive =
   let engine = env.Scenario.engine in
@@ -126,7 +127,7 @@ let run_churn ~cap =
   measure env med ~cap ~drive:(fun () ->
       let engine = env.Scenario.engine in
       let src = Scenario.source env "db1" in
-      let schema = Source_db.schema src "R" in
+      let schema = Adapter.schema src "R" in
       let rng = Datagen.state ((seed * 43) + 9) in
       let specs = Scenario.fig1_update_specs "R" in
       Engine.spawn engine (fun () ->
@@ -137,10 +138,10 @@ let run_churn ~cap =
             let tuple =
               Datagen.keyed_tuple rng schema specs ~key_seed:(5_000_000 + i)
             in
-            Source_db.commit src
+            Adapter.commit src
               (Multi_delta.singleton "R"
                  (Rel_delta.insert (Rel_delta.empty schema) tuple));
-            Source_db.commit src
+            Adapter.commit src
               (Multi_delta.singleton "R"
                  (Rel_delta.delete (Rel_delta.empty schema) tuple))
           done))

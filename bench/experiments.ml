@@ -265,8 +265,8 @@ let e4 () =
       (fun (name, o) ->
         [
           S name;
-          B (Checker.pseudo_consistent ~vdp ~sources:[ src ] o);
-          B (Checker.consistent_assignment ~vdp ~sources:[ src ] o <> None);
+          B (Checker.pseudo_consistent ~vdp ~sources:[ Source_db.adapter src ] o);
+          B (Checker.consistent_assignment ~vdp ~sources:[ Source_db.adapter src ] o <> None);
         ])
       [ ("Figure 2 view states (a a b a b a)", fig2);
         ("honest view states  (a a b a a a)", honest) ]
@@ -377,7 +377,7 @@ let e6 () =
                     Engine.schedule env.Scenario.engine ~delay (fun () ->
                         let db1 = Scenario.source env "db1" in
                         let db2 = Scenario.source env "db2" in
-                        Source_db.commit db1
+                        Adapter.commit db1
                           (Driver.single_insert db1 "R"
                              (Tuple.of_list
                                 [
@@ -386,7 +386,7 @@ let e6 () =
                                   ("r3", Value.Int 1);
                                   ("r4", Value.Int 100);
                                 ]));
-                        Source_db.commit db2
+                        Adapter.commit db2
                           (Driver.single_insert db2 "S"
                              (Tuple.of_list
                                 [
@@ -665,7 +665,7 @@ let e11 () =
             ("r4", Value.Int (if relevant then 100 else 200));
           ]
       in
-      Source_db.commit db1 (Driver.single_insert db1 "R" tuple)
+      Adapter.commit db1 (Driver.single_insert db1 "R" tuple)
     done;
     Scenario.run_to_quiescence env med;
     let answer = ref None in

@@ -35,7 +35,7 @@ let sweep_queries = 16
 
 (* channel delays that make a poll round-trip expensive relative to
    in-store delta evaluation: the poll-bound regime of Sec. 5.3 *)
-let delays _ = { Mediator.comm_delay = 0.05; q_proc_delay = 0.02 }
+let delays _ = { Med.comm_delay = 0.05; q_proc_delay = 0.02 }
 
 (* --- experiment 1: poll-free self-maintenance -------------------------- *)
 
@@ -55,13 +55,13 @@ let run_maintenance ~selfmaint =
   let annotation =
     if selfmaint then
       Adapt.Selfmaint.target vdp base ~announces:(fun s ->
-          Source_db.announces (Scenario.source env s))
+          Adapter.announces (Scenario.source env s))
     else base
   in
   let med =
     Scenario.mediator env ~annotation
-      ~config:(Med.Config.make ~op_time:1e-4 ())
-      ~delays ()
+      ~config:(Med.Config.make ~op_time:1e-4 ~delays ())
+      ()
   in
   Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
   Engine.run env.Scenario.engine ~until:1.0;
@@ -116,13 +116,13 @@ let run_slo ~label ~max_staleness ~outage =
   let med =
     Scenario.mediator env
       ~annotation:(Scenario.ann_ex21 env.Scenario.vdp)
-      ~config:(Med.Config.make ~op_time:0.0 ())
-      ~delays ()
+      ~config:(Med.Config.make ~op_time:0.0 ~delays ())
+      ()
   in
   Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
   Engine.run env.Scenario.engine ~until:1.0;
   if outage then
-    Source_db.set_outages (Scenario.source env "db1") [ (1.0, 10_000.0) ];
+    Adapter.set_outages (Scenario.source env "db1") [ (1.0, 10_000.0) ];
   let rng = Datagen.state (seed * 29 + 5) in
   List.iter
     (fun (src_name, rel) ->

@@ -13,6 +13,9 @@
      federation run the sharded federation under a mixed workload and
                 print topology, routing counters, and a sample
                 scatter-gather answer's merged guarantee
+     scenario   load a declarative .scn file (sources, views, hints,
+                loads, timed updates), run it, print every export and
+                the consistency verdict
      scenarios  list available scenarios
 
    Examples:
@@ -1197,6 +1200,97 @@ let federation_cmd =
           merged reflect vector of a sample scatter-gather query")
     term
 
+(* --- scenario (declarative file) ------------------------------------------- *)
+
+let scenario_cmd =
+  let run file describe verbose =
+    setup_verbose verbose;
+    try
+      let c = Scn.of_file file in
+      let env = c.Scn.c_env in
+      let med = Scenario.mediator env ~annotation:c.Scn.c_annotation () in
+      if describe then begin
+        print_endline (Mediator.describe med);
+        Ok ()
+      end
+      else begin
+        List.iter
+          (fun sd ->
+            Printf.printf "source %-10s backend %-10s (%s)\n"
+              sd.Relalg.Parser.sd_name sd.Relalg.Parser.sd_backend
+              (String.concat ", "
+                 (List.map fst sd.Relalg.Parser.sd_relations)))
+          c.Scn.c_decl.Relalg.Parser.sc_sources;
+        Engine.spawn env.Scenario.engine (fun () -> Mediator.initialize med);
+        Engine.run env.Scenario.engine ~until:1.0;
+        (* the compiled [at] events are already on the engine's agenda;
+           quiescing drives them and every announcement they trigger *)
+        Scenario.run_to_quiescence env med;
+        let answers = ref [] in
+        Engine.spawn env.Scenario.engine (fun () ->
+            answers :=
+              List.map
+                (fun node -> (node, Mediator.query med ~node ()))
+                c.Scn.c_exports);
+        Engine.run env.Scenario.engine
+          ~until:(Engine.now env.Scenario.engine +. 60.0);
+        if List.length !answers <> List.length c.Scn.c_exports then
+          Error (`Msg "export queries did not complete")
+        else begin
+          List.iter
+            (fun (node, (ans : Qp.answer)) ->
+              Printf.printf "-- %s (%d tuples, %s) --\n" node
+                (Relalg.Bag.cardinal ans.Qp.tuples)
+                (match ans.Qp.quality with
+                | Qp.Fresh -> "fresh"
+                | Qp.Stale _ -> "stale");
+              Format.printf "%a@." Relalg.Bag.pp ans.Qp.tuples)
+            (List.rev !answers);
+          let report =
+            Correctness.Checker.check ~vdp:env.Scenario.vdp
+              ~sources:env.Scenario.sources ~events:(Mediator.events med) ()
+          in
+          Printf.printf "-- correctness --\n";
+          Printf.printf "queries checked   %d\n"
+            report.Correctness.Checker.checked_queries;
+          let ok = Correctness.Checker.consistent report in
+          Printf.printf "verdict           %s\n"
+            (if ok then "CONSISTENT" else "INCONSISTENT");
+          List.iter
+            (fun v ->
+              Printf.printf "violation: %s\n" v.Correctness.Checker.v_detail)
+            report.Correctness.Checker.violations;
+          if ok then Ok () else Error (`Msg "scenario run was inconsistent")
+        end
+      end
+    with
+    | Scn.Scenario_error msg -> Error (`Msg msg)
+    | Relalg.Parser.Parse_error msg -> Error (`Msg msg)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Scenario file (.scn) to load.")
+  in
+  let describe =
+    Arg.(
+      value & flag
+      & info [ "describe" ]
+          ~doc:
+            "Print the generated mediator specification instead of running \
+             the scenario.")
+  in
+  let term = Term.(term_result (const run $ file $ describe $ verbose_arg)) in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Load a declarative scenario file (sources with storage backends, \
+          view definitions, annotation hints, initial loads, timed updates), \
+          run it end to end, print every export's answer, and check \
+          consistency")
+    term
+
 (* --- scenarios ------------------------------------------------------------ *)
 
 let scenarios_cmd =
@@ -1224,5 +1318,5 @@ let () =
          describe_cmd; advise_cmd; simulate_cmd; query_cmd; adapt_cmd;
          profile_cmd; trace_cmd; metrics_cmd; freshness_cmd; chaos_cmd;
          federation_cmd; dot_cmd;
-         scenarios_cmd;
+         scenario_cmd; scenarios_cmd;
        ]))

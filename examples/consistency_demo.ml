@@ -83,9 +83,9 @@ let () =
       v_letters
   in
   Printf.printf "\npseudo-consistent (per-pair vectors exist):   %b\n"
-    (Checker.pseudo_consistent ~vdp ~sources:[ src ] observations);
+    (Checker.pseudo_consistent ~vdp ~sources:[ Source_db.adapter src ] observations);
   Printf.printf "consistent (a single monotone reflect exists): %b\n"
-    (Checker.consistent_assignment ~vdp ~sources:[ src ] observations <> None);
+    (Checker.consistent_assignment ~vdp ~sources:[ Source_db.adapter src ] observations <> None);
   print_endline
     "=> pseudo-consistency does not imply consistency (Remark 3.1).";
 
@@ -103,7 +103,7 @@ let () =
         })
       [ 0; 0; 1; 0; 0; 0 ]
   in
-  (match Checker.consistent_assignment ~vdp ~sources:[ src ] honest with
+  (match Checker.consistent_assignment ~vdp ~sources:[ Source_db.adapter src ] honest with
   | Some witness ->
     Printf.printf "\nan honest view admits the monotone reflect: %s\n"
       (String.concat " "
@@ -127,7 +127,7 @@ let () =
     (* simultaneous R and S inserts that join: the ECA stress case *)
     let db1 = Scenario.source env "db1" in
     let db2 = Scenario.source env "db2" in
-    Source_db.commit db1
+    Adapter.commit db1
       (Driver.single_insert db1 "R"
          (Tuple.of_list
             [
@@ -136,7 +136,7 @@ let () =
               ("r3", Value.Int 1);
               ("r4", Value.Int 100);
             ]));
-    Source_db.commit db2
+    Adapter.commit db2
       (Driver.single_insert db2 "S"
          (Tuple.of_list
             [ ("s1", Value.Int 901); ("s2", Value.Int 2); ("s3", Value.Int 3) ]));

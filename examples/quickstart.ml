@@ -59,14 +59,14 @@ let () =
           ("r4", Value.Int r4);
         ]
     in
-    Source_db.commit db1 (Driver.single_insert db1 "R" tuple)
+    Adapter.commit db1 (Driver.single_insert db1 "R" tuple)
   in
   insert_r 1001 3 100;
   (* passes the selection: will reach T *)
   insert_r 1002 4 200;
   (* filtered out by r4 = 100: never leaves the leaf-parent *)
   Printf.printf "committed 2 transactions at db1 (versions now %d)\n"
-    (Source_db.version db1);
+    (Adapter.version db1);
 
   section "Incremental propagation";
   Scenario.run_to_quiescence env med;

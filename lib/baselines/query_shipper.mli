@@ -22,7 +22,7 @@ open Sources
 type t
 
 val create :
-  engine:Engine.t -> vdp:Graph.t -> sources:Source_db.t list -> unit -> t
+  engine:Engine.t -> vdp:Graph.t -> sources:Adapter.t list -> unit -> t
 (** The VDP is used only as a carrier of the view definitions
     ([Graph.expanded_def]) and the leaf-to-source mapping. *)
 

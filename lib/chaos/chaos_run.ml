@@ -220,7 +220,7 @@ let reference_answer env name =
     match Graph.node_opt vdp leaf with
     | Some { Graph.kind = Graph.Leaf { source }; _ } ->
       let src = Scenario.source env source in
-      Some (Source_db.current src leaf)
+      Some (Adapter.current src leaf)
     | Some _ | None -> None
   in
   Eval.eval ~env:leaf_env (Graph.expanded_def vdp name)
@@ -323,7 +323,7 @@ let run_one ?max_batch ?(tag = "") sc profile seed =
   let sum f =
     List.fold_left
       (fun acc s ->
-        match Source_db.channel s with Some c -> acc + f c | None -> acc)
+        match Adapter.channel s with Some c -> acc + f c | None -> acc)
       0 env.Scenario.sources
   in
   let s = Mediator.stats med in
@@ -397,7 +397,7 @@ let fed_reference fed name =
       match Graph.node_opt vdp leaf with
       | Some { Graph.kind = Graph.Leaf { source }; _ } ->
         (match List.assoc_opt source sh.Fed.Coordinator.sh_sources with
-        | Some src -> Some (Source_db.current src leaf)
+        | Some src -> Some (Adapter.current src leaf)
         | None -> None)
       | Some _ | None -> None
     in

@@ -5,6 +5,10 @@ open Sim
 open Sources
 open Storage
 
+type delays = { comm_delay : float; q_proc_delay : float }
+
+let default_delays = { comm_delay = 0.05; q_proc_delay = 0.01 }
+
 module Config = struct
   type t = {
     flush_interval : float;
@@ -20,13 +24,15 @@ module Config = struct
     trace_enabled : bool;
     trace_capacity : int;
     max_batch : int;
+    delays : string -> delays;
   }
 
   let make ?(flush_interval = 1.0) ?(op_time = 0.0001) ?(eca_enabled = true)
       ?(key_based_enabled = true) ?poll_timeout ?(poll_retries = 3)
       ?(poll_backoff = 0.25) ?version_check_interval
       ?(release_history = false) ?(answer_cache_enabled = true)
-      ?(trace_enabled = true) ?(trace_capacity = 4096) ?(max_batch = 64) () =
+      ?(trace_enabled = true) ?(trace_capacity = 4096) ?(max_batch = 64)
+      ?(delays = fun _ -> default_delays) () =
     if max_batch < 1 then
       invalid_arg "Med.Config.make: max_batch must be at least 1";
     {
@@ -43,6 +49,7 @@ module Config = struct
       trace_enabled;
       trace_capacity;
       max_batch;
+      delays;
     }
 
   let default = make ()
@@ -279,7 +286,7 @@ type t = {
   mutex : Engine.Mutex.t;
   config : config;
   trace : Obs.Trace.t;
-  source_tbl : (string, Source_db.t) Hashtbl.t;
+  source_tbl : (string, Adapter.t) Hashtbl.t;
   mutable queue : queue_entry list;
   mutable reflected : (string * reflected) list;
   mutable pending : Multi_delta.t;
@@ -307,7 +314,7 @@ exception Med_error of shape_error
 type poll_exhausted = {
   pe_source : string;
   pe_attempts : int;
-  pe_error : string;
+  pe_error : Adapter.poll_error;
 }
 
 exception Poll_failed of poll_exhausted
@@ -334,7 +341,8 @@ let () =
     | Poll_failed { pe_source; pe_attempts; pe_error } ->
       Some
         (Printf.sprintf "Poll_failed: source %S after %d attempt(s): %s"
-           pe_source pe_attempts pe_error)
+           pe_source pe_attempts
+           (Adapter.poll_error_to_string pe_error))
     | _ -> None)
 
 let mat_attrs t node = Annotation.materialized_attrs t.ann node
@@ -564,7 +572,7 @@ let install_joinopt_hooks t =
 
 let create ~engine ~vdp ~annotation ?(config = Config.default) ~sources () =
   let source_tbl = Hashtbl.create 8 in
-  List.iter (fun s -> Hashtbl.replace source_tbl (Source_db.name s) s) sources;
+  List.iter (fun s -> Hashtbl.replace source_tbl (Adapter.name s) s) sources;
   (* every VDP source must be present and agree on leaf schemas *)
   List.iter
     (fun src_name ->
@@ -575,8 +583,8 @@ let create ~engine ~vdp ~annotation ?(config = Config.default) ~sources () =
           (fun leaf ->
             let declared = (Graph.node vdp leaf).Graph.schema in
             let actual =
-              try Source_db.schema src leaf
-              with Source_db.Source_error msg -> err "%s" msg
+              try Adapter.schema src leaf
+              with Adapter.Adapter_error msg -> err "%s" msg
             in
             if not (Schema.equal declared actual) then
               err "leaf %S: VDP schema %s disagrees with source schema %s"
@@ -929,7 +937,7 @@ let freshness_bound t ~node =
         if contributor_kind t k = Materialized_contributor then acc
         else
           let db = source t k in
-          acc +. Source_db.q_proc_delay db +. Source_db.comm_delay db)
+          acc +. Adapter.q_proc_delay db +. Adapter.comm_delay db)
       0.0 node_sources
   in
   List.map
@@ -938,7 +946,7 @@ let freshness_bound t ~node =
       match contributor_kind t s with
       | Materialized_contributor | Hybrid_contributor ->
         ( s,
-          Source_db.ann_delay db +. Source_db.comm_delay db
+          Adapter.ann_delay db +. Adapter.comm_delay db
           +. t.config.flush_interval
           +. mean t.stats.update_tx_time +. polling_term )
       | Virtual_contributor ->
@@ -950,7 +958,7 @@ let freshness_bound t ~node =
    starting from [config.poll_backoff]. Exhaustion raises {!Poll_failed}
    so the caller can degrade or defer instead of crashing the process. *)
 let poll_with_retry t src queries =
-  let src_name = Source_db.name src in
+  let src_name = Adapter.name src in
   let budget = max 1 t.config.poll_retries in
   Obs.Trace.with_span t.trace "poll" ~attrs:[ ("source", src_name) ]
     (fun poll_sp ->
@@ -961,13 +969,13 @@ let poll_with_retry t src queries =
             ~attrs:[ ("n", string_of_int n) ]
             (fun sp ->
               let r =
-                Source_db.try_poll src ?timeout:t.config.poll_timeout queries
+                Adapter.try_poll src ?timeout:t.config.poll_timeout queries
               in
               (match r with
               | Ok _ -> Obs.Trace.set_attr sp "result" "ok"
               | Error e ->
                 Obs.Trace.set_attr sp "result"
-                  (Source_db.poll_error_to_string e));
+                  (Adapter.poll_error_to_string e));
               r)
         in
         match outcome with
@@ -983,14 +991,10 @@ let poll_with_retry t src queries =
             Obs.Metrics.observe t.stats.poll_rtt (Engine.now t.engine -. t0);
             Log.warn (fun m ->
                 m "poll of %s failed after %d attempt(s): %s" src_name n
-                  (Source_db.poll_error_to_string e));
+                  (Adapter.poll_error_to_string e));
             raise
               (Poll_failed
-                 {
-                   pe_source = src_name;
-                   pe_attempts = n;
-                   pe_error = Source_db.poll_error_to_string e;
-                 })
+                 { pe_source = src_name; pe_attempts = n; pe_error = e })
           end
           else begin
             Obs.Metrics.incr t.stats.poll_retries;
@@ -1000,7 +1004,7 @@ let poll_with_retry t src queries =
             Log.debug (fun m ->
                 m "poll of %s failed (%s); attempt %d/%d, backoff %g"
                   src_name
-                  (Source_db.poll_error_to_string e)
+                  (Adapter.poll_error_to_string e)
                   n budget backoff);
             Engine.sleep t.engine backoff;
             attempt (n + 1) (backoff *. 2.0)

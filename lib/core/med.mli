@@ -15,6 +15,14 @@ open Sim
 open Storage
 open Sources
 
+type delays = { comm_delay : float; q_proc_delay : float }
+(** Per-source connection delays: channel latency and source
+    query-processing time, fixed when {!Mediator.connect} attaches the
+    source. *)
+
+val default_delays : delays
+(** [{ comm_delay = 0.05; q_proc_delay = 0.01 }]. *)
+
 (** Mediator configuration. Build values with {!Config.make} — the
     smart constructor defaults every knob, so construction sites name
     only what they change and new knobs never break callers. *)
@@ -49,7 +57,7 @@ module Config : sig
             it nothing later would reveal the gap. *)
     release_history : bool;
         (** after each update transaction, advance every source's
-            release watermark ({!Source_db.release}) to the reflected
+            release watermark ({!Sources.Adapter.release}) to the reflected
             version so snapshot history stays bounded. Incompatible
             with running a {!Correctness.Checker} afterwards, which
             replays history. *)
@@ -71,6 +79,10 @@ module Config : sig
             pass may coalesce into a single kernel pass ([1] restores
             the paper's one-transaction-per-pass behaviour; a
             mid-batch version gap always ends the batch early) *)
+    delays : string -> delays;
+        (** per-source connection delays, by source name;
+            {!Mediator.connect} draws from this when attaching each
+            source — one config surface for [create] and [connect] *)
   }
 
   val make :
@@ -87,12 +99,14 @@ module Config : sig
     ?trace_enabled:bool ->
     ?trace_capacity:int ->
     ?max_batch:int ->
+    ?delays:(string -> delays) ->
     unit ->
     t
   (** Defaults: [flush_interval 1.0], [op_time 1e-4], ECA and
       key-based construction on, no poll timeout, [poll_retries 3],
       [poll_backoff 0.25], no heartbeat, history retained, answer
-      cache on, tracing on with capacity 4096, [max_batch 64].
+      cache on, tracing on with capacity 4096, [max_batch 64],
+      [delays] constantly {!default_delays}.
       @raise Invalid_argument when [max_batch < 1]. *)
 
   val default : t
@@ -328,7 +342,7 @@ type t = {
   trace : Obs.Trace.t;
       (** per-transaction span trees on the simulated clock; every
           processor opens spans here (see docs/OBSERVABILITY.md) *)
-  source_tbl : (string, Source_db.t) Hashtbl.t;
+  source_tbl : (string, Adapter.t) Hashtbl.t;
   mutable queue : queue_entry list;  (** arrival order *)
   mutable reflected : (string * reflected) list;
   mutable pending : Multi_delta.t;
@@ -379,7 +393,7 @@ exception Med_error of shape_error
 type poll_exhausted = {
   pe_source : string;
   pe_attempts : int;
-  pe_error : string;  (** rendering of the last {!Source_db.poll_error} *)
+  pe_error : Adapter.poll_error;  (** the last attempt's failure *)
 }
 
 exception Poll_failed of poll_exhausted
@@ -403,16 +417,19 @@ val create :
   vdp:Graph.t ->
   annotation:Annotation.t ->
   ?config:config ->
-  sources:Source_db.t list ->
+  sources:Adapter.t list ->
   unit ->
   t
 (** Builds the local store: one table per node with at least one
     materialized attribute, holding the projection of the node's
-    relation onto its materialized attributes.
-    @raise Mediator_error when a VDP source has no matching
-    [Source_db], or a leaf's schema disagrees with the source's. *)
+    relation onto its materialized attributes. Sources are
+    {!Sources.Adapter} values — wrap a relational database with
+    {!Source_db.adapter}, a triple store with {!Triple_store.adapter},
+    or another mediator with {!Med_source.adapter}.
+    @raise Mediator_error when a VDP source has no matching adapter,
+    or a leaf's schema disagrees with the source's. *)
 
-val source : t -> string -> Source_db.t
+val source : t -> string -> Adapter.t
 
 val subscribe_exports : t -> (export_event -> unit) -> unit
 (** Register a consumer of the export change stream ({!export_event}).
@@ -531,8 +548,8 @@ val freshness_bound : t -> node:string -> (string * float) list
     that never announces. *)
 
 val poll_with_retry :
-  t -> Source_db.t -> (string * Expr.t) list -> Message.answer
-(** {!Source_db.try_poll} under the config's timeout, retried up to
+  t -> Adapter.t -> (string * Expr.t) list -> Message.answer
+(** {!Adapter.try_poll} under the config's timeout, retried up to
     [poll_retries] attempts with exponential backoff from
     [poll_backoff]. Must run in a process. @raise Poll_failed when the
     budget is exhausted. *)

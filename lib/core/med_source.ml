@@ -1,0 +1,100 @@
+open Relalg
+open Delta
+open Sources
+
+type t = { ms_name : string; ms_child : Med.t; ms_db : Source_db.t }
+
+let name t = t.ms_name
+let child t = t.ms_child
+let source_db t = t.ms_db
+
+(* The delta (possibly empty) between the mirror and the child's
+   current export state. Exports are fully materialized (checked at
+   create), so [store_env] is total over them. *)
+let drift t =
+  List.fold_left
+    (fun acc (node, _) ->
+      match Med.store_env t.ms_child node with
+      | Some bag ->
+        let d =
+          Rel_delta.of_diff ~old_bag:(Source_db.current t.ms_db node)
+            ~new_bag:bag
+        in
+        if Rel_delta.is_empty d then acc else Multi_delta.add acc node d
+      | None -> acc)
+    Multi_delta.empty
+    (Med.export_schemas t.ms_child)
+
+let sync t =
+  let delta = drift t in
+  if not (Multi_delta.is_empty delta) then Source_db.commit t.ms_db delta
+
+let create ?name (child : Med.t) =
+  let exports = Med.export_schemas child in
+  (match exports with
+  | [] -> Adapter.err "mediator-as-source: the child exports no relations"
+  | _ -> ());
+  List.iter
+    (fun (node, schema) ->
+      if not (Med.is_covered child ~node ~attrs:(Schema.attrs schema)) then
+        Adapter.err
+          "mediator-as-source: export %S is not fully materialized (a \
+           virtual export has no store contents to mirror)"
+          node)
+    exports;
+  let ms_name =
+    match name with Some n -> n | None -> "med:" ^ fst (List.hd exports)
+  in
+  let ms_db =
+    Source_db.create ~engine:child.Med.engine ~name:ms_name
+      ~relations:exports ~announce:Source_db.Immediate ()
+  in
+  let t = { ms_name; ms_child = child; ms_db } in
+  (* seed the mirror's version-0 state if the child already holds
+     data; later drift (e.g. a child initialized after wrapping) is
+     repaired by the poll-time sync *)
+  if child.Med.initialized then
+    List.iter
+      (fun (node, _) ->
+        match Med.store_env child node with
+        | Some bag -> Source_db.load ms_db node bag
+        | None -> ())
+      exports;
+  Med.subscribe_exports child (function
+    | Med.Export_delta { ee_deltas; _ } ->
+      (* one child update transaction = one mirror version; commit is
+         non-blocking, as export subscribers must be *)
+      let delta =
+        List.fold_left
+          (fun acc (node, d) -> Multi_delta.add acc node d)
+          Multi_delta.empty ee_deltas
+      in
+      if not (Multi_delta.is_empty delta) then Source_db.commit ms_db delta
+    | Med.Export_snapshot _ -> sync t);
+  t
+
+let adapter t =
+  let a = Source_db.adapter t.ms_db in
+  {
+    a with
+    Adapter.a_kind = "mediator";
+    a_try_poll =
+      (fun ?timeout queries ->
+        (* a poll must answer from the child's current export state,
+           even across windows no export event covers (the child's
+           initialization in particular publishes none) *)
+        sync t;
+        a.Adapter.a_try_poll ?timeout queries);
+    a_commit =
+      (fun _ ->
+        Adapter.err
+          "mediator-backed source %s is read-only: commit at the child \
+           mediator's own sources"
+          t.ms_name);
+    a_load =
+      (fun _ _ ->
+        Adapter.err
+          "mediator-backed source %s is read-only: load the child \
+           mediator's own sources"
+          t.ms_name);
+  }

@@ -6,13 +6,9 @@ open Storage
 
 type t = Med.t
 
-type delays = { comm_delay : float; q_proc_delay : float }
-
-let default_delays = { comm_delay = 0.05; q_proc_delay = 0.01 }
-
 let create = Med.create
 
-let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
+let connect (t : Med.t) () =
   let handler (msg : Message.t) =
     match msg with
     | Message.Update u -> Med.enqueue t u
@@ -26,9 +22,9 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
   in
   List.iter
     (fun src_name ->
-      let d = delays src_name in
-      Source_db.connect (Med.source t src_name) ~comm_delay:d.comm_delay
-        ~q_proc_delay:d.q_proc_delay handler)
+      let d = t.Med.config.Med.Config.delays src_name in
+      Adapter.connect (Med.source t src_name) ~comm_delay:d.Med.comm_delay
+        ~q_proc_delay:d.Med.q_proc_delay handler)
     (Graph.sources t.Med.vdp);
   Iup.start_flusher t;
   (* anti-entropy heartbeat: an empty-query poll answers with the
@@ -55,7 +51,7 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
             | Med.Virtual_contributor -> (
               let src = Med.source t src_name in
               match
-                Source_db.try_poll src
+                Adapter.try_poll src
                   ?timeout:t.Med.config.Med.Config.poll_timeout []
               with
               | Ok a ->
@@ -68,7 +64,7 @@ let connect (t : Med.t) ?(delays = fun _ -> default_delays) () =
             | Med.Materialized_contributor | Med.Hybrid_contributor -> (
               let src = Med.source t src_name in
               match
-                Source_db.try_poll src
+                Adapter.try_poll src
                   ?timeout:t.Med.config.Med.Config.poll_timeout []
               with
               | Ok a ->
@@ -177,7 +173,7 @@ let enable_source_filtering (t : Med.t) =
         let cond =
           Predicate.simplify (Predicate.disj (List.map snd per_lp))
         in
-        Source_db.set_filter src ~relation:leaf ~attrs ~cond)
+        Adapter.set_filter src ~relation:leaf ~attrs ~cond)
     (Graph.leaves t.Med.vdp)
 
 let query = Qp.query
@@ -189,7 +185,7 @@ let process_updates = Iup.update_transaction
 let dirty_sources = Med.dirty_sources
 
 let commit_at_source (t : Med.t) ~source delta =
-  Source_db.commit (Med.source t source) delta
+  Adapter.commit (Med.source t source) delta
 
 let vdp (t : Med.t) = t.Med.vdp
 let annotation (t : Med.t) = t.Med.ann

@@ -9,14 +9,22 @@
     simulation: updates committed at the sources flow in through the
     update queue and the IUP; queries are served by the QP.
 
+    Sources are {!Sources.Adapter} values: wrap a relational
+    {!Sources.Source_db} with [Source_db.adapter], a triple store with
+    [Triple_store.adapter], or another mediator's exports with
+    {!Med_source.adapter} (mediators compose). Per-source connection
+    delays live in {!Med.Config.t} ([delays]), one config surface for
+    [create] and [connect]:
+
     {[
       let vdp = (* Vdp.Builder *) ... in
       let med =
         Mediator.create ~engine ~vdp
           ~annotation:(Vdp.Annotation.fully_materialized vdp)
-          ~sources:[ db1; db2 ] ()
+          ~config:(Med.Config.make ~delays:(fun _ -> Med.default_delays) ())
+          ~sources:[ Source_db.adapter db1; Source_db.adapter db2 ] ()
       in
-      Mediator.connect med ~delays:(fun _ -> Mediator.default_delays);
+      Mediator.connect med ();
       Engine.spawn engine (fun () ->
           Mediator.initialize med;
           let answer = Mediator.query med ~node:"T" () in
@@ -31,24 +39,21 @@ open Sources
 
 type t = Med.t
 
-type delays = { comm_delay : float; q_proc_delay : float }
-
-val default_delays : delays
-
 val create :
   engine:Engine.t ->
   vdp:Graph.t ->
   annotation:Annotation.t ->
   ?config:Med.config ->
-  sources:Source_db.t list ->
+  sources:Adapter.t list ->
   unit ->
   t
 (** See {!Med.create}. *)
 
-val connect : t -> ?delays:(string -> delays) -> unit -> unit
+val connect : t -> unit -> unit
 (** Wire every source's FIFO channel to this mediator's update queue
-    and answer dispatch, with per-source network/processing delays.
-    Also starts the periodic update-queue flusher. *)
+    and answer dispatch, with the per-source network/processing delays
+    of [config.delays]. Also starts the periodic update-queue flusher
+    and, when configured, the anti-entropy heartbeat. *)
 
 val initialize : t -> unit
 (** [t_view_init]: poll every source once (a single source transaction

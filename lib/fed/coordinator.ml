@@ -7,7 +7,7 @@ open Squirrel
 
 type shard = {
   sh_id : int;
-  sh_sources : (string * Source_db.t) list;
+  sh_sources : (string * Adapter.t) list;
   sh_med : Mediator.t;
   mutable sh_alive : bool;
 }
@@ -54,7 +54,7 @@ let cache_invalidate_nodes t nodes =
 
 let create ~engine ~vdp ~key ~shards ~make_sources
     ?(annotation = Annotation.fully_materialized)
-    ?(config = Med.Config.default) ?delays ?(answer_cache = true) () =
+    ?(config = Med.Config.default) ?(answer_cache = true) () =
   if shards <= 0 then err "Coordinator.create: shards must be positive";
   List.iter
     (fun (leaf : Graph.node) ->
@@ -98,7 +98,7 @@ let create ~engine ~vdp ~key ~shards ~make_sources
     let med =
       Mediator.create ~engine ~vdp ~annotation ~config ~sources ()
     in
-    Mediator.connect med ?delays ();
+    Mediator.connect med ();
     (* mediator-as-source: each shard's export change stream drives the
        coordinator's cache invalidation and resync bookkeeping *)
     Mediator.subscribe_exports med (function
@@ -112,7 +112,7 @@ let create ~engine ~vdp ~key ~shards ~make_sources
     {
       sh_id = i;
       sh_sources =
-        List.map (fun s -> (Source_db.name s, s)) sources;
+        List.map (fun s -> (Adapter.name s, s)) sources;
       sh_med = med;
       sh_alive = true;
     }
@@ -161,7 +161,7 @@ let load t relation bag =
   let shards = Array.length t.f_shards in
   let src_name = Graph.source_of_leaf t.f_vdp relation in
   Array.iteri
-    (fun i part -> Source_db.load (shard_source t.f_shards.(i) src_name) relation part)
+    (fun i part -> Adapter.load (shard_source t.f_shards.(i) src_name) relation part)
     (Partition.split_bag ~shards ~key:t.f_key bag)
 
 let initialize t =
@@ -196,7 +196,7 @@ let commit t md =
           (Multi_delta.bindings part);
         Hashtbl.iter
           (fun src md ->
-            Source_db.commit (shard_source t.f_shards.(i) src) !md)
+            Adapter.commit (shard_source t.f_shards.(i) src) !md)
           by_source
       end)
     parts;
@@ -333,7 +333,7 @@ let query t ~node ?attrs ?(cond = Predicate.True) () =
 (* --- failure injection ------------------------------------------------ *)
 
 let set_links sh up =
-  List.iter (fun (_, s) -> Source_db.set_link_up s up) sh.sh_sources
+  List.iter (fun (_, s) -> Adapter.set_link_up s up) sh.sh_sources
 
 let kill t i =
   let sh = t.f_shards.(i) in

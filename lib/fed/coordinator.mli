@@ -36,7 +36,7 @@ open Squirrel
 
 type shard = {
   sh_id : int;
-  sh_sources : (string * Source_db.t) list;  (** by source name *)
+  sh_sources : (string * Adapter.t) list;  (** by source name *)
   sh_med : Mediator.t;
   mutable sh_alive : bool;
 }
@@ -48,18 +48,18 @@ val create :
   vdp:Graph.t ->
   key:string ->
   shards:int ->
-  make_sources:(shard:int -> Source_db.t list) ->
+  make_sources:(shard:int -> Adapter.t list) ->
   ?annotation:(Graph.t -> Annotation.t) ->
   ?config:Med.config ->
-  ?delays:(string -> Mediator.delays) ->
   ?answer_cache:bool ->
   unit ->
   t
 (** Build the federation: [make_sources ~shard:i] must create shard
-    [i]'s own source databases carrying the {e same logical names} the
+    [i]'s own source adapters carrying the {e same logical names} the
     VDP references (each shard holds its partition of every relation).
     All shards share the VDP structure and annotation
-    (default: fully materialized) and are connected immediately.
+    (default: fully materialized) and are connected immediately
+    with the per-source delays of [config.delays].
     [answer_cache] controls the {e federation-level} cache of merged
     answers (invalidated through the shards' export change streams);
     per-shard caches follow [config].

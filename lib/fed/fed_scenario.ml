@@ -34,12 +34,30 @@ let fed_vdp () =
 
 let make_sources ~engine ?(announce = Source_db.Immediate) () =
   [
-    Source_db.create ~engine ~name:"dbItems"
-      ~relations:[ ("Items", schema_items) ]
-      ~announce ();
-    Source_db.create ~engine ~name:"dbTags"
-      ~relations:[ ("Tags", schema_tags) ]
-      ~announce ();
+    Source_db.adapter
+      (Source_db.create ~engine ~name:"dbItems"
+         ~relations:[ ("Items", schema_items) ]
+         ~announce ());
+    Source_db.adapter
+      (Source_db.create ~engine ~name:"dbTags"
+         ~relations:[ ("Tags", schema_tags) ]
+         ~announce ());
+  ]
+
+(* Heterogeneous variant: the item catalog lives in a triple store
+   (native entity/attribute/value mutations rendered as the same
+   relational export), the tag registry stays relational — one shard,
+   two storage families, one adapter contract. *)
+let make_triple_sources ~engine ?(announce = Source_db.Immediate) () =
+  [
+    Triple_store.adapter
+      (Triple_store.create ~engine ~name:"dbItems"
+         ~relations:[ ("Items", schema_items) ]
+         ~announce ());
+    Source_db.adapter
+      (Source_db.create ~engine ~name:"dbTags"
+         ~relations:[ ("Tags", schema_tags) ]
+         ~announce ());
   ]
 
 (* Deterministic base state: key k carries a random group, amount and

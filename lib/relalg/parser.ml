@@ -14,6 +14,8 @@ type token =
   | Tstring of string
   | Tlparen
   | Trparen
+  | Tlbrace
+  | Trbrace
   | Tcomma
   | Top of string (* = <> < <= > >= + - * / *)
   | Tkw of string (* select project join on union minus and or not true false *)
@@ -35,6 +37,11 @@ let tokenize src =
     let c = src.[!i] in
     let start = !i in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then
+      (* line comment (scenario files) *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
     else if is_ident_start c then begin
       while !i < n && is_ident_char src.[!i] do
         incr i
@@ -73,6 +80,8 @@ let tokenize src =
       match c with
       | '(' -> emit start Tlparen; incr i
       | ')' -> emit start Trparen; incr i
+      | '{' -> emit start Tlbrace; incr i
+      | '}' -> emit start Trbrace; incr i
       | ',' -> emit start Tcomma; incr i
       | '=' -> emit start (Top "="); incr i
       | '<' ->
@@ -326,6 +335,240 @@ and parse_primary st =
     Expr.Rename (mapping, e)
   | _ -> err (pos st) "expected a relation, '(', 'select', or 'project'"
 
+(* --- scenario files ------------------------------------------------------ *)
+
+type announce_decl = Ann_immediate | Ann_periodic of float | Ann_never
+
+type source_decl = {
+  sd_name : string;
+  sd_backend : string;
+  sd_announce : announce_decl;
+  sd_relations : (string * Schema.t) list;
+}
+
+type ann_hint = Hint_materialized | Hint_virtual
+
+type scenario_event = {
+  ev_time : float;
+  ev_insert : bool;
+  ev_relation : string;
+  ev_tuple : Value.t list;
+}
+
+type scenario_decl = {
+  sc_sources : source_decl list;
+  sc_views : (string * Expr.t) list;
+  sc_hints : (string * ann_hint) list;
+  sc_auto_annotate : bool;
+  sc_loads : (string * Value.t list list) list;
+  sc_events : scenario_event list;
+}
+
+(* Scenario-level words are NOT lexer keywords: they stay ordinary
+   identifiers so attribute names like [key] or [at] keep parsing
+   inside algebra expressions. The statement parser matches them
+   contextually. *)
+let peek_word st =
+  match peek st with
+  | Some (Tident w) -> Some (String.lowercase_ascii w)
+  | _ -> None
+
+let eat_word st w =
+  match peek_word st with
+  | Some got when String.equal got w ->
+    advance st;
+    true
+  | _ -> false
+
+let parse_type st =
+  let p = pos st in
+  match peek_word st with
+  | Some "int" -> advance st; Value.TInt
+  | Some "float" -> advance st; Value.TFloat
+  | Some "str" | Some "string" -> advance st; Value.TStr
+  | Some "bool" -> advance st; Value.TBool
+  | _ -> err p "expected an attribute type (int, float, str, bool)"
+
+(* R(r1 int key, r2 int, ...) *)
+let parse_relation_decl st =
+  let rel = ident st "a relation name" in
+  expect st Tlparen "'(' after the relation name";
+  let key = ref [] in
+  let one () =
+    let attr = ident st "an attribute name" in
+    let ty = parse_type st in
+    if eat_word st "key" then key := attr :: !key;
+    (attr, ty)
+  in
+  let first = one () in
+  let rec rest acc =
+    match peek st with
+    | Some Tcomma ->
+      advance st;
+      rest (one () :: acc)
+    | _ -> List.rev acc
+  in
+  let cols = rest [ first ] in
+  expect st Trparen "')' closing the relation declaration";
+  (rel, Schema.make ~key:(List.rev !key) cols)
+
+let parse_float_lit st =
+  match peek st with
+  | Some (Tfloat f) -> advance st; f
+  | Some (Tint i) -> advance st; float_of_int i
+  | _ -> err (pos st) "expected a number"
+
+let parse_announce st =
+  let p = pos st in
+  match peek_word st with
+  | Some "immediate" -> advance st; Ann_immediate
+  | Some "periodic" ->
+    advance st;
+    Ann_periodic (parse_float_lit st)
+  | Some "never" -> advance st; Ann_never
+  | _ -> err p "expected an announce mode (immediate, periodic T, never)"
+
+let parse_source_decl st =
+  let sd_name = ident st "a source name" in
+  expect st Tlbrace "'{' opening the source body";
+  let backend = ref "relational" in
+  let announce = ref Ann_immediate in
+  let relations = ref [] in
+  let rec body () =
+    if eat_word st "backend" then begin
+      backend := ident st "a backend name (relational, triple)";
+      body ()
+    end
+    else if eat_word st "announce" then begin
+      announce := parse_announce st;
+      body ()
+    end
+    else if eat_word st "relation" then begin
+      relations := parse_relation_decl st :: !relations;
+      body ()
+    end
+    else expect st Trbrace "'}' closing the source body"
+  in
+  body ();
+  if !relations = [] then
+    err (pos st) "source %S declares no relations" sd_name;
+  {
+    sd_name;
+    sd_backend = !backend;
+    sd_announce = !announce;
+    sd_relations = List.rev !relations;
+  }
+
+let parse_value st =
+  match peek st with
+  | Some (Tint i) -> advance st; Value.Int i
+  | Some (Tfloat f) -> advance st; Value.Float f
+  | Some (Tstring s) -> advance st; Value.Str s
+  | Some (Tkw "true") -> advance st; Value.Bool true
+  | Some (Tkw "false") -> advance st; Value.Bool false
+  | Some (Top "-") -> (
+    advance st;
+    match peek st with
+    | Some (Tint i) -> advance st; Value.Int (-i)
+    | Some (Tfloat f) -> advance st; Value.Float (-.f)
+    | _ -> err (pos st) "expected a number after '-'")
+  | _ -> err (pos st) "expected a literal value"
+
+(* (v1, v2, ...) *)
+let parse_tuple_lit st =
+  expect st Tlparen "'(' opening a tuple";
+  let first = parse_value st in
+  let rec rest acc =
+    match peek st with
+    | Some Tcomma ->
+      advance st;
+      rest (parse_value st :: acc)
+    | _ -> List.rev acc
+  in
+  let vs = rest [ first ] in
+  expect st Trparen "')' closing the tuple";
+  vs
+
+let parse_scenario st =
+  let sources = ref [] in
+  let views = ref [] in
+  let hints = ref [] in
+  let auto = ref false in
+  let loads = ref [] in
+  let events = ref [] in
+  let rec items () =
+    if eat_word st "source" then begin
+      sources := parse_source_decl st :: !sources;
+      items ()
+    end
+    else if eat_word st "view" then begin
+      let name = ident st "a view name" in
+      (match peek st with
+      | Some (Top "=") -> advance st
+      | _ -> err (pos st) "expected '=' after the view name");
+      views := (name, parse_expr st) :: !views;
+      items ()
+    end
+    else if eat_word st "annotate" then begin
+      if eat_word st "auto" then auto := true
+      else begin
+        let node = ident st "a view name" in
+        let p = pos st in
+        let hint =
+          match peek_word st with
+          | Some "materialized" -> advance st; Hint_materialized
+          | Some "virtual" -> advance st; Hint_virtual
+          | _ -> err p "expected an annotation hint (materialized, virtual)"
+        in
+        hints := (node, hint) :: !hints
+      end;
+      items ()
+    end
+    else if eat_word st "load" then begin
+      let rel = ident st "a relation name" in
+      let rec tuples acc =
+        match peek st with
+        | Some Tlparen -> tuples (parse_tuple_lit st :: acc)
+        | _ -> List.rev acc
+      in
+      loads := (rel, tuples []) :: !loads;
+      items ()
+    end
+    else if eat_word st "at" then begin
+      let ev_time = parse_float_lit st in
+      let p = pos st in
+      let ev_insert =
+        if eat_word st "insert" then true
+        else if eat_word st "delete" then false
+        else err p "expected 'insert' or 'delete'"
+      in
+      let ev_relation = ident st "a relation name" in
+      let ev_tuple = parse_tuple_lit st in
+      events := { ev_time; ev_insert; ev_relation; ev_tuple } :: !events;
+      items ()
+    end
+    else
+      match peek st with
+      | None -> ()
+      | Some _ ->
+        err (pos st)
+          "expected a scenario item (source, view, annotate, load, at)"
+  in
+  items ();
+  if !sources = [] then err (pos st) "a scenario declares at least one source";
+  if !views = [] then err (pos st) "a scenario declares at least one view";
+  {
+    sc_sources = List.rev !sources;
+    sc_views = List.rev !views;
+    sc_hints = List.rev !hints;
+    sc_auto_annotate = !auto;
+    sc_loads = List.rev !loads;
+    sc_events =
+      List.sort
+        (fun a b -> Float.compare a.ev_time b.ev_time)
+        (List.rev !events);
+  }
+
 (* --- entry points -------------------------------------------------------- *)
 
 let with_state src f =
@@ -339,3 +582,4 @@ let with_state src f =
 let expr src = with_state src parse_expr
 let predicate src = with_state src parse_pred
 let attrs src = with_state src parse_attr_list
+let scenario src = with_state src parse_scenario

@@ -27,26 +27,30 @@ open Sim
 
 type t
 
-type announce_mode =
+(** The announce/outage/poll-error/retention vocabulary is owned by
+    {!Adapter}; the equations below keep [Source_db.Immediate]-style
+    constructors and pattern matches working unchanged. *)
+
+type announce_mode = Adapter.announce_mode =
   | Immediate  (** flush the net delta at every commit *)
   | Periodic of float  (** flush every [ann_delay] time units *)
   | Never  (** virtual contributor: never announces *)
 
 (** What a poll experiences while the source is inside an outage
     window. *)
-type outage_mode =
+type outage_mode = Adapter.outage_mode =
   | Refuse  (** a fast failure: a refusal travels straight back *)
   | Black_hole
       (** the request vanishes; the poller only learns via its
           timeout (polling without one is an error — it would
           deadlock the simulation) *)
 
-type poll_error =
+type poll_error = Adapter.poll_error =
   | Unavailable of { u_source : string; u_until : float option }
   | Timed_out of { t_source : string; t_timeout : float }
 
 (** History snapshot retention. *)
-type retention =
+type retention = Adapter.retention =
   | Keep_all
   | Keep_last of int  (** keep at most the last [n] versions *)
 
@@ -206,3 +210,11 @@ val polls_served : t -> int
 
 val poll_failures : t -> int
 (** Polls that ended in [Unavailable] or [Timed_out]. *)
+
+(** {1 Adapter} *)
+
+val adapter : t -> Adapter.t
+(** View this relational database through the mediator-facing
+    {!Adapter} contract ([a_kind = "relational"]). The adapter shares
+    state with [t]: commits through either surface are visible through
+    both. *)

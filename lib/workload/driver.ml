@@ -13,8 +13,8 @@ type update_load = {
 }
 
 let single_insert src relation tuple =
-  let schema = Source_db.schema src relation in
-  let current = Source_db.current src relation in
+  let schema = Adapter.schema src relation in
+  let current = Adapter.current src relation in
   let d = Rel_delta.empty schema in
   (* keyed relations: inserting an existing key replaces the old row *)
   let d =
@@ -32,16 +32,16 @@ let single_insert src relation tuple =
   Multi_delta.singleton relation (Rel_delta.insert d tuple)
 
 let single_delete src relation tuple =
-  let schema = Source_db.schema src relation in
+  let schema = Adapter.schema src relation in
   Multi_delta.singleton relation
     (Rel_delta.delete (Rel_delta.empty schema) tuple)
 
 let update_process ?(start = 0.0) ~rng ~src load =
-  let engine = Source_db.engine src in
-  let schema = Source_db.schema src load.u_relation in
+  let engine = Adapter.engine src in
+  let schema = Adapter.schema src load.u_relation in
   let next_key = ref 1_000_000 in
   let one_commit () =
-    let current = Source_db.current src load.u_relation in
+    let current = Adapter.current src load.u_relation in
     let deleting =
       Random.State.float rng 1.0 < load.u_delete_fraction
       && not (Bag.is_empty current)
@@ -49,7 +49,7 @@ let update_process ?(start = 0.0) ~rng ~src load =
     if deleting then
       match Datagen.pick rng (Bag.support current) with
       | Some victim ->
-        Source_db.commit src (single_delete src load.u_relation victim)
+        Adapter.commit src (single_delete src load.u_relation victim)
       | None -> ()
     else begin
       let tuple =
@@ -59,7 +59,7 @@ let update_process ?(start = 0.0) ~rng ~src load =
         end
         else Datagen.tuple rng load.u_specs
       in
-      Source_db.commit src (single_insert src load.u_relation tuple)
+      Adapter.commit src (single_insert src load.u_relation tuple)
     end
   in
   Engine.spawn engine (fun () ->

@@ -24,13 +24,13 @@ type update_load = {
 }
 
 val update_process :
-  ?start:float -> rng:Random.State.t -> src:Source_db.t -> update_load -> unit
+  ?start:float -> rng:Random.State.t -> src:Adapter.t -> update_load -> unit
 (** Spawn the committing process (first commit one interval after
     [start], default 0 — phased workloads stagger their drivers with
     it). Key uniqueness is maintained for keyed relations. *)
 
-val single_insert : Source_db.t -> string -> Tuple.t -> Multi_delta.t
-val single_delete : Source_db.t -> string -> Tuple.t -> Multi_delta.t
+val single_insert : Adapter.t -> string -> Tuple.t -> Multi_delta.t
+val single_delete : Adapter.t -> string -> Tuple.t -> Multi_delta.t
 (** Convenience constructors for one-atom transactions (the delete
     includes the key-replacement semantics used by [update_process]). *)
 

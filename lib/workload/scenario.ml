@@ -4,14 +4,27 @@ open Sources
 open Vdp
 open Squirrel
 
+type backend = [ `Relational | `Triple ]
+
 type env = {
   engine : Engine.t;
-  sources : Source_db.t list;
+  sources : Adapter.t list;
   vdp : Graph.t;
 }
 
 let source env name =
-  List.find (fun s -> String.equal (Source_db.name s) name) env.sources
+  List.find (fun s -> String.equal (Adapter.name s) name) env.sources
+
+(* One constructor seam for every environment below: the same scenario
+   can be built over relational databases or triple stores, which is
+   what the adapter differential tests diff against each other. *)
+let mk_source ~backend ~engine ~name ~relations ~announce () =
+  match backend with
+  | `Relational ->
+    Source_db.adapter (Source_db.create ~engine ~name ~relations ~announce ())
+  | `Triple ->
+    Triple_store.adapter
+      (Triple_store.create ~engine ~name ~relations ~announce ())
 
 (* --- Figure 1 --------------------------------------------------------- *)
 
@@ -74,19 +87,19 @@ let fig1_update_specs = function
   | rel -> invalid_arg ("fig1_update_specs: unknown relation " ^ rel)
 
 let make_fig1 ?(seed = 42) ?(r_size = 60) ?(s_size = default_s_size)
-    ?(announce = Source_db.Immediate) () =
+    ?(announce = Source_db.Immediate) ?(backend = `Relational) () =
   let engine = Engine.create () in
   let rng = Datagen.state seed in
   let db1 =
-    Source_db.create ~engine ~name:"db1" ~relations:[ ("R", schema_r) ]
+    mk_source ~backend ~engine ~name:"db1" ~relations:[ ("R", schema_r) ]
       ~announce ()
   in
   let db2 =
-    Source_db.create ~engine ~name:"db2" ~relations:[ ("S", schema_s) ]
+    mk_source ~backend ~engine ~name:"db2" ~relations:[ ("S", schema_s) ]
       ~announce ()
   in
-  Source_db.load db1 "R" (Datagen.bag rng schema_r (r_specs s_size) ~size:r_size);
-  Source_db.load db2 "S" (Datagen.bag rng schema_s s_specs ~size:s_size);
+  Adapter.load db1 "R" (Datagen.bag rng schema_r (r_specs s_size) ~size:r_size);
+  Adapter.load db2 "S" (Datagen.bag rng schema_s s_specs ~size:s_size);
   { engine; sources = [ db1; db2 ]; vdp = fig1_vdp () }
 
 let ann_ex21 vdp = Annotation.fully_materialized vdp
@@ -178,15 +191,15 @@ let default_ex51_size = 30
 let ex51_update_specs rel = ex51_specs default_ex51_size rel
 
 let make_ex51 ?(seed = 7) ?(size = default_ex51_size)
-    ?(announce = Source_db.Immediate) () =
+    ?(announce = Source_db.Immediate) ?(backend = `Relational) () =
   let engine = Engine.create () in
   let rng = Datagen.state seed in
   let mk name rel schema =
     let src =
-      Source_db.create ~engine ~name ~relations:[ (rel, schema) ] ~announce ()
+      mk_source ~backend ~engine ~name ~relations:[ (rel, schema) ] ~announce
+        ()
     in
-    Source_db.load src rel
-      (Datagen.bag rng schema (ex51_specs size rel) ~size);
+    Adapter.load src rel (Datagen.bag rng schema (ex51_specs size rel) ~size);
     src
   in
   let dba = mk "dbA" "A" schema_a in
@@ -206,12 +219,12 @@ let ann_ex51 vdp =
 
 (* --- assembly --------------------------------------------------------- *)
 
-let mediator env ~annotation ?config ?delays () =
+let mediator env ~annotation ?config () =
   let med =
     Mediator.create ~engine:env.engine ~vdp:env.vdp ~annotation ?config
       ~sources:env.sources ()
   in
-  Mediator.connect med ?delays ();
+  Mediator.connect med ();
   med
 
 exception
@@ -253,7 +266,7 @@ let run_to_quiescence env med =
              nq_queue = Mediator.queue_length med;
              nq_in_flight =
                List.map
-                 (fun s -> (Source_db.name s, Source_db.in_flight s))
+                 (fun s -> (Adapter.name s, Adapter.in_flight s))
                  env.sources;
              nq_pending_events = Engine.pending env.engine;
            });
@@ -318,17 +331,18 @@ let retail_update_specs = function
   | rel -> invalid_arg ("retail_update_specs: unknown relation " ^ rel)
 
 let make_retail ?(seed = 99) ?(orders = 40) ?(customers = retail_customers)
-    ?(announce = Source_db.Immediate) () =
+    ?(announce = Source_db.Immediate) ?(backend = `Relational) () =
   let engine = Engine.create () in
   let rng = Datagen.state seed in
   let mk name rel =
-    Source_db.create ~engine ~name ~relations:[ (rel, schema_orders) ]
+    mk_source ~backend ~engine ~name ~relations:[ (rel, schema_orders) ]
       ~announce ()
   in
   let east = mk "dbEast" "OrdersE" in
   let west = mk "dbWest" "OrdersW" in
   let cust_db =
-    Source_db.create ~engine ~name:"dbCust" ~relations:[ ("Cust", schema_cust) ]
+    mk_source ~backend ~engine ~name:"dbCust"
+      ~relations:[ ("Cust", schema_cust) ]
       ~announce ()
   in
   (* disjoint oid ranges per region so the bag union never conflates
@@ -348,9 +362,9 @@ let make_retail ?(seed = 99) ?(orders = 40) ?(customers = retail_customers)
     in
     build (Bag.empty schema_orders) 0
   in
-  Source_db.load east "OrdersE" (order_bag ~base:0 "OrdersE");
-  Source_db.load west "OrdersW" (order_bag ~base:100000 "OrdersW");
-  Source_db.load cust_db "Cust"
+  Adapter.load east "OrdersE" (order_bag ~base:0 "OrdersE");
+  Adapter.load west "OrdersW" (order_bag ~base:100000 "OrdersW");
+  Adapter.load cust_db "Cust"
     (Datagen.bag rng schema_cust (retail_update_specs "Cust") ~size:customers);
   { engine; sources = [ east; west; cust_db ]; vdp = retail_vdp () }
 
@@ -395,16 +409,16 @@ let federated_update_specs = function
   | rel -> invalid_arg ("federated_update_specs: unknown relation " ^ rel)
 
 let make_federated ?(seed = 71) ?(orders = 25)
-    ?(announce = Source_db.Immediate) () =
+    ?(announce = Source_db.Immediate) ?(backend = `Relational) () =
   let engine = Engine.create () in
   let rng = Datagen.state seed in
   let east =
-    Source_db.create ~engine ~name:"dbEast"
+    mk_source ~backend ~engine ~name:"dbEast"
       ~relations:[ ("OrdersE", schema_orders) ]
       ~announce ()
   in
   let west =
-    Source_db.create ~engine ~name:"dbWest"
+    mk_source ~backend ~engine ~name:"dbWest"
       ~relations:[ ("OrdersW", schema_orders_west) ]
       ~announce ()
   in
@@ -422,7 +436,7 @@ let make_federated ?(seed = 71) ?(orders = 25)
         (Bag.empty schema)
         (List.init orders Fun.id)
     in
-    Source_db.load src rel bag
+    Adapter.load src rel bag
   in
   load east "OrdersE" schema_orders 0;
   load west "OrdersW" schema_orders_west 100000;

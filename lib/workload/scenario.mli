@@ -14,14 +14,32 @@ open Sources
 open Vdp
 open Squirrel
 
+type backend = [ `Relational | `Triple ]
+(** Storage family behind every source of an environment: plain
+    {!Sources.Source_db} databases, or {!Sources.Triple_store}s whose
+    relational export renders the same data — the seam the adapter
+    differential tests diff across. *)
+
 type env = {
   engine : Engine.t;
-  sources : Source_db.t list;
+  sources : Adapter.t list;
   vdp : Graph.t;
 }
 
-val source : env -> string -> Source_db.t
+val source : env -> string -> Adapter.t
 (** @raise Not_found on unknown name. *)
+
+val mk_source :
+  backend:backend ->
+  engine:Engine.t ->
+  name:string ->
+  relations:(string * Relalg.Schema.t) list ->
+  announce:Sources.Source_db.announce_mode ->
+  unit ->
+  Adapter.t
+(** The one constructor seam behind every environment here (and behind
+    {!Scn}): a fresh adapter over a relational database or a triple
+    store serving the given relational export. *)
 
 (** {1 Figure 1 environment} *)
 
@@ -33,6 +51,7 @@ val make_fig1 :
   ?r_size:int ->
   ?s_size:int ->
   ?announce:Source_db.announce_mode ->
+  ?backend:backend ->
   unit ->
   env
 (** Sources [db1]/[db2] loaded with generated data: R keys [0..r_size),
@@ -60,6 +79,7 @@ val make_ex51 :
   ?seed:int ->
   ?size:int ->
   ?announce:Source_db.announce_mode ->
+  ?backend:backend ->
   unit ->
   env
 
@@ -76,12 +96,12 @@ val mediator :
   env ->
   annotation:Annotation.t ->
   ?config:Med.config ->
-  ?delays:(string -> Mediator.delays) ->
   unit ->
   Mediator.t
 (** Create and connect a mediator over the environment's sources (the
     periodic flusher starts immediately; call [Mediator.initialize]
-    from a process). *)
+    from a process). Per-source delays come from [config.delays]
+    ({!Med.Config.make}). *)
 
 exception
   No_quiescence of {
@@ -127,6 +147,7 @@ val make_retail :
   ?orders:int ->
   ?customers:int ->
   ?announce:Source_db.announce_mode ->
+  ?backend:backend ->
   unit ->
   env
 (** Sources [dbEast] (OrdersE), [dbWest] (OrdersW), [dbCust] (Cust);
@@ -155,6 +176,7 @@ val make_federated :
   ?seed:int ->
   ?orders:int ->
   ?announce:Source_db.announce_mode ->
+  ?backend:backend ->
   unit ->
   env
 

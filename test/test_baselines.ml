@@ -28,7 +28,7 @@ let recompute env node =
   let env_fn leaf =
     match Graph.node_opt env.Scenario.vdp leaf with
     | Some { Graph.kind = Graph.Leaf { source }; _ } ->
-      Some (Source_db.current (Scenario.source env source) leaf)
+      Some (Adapter.current (Scenario.source env source) leaf)
     | Some _ | None -> None
   in
   Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)
@@ -47,8 +47,8 @@ let test_shipper_matches_recompute () =
   Alcotest.(check bool)
     "push-down: fetched less than |R|+|S|" true
     (stats.Query_shipper.sq_tuples_fetched
-    < Bag.cardinal (Source_db.current (Scenario.source env "db1") "R")
-      + Bag.cardinal (Source_db.current (Scenario.source env "db2") "S"))
+    < Bag.cardinal (Adapter.current (Scenario.source env "db1") "R")
+      + Bag.cardinal (Adapter.current (Scenario.source env "db2") "S"))
 
 let test_shipper_always_current () =
   (* the virtual approach reflects updates immediately: commit, then
@@ -69,7 +69,7 @@ let test_shipper_always_current () =
         ("r4", Value.Int 100);
       ]
   in
-  Source_db.commit db1 (Driver.single_insert db1 "R" fresh);
+  Adapter.commit db1 (Driver.single_insert db1 "R" fresh);
   let answer = in_process env (fun () -> Query_shipper.query shipper ~node:"T" ()) in
   Tutil.check_bag "reflects the commit" (recompute env "T") answer;
   Alcotest.(check bool)
@@ -145,13 +145,13 @@ let test_warehouse_runs_correctly () =
         ("r4", Value.Int 100);
       ]
   in
-  Source_db.commit db1 (Driver.single_insert db1 "R" fresh);
+  Adapter.commit db1 (Driver.single_insert db1 "R" fresh);
   Scenario.run_to_quiescence env med;
   let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "warehouse maintains T" (recompute env "T") answer;
   Alcotest.(check bool)
     "maintenance required polling (aux virtual)" true
-    (Source_db.polls_served (Scenario.source env "db2") > 1)
+    (Adapter.polls_served (Scenario.source env "db2") > 1)
 
 let test_virtual_annotation_runs_correctly () =
   let env = Scenario.make_fig1 () in

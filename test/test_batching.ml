@@ -38,7 +38,7 @@ let recompute env node =
   let env_fn leaf =
     match Graph.node_opt env.Scenario.vdp leaf with
     | Some { Graph.kind = Graph.Leaf { source }; _ } ->
-      Some (Source_db.current (Scenario.source env source) leaf)
+      Some (Adapter.current (Scenario.source env source) leaf)
     | Some _ | None -> None
   in
   Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)
@@ -238,7 +238,7 @@ let fresh_mediator ?max_batch () =
   (env, med)
 
 let entry env ~source ~rel ~version ~prev =
-  let schema = Source_db.schema (Scenario.source env source) rel in
+  let schema = Adapter.schema (Scenario.source env source) rel in
   {
     Med.q_source = source;
     q_version = version;

@@ -27,7 +27,7 @@ let recompute env node =
   let env_fn leaf =
     match Graph.node_opt env.Scenario.vdp leaf with
     | Some { Graph.kind = Graph.Leaf { source }; _ } ->
-      Some (Source_db.current (Scenario.source env source) leaf)
+      Some (Adapter.current (Scenario.source env source) leaf)
     | Some _ | None -> None
   in
   Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)
@@ -56,7 +56,7 @@ let commit_r env i =
         ("r4", Value.Int 100);
       ]
   in
-  Source_db.commit db1 (Driver.single_insert db1 "R" tuple)
+  Adapter.commit db1 (Driver.single_insert db1 "R" tuple)
 
 let test_gap_triggers_resync_and_converges () =
   let env, med = setup () in
@@ -64,9 +64,9 @@ let test_gap_triggers_resync_and_converges () =
   let at d f = Engine.schedule env.Scenario.engine ~delay:d f in
   at 1.0 (fun () -> commit_r env 1);
   (* this commit's announcement dies on the wire *)
-  at 2.0 (fun () -> Source_db.set_link_up db1 false);
+  at 2.0 (fun () -> Adapter.set_link_up db1 false);
   at 2.1 (fun () -> commit_r env 2);
-  at 3.0 (fun () -> Source_db.set_link_up db1 true);
+  at 3.0 (fun () -> Adapter.set_link_up db1 true);
   (* the next announcement's prev_version exposes the loss *)
   at 3.1 (fun () -> commit_r env 3);
   Engine.run env.Scenario.engine ~until:(Engine.now env.Scenario.engine +. 5.0);
@@ -89,7 +89,7 @@ let test_outage_degrades_to_stale_answer () =
   (* r3 is virtual on T and lives in db1: the query below must poll it,
      and the outage outlasts every retry *)
   let now = Engine.now env.Scenario.engine in
-  Source_db.set_outages db1 [ (now, now +. 1000.0) ];
+  Adapter.set_outages db1 [ (now, now +. 1000.0) ];
   let rich =
     in_process env (fun () ->
         Mediator.query med ~node:"T" ~attrs:[ "r1"; "r3" ] ())
@@ -117,7 +117,7 @@ let test_retry_survives_transient_blackhole () =
   (* the first attempt times out inside the window (0.5 > 0.3); the
      backoff pushes the retry past it *)
   let now = Engine.now env.Scenario.engine in
-  Source_db.set_outages db1 ~mode:Source_db.Black_hole [ (now, now +. 0.3) ];
+  Adapter.set_outages db1 ~mode:Source_db.Black_hole [ (now, now +. 0.3) ];
   let rich =
     in_process env (fun () ->
         Mediator.query med ~node:"T" ~attrs:[ "r1"; "r3" ] ())

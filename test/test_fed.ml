@@ -168,9 +168,9 @@ let test_partition_targets () =
 let load_sources sources items tags =
   List.iter
     (fun s ->
-      match Source_db.name s with
-      | "dbItems" -> Source_db.load s "Items" items
-      | _ -> Source_db.load s "Tags" tags)
+      match Adapter.name s with
+      | "dbItems" -> Adapter.load s "Items" items
+      | _ -> Adapter.load s "Tags" tags)
     sources
 
 let small_spec =
@@ -301,13 +301,13 @@ let test_export_stream () =
   let old_item =
     List.find
       (fun t -> Tuple.get t "k" = Value.Int 0)
-      (Bag.support (Source_db.current db_items "Items"))
+      (Bag.support (Adapter.current db_items "Items"))
   in
   let new_item =
     Tuple.of_list
       [ ("k", Value.Int 0); ("grp", Value.Int 0); ("amt", Value.Int 99) ]
   in
-  Source_db.commit db_items
+  Adapter.commit db_items
     (Delta.Multi_delta.singleton "Items"
        (Delta.Rel_delta.insert
           (Delta.Rel_delta.delete

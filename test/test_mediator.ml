@@ -34,7 +34,7 @@ let recompute env node =
   let env_fn leaf =
     match Graph.node_opt env.Scenario.vdp leaf with
     | Some { Graph.kind = Graph.Leaf { source }; _ } ->
-      Some (Source_db.current (Scenario.source env source) leaf)
+      Some (Adapter.current (Scenario.source env source) leaf)
     | Some _ | None -> None
   in
   Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)
@@ -49,11 +49,11 @@ let check_consistent ?(expect = true) env med =
     expect (Checker.consistent report);
   report
 
-let setup_fig1 ?config ?delays annotation_of =
+let setup_fig1 ?config annotation_of =
   let env = Scenario.make_fig1 () in
   let med =
     Scenario.mediator env ~annotation:(annotation_of env.Scenario.vdp) ?config
-      ?delays ()
+      ()
   in
   in_process env (fun () -> Mediator.initialize med);
   (env, med)
@@ -90,7 +90,7 @@ let commit_fresh_r env ~r1 ~r2 ~r3 ~r4 =
         ("r4", Value.Int r4);
       ]
   in
-  Source_db.commit db1 (Driver.single_insert db1 "R" tuple)
+  Adapter.commit db1 (Driver.single_insert db1 "R" tuple)
 
 let commit_fresh_s env ~s1 ~s2 ~s3 =
   let db2 = Scenario.source env "db2" in
@@ -98,7 +98,7 @@ let commit_fresh_s env ~s1 ~s2 ~s3 =
     Tuple.of_list
       [ ("s1", Value.Int s1); ("s2", Value.Int s2); ("s3", Value.Int s3) ]
   in
-  Source_db.commit db2 (Driver.single_insert db2 "S" tuple)
+  Adapter.commit db2 (Driver.single_insert db2 "S" tuple)
 
 let test_ex21_incremental () =
   let env, med = setup_fig1 Scenario.ann_ex21 in
@@ -137,10 +137,10 @@ let test_ex21_deletions () =
   (* delete an R row that currently contributes to T *)
   let contributing =
     Bag.support
-      (Bag.select Predicate.(eq (attr "r4") (int 100)) (Source_db.current db1 "R"))
+      (Bag.select Predicate.(eq (attr "r4") (int 100)) (Adapter.current db1 "R"))
   in
   (match contributing with
-  | victim :: _ -> Source_db.commit db1 (Driver.single_delete db1 "R" victim)
+  | victim :: _ -> Adapter.commit db1 (Driver.single_delete db1 "R" victim)
   | [] -> Alcotest.fail "expected a contributing row");
   Scenario.run_to_quiescence env med;
   let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
@@ -154,14 +154,14 @@ let test_ex22_r_updates_no_polls () =
      without touching any source *)
   let env, med = setup_fig1 Scenario.ann_ex22 in
   let db1 = Scenario.source env "db1" in
-  let polls0 = Source_db.polls_served db1 in
+  let polls0 = Adapter.polls_served db1 in
   for i = 0 to 10 do
     commit_fresh_r env ~r1:(8000 + i) ~r2:(i mod 40) ~r3:i ~r4:100
   done;
   Scenario.run_to_quiescence env med;
   Alcotest.(check int)
     "R updates processed without polling db1" polls0
-    (Source_db.polls_served db1);
+    (Adapter.polls_served db1);
   let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "T maintained" (recompute env "T") answer;
   ignore (check_consistent env med)
@@ -172,12 +172,12 @@ let test_ex22_s_update_polls_r () =
      expense of sending queries to relation R") *)
   let env, med = setup_fig1 Scenario.ann_ex22 in
   let db1 = Scenario.source env "db1" in
-  let polls0 = Source_db.polls_served db1 in
+  let polls0 = Adapter.polls_served db1 in
   commit_fresh_s env ~s1:6100 ~s2:3 ~s3:5;
   Scenario.run_to_quiescence env med;
   Alcotest.(check bool)
     "db1 polled to process the S update" true
-    (Source_db.polls_served db1 > polls0);
+    (Adapter.polls_served db1 > polls0);
   let answer = in_process env (fun () -> (Mediator.query med ~node:"T" ()).Qp.tuples) in
   Tutil.check_bag "T maintained" (recompute env "T") answer;
   ignore (check_consistent env med)
@@ -230,7 +230,7 @@ let test_ex23_virtual_attr_key_based () =
   let env, med = setup_fig1 Scenario.ann_ex23 in
   let db1 = Scenario.source env "db1" in
   let db2 = Scenario.source env "db2" in
-  let p1 = Source_db.polls_served db1 and p2 = Source_db.polls_served db2 in
+  let p1 = Adapter.polls_served db1 and p2 = Adapter.polls_served db2 in
   let cond = Predicate.(lt (attr "r3") (int 100)) in
   let answer =
     in_process env (fun () ->
@@ -242,17 +242,17 @@ let test_ex23_virtual_attr_key_based () =
   Alcotest.(check bool)
     "used key-based construction" true
     ((Obs.Metrics.value (Mediator.stats med).Med.key_based_constructions) > 0);
-  Alcotest.(check bool) "db1 polled" true (Source_db.polls_served db1 > p1);
+  Alcotest.(check bool) "db1 polled" true (Adapter.polls_served db1 > p1);
   Alcotest.(check int)
     "db2 NOT polled (S' not needed)" p2
-    (Source_db.polls_served db2);
+    (Adapter.polls_served db2);
   ignore (check_consistent env med)
 
 let test_ex23_key_based_disabled_polls_both () =
   let config = Med.Config.make ~key_based_enabled:false () in
   let env, med = setup_fig1 ~config Scenario.ann_ex23 in
   let db2 = Scenario.source env "db2" in
-  let p2 = Source_db.polls_served db2 in
+  let p2 = Adapter.polls_served db2 in
   let answer =
     in_process env (fun () ->
         (Mediator.query med ~node:"T" ~attrs:[ "r3"; "s1" ] ()).Qp.tuples)
@@ -262,7 +262,7 @@ let test_ex23_key_based_disabled_polls_both () =
     answer;
   Alcotest.(check bool)
     "general construction polls db2 too" true
-    (Source_db.polls_served db2 > p2)
+    (Adapter.polls_served db2 > p2)
 
 let test_ex23_maintenance_with_updates () =
   let env, med = setup_fig1 Scenario.ann_ex23 in
@@ -365,12 +365,12 @@ let test_federated_rename_end_to_end () =
   Alcotest.(check int) "both regions aligned" 50 (Bag.cardinal all0);
   (* updates on both sides, in their native schemas *)
   let west = Scenario.source env "dbWest" in
-  Source_db.commit west
+  Adapter.commit west
     (Driver.single_insert west "OrdersW"
        (Tuple.of_list
           [ ("wid", Value.Int 123456); ("client", Value.Int 9); ("amount", Value.Int 77) ]));
   let east = Scenario.source env "dbEast" in
-  Source_db.commit east
+  Adapter.commit east
     (Driver.single_insert east "OrdersE"
        (Tuple.of_list
           [ ("oid", Value.Int 999); ("cust", Value.Int 9); ("amt", Value.Int 55) ]));
@@ -395,7 +395,7 @@ let test_federated_rename_virtual () =
   in
   in_process env (fun () -> Mediator.initialize med);
   let west = Scenario.source env "dbWest" in
-  Source_db.commit west
+  Adapter.commit west
     (Driver.single_insert west "OrdersW"
        (Tuple.of_list
           [ ("wid", Value.Int 123457); ("client", Value.Int 3); ("amount", Value.Int 42) ]));
@@ -410,7 +410,7 @@ let test_query_many_single_transaction () =
      at most once, both answers from one view state *)
   let env, med = setup_ex51 () in
   let polls_before =
-    List.map (fun s -> (Source_db.name s, Source_db.polls_served s))
+    List.map (fun s -> (Adapter.name s, Adapter.polls_served s))
       env.Scenario.sources
   in
   let answers =
@@ -424,12 +424,12 @@ let test_query_many_single_transaction () =
     answers;
   List.iter
     (fun src ->
-      let name = Source_db.name src in
+      let name = Adapter.name src in
       let before = List.assoc name polls_before in
       Alcotest.(check bool)
         (name ^ " polled at most once")
         true
-        (Source_db.polls_served src - before <= 1))
+        (Adapter.polls_served src - before <= 1))
     env.Scenario.sources;
   (* both logged query transactions share one reflect vector *)
   (match
@@ -499,7 +499,7 @@ let make_single_source_env () =
     Builder.add_export b ~name:"T" Tutil.t_def;
     Builder.build b
   in
-  { Scenario.engine; sources = [ db ]; vdp }
+  { Scenario.engine; sources = [ Source_db.adapter db ]; vdp }
 
 let test_multi_relation_atomic_commit () =
   let env = make_single_source_env () in
@@ -526,7 +526,7 @@ let test_multi_relation_atomic_commit () =
          (Tuple.of_list
             [ ("s1", Value.Int 7200); ("s2", Value.Int 6); ("s3", Value.Int 7) ]))
   in
-  Source_db.commit db delta;
+  Adapter.commit db delta;
   Scenario.run_to_quiescence env med;
   Alcotest.(check int)
     "one undividable message" 1
@@ -556,12 +556,12 @@ let test_multi_relation_hybrid_eca () =
   in_process env (fun () -> Mediator.initialize med);
   let db = Scenario.source env "db" in
   (* S update forces a poll of the same source for R' *)
-  Source_db.commit db
+  Adapter.commit db
     (Driver.single_insert db "S"
        (Tuple.of_list
           [ ("s1", Value.Int 7300); ("s2", Value.Int 1); ("s3", Value.Int 2) ]));
   (* plus an R update in the same window *)
-  Source_db.commit db
+  Adapter.commit db
     (Driver.single_insert db "R"
        (Tuple.of_list
           [
@@ -637,7 +637,7 @@ let commit_order env ~src_name ~rel ~oid ~cust ~amt =
     Tuple.of_list
       [ ("oid", Value.Int oid); ("cust", Value.Int cust); ("amt", Value.Int amt) ]
   in
-  Source_db.commit src (Driver.single_insert src rel tuple)
+  Adapter.commit src (Driver.single_insert src rel tuple)
 
 let test_retail_union_structure () =
   let vdp = Scenario.retail_vdp () in
@@ -672,7 +672,7 @@ let test_retail_union_maintenance () =
     Tuple.of_list
       [ ("cust", Value.Int 2); ("region", Value.Int 0); ("status", Value.Int 1) ]
   in
-  Source_db.commit cust_db (Driver.single_insert cust_db "Cust" flipped);
+  Adapter.commit cust_db (Driver.single_insert cust_db "Cust" flipped);
   Scenario.run_to_quiescence env med;
   let premium = in_process env (fun () -> (Mediator.query med ~node:"Premium" ()).Qp.tuples) in
   Tutil.check_bag "Premium maintained through the union"
@@ -696,7 +696,7 @@ let test_retail_union_deletion_multiplicity () =
   let all = in_process env (fun () -> (Mediator.query med ~node:"AllOrders" ()).Qp.tuples) in
   Alcotest.(check int) "multiplicity 2 in the union" 2 (Bag.mult all dup);
   let east = Scenario.source env "dbEast" in
-  Source_db.commit east (Driver.single_delete east "OrdersE" dup);
+  Adapter.commit east (Driver.single_delete east "OrdersE" dup);
   Scenario.run_to_quiescence env med;
   let all = in_process env (fun () -> (Mediator.query med ~node:"AllOrders" ()).Qp.tuples) in
   Alcotest.(check int) "one copy survives" 1 (Bag.mult all dup);
@@ -797,8 +797,10 @@ let test_theorem_7_2_staleness_bounded () =
   let med =
     Scenario.mediator env
       ~annotation:(Scenario.ann_ex21 env.Scenario.vdp)
-      ~config:(Med.Config.make ~flush_interval:flush ~op_time:0.0 ())
-      ~delays:(fun _ -> { Mediator.comm_delay = comm; q_proc_delay = qproc })
+      ~config:
+        (Med.Config.make ~flush_interval:flush ~op_time:0.0
+           ~delays:(fun _ -> { Med.comm_delay = comm; q_proc_delay = qproc })
+           ())
       ()
   in
   in_process env (fun () -> Mediator.initialize med);
@@ -857,8 +859,10 @@ let slo_env ?(announce = Source_db.Immediate) annotation_of =
   let med =
     Scenario.mediator env
       ~annotation:(annotation_of env.Scenario.vdp)
-      ~config:(Med.Config.make ~op_time:0.0 ())
-      ~delays:(fun _ -> { Mediator.comm_delay = 0.02; q_proc_delay = 0.01 })
+      ~config:
+        (Med.Config.make ~op_time:0.0
+           ~delays:(fun _ -> { Med.comm_delay = 0.02; q_proc_delay = 0.01 })
+           ())
       ()
   in
   in_process env (fun () -> Mediator.initialize med);
@@ -960,7 +964,7 @@ let test_slo_refusal_source_down () =
   slo_churn env;
   Scenario.run_to_quiescence env med;
   let t_q = Engine.now env.Scenario.engine in
-  Source_db.set_outages (Scenario.source env "db1") [ (t_q, t_q +. 1000.0) ];
+  Adapter.set_outages (Scenario.source env "db1") [ (t_q, t_q +. 1000.0) ];
   Engine.run env.Scenario.engine ~until:(t_q +. 30.0);
   let r =
     in_process env (fun () ->

@@ -182,15 +182,15 @@ let test_deferral_and_resync_spans () =
           ("r4", Value.Int 100);
         ]
     in
-    Source_db.commit db1 (Driver.single_insert db1 "R" tuple)
+    Adapter.commit db1 (Driver.single_insert db1 "R" tuple)
   in
   let at d f = Engine.schedule env.Scenario.engine ~delay:d f in
   at 1.0 (fun () -> commit_r 1);
   (* this announcement dies on the wire; the next commit's
      prev_version exposes the loss *)
-  at 2.0 (fun () -> Source_db.set_link_up db1 false);
+  at 2.0 (fun () -> Adapter.set_link_up db1 false);
   at 2.1 (fun () -> commit_r 2);
-  at 3.0 (fun () -> Source_db.set_link_up db1 true);
+  at 3.0 (fun () -> Adapter.set_link_up db1 true);
   at 3.1 (fun () -> commit_r 3);
   Engine.run env.Scenario.engine ~until:(Engine.now env.Scenario.engine +. 5.0);
   Scenario.run_to_quiescence env med;

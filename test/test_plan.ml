@@ -31,7 +31,7 @@ let recompute env node =
   let env_fn leaf =
     match Graph.node_opt env.Scenario.vdp leaf with
     | Some { Graph.kind = Graph.Leaf { source }; _ } ->
-      Some (Source_db.current (Scenario.source env source) leaf)
+      Some (Adapter.current (Scenario.source env source) leaf)
     | Some _ | None -> None
   in
   Eval.eval ~env:env_fn (Graph.expanded_def env.Scenario.vdp node)
@@ -452,7 +452,7 @@ let commit_r env i =
         ("r4", Value.Int 100);
       ]
   in
-  Source_db.commit db1 (Driver.single_insert db1 "R" tuple)
+  Adapter.commit db1 (Driver.single_insert db1 "R" tuple)
 
 let test_repeat_query_hits_cache () =
   let env, med = setup () in
@@ -522,9 +522,9 @@ let test_resync_flushes_cache () =
   at 1.0 (fun () -> commit_r env 1);
   (* this commit's announcement dies on the wire; the next one's
      prev_version exposes the loss and forces a resync *)
-  at 2.0 (fun () -> Source_db.set_link_up db1 false);
+  at 2.0 (fun () -> Adapter.set_link_up db1 false);
   at 2.1 (fun () -> commit_r env 2);
-  at 3.0 (fun () -> Source_db.set_link_up db1 true);
+  at 3.0 (fun () -> Adapter.set_link_up db1 true);
   at 3.1 (fun () -> commit_r env 3);
   Engine.run env.Scenario.engine ~until:(Engine.now env.Scenario.engine +. 5.0);
   Scenario.run_to_quiescence env med;
